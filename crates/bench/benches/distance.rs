@@ -1,0 +1,34 @@
+//! Metric microbenchmarks — supports the demo's "experiment with a
+//! variety of distance metrics" (Scenario 1) by showing that metric
+//! choice is computationally free relative to query execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seedb_core::{distance, Metric};
+
+fn distributions(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let p: Vec<f64> = (0..n).map(|i| (i + 1) as f64).collect();
+    let q: Vec<f64> = (0..n).map(|i| (n - i) as f64).collect();
+    let norm = |v: Vec<f64>| {
+        let s: f64 = v.iter().sum();
+        v.into_iter().map(|x| x / s).collect::<Vec<f64>>()
+    };
+    (norm(p), norm(q))
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance");
+    for n in [10usize, 100, 1000] {
+        let (p, q) = distributions(n);
+        for metric in Metric::all() {
+            group.bench_with_input(
+                BenchmarkId::new(metric.name(), n),
+                &(&p, &q),
+                |b, (p, q)| b.iter(|| distance(metric, p, q)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_metrics);
+criterion_main!(benches);

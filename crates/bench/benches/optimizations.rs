@@ -1,0 +1,66 @@
+//! Experiments S2a–S2d — the view-query optimizations of §3.3.
+//!
+//! End-to-end recommendation latency under each optimizer configuration,
+//! cumulatively enabling:
+//! `basic` → `+combine target/comparison` (S2b: "halves the time") →
+//! `+combine aggregates` (S2c: "speed up linear in the number of
+//! aggregate attributes") → `+combine group-bys` (S2d: bin-packed
+//! GROUPING SETS and multi-group-by roll-up).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seedb_bench::workload;
+use seedb_core::{GroupByCombining, SeeDb, SeeDbConfig};
+
+fn configs() -> Vec<(&'static str, SeeDbConfig)> {
+    let base = || {
+        let mut c = SeeDbConfig::basic();
+        c.k = 5;
+        c
+    };
+    vec![
+        ("basic", base()),
+        ("combine_tc", {
+            let mut c = base();
+            c.optimizer.combine_target_comparison = true;
+            c
+        }),
+        ("combine_aggs", {
+            let mut c = base();
+            c.optimizer.combine_target_comparison = true;
+            c.optimizer.combine_aggregates = true;
+            c
+        }),
+        ("combine_gb_sets", {
+            let mut c = base();
+            c.optimizer.combine_target_comparison = true;
+            c.optimizer.combine_aggregates = true;
+            c.optimizer.group_by_combining = GroupByCombining::GroupingSets;
+            c.optimizer.memory_budget_groups = 100_000;
+            c
+        }),
+        ("combine_gb_rollup", {
+            let mut c = base();
+            c.optimizer.combine_target_comparison = true;
+            c.optimizer.combine_aggregates = true;
+            c.optimizer.group_by_combining = GroupByCombining::MultiGroupBy;
+            c.optimizer.memory_budget_groups = 100_000;
+            c
+        }),
+    ]
+}
+
+fn bench_optimizations(c: &mut Criterion) {
+    let w = workload(60_000, 6, 10, 3, 42);
+    let mut group = c.benchmark_group("optimizations");
+    group.sample_size(10);
+    for (name, config) in configs() {
+        let seedb = SeeDb::new(w.db.clone(), config);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &seedb, |b, s| {
+            b.iter(|| s.recommend(&w.analyst).expect("recommendation runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizations);
+criterion_main!(benches);

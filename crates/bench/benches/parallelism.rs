@@ -1,0 +1,30 @@
+//! Experiment S2f — parallel query execution (§3.3): "as the number of
+//! queries executed in parallel increases, the total latency decreases at
+//! the cost of increased per query execution time."
+//!
+//! Total recommendation latency vs worker count, holding the plan fixed
+//! (basic un-combined plan = many independent queries, the regime where
+//! parallelism matters most). The per-query-time side of the trade-off is
+//! reported by the `experiments` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seedb_bench::workload;
+use seedb_core::{SeeDb, SeeDbConfig};
+
+fn bench_parallelism(c: &mut Criterion) {
+    let w = workload(60_000, 6, 10, 2, 3);
+    let mut group = c.benchmark_group("parallelism/total_latency");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        let mut config = SeeDbConfig::basic().with_k(5);
+        config.optimizer.parallelism = workers;
+        let seedb = SeeDb::new(w.db.clone(), config);
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &seedb, |b, s| {
+            b.iter(|| s.recommend(&w.analyst).expect("recommendation runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallelism);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Experiment S2g — view-space pruning (§3.3): latency with each pruning
+//! rule enabled, on a table designed so each rule has prey: constant
+//! columns (variance rule), derived alias columns (correlation rule), and
+//! a recorded workload touching a few attributes (access rule).
+//!
+//! The companion table (views pruned per rule + recall of the true
+//! top-k) is printed by the `experiments` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+use memdb::Database;
+use seedb_core::{AnalystQuery, PruningConfig, SeeDb, SeeDbConfig};
+use seedb_data::{Categorical, DimSpec, Plant, SyntheticSpec};
+
+/// Workload with pruneable structure.
+fn pruneable() -> (Arc<Database>, AnalystQuery) {
+    let mut spec = SyntheticSpec::knobs(40_000, 5, 10, 1.0, 2, 11).with_plant(Plant {
+        subset_dim: 0,
+        subset_value: 0,
+        deviating_dims: vec![1, 2],
+        deviating_measures: vec![],
+    });
+    // Constant dimension (variance-rule prey).
+    spec.dims
+        .push(DimSpec::new("constant", Categorical::Uniform { k: 1 }));
+    // Noise-free aliases of d1 and d2 (correlation-rule prey).
+    spec.dims.push(DimSpec::derived("d1_alias", 10, 1, 0.0));
+    spec.dims.push(DimSpec::derived("d2_alias", 10, 2, 0.0));
+    let analyst = AnalystQuery::new("synthetic", spec.subset_filter());
+    let db = Arc::new(Database::new());
+    db.register(spec.generate());
+    (db, analyst)
+}
+
+fn bench_pruning(c: &mut Criterion) {
+    let (db, analyst) = pruneable();
+    let mut group = c.benchmark_group("pruning");
+    group.sample_size(10);
+
+    let configs: Vec<(&str, PruningConfig)> = vec![
+        ("off", PruningConfig::disabled()),
+        ("variance", {
+            let mut p = PruningConfig::disabled();
+            p.variance = true;
+            p.min_entropy = 0.05;
+            p
+        }),
+        ("variance+correlation", {
+            let mut p = PruningConfig::disabled();
+            p.variance = true;
+            p.min_entropy = 0.05;
+            p.correlation = true;
+            p.correlation_threshold = 0.95;
+            p
+        }),
+        ("all", PruningConfig::aggressive()),
+    ];
+
+    for (name, pruning) in configs {
+        let mut config = SeeDbConfig::recommended().with_k(5);
+        config.optimizer.parallelism = 1;
+        config.pruning = pruning;
+        let seedb = SeeDb::new(db.clone(), config);
+        // Prime the workload log so the access rule can fire.
+        for _ in 0..20 {
+            seedb.tracker().record("synthetic", ["d0", "d1", "d2", "m0", "m1"]);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(name), &seedb, |b, s| {
+            b.iter(|| s.recommend(&analyst).expect("recommendation runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pruning);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Experiment S2e — the sampling optimization of §3.3: "we construct a
+//! sample of the dataset that can fit in memory and run all view queries
+//! against the sample. However ... the sampling technique and size of the
+//! sample both affect view accuracy."
+//!
+//! Latency vs sample fraction; the companion accuracy sweep (top-k
+//! Jaccard vs the exact ranking) lives in the `experiments` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use memdb::SampleSpec;
+use seedb_bench::workload;
+use seedb_core::{SeeDb, SeeDbConfig};
+
+fn bench_sampling(c: &mut Criterion) {
+    let w = workload(100_000, 5, 10, 2, 7);
+    let mut group = c.benchmark_group("sampling/latency");
+    group.sample_size(10);
+    for fraction in [1.0f64, 0.5, 0.2, 0.1, 0.05, 0.01] {
+        let mut config = SeeDbConfig::recommended().with_k(5);
+        config.optimizer.parallelism = 1; // isolate the sampling effect
+        if fraction < 1.0 {
+            config.optimizer.sample = Some(SampleSpec::Bernoulli { fraction, seed: 1 });
+        }
+        let seedb = SeeDb::new(w.db.clone(), config);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{fraction:.2}")),
+            &seedb,
+            |b, s| b.iter(|| s.recommend(&w.analyst).expect("recommendation runs")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Experiment C1 — §1 claim (b): "the number of candidate views (or
+//! visualizations) increases as the square of the number of attributes".
+//!
+//! Benchmarks view enumeration time as attribute count grows and asserts
+//! the quadratic count analytically (doubling attributes quadruples the
+//! space).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use memdb::{ColumnDef, DataType, Schema};
+use seedb_core::{enumerate_views, view_space_size, FunctionSet};
+
+fn schema(attrs: usize) -> Schema {
+    let dims = attrs / 2;
+    let mut cols = Vec::new();
+    for i in 0..dims {
+        cols.push(ColumnDef::dimension(&format!("d{i}"), DataType::Str));
+    }
+    for i in 0..(attrs - dims) {
+        cols.push(ColumnDef::measure(&format!("m{i}"), DataType::Float64));
+    }
+    Schema::new(cols).unwrap()
+}
+
+fn bench_view_space(c: &mut Criterion) {
+    let funcs = FunctionSet::standard();
+    let mut group = c.benchmark_group("view_space/enumerate");
+    for attrs in [10usize, 20, 40, 80, 160] {
+        let s = schema(attrs);
+        // The quadratic-growth claim, checked exactly.
+        let count = view_space_size(attrs / 2, attrs - attrs / 2, &funcs);
+        let half = view_space_size(attrs / 4, attrs / 2 - attrs / 4, &funcs);
+        assert!(
+            attrs < 20 || (count as f64 / half as f64 - 4.0).abs() < 0.35,
+            "doubling {attrs} attrs should ~quadruple views: {half} -> {count}"
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(attrs), &attrs, |b, _| {
+            b.iter(|| {
+                let views = enumerate_views(&s, &funcs);
+                assert_eq!(views.len(), count);
+                views
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_view_space);
+criterion_main!(benches);

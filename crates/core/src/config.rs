@@ -1,0 +1,118 @@
+//! Top-level SeeDB configuration.
+
+use crate::distance::Metric;
+use crate::optimizer::OptimizerConfig;
+use crate::pruning::PruningConfig;
+use crate::view::FunctionSet;
+
+/// Everything tunable about a SeeDB instance — the "knobs" of demo
+/// Scenario 2 ("attendees will also be able to select the optimizations
+/// that SEEDB applies and observe the effect on response times and
+/// accuracy").
+#[derive(Debug, Clone)]
+pub struct SeeDbConfig {
+    /// Distance function `S` for utility.
+    pub metric: Metric,
+    /// Number of views to recommend.
+    pub k: usize,
+    /// Aggregate functions to enumerate.
+    pub functions: FunctionSet,
+    /// View-space pruning rules.
+    pub pruning: PruningConfig,
+    /// Query-combination optimizations.
+    pub optimizer: OptimizerConfig,
+    /// Whether the metadata collector computes the dimension-correlation
+    /// matrix (`O(|A|²·n)`; required for correlation pruning).
+    pub compute_correlations: bool,
+    /// Additionally return this many *lowest*-utility views — the demo
+    /// shows "bad views ... that were not selected by SeeDB" for
+    /// contrast.
+    pub low_utility_views: usize,
+    /// Exclude dimensions that appear in the analyst's own predicate
+    /// from the view space. Their target views trivially concentrate on
+    /// the selected value (e.g. `product` under
+    /// `WHERE product = 'Laserwave'`) and would crowd out genuine
+    /// insights. Default: on.
+    pub exclude_filter_attributes: bool,
+}
+
+impl SeeDbConfig {
+    /// Paper defaults: EMD, k = 10, standard functions, all pruning and
+    /// sharing optimizations on.
+    pub fn recommended() -> Self {
+        SeeDbConfig {
+            metric: Metric::EarthMovers,
+            k: 10,
+            functions: FunctionSet::standard(),
+            pruning: PruningConfig::aggressive(),
+            optimizer: OptimizerConfig::all_optimizations(),
+            compute_correlations: true,
+            low_utility_views: 0,
+            exclude_filter_attributes: true,
+        }
+    }
+
+    /// The paper's Basic Framework: no pruning, no sharing, sequential.
+    pub fn basic() -> Self {
+        SeeDbConfig {
+            metric: Metric::EarthMovers,
+            k: 10,
+            functions: FunctionSet::standard(),
+            pruning: PruningConfig::disabled(),
+            optimizer: OptimizerConfig::basic(),
+            compute_correlations: false,
+            low_utility_views: 0,
+            exclude_filter_attributes: true,
+        }
+    }
+
+    /// Builder: set the distance metric.
+    pub fn with_metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Builder: set `k`.
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Builder: set the function set.
+    pub fn with_functions(mut self, functions: FunctionSet) -> Self {
+        self.functions = functions;
+        self
+    }
+}
+
+impl Default for SeeDbConfig {
+    fn default() -> Self {
+        SeeDbConfig::recommended()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_where_expected() {
+        let rec = SeeDbConfig::recommended();
+        let basic = SeeDbConfig::basic();
+        assert!(rec.pruning.variance && !basic.pruning.variance);
+        assert!(rec.optimizer.combine_target_comparison);
+        assert!(!basic.optimizer.combine_target_comparison);
+        assert_eq!(basic.optimizer.parallelism, 1);
+    }
+
+    #[test]
+    fn builders() {
+        let c = SeeDbConfig::recommended()
+            .with_metric(Metric::KlDivergence)
+            .with_k(3)
+            .with_functions(FunctionSet::sum_only());
+        assert_eq!(c.metric, Metric::KlDivergence);
+        assert_eq!(c.k, 3);
+        assert_eq!(c.functions, FunctionSet::sum_only());
+    }
+}

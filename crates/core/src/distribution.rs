@@ -1,0 +1,240 @@
+//! View results as probability distributions.
+//!
+//! The paper (§2) normalizes each two-column view result into a
+//! probability distribution so target and comparison views are comparable
+//! regardless of subset size: "We normalize each result table into a
+//! probability distribution, such that the values of f(m) sum to 1."
+
+use memdb::Value;
+
+/// A named discrete distribution: group labels with probabilities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Distribution {
+    /// Group labels in canonical (sorted) order.
+    pub labels: Vec<String>,
+    /// Probabilities, aligned with `labels`, summing to ~1 (or all zero
+    /// when the underlying view was empty).
+    pub probs: Vec<f64>,
+    /// The raw (pre-normalization) aggregate values, for display.
+    pub raw: Vec<f64>,
+}
+
+impl Distribution {
+    /// Build a distribution from `(label, value)` pairs.
+    ///
+    /// Handling of awkward inputs, documented because SeeDB must score
+    /// *every* view robustly:
+    /// * `NULL` aggregates (empty groups) contribute weight 0;
+    /// * negative aggregates are clamped to 0 for the probability mass
+    ///   (distance metrics assume distributions) while `raw` keeps the
+    ///   signed value for display;
+    /// * if total mass is 0 the distribution is all-zero (and any distance
+    ///   against it is driven entirely by the other side).
+    pub fn from_pairs(pairs: Vec<(String, Option<f64>)>) -> Distribution {
+        let mut pairs = pairs;
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        let labels: Vec<String> = pairs.iter().map(|(l, _)| l.clone()).collect();
+        let raw: Vec<f64> = pairs.iter().map(|(_, v)| v.unwrap_or(0.0)).collect();
+        let mass: Vec<f64> = raw.iter().map(|&v| v.max(0.0)).collect();
+        let total: f64 = mass.iter().sum();
+        let probs = if total > 0.0 {
+            mass.iter().map(|&v| v / total).collect()
+        } else {
+            vec![0.0; mass.len()]
+        };
+        Distribution { labels, probs, raw }
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the distribution has no groups at all.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Probability for `label`, 0 if absent.
+    pub fn prob(&self, label: &str) -> f64 {
+        match self.labels.binary_search_by(|l| l.as_str().cmp(label)) {
+            Ok(i) => self.probs[i],
+            Err(_) => 0.0,
+        }
+    }
+}
+
+/// Two distributions aligned on the union of their group labels, in a
+/// shared canonical order — the form every distance metric consumes.
+/// Groups missing on one side get probability 0 (e.g. a store with no
+/// Laserwave sales at all).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlignedPair {
+    /// Union of group labels, sorted.
+    pub labels: Vec<String>,
+    /// Target-view probabilities (`P[V_i(D_Q)]`).
+    pub p: Vec<f64>,
+    /// Comparison-view probabilities (`P[V_i(D)]`).
+    pub q: Vec<f64>,
+}
+
+impl AlignedPair {
+    /// Align `target` and `comparison` on their label union.
+    pub fn align(target: &Distribution, comparison: &Distribution) -> AlignedPair {
+        let mut labels: Vec<String> = Vec::with_capacity(target.len().max(comparison.len()));
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < target.len() || j < comparison.len() {
+            let next = match (target.labels.get(i), comparison.labels.get(j)) {
+                (Some(a), Some(b)) => {
+                    use std::cmp::Ordering::*;
+                    match a.cmp(b) {
+                        Less => {
+                            i += 1;
+                            a.clone()
+                        }
+                        Greater => {
+                            j += 1;
+                            b.clone()
+                        }
+                        Equal => {
+                            i += 1;
+                            j += 1;
+                            a.clone()
+                        }
+                    }
+                }
+                (Some(a), None) => {
+                    i += 1;
+                    a.clone()
+                }
+                (None, Some(b)) => {
+                    j += 1;
+                    b.clone()
+                }
+                (None, None) => unreachable!("loop condition"),
+            };
+            labels.push(next);
+        }
+        let p = labels.iter().map(|l| target.prob(l)).collect();
+        let q = labels.iter().map(|l| comparison.prob(l)).collect();
+        AlignedPair { labels, p, q }
+    }
+
+    /// Number of aligned groups.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when there are no groups.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The group where `|p - q|` is largest — the paper's frontend shows
+    /// "value with maximum change" as view metadata (§3.2).
+    pub fn max_change(&self) -> Option<(&str, f64)> {
+        self.labels
+            .iter()
+            .zip(self.p.iter().zip(self.q.iter()))
+            .map(|(l, (&p, &q))| (l.as_str(), (p - q).abs()))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+    }
+}
+
+/// Render a group-label [`Value`] the way distributions key it.
+pub fn label_of(v: &Value) -> String {
+    v.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist(pairs: &[(&str, f64)]) -> Distribution {
+        Distribution::from_pairs(
+            pairs
+                .iter()
+                .map(|(l, v)| (l.to_string(), Some(*v)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn normalization_sums_to_one() {
+        let d = dist(&[("Jan", 180.55), ("Feb", 145.50), ("Mar", 122.00), ("Apr", 90.13)]);
+        let total: f64 = d.probs.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // Paper example: 180.55 / 538.18.
+        assert!((d.prob("Jan") - 180.55 / 538.18).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels_sorted_canonically() {
+        let d = dist(&[("b", 1.0), ("a", 2.0), ("c", 3.0)]);
+        assert_eq!(d.labels, vec!["a", "b", "c"]);
+        assert_eq!(d.raw, vec![2.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn null_and_negative_values() {
+        let d = Distribution::from_pairs(vec![
+            ("a".into(), Some(-5.0)),
+            ("b".into(), None),
+            ("c".into(), Some(5.0)),
+        ]);
+        assert_eq!(d.prob("a"), 0.0);
+        assert_eq!(d.prob("b"), 0.0);
+        assert_eq!(d.prob("c"), 1.0);
+        assert_eq!(d.raw[0], -5.0); // raw keeps the sign
+    }
+
+    #[test]
+    fn zero_mass_distribution() {
+        let d = dist(&[("a", 0.0), ("b", 0.0)]);
+        assert_eq!(d.probs, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn alignment_unions_labels() {
+        let t = dist(&[("MA", 1.0), ("WA", 3.0)]);
+        let c = dist(&[("MA", 1.0), ("NY", 1.0)]);
+        let a = AlignedPair::align(&t, &c);
+        assert_eq!(a.labels, vec!["MA", "NY", "WA"]);
+        assert_eq!(a.p, vec![0.25, 0.0, 0.75]);
+        assert_eq!(a.q, vec![0.5, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn alignment_identical() {
+        let t = dist(&[("a", 1.0), ("b", 1.0)]);
+        let a = AlignedPair::align(&t, &t);
+        assert_eq!(a.p, a.q);
+    }
+
+    #[test]
+    fn max_change_group() {
+        let t = dist(&[("MA", 9.0), ("WA", 1.0)]);
+        let c = dist(&[("MA", 1.0), ("WA", 9.0)]);
+        let a = AlignedPair::align(&t, &c);
+        let (label, delta) = a.max_change().unwrap();
+        assert!(label == "MA" || label == "WA");
+        assert!((delta - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_distributions_align() {
+        let e = Distribution::from_pairs(vec![]);
+        let d = dist(&[("a", 1.0)]);
+        let a = AlignedPair::align(&e, &d);
+        assert_eq!(a.labels, vec!["a"]);
+        assert_eq!(a.p, vec![0.0]);
+        assert_eq!(a.q, vec![1.0]);
+        assert!(AlignedPair::align(&e, &e).is_empty());
+    }
+
+    #[test]
+    fn prob_lookup_missing_label() {
+        let d = dist(&[("a", 1.0)]);
+        assert_eq!(d.prob("zzz"), 0.0);
+    }
+}

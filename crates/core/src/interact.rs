@@ -1,0 +1,166 @@
+//! Post-recommendation interaction: drill-down and roll-up.
+//!
+//! Paper §1 step (4): once interesting views are identified, the analyst
+//! may "further interact with the displayed views (e.g., by drilling
+//! down or rolling up), or start afresh with a new query". A drill-down
+//! narrows the analyst's subset to one group of a recommended view and
+//! re-runs SeeDB; a roll-up removes the most recent constraint.
+
+use memdb::{DbError, DbResult, Expr, Value};
+
+use crate::querygen::AnalystQuery;
+use crate::view::ViewSpec;
+
+/// Narrow `analyst`'s subset to the rows of `view`'s group `label`
+/// (e.g. clicking the "Cambridge, MA" bar of `SUM(amount) BY store`),
+/// producing the next analyst query to feed back into
+/// [`SeeDb::recommend`](crate::engine::SeeDb::recommend).
+///
+/// The new condition is `view.dimension = label` (or `IS NULL` for the
+/// null group), ANDed onto the existing filter.
+pub fn drill_down(analyst: &AnalystQuery, view: &ViewSpec, label: &str) -> AnalystQuery {
+    let condition = if label == "NULL" {
+        Expr::col(&view.dimension).is_null()
+    } else {
+        Expr::col(&view.dimension).eq(Value::from(label))
+    };
+    let filter = match &analyst.filter {
+        Some(f) => f.clone().and(condition),
+        None => condition,
+    };
+    AnalystQuery {
+        table: analyst.table.clone(),
+        filter: Some(filter),
+    }
+}
+
+/// Undo the most recent drill-down: strip the last AND-ed conjunct off
+/// the filter. Returns the broadened query, or an error if the filter
+/// has no conjunct to remove (a fresh query's own predicate is not
+/// removable — "start afresh with a new query" instead).
+///
+/// # Errors
+/// `InvalidQuery` when the filter is absent or not a conjunction.
+pub fn roll_up(analyst: &AnalystQuery) -> DbResult<AnalystQuery> {
+    match &analyst.filter {
+        Some(Expr::And(left, _)) => Ok(AnalystQuery {
+            table: analyst.table.clone(),
+            filter: Some((**left).clone()),
+        }),
+        Some(_) => Err(DbError::InvalidQuery(
+            "nothing to roll up: the filter has a single condition".to_string(),
+        )),
+        None => Err(DbError::InvalidQuery(
+            "nothing to roll up: the query has no filter".to_string(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memdb::AggFunc;
+
+    fn base() -> AnalystQuery {
+        AnalystQuery::new("sales", Some(Expr::col("product").eq("Laserwave")))
+    }
+
+    #[test]
+    fn drill_down_adds_conjunct() {
+        let v = ViewSpec::new("store", "amount", AggFunc::Sum);
+        let next = drill_down(&base(), &v, "Cambridge, MA");
+        assert_eq!(
+            next.filter.unwrap().to_sql(),
+            "(product = 'Laserwave' AND store = 'Cambridge, MA')"
+        );
+        assert_eq!(next.table, "sales");
+    }
+
+    #[test]
+    fn drill_down_on_unfiltered_query() {
+        let aq = AnalystQuery::new("sales", None);
+        let v = ViewSpec::count("region");
+        let next = drill_down(&aq, &v, "east");
+        assert_eq!(next.filter.unwrap().to_sql(), "region = 'east'");
+    }
+
+    #[test]
+    fn drill_down_into_null_group() {
+        let v = ViewSpec::count("region");
+        let next = drill_down(&base(), &v, "NULL");
+        assert_eq!(
+            next.filter.unwrap().to_sql(),
+            "(product = 'Laserwave' AND region IS NULL)"
+        );
+    }
+
+    #[test]
+    fn roll_up_reverses_drill_down() {
+        let v = ViewSpec::count("region");
+        let drilled = drill_down(&base(), &v, "east");
+        let back = roll_up(&drilled).unwrap();
+        assert_eq!(back, base());
+    }
+
+    #[test]
+    fn roll_up_beyond_the_base_query_errors() {
+        assert!(roll_up(&base()).is_err());
+        assert!(roll_up(&AnalystQuery::new("t", None)).is_err());
+    }
+
+    #[test]
+    fn repeated_drill_downs_nest_and_unwind() {
+        let v1 = ViewSpec::count("region");
+        let v2 = ViewSpec::count("segment");
+        let q1 = drill_down(&base(), &v1, "east");
+        let q2 = drill_down(&q1, &v2, "Consumer");
+        assert!(q2.filter.as_ref().unwrap().to_sql().contains("Consumer"));
+        let back1 = roll_up(&q2).unwrap();
+        assert_eq!(back1, q1);
+        let back0 = roll_up(&back1).unwrap();
+        assert_eq!(back0, base());
+    }
+
+    #[test]
+    fn drilled_query_executes_end_to_end() {
+        use crate::config::SeeDbConfig;
+        use crate::engine::SeeDb;
+        use memdb::{ColumnDef, Database, DataType, Schema, Table};
+        use std::sync::Arc;
+
+        let schema = Schema::new(vec![
+            ColumnDef::dimension("region", DataType::Str),
+            ColumnDef::dimension("segment", DataType::Str),
+            ColumnDef::dimension("product", DataType::Str),
+            ColumnDef::measure("amount", DataType::Float64),
+        ])
+        .unwrap();
+        let mut t = Table::new("sales", schema);
+        for i in 0..400 {
+            t.push_row(vec![
+                ["east", "west"][i % 2].into(),
+                ["Consumer", "Corporate", "Home"][i % 3].into(),
+                ["Laserwave", "Other"][(i / 2) % 2].into(),
+                Value::Float((i % 9) as f64),
+            ])
+            .unwrap();
+        }
+        let db = Arc::new(Database::new());
+        db.register(t);
+        let seedb = SeeDb::new(db, SeeDbConfig::recommended().with_k(3));
+
+        let rec = seedb.recommend(&base()).unwrap();
+        assert!(!rec.views.is_empty());
+        let top = &rec.views[0];
+        let label = top.aligned.labels[0].clone();
+        let drilled = drill_down(&base(), &top.spec, &label);
+        let rec2 = seedb.recommend(&drilled).unwrap();
+        assert!(rec2.errors.is_empty());
+        // The drilled dimension joins the filter attributes and is
+        // excluded from the next round's view space.
+        assert!(rec2
+            .all
+            .iter()
+            .all(|v| v.spec.dimension != top.spec.dimension));
+    }
+}

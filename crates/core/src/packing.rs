@@ -1,0 +1,294 @@
+//! Bin packing for view-query combination.
+//!
+//! "Given a set of candidate views, we model the problem of finding the
+//! optimal combinations of views as a variant of bin-packing and apply
+//! ILP techniques to obtain the best solution." (paper §3.3)
+//!
+//! Items are grouping attributes, weights are their (estimated) group
+//! cardinalities, and the bin capacity is the working-memory budget for
+//! one combined query. Minimizing the number of bins minimizes the number
+//! of table scans. We solve small instances *exactly* with a
+//! branch-and-bound search (equivalent to the ILP optimum) and fall back
+//! to first-fit-decreasing — whose solution is provably within
+//! `11/9·OPT + 1` bins — for large ones.
+
+/// Maximum item count for which the exact branch-and-bound runs; larger
+/// instances use first-fit-decreasing only.
+pub const EXACT_LIMIT: usize = 16;
+
+/// Pack items with `weights` into the fewest bins of `capacity`.
+///
+/// Returns bins as lists of item indices. Items heavier than the capacity
+/// get singleton bins (they must still execute — as a standalone query).
+/// A `capacity` of 0 puts every item in its own bin.
+pub fn pack(weights: &[u64], capacity: u64) -> Vec<Vec<usize>> {
+    if weights.is_empty() {
+        return Vec::new();
+    }
+    if capacity == 0 {
+        return (0..weights.len()).map(|i| vec![i]).collect();
+    }
+    // Oversized items are forced into singleton bins and excluded from
+    // the packing problem proper.
+    let mut oversized: Vec<usize> = Vec::new();
+    let mut normal: Vec<usize> = Vec::new();
+    for (i, &w) in weights.iter().enumerate() {
+        if w > capacity {
+            oversized.push(i);
+        } else {
+            normal.push(i);
+        }
+    }
+    let mut bins: Vec<Vec<usize>> = oversized.into_iter().map(|i| vec![i]).collect();
+
+    if normal.is_empty() {
+        return bins;
+    }
+    let sub_weights: Vec<u64> = normal.iter().map(|&i| weights[i]).collect();
+    let packed = if normal.len() <= EXACT_LIMIT {
+        pack_exact(&sub_weights, capacity)
+    } else {
+        pack_ffd(&sub_weights, capacity)
+    };
+    for bin in packed {
+        bins.push(bin.into_iter().map(|j| normal[j]).collect());
+    }
+    bins
+}
+
+/// First-fit-decreasing heuristic. All weights must be `<= capacity`.
+pub fn pack_ffd(weights: &[u64], capacity: u64) -> Vec<Vec<usize>> {
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| weights[b].cmp(&weights[a]).then(a.cmp(&b)));
+    let mut bins: Vec<(u64, Vec<usize>)> = Vec::new();
+    for i in order {
+        let w = weights[i];
+        match bins.iter_mut().find(|(load, _)| *load + w <= capacity) {
+            Some((load, items)) => {
+                *load += w;
+                items.push(i);
+            }
+            None => bins.push((w, vec![i])),
+        }
+    }
+    bins.into_iter()
+        .map(|(_, mut items)| {
+            items.sort_unstable();
+            items
+        })
+        .collect()
+}
+
+/// Exact minimum-bin packing via depth-first branch-and-bound.
+/// All weights must be `<= capacity`. Exponential worst case — callers
+/// gate on [`EXACT_LIMIT`].
+pub fn pack_exact(weights: &[u64], capacity: u64) -> Vec<Vec<usize>> {
+    let n = weights.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Start from the FFD solution as the incumbent upper bound.
+    let mut best = pack_ffd(weights, capacity);
+    let total: u64 = weights.iter().sum();
+    let lower_bound = total.div_ceil(capacity).max(1) as usize;
+    if best.len() == lower_bound {
+        return best; // FFD already optimal
+    }
+
+    // Sort indices by decreasing weight for stronger pruning.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| weights[b].cmp(&weights[a]).then(a.cmp(&b)));
+
+    struct Search<'a> {
+        weights: &'a [u64],
+        order: &'a [usize],
+        capacity: u64,
+        best_len: usize,
+        best: Vec<Vec<usize>>,
+        loads: Vec<u64>,
+        assignment: Vec<usize>, // position-in-order -> bin
+        nodes: u64,
+    }
+
+    impl Search<'_> {
+        fn dfs(&mut self, pos: usize) {
+            const NODE_BUDGET: u64 = 2_000_000;
+            self.nodes += 1;
+            if self.nodes > NODE_BUDGET {
+                return; // keep the incumbent (FFD-quality or better)
+            }
+            if self.loads.len() >= self.best_len {
+                return; // cannot beat the incumbent
+            }
+            if pos == self.order.len() {
+                self.best_len = self.loads.len();
+                let mut bins: Vec<Vec<usize>> = vec![Vec::new(); self.loads.len()];
+                for (p, &b) in self.assignment.iter().enumerate() {
+                    bins[b].push(self.order[p]);
+                }
+                for b in &mut bins {
+                    b.sort_unstable();
+                }
+                self.best = bins;
+                return;
+            }
+            let w = self.weights[self.order[pos]];
+            // Try existing bins; skip symmetric equal-load bins.
+            let mut tried: Vec<u64> = Vec::new();
+            for b in 0..self.loads.len() {
+                let load = self.loads[b];
+                if load + w > self.capacity || tried.contains(&load) {
+                    continue;
+                }
+                tried.push(load);
+                self.loads[b] += w;
+                self.assignment[pos] = b;
+                self.dfs(pos + 1);
+                self.loads[b] -= w;
+            }
+            // Open a new bin (only if that could still beat the incumbent).
+            if self.loads.len() + 1 < self.best_len {
+                self.loads.push(w);
+                self.assignment[pos] = self.loads.len() - 1;
+                self.dfs(pos + 1);
+                self.loads.pop();
+            }
+        }
+    }
+
+    let mut search = Search {
+        weights,
+        order: &order,
+        capacity,
+        best_len: best.len(),
+        best: Vec::new(),
+        loads: Vec::new(),
+        assignment: vec![0; n],
+        nodes: 0,
+    };
+    search.dfs(0);
+    if !search.best.is_empty() {
+        best = search.best;
+    }
+    best
+}
+
+/// Validate that `bins` is a partition of `0..n` respecting `capacity`
+/// (oversized singletons allowed). Used by tests and debug assertions.
+pub fn is_valid_packing(bins: &[Vec<usize>], weights: &[u64], capacity: u64) -> bool {
+    let mut seen = vec![false; weights.len()];
+    for bin in bins {
+        if bin.is_empty() {
+            return false;
+        }
+        let load: u64 = bin.iter().map(|&i| weights[i]).sum();
+        if load > capacity && bin.len() > 1 {
+            return false;
+        }
+        for &i in bin {
+            if i >= weights.len() || seen[i] {
+                return false;
+            }
+            seen[i] = true;
+        }
+    }
+    seen.into_iter().all(|s| s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input() {
+        assert!(pack(&[], 10).is_empty());
+    }
+
+    #[test]
+    fn everything_fits_in_one_bin() {
+        let bins = pack(&[1, 2, 3], 10);
+        assert_eq!(bins.len(), 1);
+        assert!(is_valid_packing(&bins, &[1, 2, 3], 10));
+    }
+
+    #[test]
+    fn zero_capacity_gives_singletons() {
+        let bins = pack(&[5, 5, 5], 0);
+        assert_eq!(bins.len(), 3);
+    }
+
+    #[test]
+    fn oversized_items_get_singleton_bins() {
+        let weights = [100, 2, 3];
+        let bins = pack(&weights, 10);
+        assert!(is_valid_packing(&bins, &weights, 10));
+        assert_eq!(bins.len(), 2); // [100] alone, [2,3] together
+        assert!(bins.contains(&vec![0]));
+    }
+
+    #[test]
+    fn exact_beats_greedy_on_known_instance() {
+        // FFD packs [6,5,4,3,2] cap 10 as [6,4] [5,3,2] = 2 bins — already
+        // optimal. A harder case: [7,6,5,4,3,2,2,1] cap 10:
+        // FFD: [7,3] [6,4] [5,2,2,1] = 3 bins; optimal is 3 too
+        // (sum 30 / 10). Construct a case where FFD is suboptimal:
+        // weights [4,4,4,3,3,3,3] cap 10 -> sum 24, LB 3.
+        // FFD: [4,4] [4,3,3] [3,3] = 3 bins (fine). Classic FFD-failure:
+        // [6,5,5,4,4,3,3] cap 12 -> FFD: [6,5] [5,4,3] [4,3] = 3;
+        // optimum 3 (sum 30/12=2.5 -> 3). Use the standard example:
+        // [3,3,2,2,2] cap 6: FFD [3,3] [2,2,2] = 2 (optimal).
+        // Known FFD-suboptimal: [5,4,4,3,2,2] cap 10:
+        //   FFD: [5,4] -> 9, [4,3,2] -> 9, [2] => 3 bins
+        //   OPT: [5,3,2] [4,4,2] => 2 bins.
+        let weights = [5, 4, 4, 3, 2, 2];
+        let ffd = pack_ffd(&weights, 10);
+        let exact = pack_exact(&weights, 10);
+        assert!(is_valid_packing(&ffd, &weights, 10));
+        assert!(is_valid_packing(&exact, &weights, 10));
+        assert_eq!(ffd.len(), 3);
+        assert_eq!(exact.len(), 2);
+    }
+
+    #[test]
+    fn pack_uses_exact_for_small_instances() {
+        let weights = [5, 4, 4, 3, 2, 2];
+        assert_eq!(pack(&weights, 10).len(), 2);
+    }
+
+    #[test]
+    fn exact_matches_lower_bound_when_tight() {
+        let weights = [5, 5, 5, 5];
+        let bins = pack_exact(&weights, 10);
+        assert_eq!(bins.len(), 2);
+    }
+
+    #[test]
+    fn ffd_on_large_instance_is_valid() {
+        let weights: Vec<u64> = (0..200).map(|i| (i % 17) + 1).collect();
+        let bins = pack(&weights, 20);
+        assert!(is_valid_packing(&bins, &weights, 20));
+        let lb = weights.iter().sum::<u64>().div_ceil(20) as usize;
+        assert!(bins.len() >= lb);
+        assert!(bins.len() <= lb * 2 + 1);
+    }
+
+    #[test]
+    fn singleton_weights_equal_capacity() {
+        let weights = [10, 10, 10];
+        let bins = pack(&weights, 10);
+        assert_eq!(bins.len(), 3);
+        assert!(is_valid_packing(&bins, &weights, 10));
+    }
+
+    #[test]
+    fn valid_packing_rejects_bad_partitions() {
+        // Missing item.
+        assert!(!is_valid_packing(&[vec![0]], &[1, 2], 10));
+        // Duplicate item.
+        assert!(!is_valid_packing(&[vec![0], vec![0, 1]], &[1, 2], 10));
+        // Over capacity with multiple items.
+        assert!(!is_valid_packing(&[vec![0, 1]], &[6, 6], 10));
+        // Empty bin.
+        assert!(!is_valid_packing(&[vec![], vec![0, 1]], &[1, 2], 10));
+    }
+}

@@ -1,0 +1,587 @@
+//! **Extension**: phased execution with confidence-interval pruning.
+//!
+//! The demo paper's challenge (d) reads: "Since analysis must happen in
+//! real-time, we must trade-off accuracy of visualizations or estimation
+//! of 'interestingness' for reduced latency." Beyond sampling (§3.3),
+//! the companion vision paper and the authors' follow-up work realize
+//! this as *phase-wise execution*: partition the table into `P` slices,
+//! update every surviving view's running utility estimate after each
+//! slice, and discard views whose utility confidence interval falls
+//! entirely below the current top-k's — so hopeless views stop consuming
+//! work early, while surviving views end with *exact* utilities over the
+//! full table.
+//!
+//! The confidence interval is Hoeffding-style: after seeing `n` target
+//! rows, the deviation of an empirical distribution (and hence of any of
+//! our Lipschitz-in-TV metrics) is bounded with probability `1 − δ` by
+//! `ε(n) = sqrt((K + ln(2/δ)) / (2n))` where `K` is the number of
+//! groups. This is a practical bound, not a per-metric minimax result —
+//! see DESIGN.md.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use memdb::exec::aggregate::{grouping_sets_scan, AggFunc, AggRequest};
+use memdb::{DbError, DbResult, Table, Value};
+
+use crate::distance::Metric;
+use crate::distribution::{AlignedPair, Distribution};
+use crate::processor::ViewResult;
+use crate::querygen::AnalystQuery;
+use crate::view::ViewSpec;
+
+/// Configuration for phased execution.
+#[derive(Debug, Clone)]
+pub struct PhasedConfig {
+    /// Number of table slices to process (≥ 1).
+    pub phases: usize,
+    /// Views to return.
+    pub k: usize,
+    /// Confidence parameter δ: pruning is wrong for a view with
+    /// probability at most δ (per view, per phase, under the bound's
+    /// assumptions).
+    pub delta: f64,
+    /// Never prune before this many phases have completed.
+    pub min_phases: usize,
+    /// Distance metric.
+    pub metric: Metric,
+}
+
+impl Default for PhasedConfig {
+    fn default() -> Self {
+        PhasedConfig {
+            phases: 10,
+            k: 5,
+            delta: 0.05,
+            min_phases: 2,
+            metric: Metric::EarthMovers,
+        }
+    }
+}
+
+/// A view eliminated before the final phase.
+#[derive(Debug, Clone)]
+pub struct EarlyPrune {
+    /// The view.
+    pub spec: ViewSpec,
+    /// Phase (1-based) after which it was discarded.
+    pub at_phase: usize,
+    /// Its utility estimate at that point.
+    pub estimate: f64,
+}
+
+/// Outcome of a phased run.
+#[derive(Debug)]
+pub struct PhasedOutcome {
+    /// Top-k views by (exact, full-table) utility among survivors.
+    pub views: Vec<ViewResult>,
+    /// All surviving views, scored exactly.
+    pub survivors: Vec<ViewResult>,
+    /// Views discarded early, with the phase and estimate.
+    pub pruned: Vec<EarlyPrune>,
+    /// Surviving view count after each phase (index 0 = after phase 1).
+    pub survivors_per_phase: Vec<usize>,
+    /// Σ over phases of (views still evaluated that phase) — the work
+    /// measure that early termination reduces. Without pruning this is
+    /// `phases × num_views`.
+    pub view_phases: u64,
+    /// Wall time.
+    pub elapsed: Duration,
+}
+
+impl PhasedOutcome {
+    /// Fraction of view-phase work saved vs. no pruning.
+    pub fn work_saved(&self, num_views: usize, phases: usize) -> f64 {
+        let full = (num_views * phases) as f64;
+        if full == 0.0 {
+            0.0
+        } else {
+            1.0 - self.view_phases as f64 / full
+        }
+    }
+}
+
+/// Per-(view, side) accumulator: mergeable aggregate components per
+/// group label.
+#[derive(Debug, Default, Clone)]
+struct SideAcc {
+    groups: HashMap<String, Comp>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Comp {
+    sum: f64,
+    count: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Comp {
+    fn default() -> Self {
+        Comp {
+            sum: 0.0,
+            count: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl SideAcc {
+    fn merge(&mut self, label: String, sum: Option<f64>, count: Option<f64>, min: Option<f64>, max: Option<f64>) {
+        let c = self.groups.entry(label).or_default();
+        if let Some(v) = sum {
+            c.sum += v;
+        }
+        if let Some(v) = count {
+            c.count += v;
+        }
+        if let Some(v) = min {
+            c.min = c.min.min(v);
+        }
+        if let Some(v) = max {
+            c.max = c.max.max(v);
+        }
+    }
+
+    fn distribution(&self, func: AggFunc) -> Distribution {
+        let pairs = self
+            .groups
+            .iter()
+            .map(|(label, c)| {
+                let value = match func {
+                    AggFunc::Sum => (c.count > 0.0).then_some(c.sum),
+                    AggFunc::Count => Some(c.count),
+                    AggFunc::Avg => (c.count > 0.0).then(|| c.sum / c.count),
+                    AggFunc::Min => c.min.is_finite().then_some(c.min),
+                    AggFunc::Max => c.max.is_finite().then_some(c.max),
+                };
+                (label.clone(), value)
+            })
+            .collect();
+        Distribution::from_pairs(pairs)
+    }
+
+    fn total_count(&self) -> f64 {
+        self.groups.values().map(|c| c.count).sum()
+    }
+}
+
+/// Hoeffding-style half-width of the utility confidence interval after
+/// observing `n` rows on the weaker (target) side of a `k_groups`-group
+/// view.
+pub fn confidence_halfwidth(n: f64, k_groups: usize, delta: f64) -> f64 {
+    if n <= 0.0 {
+        return f64::INFINITY;
+    }
+    ((k_groups as f64 + (2.0 / delta).ln()) / (2.0 * n)).sqrt()
+}
+
+/// Run phased execution for `views` over the analyst's table.
+///
+/// Semantics: the table is split into `config.phases` contiguous slices;
+/// every view still alive is updated from each slice via one shared
+/// grouping-sets scan per slice. After each slice (past `min_phases`),
+/// views whose utility upper bound falls below the k-th best lower bound
+/// are discarded. Survivors end with exact full-table utilities —
+/// identical to what [`crate::engine::SeeDb::recommend`] computes.
+///
+/// # Errors
+/// Unknown columns or type errors from the underlying scans.
+pub fn run_phased(
+    table: &Arc<Table>,
+    analyst: &AnalystQuery,
+    views: &[ViewSpec],
+    config: &PhasedConfig,
+) -> DbResult<PhasedOutcome> {
+    let start = Instant::now();
+    let phases = config.phases.max(1);
+    let n_rows = table.num_rows();
+    if analyst.table != table.name() {
+        return Err(DbError::Internal(format!(
+            "analyst query targets {} but table is {}",
+            analyst.table,
+            table.name()
+        )));
+    }
+    let filter = match &analyst.filter {
+        Some(f) => Some(f.bind(table.schema())?),
+        None => None,
+    };
+
+    // Alive set + accumulators.
+    let mut alive: Vec<bool> = vec![true; views.len()];
+    let mut target_acc: Vec<SideAcc> = vec![SideAcc::default(); views.len()];
+    let mut comp_acc: Vec<SideAcc> = vec![SideAcc::default(); views.len()];
+    let mut pruned: Vec<EarlyPrune> = Vec::new();
+    let mut survivors_per_phase = Vec::with_capacity(phases);
+    let mut view_phases: u64 = 0;
+
+    for phase in 0..phases {
+        let lo = n_rows * phase / phases;
+        let hi = n_rows * (phase + 1) / phases;
+        let rows: Vec<u32> = (lo as u32..hi as u32).collect();
+        if rows.is_empty() {
+            survivors_per_phase.push(alive.iter().filter(|a| **a).count());
+            continue;
+        }
+
+        // Group alive views by dimension; plan one shared scan.
+        let mut dims: Vec<&str> = Vec::new();
+        for (i, v) in views.iter().enumerate() {
+            if alive[i] && !dims.contains(&v.dimension.as_str()) {
+                dims.push(&v.dimension);
+            }
+        }
+        if dims.is_empty() {
+            break;
+        }
+        let sets: Vec<Vec<usize>> = dims
+            .iter()
+            .map(|d| Ok(vec![table.schema().index_of(d)?]))
+            .collect::<DbResult<_>>()?;
+
+        // Component aggregates: for every (measure, side) needed by an
+        // alive view: SUM/COUNT/MIN/MAX (+ COUNT(*) for measureless
+        // views). Deduplicated; target side carries the filter.
+        #[derive(PartialEq, Eq, Hash, Clone)]
+        struct CompKey {
+            measure: Option<String>,
+            target: bool,
+        }
+        let mut comp_index: HashMap<CompKey, usize> = HashMap::new(); // -> base agg idx
+        let mut aggs: Vec<AggRequest> = Vec::new();
+        for (i, v) in views.iter().enumerate() {
+            if !alive[i] {
+                continue;
+            }
+            for target in [true, false] {
+                let key = CompKey {
+                    measure: v.measure.clone(),
+                    target,
+                };
+                if comp_index.contains_key(&key) {
+                    continue;
+                }
+                let predicate = if target { filter.clone() } else { None };
+                let base = aggs.len();
+                match &v.measure {
+                    Some(m) => {
+                        let col = table.schema().index_of(m)?;
+                        for func in [AggFunc::Sum, AggFunc::Count, AggFunc::Min, AggFunc::Max] {
+                            aggs.push(AggRequest {
+                                func,
+                                column: Some(col),
+                                predicate: predicate.clone(),
+                            });
+                        }
+                    }
+                    None => {
+                        aggs.push(AggRequest {
+                            func: AggFunc::Count,
+                            column: None,
+                            predicate: predicate.clone(),
+                        });
+                    }
+                }
+                comp_index.insert(key, base);
+            }
+        }
+
+        let grouped = grouping_sets_scan(table, &rows, &sets, &aggs)?;
+
+        // Fold the phase results into per-view accumulators.
+        for (i, v) in views.iter().enumerate() {
+            if !alive[i] {
+                continue;
+            }
+            view_phases += 1;
+            let set_idx = dims
+                .iter()
+                .position(|d| *d == v.dimension)
+                .expect("alive view's dimension is planned");
+            let g = &grouped[set_idx];
+            for (target, acc) in [(true, &mut target_acc[i]), (false, &mut comp_acc[i])] {
+                let base = comp_index[&CompKey {
+                    measure: v.measure.clone(),
+                    target,
+                }];
+                for (key, vals) in g.keys.iter().zip(&g.values) {
+                    let label = key[0].render();
+                    match &v.measure {
+                        Some(_) => {
+                            let as_f = |val: &Value| val.as_f64();
+                            let count = match &vals[base + 1] {
+                                Value::Int(n) => Some(*n as f64),
+                                other => other.as_f64(),
+                            };
+                            acc.merge(
+                                label,
+                                as_f(&vals[base]),
+                                count,
+                                as_f(&vals[base + 2]),
+                                as_f(&vals[base + 3]),
+                            );
+                        }
+                        None => {
+                            let count = match &vals[base] {
+                                Value::Int(n) => Some(*n as f64),
+                                other => other.as_f64(),
+                            };
+                            acc.merge(label, None, count, None, None);
+                        }
+                    }
+                }
+            }
+        }
+
+        survivors_per_phase.push(alive.iter().filter(|a| **a).count());
+
+        // Confidence-interval pruning.
+        if phase + 1 >= config.min_phases && phase + 1 < phases {
+            let mut bounds: Vec<(usize, f64, f64)> = Vec::new(); // (view, lower, upper)
+            for (i, v) in views.iter().enumerate() {
+                if !alive[i] {
+                    continue;
+                }
+                let t = target_acc[i].distribution(v.func);
+                let c = comp_acc[i].distribution(v.func);
+                let aligned = AlignedPair::align(&t, &c);
+                let estimate = config.metric.distance(&aligned);
+                let n_t = target_acc[i].total_count();
+                let eps = confidence_halfwidth(n_t, aligned.len().max(1), config.delta);
+                bounds.push((i, estimate - eps, estimate + eps));
+            }
+            if bounds.len() > config.k {
+                let mut lowers: Vec<f64> = bounds.iter().map(|(_, l, _)| *l).collect();
+                lowers.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+                let kth_lower = lowers[config.k - 1];
+                for (i, _, upper) in bounds {
+                    if upper < kth_lower {
+                        alive[i] = false;
+                        let v = &views[i];
+                        let t = target_acc[i].distribution(v.func);
+                        let c = comp_acc[i].distribution(v.func);
+                        let estimate =
+                            config.metric.distance(&AlignedPair::align(&t, &c));
+                        pruned.push(EarlyPrune {
+                            spec: v.clone(),
+                            at_phase: phase + 1,
+                            estimate,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Finalize survivors with exact full-table utilities.
+    let mut survivors: Vec<ViewResult> = Vec::new();
+    for (i, v) in views.iter().enumerate() {
+        if !alive[i] {
+            continue;
+        }
+        let target = target_acc[i].distribution(v.func);
+        let comparison = comp_acc[i].distribution(v.func);
+        let aligned = AlignedPair::align(&target, &comparison);
+        let utility = config.metric.distance(&aligned);
+        survivors.push(ViewResult {
+            spec: v.clone(),
+            utility,
+            target,
+            comparison,
+            aligned,
+        });
+    }
+    let views_out = crate::processor::top_k(survivors.clone(), config.k);
+
+    Ok(PhasedOutcome {
+        views: views_out,
+        survivors,
+        pruned,
+        survivors_per_phase,
+        view_phases,
+        elapsed: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SeeDbConfig;
+    use crate::engine::SeeDb;
+    use crate::pruning::PruningConfig;
+    use crate::view::{enumerate_views, FunctionSet};
+    use memdb::{ColumnDef, Database, DataType, Expr, Schema};
+
+    /// Table with one strongly deviating dimension (d1) and several
+    /// boring ones.
+    fn demo(rows: usize) -> (Arc<Database>, AnalystQuery) {
+        let mut cols = vec![ColumnDef::dimension("d0", DataType::Str)];
+        for i in 1..6 {
+            cols.push(ColumnDef::dimension(&format!("d{i}"), DataType::Str));
+        }
+        cols.push(ColumnDef::measure("m", DataType::Float64));
+        let schema = Schema::new(cols).unwrap();
+        let mut t = memdb::Table::new("t", schema);
+        for r in 0..rows {
+            let subset = r % 5 == 0;
+            let mut row: Vec<Value> = vec![Value::from(if subset { "in" } else { "out" })];
+            // d1 deviates inside the subset (concentrated on v0);
+            // d2..d5 are independent of the subset.
+            row.push(Value::from(if subset && r % 10 != 5 {
+                "v0".to_string()
+            } else {
+                format!("v{}", r % 3)
+            }));
+            for i in 2..6 {
+                row.push(Value::from(format!("v{}", (r / i) % 4)));
+            }
+            row.push(Value::Float((r % 11) as f64));
+            t.push_row(row).unwrap();
+        }
+        let db = Arc::new(Database::new());
+        db.register(t);
+        (db, AnalystQuery::new("t", Some(Expr::col("d0").eq("in"))))
+    }
+
+    fn candidate_views(db: &Database) -> Vec<ViewSpec> {
+        let t = db.table("t").unwrap();
+        enumerate_views(t.schema(), &FunctionSet::standard())
+            .into_iter()
+            .filter(|v| v.dimension != "d0")
+            .collect()
+    }
+
+    #[test]
+    fn phased_matches_exact_when_pruning_disabled() {
+        let (db, analyst) = demo(5_000);
+        let views = candidate_views(&db);
+        let table = db.table("t").unwrap();
+
+        let cfg = PhasedConfig {
+            phases: 7,
+            k: views.len(), // keep everything
+            delta: 0.05,
+            min_phases: 7, // pruning can never fire
+            metric: Metric::EarthMovers,
+        };
+        let phased = run_phased(&table, &analyst, &views, &cfg).unwrap();
+        assert!(phased.pruned.is_empty());
+
+        let mut exact_cfg = SeeDbConfig::recommended().with_k(views.len());
+        exact_cfg.pruning = PruningConfig::disabled();
+        exact_cfg.exclude_filter_attributes = true;
+        let exact = SeeDb::new(db, exact_cfg).recommend(&analyst).unwrap();
+
+        let exact_by_label: HashMap<String, f64> = exact
+            .all
+            .iter()
+            .map(|v| (v.spec.label(), v.utility))
+            .collect();
+        assert_eq!(phased.survivors.len(), views.len());
+        for s in &phased.survivors {
+            let e = exact_by_label
+                .get(&s.spec.label())
+                .unwrap_or_else(|| panic!("missing {}", s.spec));
+            assert!(
+                (s.utility - e).abs() < 1e-9,
+                "{}: phased {} vs exact {}",
+                s.spec,
+                s.utility,
+                e
+            );
+        }
+    }
+
+    #[test]
+    fn phased_prunes_boring_views_and_keeps_the_winner() {
+        let (db, analyst) = demo(40_000);
+        let views = candidate_views(&db);
+        let table = db.table("t").unwrap();
+        let cfg = PhasedConfig {
+            phases: 10,
+            k: 2,
+            delta: 0.05,
+            min_phases: 2,
+            metric: Metric::EarthMovers,
+        };
+        let out = run_phased(&table, &analyst, &views, &cfg).unwrap();
+        assert!(
+            !out.pruned.is_empty(),
+            "boring views should be pruned early"
+        );
+        // The deviating dimension survives to the end and tops the list.
+        assert_eq!(out.views[0].spec.dimension, "d1");
+        // Work saved vs full evaluation.
+        let saved = out.work_saved(views.len(), cfg.phases);
+        assert!(saved > 0.2, "saved only {saved:.2}");
+        // Survivor count is non-increasing.
+        assert!(out
+            .survivors_per_phase
+            .windows(2)
+            .all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn phased_top_k_matches_exact_top_k() {
+        let (db, analyst) = demo(30_000);
+        let views = candidate_views(&db);
+        let table = db.table("t").unwrap();
+        let cfg = PhasedConfig {
+            phases: 8,
+            k: 3,
+            delta: 0.05,
+            min_phases: 2,
+            metric: Metric::EarthMovers,
+        };
+        let phased = run_phased(&table, &analyst, &views, &cfg).unwrap();
+
+        let mut exact_cfg = SeeDbConfig::recommended().with_k(3);
+        exact_cfg.pruning = PruningConfig::disabled();
+        let exact = SeeDb::new(db, exact_cfg).recommend(&analyst).unwrap();
+
+        let p: Vec<String> = phased.views.iter().map(|v| v.spec.label()).collect();
+        let e: Vec<String> = exact.views.iter().map(|v| v.spec.label()).collect();
+        assert_eq!(p, e, "phased top-k must match exact top-k");
+        for (a, b) in phased.views.iter().zip(&exact.views) {
+            assert!((a.utility - b.utility).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn confidence_halfwidth_shrinks_with_n() {
+        let e1 = confidence_halfwidth(100.0, 10, 0.05);
+        let e2 = confidence_halfwidth(10_000.0, 10, 0.05);
+        assert!(e1 > e2);
+        assert!((e1 / e2 - 10.0).abs() < 1e-9, "sqrt(n) scaling");
+        assert_eq!(confidence_halfwidth(0.0, 10, 0.05), f64::INFINITY);
+    }
+
+    #[test]
+    fn single_phase_degenerates_to_exact() {
+        let (db, analyst) = demo(2_000);
+        let views = candidate_views(&db);
+        let table = db.table("t").unwrap();
+        let cfg = PhasedConfig {
+            phases: 1,
+            k: 3,
+            delta: 0.05,
+            min_phases: 1,
+            metric: Metric::EarthMovers,
+        };
+        let out = run_phased(&table, &analyst, &views, &cfg).unwrap();
+        assert!(out.pruned.is_empty());
+        assert_eq!(out.survivors.len(), views.len());
+    }
+
+    #[test]
+    fn mismatched_table_rejected() {
+        let (db, _) = demo(100);
+        let views = candidate_views(&db);
+        let table = db.table("t").unwrap();
+        let bad = AnalystQuery::new("other", None);
+        assert!(run_phased(&table, &bad, &views, &PhasedConfig::default()).is_err());
+    }
+}

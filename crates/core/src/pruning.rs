@@ -1,0 +1,598 @@
+//! View-space pruning (paper §3.3, "View Space Pruning").
+//!
+//! "In practice, most views for any query Q have low utility ... SEEDB
+//! uses this property to aggressively prune view queries that are
+//! unlikely to have high utility." Three rules, all driven by
+//! [`Metadata`] rather than by executing
+//! queries:
+//!
+//! 1. **Variance-based**: dimension attributes whose value distribution is
+//!    (near-)constant cannot produce deviating views.
+//! 2. **Correlated attributes**: dimensions with near-perfect pairwise
+//!    association (Cramér's V) produce near-identical views; only one
+//!    representative per correlation cluster is evaluated.
+//! 3. **Access frequency**: attributes rarely touched by the recorded
+//!    analyst workload are unlikely to matter.
+
+use std::collections::HashMap;
+
+use crate::metadata::Metadata;
+use crate::view::ViewSpec;
+
+/// Configuration for the three pruning rules.
+#[derive(Debug, Clone)]
+pub struct PruningConfig {
+    /// Enable variance-based pruning of low-variance dimensions.
+    pub variance: bool,
+    /// Dimensions with frequency-distribution entropy (nats) below this
+    /// are pruned (0.05 ≈ "one value holds ~99% of rows"). Dimensions
+    /// with fewer than 2 distinct values are always pruned when
+    /// `variance` is on.
+    pub min_entropy: f64,
+    /// Dimensions with more distinct values than this are pruned
+    /// (unvisualizable as a bar chart and expensive to group).
+    /// `None` disables the cap.
+    pub max_distinct: Option<usize>,
+    /// Enable correlated-attribute clustering.
+    pub correlation: bool,
+    /// Cramér's V at or above which two dimensions are clustered.
+    pub correlation_threshold: f64,
+    /// Enable access-frequency pruning.
+    pub access_frequency: bool,
+    /// Access pruning only activates once the workload log holds at least
+    /// this many queries (otherwise there is no signal).
+    pub min_workload_queries: u64,
+    /// Attributes accessed by fewer than this fraction of workload
+    /// queries are pruned.
+    pub min_access_fraction: f64,
+}
+
+impl PruningConfig {
+    /// All rules on, paper-ish defaults.
+    pub fn aggressive() -> Self {
+        PruningConfig {
+            variance: true,
+            min_entropy: 0.05,
+            max_distinct: Some(1000),
+            correlation: true,
+            correlation_threshold: 0.95,
+            access_frequency: true,
+            min_workload_queries: 10,
+            min_access_fraction: 0.01,
+        }
+    }
+
+    /// Everything off — the paper's Basic Framework.
+    pub fn disabled() -> Self {
+        PruningConfig {
+            variance: false,
+            min_entropy: 0.0,
+            max_distinct: None,
+            correlation: false,
+            correlation_threshold: 1.1,
+            access_frequency: false,
+            min_workload_queries: u64::MAX,
+            min_access_fraction: 0.0,
+        }
+    }
+}
+
+impl Default for PruningConfig {
+    fn default() -> Self {
+        PruningConfig::aggressive()
+    }
+}
+
+/// Why a view was pruned.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PruneReason {
+    /// Grouping dimension is (near-)constant.
+    LowVariance {
+        /// Entropy of the dimension's value distribution (nats).
+        entropy: f64,
+        /// Distinct value count.
+        distinct: usize,
+    },
+    /// Grouping dimension has too many groups to visualize.
+    TooManyGroups {
+        /// Distinct value count.
+        distinct: usize,
+    },
+    /// Grouping dimension is strongly associated with a cluster
+    /// representative that is being evaluated instead.
+    CorrelatedWith {
+        /// The representative dimension.
+        representative: String,
+        /// Cramér's V linking this dimension into the cluster.
+        v: f64,
+    },
+    /// Attribute is rarely accessed by the recorded workload.
+    RarelyAccessed {
+        /// The rarely-accessed attribute (dimension or measure).
+        attribute: String,
+        /// Its access count.
+        count: u64,
+    },
+    /// The grouping dimension appears in the analyst's own selection
+    /// predicate: its target view trivially concentrates on the selected
+    /// value(s) and conveys nothing beyond the query itself.
+    FilterAttribute,
+}
+
+impl std::fmt::Display for PruneReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PruneReason::LowVariance { entropy, distinct } => {
+                write!(f, "low variance (entropy {entropy:.3}, {distinct} distinct)")
+            }
+            PruneReason::TooManyGroups { distinct } => {
+                write!(f, "too many groups ({distinct})")
+            }
+            PruneReason::CorrelatedWith { representative, v } => {
+                write!(f, "correlated with {representative} (V = {v:.2})")
+            }
+            PruneReason::RarelyAccessed { attribute, count } => {
+                write!(f, "{attribute} rarely accessed ({count} workload hits)")
+            }
+            PruneReason::FilterAttribute => {
+                write!(f, "dimension appears in the query's own predicate")
+            }
+        }
+    }
+}
+
+/// A pruned view with its reason.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrunedView {
+    /// The view that will not be executed.
+    pub spec: ViewSpec,
+    /// Why.
+    pub reason: PruneReason,
+}
+
+/// Result of pruning a candidate list.
+#[derive(Debug, Clone)]
+pub struct PruneOutcome {
+    /// Views that survive and will be executed.
+    pub kept: Vec<ViewSpec>,
+    /// Views dropped, with reasons (surfaced in the demo UI).
+    pub pruned: Vec<PrunedView>,
+    /// Correlation clusters found (each sorted, representative first).
+    pub clusters: Vec<Vec<String>>,
+}
+
+impl PruneOutcome {
+    /// Fraction of candidates pruned.
+    pub fn pruned_fraction(&self) -> f64 {
+        let total = self.kept.len() + self.pruned.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.pruned.len() as f64 / total as f64
+        }
+    }
+}
+
+/// Union-find over dimension indices.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[rb] = ra;
+        }
+    }
+}
+
+/// Apply the configured pruning rules to `candidates`.
+///
+/// Rule order matters for attribution (a view is reported with the first
+/// rule that kills it): variance → group cap → correlation → access
+/// frequency. Correlation clustering runs over the dimensions that
+/// *survive* the variance rules so a constant column cannot become a
+/// cluster representative.
+pub fn prune(
+    candidates: Vec<ViewSpec>,
+    metadata: &Metadata,
+    config: &PruningConfig,
+) -> PruneOutcome {
+    // --- Per-dimension verdicts from variance rules -----------------
+    let mut dim_kill: HashMap<String, PruneReason> = HashMap::new();
+    let mut dims: Vec<&str> = Vec::new();
+    for spec in &candidates {
+        if !dims.contains(&spec.dimension.as_str()) {
+            dims.push(&spec.dimension);
+        }
+    }
+    for &d in &dims {
+        let Ok(stats) = metadata.stats.column(d) else {
+            continue;
+        };
+        if config.variance && (stats.distinct < 2 || stats.entropy < config.min_entropy) {
+            dim_kill.insert(
+                d.to_string(),
+                PruneReason::LowVariance {
+                    entropy: stats.entropy,
+                    distinct: stats.distinct,
+                },
+            );
+            continue;
+        }
+        if let Some(cap) = config.max_distinct {
+            if stats.distinct > cap {
+                dim_kill.insert(
+                    d.to_string(),
+                    PruneReason::TooManyGroups {
+                        distinct: stats.distinct,
+                    },
+                );
+            }
+        }
+    }
+
+    // --- Correlation clustering over surviving dimensions -----------
+    let mut clusters: Vec<Vec<String>> = Vec::new();
+    if config.correlation && !metadata.dim_correlations.is_empty() {
+        let alive: Vec<&str> = dims
+            .iter()
+            .copied()
+            .filter(|d| !dim_kill.contains_key(*d))
+            .collect();
+        let index: HashMap<&str, usize> = alive
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (d, i))
+            .collect();
+        let mut uf = UnionFind::new(alive.len());
+        for (a, b, v) in &metadata.dim_correlations {
+            if *v >= config.correlation_threshold {
+                if let (Some(&i), Some(&j)) = (index.get(a.as_str()), index.get(b.as_str())) {
+                    uf.union(i, j);
+                }
+            }
+        }
+        let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+        for i in 0..alive.len() {
+            groups.entry(uf.find(i)).or_default().push(i);
+        }
+        for members in groups.into_values() {
+            if members.len() < 2 {
+                continue;
+            }
+            // Representative: most-accessed, then highest entropy, then
+            // schema order (first in `alive`).
+            let rep = *members
+                .iter()
+                .max_by(|&&a, &&b| {
+                    let acc = |i: usize| {
+                        metadata
+                            .access_counts
+                            .get(alive[i])
+                            .copied()
+                            .unwrap_or(0)
+                    };
+                    let ent = |i: usize| {
+                        metadata
+                            .stats
+                            .column(alive[i])
+                            .map(|s| s.entropy)
+                            .unwrap_or(0.0)
+                    };
+                    acc(a)
+                        .cmp(&acc(b))
+                        .then(ent(a).partial_cmp(&ent(b)).unwrap_or(std::cmp::Ordering::Equal))
+                        .then(b.cmp(&a)) // earlier schema position wins ties
+                })
+                .expect("non-empty cluster");
+            let mut cluster: Vec<String> = vec![alive[rep].to_string()];
+            for &m in &members {
+                if m != rep {
+                    let v = metadata.correlation(alive[rep], alive[m]);
+                    dim_kill.insert(
+                        alive[m].to_string(),
+                        PruneReason::CorrelatedWith {
+                            representative: alive[rep].to_string(),
+                            v,
+                        },
+                    );
+                    cluster.push(alive[m].to_string());
+                }
+            }
+            cluster[1..].sort();
+            clusters.push(cluster);
+        }
+        clusters.sort();
+    }
+
+    // --- Access-frequency rule (dimensions AND measures) ------------
+    let mut attr_kill: HashMap<String, PruneReason> = HashMap::new();
+    if config.access_frequency && metadata.workload_queries >= config.min_workload_queries {
+        let total = metadata.workload_queries as f64;
+        let mut attrs: Vec<&str> = dims.clone();
+        for spec in &candidates {
+            if let Some(m) = &spec.measure {
+                if !attrs.contains(&m.as_str()) {
+                    attrs.push(m);
+                }
+            }
+        }
+        for a in attrs {
+            let count = metadata.access_counts.get(a).copied().unwrap_or(0);
+            if (count as f64) < config.min_access_fraction * total {
+                attr_kill.insert(
+                    a.to_string(),
+                    PruneReason::RarelyAccessed {
+                        attribute: a.to_string(),
+                        count,
+                    },
+                );
+            }
+        }
+    }
+
+    // --- Apply verdicts to views ------------------------------------
+    let mut kept = Vec::new();
+    let mut pruned = Vec::new();
+    for spec in candidates {
+        if let Some(reason) = dim_kill.get(&spec.dimension) {
+            pruned.push(PrunedView {
+                spec,
+                reason: reason.clone(),
+            });
+            continue;
+        }
+        if let Some(reason) = attr_kill.get(&spec.dimension) {
+            pruned.push(PrunedView {
+                spec,
+                reason: reason.clone(),
+            });
+            continue;
+        }
+        if let Some(m) = &spec.measure {
+            if let Some(reason) = attr_kill.get(m) {
+                pruned.push(PrunedView {
+                    spec,
+                    reason: reason.clone(),
+                });
+                continue;
+            }
+        }
+        kept.push(spec);
+    }
+
+    PruneOutcome {
+        kept,
+        pruned,
+        clusters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metadata::MetadataCollector;
+    use crate::view::{enumerate_views, FunctionSet};
+    use memdb::{AggFunc, ColumnDef, DataType, Schema, Table, Value};
+
+    /// Table with: a constant dim, a good dim, two perfectly-correlated
+    /// dims, and two measures.
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            ColumnDef::dimension("constant", DataType::Str),
+            ColumnDef::dimension("region", DataType::Str),
+            ColumnDef::dimension("state", DataType::Str),
+            ColumnDef::dimension("state_name", DataType::Str),
+            ColumnDef::measure("amount", DataType::Float64),
+            ColumnDef::measure("qty", DataType::Float64),
+        ])
+        .unwrap();
+        let mut t = Table::new("orders", schema);
+        let states = [("MA", "Massachusetts"), ("WA", "Washington"), ("NY", "New York"), ("CA", "California")];
+        for i in 0..200 {
+            let (s, sn) = states[i % 4];
+            // region varies independently of state so Cramér's V between
+            // them is ~0 and only {state, state_name} cluster.
+            let r = ["east", "west"][(i / 4) % 2];
+            t.push_row(vec![
+                "only".into(),
+                r.into(),
+                s.into(),
+                sn.into(),
+                Value::Float((i % 13) as f64),
+                Value::Float((i % 7) as f64),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    fn metadata(t: &Table, mc: &MetadataCollector) -> Metadata {
+        mc.collect(t, true).unwrap()
+    }
+
+    #[test]
+    fn variance_rule_kills_constant_dimension() {
+        let t = table();
+        let mc = MetadataCollector::new();
+        let md = metadata(&t, &mc);
+        let views = enumerate_views(t.schema(), &FunctionSet::sum_only());
+        let mut cfg = PruningConfig::aggressive();
+        cfg.correlation = false;
+        cfg.access_frequency = false;
+        let out = prune(views, &md, &cfg);
+        assert!(out
+            .pruned
+            .iter()
+            .all(|p| p.spec.dimension == "constant"));
+        assert!(out
+            .pruned
+            .iter()
+            .all(|p| matches!(p.reason, PruneReason::LowVariance { .. })));
+        assert!(!out.kept.iter().any(|v| v.dimension == "constant"));
+        // 3 surviving dims × 2 measures.
+        assert_eq!(out.kept.len(), 6);
+    }
+
+    #[test]
+    fn correlation_rule_keeps_one_representative() {
+        let t = table();
+        let mc = MetadataCollector::new();
+        let md = metadata(&t, &mc);
+        let views = enumerate_views(t.schema(), &FunctionSet::sum_only());
+        let mut cfg = PruningConfig::aggressive();
+        cfg.access_frequency = false;
+        let out = prune(views, &md, &cfg);
+        // state/state_name cluster: only one survives.
+        let state_kept = out.kept.iter().any(|v| v.dimension == "state");
+        let name_kept = out.kept.iter().any(|v| v.dimension == "state_name");
+        assert!(state_kept ^ name_kept, "exactly one of the pair survives");
+        assert_eq!(out.clusters.len(), 1);
+        assert_eq!(out.clusters[0].len(), 2);
+        assert!(out
+            .pruned
+            .iter()
+            .any(|p| matches!(&p.reason, PruneReason::CorrelatedWith { v, .. } if *v > 0.99)));
+    }
+
+    #[test]
+    fn access_frequency_rule_requires_workload() {
+        let t = table();
+        let mc = MetadataCollector::new();
+        // Workload touching region + amount only, 20 queries.
+        for _ in 0..20 {
+            mc.tracker().record("orders", ["region", "amount"]);
+        }
+        let md = metadata(&t, &mc);
+        let views = enumerate_views(t.schema(), &FunctionSet::sum_only());
+        let mut cfg = PruningConfig::aggressive();
+        cfg.variance = false;
+        cfg.correlation = false;
+        cfg.min_access_fraction = 0.1;
+        let out = prune(views, &md, &cfg);
+        // Only region × amount survives.
+        assert_eq!(out.kept.len(), 1);
+        assert_eq!(out.kept[0], ViewSpec::new("region", "amount", AggFunc::Sum));
+        assert!(out
+            .pruned
+            .iter()
+            .all(|p| matches!(p.reason, PruneReason::RarelyAccessed { .. })));
+    }
+
+    #[test]
+    fn access_rule_inactive_below_min_workload() {
+        let t = table();
+        let mc = MetadataCollector::new();
+        mc.tracker().record("orders", ["region"]); // just one query
+        let md = metadata(&t, &mc);
+        let views = enumerate_views(t.schema(), &FunctionSet::sum_only());
+        let mut cfg = PruningConfig::aggressive();
+        cfg.variance = false;
+        cfg.correlation = false;
+        let out = prune(views.clone(), &md, &cfg);
+        assert_eq!(out.kept.len(), views.len());
+    }
+
+    #[test]
+    fn disabled_config_prunes_nothing() {
+        let t = table();
+        let mc = MetadataCollector::new();
+        let md = metadata(&t, &mc);
+        let views = enumerate_views(t.schema(), &FunctionSet::sum_only());
+        let out = prune(views.clone(), &md, &PruningConfig::disabled());
+        assert_eq!(out.kept.len(), views.len());
+        assert!(out.pruned.is_empty());
+        assert_eq!(out.pruned_fraction(), 0.0);
+    }
+
+    #[test]
+    fn max_distinct_caps_group_count() {
+        let schema = Schema::new(vec![
+            ColumnDef::dimension("id_like", DataType::Int64),
+            ColumnDef::measure("m", DataType::Float64),
+        ])
+        .unwrap();
+        let mut t = Table::new("t", schema);
+        for i in 0..500 {
+            t.push_row(vec![Value::Int(i), Value::Float(1.0)]).unwrap();
+        }
+        let mc = MetadataCollector::new();
+        let md = mc.collect(&t, false).unwrap();
+        let views = enumerate_views(t.schema(), &FunctionSet::sum_only());
+        let mut cfg = PruningConfig::aggressive();
+        cfg.max_distinct = Some(100);
+        cfg.correlation = false;
+        cfg.access_frequency = false;
+        let out = prune(views, &md, &cfg);
+        assert!(out.kept.is_empty());
+        assert!(matches!(
+            out.pruned[0].reason,
+            PruneReason::TooManyGroups { distinct: 500 }
+        ));
+    }
+
+    #[test]
+    fn representative_prefers_accessed_dimension() {
+        let t = table();
+        let mc = MetadataCollector::new();
+        // Analysts use state_name, never state.
+        for _ in 0..5 {
+            mc.tracker().record("orders", ["state_name"]);
+        }
+        let md = metadata(&t, &mc);
+        let views = enumerate_views(t.schema(), &FunctionSet::sum_only());
+        let mut cfg = PruningConfig::aggressive();
+        cfg.access_frequency = false; // only test rep choice
+        let out = prune(views, &md, &cfg);
+        assert!(out.kept.iter().any(|v| v.dimension == "state_name"));
+        assert!(!out.kept.iter().any(|v| v.dimension == "state"));
+        assert_eq!(out.clusters[0][0], "state_name");
+    }
+
+    #[test]
+    fn pruned_fraction_math() {
+        let out = PruneOutcome {
+            kept: vec![ViewSpec::count("a")],
+            pruned: vec![
+                PrunedView {
+                    spec: ViewSpec::count("b"),
+                    reason: PruneReason::TooManyGroups { distinct: 5 },
+                },
+                PrunedView {
+                    spec: ViewSpec::count("c"),
+                    reason: PruneReason::TooManyGroups { distinct: 5 },
+                },
+            ],
+            clusters: vec![],
+        };
+        assert!((out.pruned_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reasons_render() {
+        let r = PruneReason::CorrelatedWith {
+            representative: "state".into(),
+            v: 0.97,
+        };
+        assert!(r.to_string().contains("state"));
+        let r = PruneReason::LowVariance {
+            entropy: 0.01,
+            distinct: 1,
+        };
+        assert!(r.to_string().contains("low variance"));
+    }
+}

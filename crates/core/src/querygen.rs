@@ -1,0 +1,205 @@
+//! The Query Generator (paper Fig. 4).
+//!
+//! Turns the analyst's subset-selection query `Q` and a candidate view
+//! `(a, m, f)` into the *target view* query over `D_Q` and the
+//! *comparison view* query over all of `D` (§2):
+//!
+//! ```sql
+//! -- target:      SELECT a, f(m) FROM D_Q GROUP BY a
+//! -- comparison:  SELECT a, f(m) FROM D   GROUP BY a
+//! ```
+//!
+//! These unoptimized forms are what the Basic Framework executes; the
+//! [`optimizer`](crate::optimizer) rewrites them into combined queries.
+
+use memdb::{AggSpec, DbResult, Expr, Query};
+
+use crate::view::ViewSpec;
+
+/// The analyst's input: the subset of data to explore
+/// (`Q = SELECT * FROM table WHERE filter`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalystQuery {
+    /// Fact table name.
+    pub table: String,
+    /// Subset predicate; `None` selects the whole table (target and
+    /// comparison views then coincide and every utility is ~0).
+    pub filter: Option<Expr>,
+}
+
+impl AnalystQuery {
+    /// Build from parts.
+    pub fn new(table: &str, filter: Option<Expr>) -> Self {
+        AnalystQuery {
+            table: table.to_string(),
+            filter,
+        }
+    }
+
+    /// Parse from SQL text (`SELECT * FROM t WHERE ...`) — frontend
+    /// mechanism (a) in §3.2.
+    ///
+    /// # Errors
+    /// SQL parse errors.
+    pub fn from_sql(sql: &str) -> DbResult<Self> {
+        let sel = memdb::parse_selection(sql)?;
+        Ok(AnalystQuery {
+            table: sel.table,
+            filter: sel.filter,
+        })
+    }
+
+    /// Columns referenced by the filter (for access tracking).
+    pub fn referenced_columns(&self) -> Vec<String> {
+        self.filter
+            .as_ref()
+            .map(|f| {
+                f.referenced_columns()
+                    .into_iter()
+                    .map(str::to_string)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Render as SQL (`SELECT * FROM t [WHERE ...]`).
+    pub fn to_sql(&self) -> String {
+        match &self.filter {
+            Some(f) => format!("SELECT * FROM {} WHERE {}", self.table, f.to_sql()),
+            None => format!("SELECT * FROM {}", self.table),
+        }
+    }
+}
+
+/// Which side of the deviation comparison a query/aggregate feeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The view over the analyst's subset `D_Q`.
+    Target,
+    /// The view over the whole table `D`.
+    Comparison,
+}
+
+impl Side {
+    /// Alias prefix used in generated queries.
+    pub fn prefix(self) -> &'static str {
+        match self {
+            Side::Target => "t",
+            Side::Comparison => "c",
+        }
+    }
+}
+
+/// Canonical output alias for a view's aggregate on one side,
+/// e.g. `t_sum_amount`, `c_count_star`.
+pub fn direct_alias(side: Side, view: &ViewSpec) -> String {
+    match &view.measure {
+        Some(m) => format!("{}_{}_{}", side.prefix(), view.func.sql().to_lowercase(), m),
+        None => format!("{}_count_star", side.prefix()),
+    }
+}
+
+/// The aggregate spec computing `f(m)` for `view` on `side`.
+/// When `side` is `Target` and the analyst has a filter, the spec carries
+/// it as a per-aggregate predicate (usable in combined queries); in a
+/// standalone target query the same filter sits in the `WHERE` clause
+/// instead and `carry_filter` should be `false`.
+pub fn view_agg(view: &ViewSpec, side: Side, analyst: &AnalystQuery, carry_filter: bool) -> AggSpec {
+    let mut spec = match &view.measure {
+        Some(m) => AggSpec::new(view.func, m),
+        None => AggSpec::count_star(),
+    };
+    spec = spec.with_alias(&direct_alias(side, view));
+    if carry_filter && side == Side::Target {
+        if let Some(f) = &analyst.filter {
+            spec = spec.with_filter(f.clone());
+        }
+    }
+    spec
+}
+
+/// The unoptimized *target view* query: `SELECT a, f(m) FROM D_Q GROUP BY a`.
+pub fn target_query(view: &ViewSpec, analyst: &AnalystQuery) -> Query {
+    let mut q = Query::aggregate(
+        &analyst.table,
+        vec![&view.dimension],
+        vec![view_agg(view, Side::Target, analyst, false)],
+    );
+    if let Some(f) = &analyst.filter {
+        q = q.with_filter(f.clone());
+    }
+    q
+}
+
+/// The unoptimized *comparison view* query: `SELECT a, f(m) FROM D GROUP BY a`.
+pub fn comparison_query(view: &ViewSpec, analyst: &AnalystQuery) -> Query {
+    Query::aggregate(
+        &analyst.table,
+        vec![&view.dimension],
+        vec![view_agg(view, Side::Comparison, analyst, false)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memdb::AggFunc;
+
+    fn analyst() -> AnalystQuery {
+        AnalystQuery::new("Sales", Some(Expr::col("Product").eq("Laserwave")))
+    }
+
+    #[test]
+    fn paper_target_and_comparison_sql() {
+        let v = ViewSpec::new("store", "amount", AggFunc::Sum);
+        let t = target_query(&v, &analyst());
+        assert_eq!(
+            t.to_sql(),
+            "SELECT store, SUM(amount) AS t_sum_amount FROM Sales WHERE Product = 'Laserwave' GROUP BY store"
+        );
+        let c = comparison_query(&v, &analyst());
+        assert_eq!(
+            c.to_sql(),
+            "SELECT store, SUM(amount) AS c_sum_amount FROM Sales GROUP BY store"
+        );
+    }
+
+    #[test]
+    fn from_sql_roundtrip() {
+        let aq = AnalystQuery::from_sql("SELECT * FROM Sales WHERE Product = 'Laserwave'").unwrap();
+        assert_eq!(aq.table, "Sales");
+        assert_eq!(aq.referenced_columns(), vec!["Product"]);
+        assert_eq!(
+            aq.to_sql(),
+            "SELECT * FROM Sales WHERE Product = 'Laserwave'"
+        );
+    }
+
+    #[test]
+    fn no_filter_analyst_query() {
+        let aq = AnalystQuery::new("t", None);
+        assert_eq!(aq.to_sql(), "SELECT * FROM t");
+        assert!(aq.referenced_columns().is_empty());
+        let v = ViewSpec::count("d");
+        let t = target_query(&v, &aq);
+        assert!(t.filter.is_none());
+    }
+
+    #[test]
+    fn carried_filter_becomes_per_aggregate_predicate() {
+        let v = ViewSpec::new("store", "amount", AggFunc::Avg);
+        let spec = view_agg(&v, Side::Target, &analyst(), true);
+        assert!(spec.filter.is_some());
+        assert_eq!(spec.alias.as_deref(), Some("t_avg_amount"));
+        let spec = view_agg(&v, Side::Comparison, &analyst(), true);
+        assert!(spec.filter.is_none());
+        assert_eq!(spec.alias.as_deref(), Some("c_avg_amount"));
+    }
+
+    #[test]
+    fn count_star_aliases() {
+        let v = ViewSpec::count("region");
+        assert_eq!(direct_alias(Side::Target, &v), "t_count_star");
+        assert_eq!(direct_alias(Side::Comparison, &v), "c_count_star");
+    }
+}

@@ -1,0 +1,247 @@
+//! Candidate views and view-space enumeration.
+//!
+//! A view is the paper's triple `(a, m, f)`: group by dimension `a`,
+//! aggregate measure `m` with function `f` (§2). The view space of a table
+//! is the cross product `A × M × F`, which grows as the *square* of the
+//! attribute count (for |A| ≈ |M| ≈ n/2, the space is |F|·n²/4 — the
+//! quadratic blow-up motivating SeeDB's pruning and shared execution).
+
+use memdb::{AggFunc, Schema};
+
+/// A candidate view: the paper's `(a, m, f)` triple.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ViewSpec {
+    /// Grouping (dimension) attribute `a ∈ A`.
+    pub dimension: String,
+    /// Measure attribute `m ∈ M`; `None` only when `f` is `COUNT` (row
+    /// counts need no measure).
+    pub measure: Option<String>,
+    /// Aggregate function `f ∈ F`.
+    pub func: AggFunc,
+}
+
+impl ViewSpec {
+    /// A new `(a, m, f)` view.
+    pub fn new(dimension: &str, measure: &str, func: AggFunc) -> Self {
+        ViewSpec {
+            dimension: dimension.to_string(),
+            measure: Some(measure.to_string()),
+            func,
+        }
+    }
+
+    /// A `(a, COUNT(*))` view.
+    pub fn count(dimension: &str) -> Self {
+        ViewSpec {
+            dimension: dimension.to_string(),
+            measure: None,
+            func: AggFunc::Count,
+        }
+    }
+
+    /// Short human-readable identity, e.g. `SUM(amount) BY store`.
+    pub fn label(&self) -> String {
+        match &self.measure {
+            Some(m) => format!("{}({m}) BY {}", self.func.sql(), self.dimension),
+            None => format!("COUNT(*) BY {}", self.dimension),
+        }
+    }
+
+    /// The target-view SQL for this spec over the subset selected by
+    /// `where_sql` (paper §2: `SELECT a, f(m) FROM D_Q GROUP BY a`).
+    pub fn to_sql(&self, table: &str, where_sql: Option<&str>) -> String {
+        let agg = match &self.measure {
+            Some(m) => format!("{}({m})", self.func.sql()),
+            None => "COUNT(*)".to_string(),
+        };
+        match where_sql {
+            Some(w) => format!(
+                "SELECT {a}, {agg} FROM {table} WHERE {w} GROUP BY {a}",
+                a = self.dimension
+            ),
+            None => format!(
+                "SELECT {a}, {agg} FROM {table} GROUP BY {a}",
+                a = self.dimension
+            ),
+        }
+    }
+}
+
+impl std::fmt::Display for ViewSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Which aggregate functions to enumerate over.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionSet {
+    funcs: Vec<AggFunc>,
+    /// Also include one `COUNT(*)` view per dimension.
+    include_count_star: bool,
+}
+
+impl FunctionSet {
+    /// Only `SUM` — the paper's running example and the cheapest space.
+    pub fn sum_only() -> Self {
+        FunctionSet {
+            funcs: vec![AggFunc::Sum],
+            include_count_star: false,
+        }
+    }
+
+    /// `SUM`, `AVG`, and `COUNT(*)` — a typical demo configuration.
+    pub fn standard() -> Self {
+        FunctionSet {
+            funcs: vec![AggFunc::Sum, AggFunc::Avg],
+            include_count_star: true,
+        }
+    }
+
+    /// Every supported aggregate plus `COUNT(*)`.
+    pub fn full() -> Self {
+        FunctionSet {
+            funcs: vec![AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max],
+            include_count_star: true,
+        }
+    }
+
+    /// A custom set.
+    pub fn custom(funcs: Vec<AggFunc>, include_count_star: bool) -> Self {
+        FunctionSet {
+            funcs: funcs
+                .into_iter()
+                .filter(|f| *f != AggFunc::Count)
+                .collect(),
+            include_count_star,
+        }
+    }
+
+    /// Per-measure functions.
+    pub fn funcs(&self) -> &[AggFunc] {
+        &self.funcs
+    }
+
+    /// Whether `COUNT(*)` views are included.
+    pub fn includes_count_star(&self) -> bool {
+        self.include_count_star
+    }
+}
+
+impl Default for FunctionSet {
+    fn default() -> Self {
+        FunctionSet::standard()
+    }
+}
+
+/// Enumerate the full candidate view space `A × M × F` for `schema`.
+///
+/// Order is deterministic: dimensions in schema order, then measures in
+/// schema order, then functions.
+pub fn enumerate_views(schema: &Schema, funcs: &FunctionSet) -> Vec<ViewSpec> {
+    let dims = schema.dimensions();
+    let measures = schema.measures();
+    let mut out =
+        Vec::with_capacity(dims.len() * (measures.len() * funcs.funcs().len() + 1));
+    for a in &dims {
+        if funcs.includes_count_star() {
+            out.push(ViewSpec::count(a));
+        }
+        for m in &measures {
+            for &f in funcs.funcs() {
+                out.push(ViewSpec::new(a, m, f));
+            }
+        }
+    }
+    out
+}
+
+/// Size of the candidate view space without materializing it.
+pub fn view_space_size(num_dims: usize, num_measures: usize, funcs: &FunctionSet) -> usize {
+    num_dims * (num_measures * funcs.funcs().len() + usize::from(funcs.includes_count_star()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memdb::{ColumnDef, DataType};
+
+    fn schema(dims: usize, measures: usize) -> Schema {
+        let mut cols = Vec::new();
+        for i in 0..dims {
+            cols.push(ColumnDef::dimension(&format!("d{i}"), DataType::Str));
+        }
+        for i in 0..measures {
+            cols.push(ColumnDef::measure(&format!("m{i}"), DataType::Float64));
+        }
+        Schema::new(cols).unwrap()
+    }
+
+    #[test]
+    fn enumeration_covers_cross_product() {
+        let s = schema(3, 2);
+        let views = enumerate_views(&s, &FunctionSet::sum_only());
+        assert_eq!(views.len(), 3 * 2);
+        assert!(views.contains(&ViewSpec::new("d2", "m1", AggFunc::Sum)));
+    }
+
+    #[test]
+    fn count_star_adds_one_view_per_dimension() {
+        let s = schema(3, 2);
+        let views = enumerate_views(&s, &FunctionSet::standard());
+        // 3 dims × (2 measures × 2 funcs + COUNT(*)) = 15.
+        assert_eq!(views.len(), 15);
+        assert_eq!(views.iter().filter(|v| v.measure.is_none()).count(), 3);
+    }
+
+    #[test]
+    fn space_grows_quadratically() {
+        // Paper §1(b): candidate views grow as the square of the number
+        // of attributes. With n attributes split evenly, space ∝ n².
+        let f = FunctionSet::sum_only();
+        let at = |n: usize| view_space_size(n / 2, n / 2, &f);
+        assert_eq!(at(10), 25);
+        assert_eq!(at(20), 100); // doubling attributes quadruples views
+        assert_eq!(at(40), 400);
+    }
+
+    #[test]
+    fn size_matches_enumeration() {
+        let s = schema(4, 3);
+        for fs in [FunctionSet::sum_only(), FunctionSet::standard(), FunctionSet::full()] {
+            assert_eq!(
+                enumerate_views(&s, &fs).len(),
+                view_space_size(4, 3, &fs)
+            );
+        }
+    }
+
+    #[test]
+    fn labels_and_sql() {
+        let v = ViewSpec::new("store", "amount", AggFunc::Sum);
+        assert_eq!(v.label(), "SUM(amount) BY store");
+        assert_eq!(
+            v.to_sql("Sales", Some("Product = 'Laserwave'")),
+            "SELECT store, SUM(amount) FROM Sales WHERE Product = 'Laserwave' GROUP BY store"
+        );
+        assert_eq!(
+            ViewSpec::count("store").to_sql("Sales", None),
+            "SELECT store, COUNT(*) FROM Sales GROUP BY store"
+        );
+    }
+
+    #[test]
+    fn custom_function_set_drops_count() {
+        let fs = FunctionSet::custom(vec![AggFunc::Count, AggFunc::Sum], false);
+        assert_eq!(fs.funcs(), &[AggFunc::Sum]);
+    }
+
+    #[test]
+    fn deterministic_order() {
+        let s = schema(2, 2);
+        let a = enumerate_views(&s, &FunctionSet::standard());
+        let b = enumerate_views(&s, &FunctionSet::standard());
+        assert_eq!(a, b);
+        assert_eq!(a[0], ViewSpec::count("d0"));
+    }
+}

@@ -1,0 +1,292 @@
+//! Sampling primitives for the dataset generators.
+//!
+//! Demo Scenario 2 lets attendees adjust "knobs such as data size, number
+//! of attributes, and data distribution"; these are the distributions
+//! behind that knob.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A categorical distribution over `0..k`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Categorical {
+    /// Every value equally likely.
+    Uniform {
+        /// Number of categories.
+        k: usize,
+    },
+    /// Zipf-like skew: probability of rank `r` (0-based) ∝ `1/(r+1)^s`.
+    Zipf {
+        /// Number of categories.
+        k: usize,
+        /// Skew exponent (0 = uniform, 1 = classic Zipf, larger = more
+        /// skewed).
+        s: f64,
+    },
+    /// Explicit weights (need not be normalized; must be non-negative
+    /// with positive sum).
+    Weighted {
+        /// Relative weight per category.
+        weights: Vec<f64>,
+    },
+}
+
+impl Categorical {
+    /// Number of categories.
+    pub fn cardinality(&self) -> usize {
+        match self {
+            Categorical::Uniform { k } | Categorical::Zipf { k, .. } => *k,
+            Categorical::Weighted { weights } => weights.len(),
+        }
+    }
+
+    /// Normalized probability vector.
+    pub fn probabilities(&self) -> Vec<f64> {
+        match self {
+            Categorical::Uniform { k } => vec![1.0 / *k as f64; *k],
+            Categorical::Zipf { k, s } => {
+                let raw: Vec<f64> = (0..*k).map(|r| 1.0 / ((r + 1) as f64).powf(*s)).collect();
+                let total: f64 = raw.iter().sum();
+                raw.into_iter().map(|w| w / total).collect()
+            }
+            Categorical::Weighted { weights } => {
+                let total: f64 = weights.iter().sum();
+                assert!(total > 0.0, "weighted categorical needs positive mass");
+                weights.iter().map(|w| w / total).collect()
+            }
+        }
+    }
+
+    /// A sampler (precomputes the CDF).
+    pub fn sampler(&self) -> CategoricalSampler {
+        let probs = self.probabilities();
+        let mut cdf = Vec::with_capacity(probs.len());
+        let mut acc = 0.0;
+        for p in probs {
+            acc += p;
+            cdf.push(acc);
+        }
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0; // guard against fp drift
+        }
+        CategoricalSampler { cdf }
+    }
+
+    /// A copy of this distribution with the category order reversed —
+    /// used to plant deviations (the subset draws from the reversed
+    /// skew, so its per-category distribution differs maximally in rank
+    /// order while keeping the same support).
+    pub fn reversed(&self) -> Categorical {
+        let mut probs = self.probabilities();
+        probs.reverse();
+        Categorical::Weighted { weights: probs }
+    }
+}
+
+/// Precomputed inverse-CDF sampler for a categorical distribution.
+#[derive(Debug, Clone)]
+pub struct CategoricalSampler {
+    cdf: Vec<f64>,
+}
+
+impl CategoricalSampler {
+    /// Draw a category index.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// A numeric distribution for measure columns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Numeric {
+    /// Uniform in `[lo, hi)`.
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Normal with the given mean and standard deviation
+    /// (Box–Muller; values are not truncated).
+    Normal {
+        /// Mean.
+        mean: f64,
+        /// Standard deviation.
+        std: f64,
+    },
+    /// Exponential with the given mean (models amounts/durations).
+    Exponential {
+        /// Mean (1/λ).
+        mean: f64,
+    },
+}
+
+impl Numeric {
+    /// Draw a value.
+    pub fn sample(&self, rng: &mut StdRng) -> f64 {
+        match *self {
+            Numeric::Uniform { lo, hi } => rng.gen_range(lo..hi),
+            Numeric::Normal { mean, std } => {
+                // Box–Muller transform.
+                let u1: f64 = rng.gen::<f64>().max(1e-12);
+                let u2: f64 = rng.gen();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                mean + std * z
+            }
+            Numeric::Exponential { mean } => {
+                let u: f64 = rng.gen::<f64>().max(1e-12);
+                -mean * u.ln()
+            }
+        }
+    }
+
+    /// The distribution shifted by `delta` (used to plant measure-level
+    /// deviations in a subset).
+    pub fn shifted(&self, delta: f64) -> Numeric {
+        match *self {
+            Numeric::Uniform { lo, hi } => Numeric::Uniform {
+                lo: lo + delta,
+                hi: hi + delta,
+            },
+            Numeric::Normal { mean, std } => Numeric::Normal {
+                mean: mean + delta,
+                std,
+            },
+            Numeric::Exponential { mean } => Numeric::Exponential {
+                mean: (mean + delta).max(1e-6),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn uniform_probabilities() {
+        let c = Categorical::Uniform { k: 4 };
+        assert_eq!(c.probabilities(), vec![0.25; 4]);
+        assert_eq!(c.cardinality(), 4);
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_normalized() {
+        let c = Categorical::Zipf { k: 5, s: 1.0 };
+        let p = c.probabilities();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[0] > p[1] && p[1] > p[4]);
+        // s = 0 degenerates to uniform.
+        let u = Categorical::Zipf { k: 5, s: 0.0 }.probabilities();
+        assert!(u.iter().all(|&x| (x - 0.2).abs() < 1e-12));
+    }
+
+    #[test]
+    fn weighted_normalizes() {
+        let c = Categorical::Weighted {
+            weights: vec![2.0, 6.0],
+        };
+        assert_eq!(c.probabilities(), vec![0.25, 0.75]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive mass")]
+    fn weighted_zero_mass_panics() {
+        Categorical::Weighted {
+            weights: vec![0.0, 0.0],
+        }
+        .probabilities();
+    }
+
+    #[test]
+    fn sampler_matches_distribution() {
+        let c = Categorical::Zipf { k: 3, s: 1.0 };
+        let s = c.sampler();
+        let mut r = rng();
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[s.sample(&mut r)] += 1;
+        }
+        let p = c.probabilities();
+        for i in 0..3 {
+            let observed = counts[i] as f64 / 30_000.0;
+            assert!(
+                (observed - p[i]).abs() < 0.02,
+                "cat {i}: {observed} vs {}",
+                p[i]
+            );
+        }
+    }
+
+    #[test]
+    fn reversed_flips_rank_order() {
+        let c = Categorical::Zipf { k: 3, s: 1.0 };
+        let r = c.reversed();
+        let p = c.probabilities();
+        let q = r.probabilities();
+        assert!((p[0] - q[2]).abs() < 1e-12);
+        assert!(q[2] > q[0]);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Numeric::Normal {
+            mean: 10.0,
+            std: 2.0,
+        };
+        let mut r = rng();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn exponential_positive_with_right_mean() {
+        let d = Numeric::Exponential { mean: 5.0 };
+        let mut r = rng();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut r)).collect();
+        assert!(samples.iter().all(|&x| x >= 0.0));
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn uniform_range_respected() {
+        let d = Numeric::Uniform { lo: 2.0, hi: 3.0 };
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x = d.sample(&mut r);
+            assert!((2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn shifted_distributions() {
+        let mut r = rng();
+        let d = Numeric::Normal {
+            mean: 0.0,
+            std: 1.0,
+        }
+        .shifted(100.0);
+        let x = d.sample(&mut r);
+        assert!(x > 50.0);
+        let u = Numeric::Uniform { lo: 0.0, hi: 1.0 }.shifted(10.0);
+        assert!(matches!(u, Numeric::Uniform { lo, hi } if lo == 10.0 && hi == 11.0));
+    }
+}

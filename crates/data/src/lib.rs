@@ -1,0 +1,30 @@
+//! # seedb-data — demo datasets and workload generators
+//!
+//! The SeeDB demo (paper §4) runs on four datasets: Tableau's Store
+//! Orders, FEC election contributions, a MIMIC-II medical dataset, and
+//! synthetic data with adjustable "knobs". This crate generates all of
+//! them:
+//!
+//! * [`datasets::store_orders`], [`datasets::election_contributions`],
+//!   [`datasets::medical`] — schema-faithful synthetic analogues of the
+//!   three real datasets (which are not redistributable), each with a
+//!   *planted, documented trend* and a suggested analyst query that
+//!   surfaces it;
+//! * [`synthetic::SyntheticSpec`] — the Scenario-2 generator with knobs
+//!   for row count, attribute count, cardinality, and skew, plus
+//!   planted-deviation ground truth for recall experiments;
+//! * [`distributions`] — the categorical (uniform/Zipf/weighted) and
+//!   numeric (uniform/normal/exponential) sampling primitives.
+//!
+//! Everything is seeded and fully deterministic.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod datasets;
+pub mod distributions;
+pub mod synthetic;
+
+pub use datasets::{election_contributions, medical, store_orders, Dataset};
+pub use distributions::{Categorical, CategoricalSampler, Numeric};
+pub use synthetic::{DimSpec, MeasureSpec, Plant, SyntheticSpec};

@@ -1,0 +1,197 @@
+//! The database catalog: named tables plus cost accounting.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::cost::{CostCounters, CostSnapshot};
+use crate::error::{DbError, DbResult};
+use crate::exec::{self, Query, QueryOutput, SetsOutput, SetsQuery};
+use crate::table::Table;
+
+/// An in-memory database: a set of named tables.
+///
+/// Cloning handles is cheap (`Arc` inside); queries can run concurrently
+/// from many threads. Tables are immutable once registered — replace a
+/// table by re-registering under the same name.
+#[derive(Debug, Default)]
+pub struct Database {
+    tables: RwLock<HashMap<String, Arc<Table>>>,
+    counters: CostCounters,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Register (or replace) a table under its own name.
+    pub fn register(&self, table: Table) -> Arc<Table> {
+        let arc = Arc::new(table);
+        self.tables
+            .write()
+            .insert(arc.name().to_string(), arc.clone());
+        arc
+    }
+
+    /// Look up a table.
+    ///
+    /// # Errors
+    /// `UnknownTable` if absent.
+    pub fn table(&self, name: &str) -> DbResult<Arc<Table>> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+
+    /// Names of all registered tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Remove a table. Returns whether it existed.
+    pub fn drop_table(&self, name: &str) -> bool {
+        self.tables.write().remove(name).is_some()
+    }
+
+    /// Execute a single-grouping [`Query`], recording its cost.
+    ///
+    /// # Errors
+    /// Unknown table/columns, type errors, invalid query shapes.
+    pub fn run(&self, q: &Query) -> DbResult<QueryOutput> {
+        let table = self.table(&q.table)?;
+        let out = exec::execute(&table, q)?;
+        self.counters.record(&out.stats);
+        Ok(out)
+    }
+
+    /// Execute a shared-scan [`SetsQuery`], recording its cost.
+    ///
+    /// # Errors
+    /// Unknown table/columns, type errors, invalid query shapes.
+    pub fn run_sets(&self, q: &SetsQuery) -> DbResult<SetsOutput> {
+        let table = self.table(&q.table)?;
+        let out = exec::execute_sets(&table, q)?;
+        self.counters.record(&out.stats);
+        Ok(out)
+    }
+
+    /// Parse and execute a SQL string.
+    ///
+    /// # Errors
+    /// Parse errors plus everything [`Database::run`] can return.
+    pub fn run_sql(&self, sql: &str) -> DbResult<QueryOutput> {
+        let q = crate::sql::parse_query(sql)?;
+        self.run(&q)
+    }
+
+    /// Snapshot the accumulated cost counters.
+    pub fn cost(&self) -> CostSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// Reset the cost counters.
+    pub fn reset_cost(&self) {
+        self.counters.reset()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{AggFunc, AggSpec};
+    use crate::schema::{ColumnDef, Schema};
+    use crate::value::DataType;
+
+    fn db_with_sales() -> Database {
+        let schema = Schema::new(vec![
+            ColumnDef::dimension("store", DataType::Str),
+            ColumnDef::measure("amount", DataType::Float64),
+        ])
+        .unwrap();
+        let mut t = Table::new("sales", schema);
+        for (s, a) in [("MA", 10.0), ("WA", 20.0), ("MA", 5.0)] {
+            t.push_row(vec![s.into(), a.into()]).unwrap();
+        }
+        let db = Database::new();
+        db.register(t);
+        db
+    }
+
+    #[test]
+    fn register_and_query() {
+        let db = db_with_sales();
+        let q = Query::aggregate("sales", vec!["store"], vec![AggSpec::new(AggFunc::Sum, "amount")]);
+        let out = db.run(&q).unwrap();
+        assert_eq!(out.result.num_rows(), 2);
+        assert_eq!(db.cost().queries, 1);
+        assert_eq!(db.cost().rows_scanned, 3);
+    }
+
+    #[test]
+    fn unknown_table_error() {
+        let db = Database::new();
+        let q = Query::aggregate("nope", vec![], vec![AggSpec::count_star()]);
+        assert!(matches!(db.run(&q), Err(DbError::UnknownTable(_))));
+    }
+
+    #[test]
+    fn table_names_sorted_and_drop() {
+        let db = db_with_sales();
+        let schema = Schema::new(vec![ColumnDef::measure("x", DataType::Int64)]).unwrap();
+        db.register(Table::new("aaa", schema));
+        assert_eq!(db.table_names(), vec!["aaa", "sales"]);
+        assert!(db.drop_table("aaa"));
+        assert!(!db.drop_table("aaa"));
+        assert_eq!(db.table_names(), vec!["sales"]);
+    }
+
+    #[test]
+    fn cost_reset() {
+        let db = db_with_sales();
+        let q = Query::aggregate("sales", vec!["store"], vec![AggSpec::count_star()]);
+        db.run(&q).unwrap();
+        db.reset_cost();
+        assert_eq!(db.cost(), CostSnapshot::default());
+    }
+
+    #[test]
+    fn reregistering_replaces_table() {
+        let db = db_with_sales();
+        let schema = Schema::new(vec![
+            ColumnDef::dimension("store", DataType::Str),
+            ColumnDef::measure("amount", DataType::Float64),
+        ])
+        .unwrap();
+        let t = Table::new("sales", schema); // empty replacement
+        db.register(t);
+        assert_eq!(db.table("sales").unwrap().num_rows(), 0);
+    }
+
+    #[test]
+    fn concurrent_queries() {
+        let db = std::sync::Arc::new(db_with_sales());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let db = db.clone();
+                s.spawn(move || {
+                    let q = Query::aggregate(
+                        "sales",
+                        vec!["store"],
+                        vec![AggSpec::new(AggFunc::Sum, "amount")],
+                    );
+                    for _ in 0..50 {
+                        db.run(&q).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(db.cost().queries, 200);
+    }
+}

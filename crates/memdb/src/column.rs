@@ -1,0 +1,474 @@
+//! Typed, dictionary-encoded columnar storage.
+//!
+//! Each [`Column`] is a dense vector of one [`DataType`] plus an optional
+//! validity mask (absent = no nulls). Strings are dictionary-encoded:
+//! the column stores `u32` codes into a per-column dictionary, which makes
+//! group-by keys and correlation statistics cheap.
+
+use std::collections::HashMap;
+
+use crate::error::{DbError, DbResult};
+use crate::value::{DataType, Value};
+
+/// Validity (non-null) mask. `None` means every row is valid, which is the
+/// common case and costs nothing.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Validity {
+    mask: Option<Vec<bool>>,
+}
+
+impl Validity {
+    /// Is row `i` valid (non-null)? Rows beyond the recorded mask are valid.
+    #[inline]
+    pub fn is_valid(&self, i: usize) -> bool {
+        match &self.mask {
+            None => true,
+            Some(m) => m.get(i).copied().unwrap_or(true),
+        }
+    }
+
+    /// Record validity for the next row (row index `len`).
+    fn push(&mut self, len: usize, valid: bool) {
+        match (&mut self.mask, valid) {
+            (None, true) => {}
+            (None, false) => {
+                let mut m = vec![true; len];
+                m.push(false);
+                self.mask = Some(m);
+            }
+            (Some(m), v) => m.push(v),
+        }
+    }
+
+    /// Number of nulls among the first `len` rows.
+    pub fn null_count(&self, len: usize) -> usize {
+        match &self.mask {
+            None => 0,
+            Some(m) => m.iter().take(len).filter(|v| !**v).count(),
+        }
+    }
+}
+
+/// Dictionary for string columns: bidirectional mapping between strings
+/// and dense `u32` codes.
+#[derive(Debug, Clone, Default)]
+pub struct StrDict {
+    values: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl StrDict {
+    /// Intern `s`, returning its code.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&c) = self.index.get(s) {
+            return c;
+        }
+        let code = self.values.len() as u32;
+        self.values.push(s.to_string());
+        self.index.insert(s.to_string(), code);
+        code
+    }
+
+    /// Look up a code without interning.
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        self.index.get(s).copied()
+    }
+
+    /// The string for `code`.
+    pub fn value(&self, code: u32) -> &str {
+        &self.values[code as usize]
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no strings are interned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// A single column of data.
+#[derive(Debug, Clone)]
+pub enum Column {
+    /// 64-bit integers.
+    Int64 {
+        /// Row values (unspecified where invalid).
+        data: Vec<i64>,
+        /// Null mask.
+        validity: Validity,
+    },
+    /// 64-bit floats.
+    Float64 {
+        /// Row values (unspecified where invalid).
+        data: Vec<f64>,
+        /// Null mask.
+        validity: Validity,
+    },
+    /// Dictionary-encoded strings.
+    Str {
+        /// Per-row dictionary codes (unspecified where invalid).
+        codes: Vec<u32>,
+        /// The dictionary.
+        dict: StrDict,
+        /// Null mask.
+        validity: Validity,
+    },
+    /// Booleans.
+    Bool {
+        /// Row values (unspecified where invalid).
+        data: Vec<bool>,
+        /// Null mask.
+        validity: Validity,
+    },
+}
+
+impl Column {
+    /// An empty column of the given type.
+    pub fn new(dtype: DataType) -> Self {
+        match dtype {
+            DataType::Int64 => Column::Int64 {
+                data: Vec::new(),
+                validity: Validity::default(),
+            },
+            DataType::Float64 => Column::Float64 {
+                data: Vec::new(),
+                validity: Validity::default(),
+            },
+            DataType::Str => Column::Str {
+                codes: Vec::new(),
+                dict: StrDict::default(),
+                validity: Validity::default(),
+            },
+            DataType::Bool => Column::Bool {
+                data: Vec::new(),
+                validity: Validity::default(),
+            },
+        }
+    }
+
+    /// An empty column with pre-reserved capacity.
+    pub fn with_capacity(dtype: DataType, cap: usize) -> Self {
+        let mut c = Column::new(dtype);
+        match &mut c {
+            Column::Int64 { data, .. } => data.reserve(cap),
+            Column::Float64 { data, .. } => data.reserve(cap),
+            Column::Str { codes, .. } => codes.reserve(cap),
+            Column::Bool { data, .. } => data.reserve(cap),
+        }
+        c
+    }
+
+    /// This column's data type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::Int64 { .. } => DataType::Int64,
+            Column::Float64 { .. } => DataType::Float64,
+            Column::Str { .. } => DataType::Str,
+            Column::Bool { .. } => DataType::Bool,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int64 { data, .. } => data.len(),
+            Column::Float64 { data, .. } => data.len(),
+            Column::Str { codes, .. } => codes.len(),
+            Column::Bool { data, .. } => data.len(),
+        }
+    }
+
+    /// True if the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of null rows.
+    pub fn null_count(&self) -> usize {
+        let n = self.len();
+        match self {
+            Column::Int64 { validity, .. }
+            | Column::Float64 { validity, .. }
+            | Column::Str { validity, .. }
+            | Column::Bool { validity, .. } => validity.null_count(n),
+        }
+    }
+
+    /// Is row `i` non-null?
+    #[inline]
+    pub fn is_valid(&self, i: usize) -> bool {
+        match self {
+            Column::Int64 { validity, .. }
+            | Column::Float64 { validity, .. }
+            | Column::Str { validity, .. }
+            | Column::Bool { validity, .. } => validity.is_valid(i),
+        }
+    }
+
+    /// Append a value, checking its type against the column's.
+    ///
+    /// # Errors
+    /// `TypeMismatch` if the value's type differs from the column type
+    /// (ints are accepted into float columns and widened).
+    pub fn push(&mut self, v: Value) -> DbResult<()> {
+        let mismatch = |found: &Value, expected: DataType| DbError::TypeMismatch {
+            expected: expected.name().to_string(),
+            found: found
+                .data_type()
+                .map(|t| t.name().to_string())
+                .unwrap_or_else(|| "null".to_string()),
+            context: "column push".to_string(),
+        };
+        match self {
+            Column::Int64 { data, validity } => match v {
+                Value::Int(i) => {
+                    validity.push(data.len(), true);
+                    data.push(i);
+                }
+                Value::Null => {
+                    validity.push(data.len(), false);
+                    data.push(0);
+                }
+                other => return Err(mismatch(&other, DataType::Int64)),
+            },
+            Column::Float64 { data, validity } => match v {
+                Value::Float(f) => {
+                    validity.push(data.len(), true);
+                    data.push(f);
+                }
+                Value::Int(i) => {
+                    validity.push(data.len(), true);
+                    data.push(i as f64);
+                }
+                Value::Null => {
+                    validity.push(data.len(), false);
+                    data.push(0.0);
+                }
+                other => return Err(mismatch(&other, DataType::Float64)),
+            },
+            Column::Str {
+                codes,
+                dict,
+                validity,
+            } => match v {
+                Value::Str(s) => {
+                    let code = dict.intern(&s);
+                    validity.push(codes.len(), true);
+                    codes.push(code);
+                }
+                Value::Null => {
+                    validity.push(codes.len(), false);
+                    codes.push(0);
+                }
+                other => return Err(mismatch(&other, DataType::Str)),
+            },
+            Column::Bool { data, validity } => match v {
+                Value::Bool(b) => {
+                    validity.push(data.len(), true);
+                    data.push(b);
+                }
+                Value::Null => {
+                    validity.push(data.len(), false);
+                    data.push(false);
+                }
+                other => return Err(mismatch(&other, DataType::Bool)),
+            },
+        }
+        Ok(())
+    }
+
+    /// Materialize row `i` as a [`Value`].
+    pub fn get(&self, i: usize) -> Value {
+        if !self.is_valid(i) {
+            return Value::Null;
+        }
+        match self {
+            Column::Int64 { data, .. } => Value::Int(data[i]),
+            Column::Float64 { data, .. } => Value::Float(data[i]),
+            Column::Str { codes, dict, .. } => Value::Str(dict.value(codes[i]).to_string()),
+            Column::Bool { data, .. } => Value::Bool(data[i]),
+        }
+    }
+
+    /// Numeric view of row `i`: `None` when null or non-numeric.
+    #[inline]
+    pub fn f64_at(&self, i: usize) -> Option<f64> {
+        if !self.is_valid(i) {
+            return None;
+        }
+        match self {
+            Column::Int64 { data, .. } => Some(data[i] as f64),
+            Column::Float64 { data, .. } => Some(data[i]),
+            _ => None,
+        }
+    }
+
+    /// Dictionary accessor for string columns.
+    pub fn str_dict(&self) -> Option<&StrDict> {
+        match self {
+            Column::Str { dict, .. } => Some(dict),
+            _ => None,
+        }
+    }
+
+    /// Dictionary codes for string columns.
+    pub fn str_codes(&self) -> Option<&[u32]> {
+        match self {
+            Column::Str { codes, .. } => Some(codes),
+            _ => None,
+        }
+    }
+
+    /// Number of distinct non-null values.
+    ///
+    /// For string columns this is the dictionary size (exact if every
+    /// interned string is still referenced, which holds for append-only
+    /// columns). Other types scan.
+    pub fn distinct_count(&self) -> usize {
+        match self {
+            Column::Str { dict, codes, validity } => {
+                // Dictionary may over-count only if values were interned but
+                // never stored; append-only pushes always store, so the dict
+                // size is exact unless nulls exist (code 0 placeholder).
+                if validity.null_count(codes.len()) == 0 {
+                    dict.len()
+                } else {
+                    let mut seen = vec![false; dict.len()];
+                    let mut n = 0;
+                    for (i, &c) in codes.iter().enumerate() {
+                        if validity.is_valid(i) && !seen[c as usize] {
+                            seen[c as usize] = true;
+                            n += 1;
+                        }
+                    }
+                    n
+                }
+            }
+            Column::Int64 { data, validity } => {
+                let mut set: std::collections::HashSet<i64> = std::collections::HashSet::new();
+                for (i, &v) in data.iter().enumerate() {
+                    if validity.is_valid(i) {
+                        set.insert(v);
+                    }
+                }
+                set.len()
+            }
+            Column::Float64 { data, validity } => {
+                let mut set: std::collections::HashSet<u64> = std::collections::HashSet::new();
+                for (i, &v) in data.iter().enumerate() {
+                    if validity.is_valid(i) {
+                        set.insert(v.to_bits());
+                    }
+                }
+                set.len()
+            }
+            Column::Bool { data, validity } => {
+                let mut t = false;
+                let mut f = false;
+                for (i, &v) in data.iter().enumerate() {
+                    if validity.is_valid(i) {
+                        if v {
+                            t = true;
+                        } else {
+                            f = true;
+                        }
+                    }
+                }
+                t as usize + f as usize
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_roundtrip_with_nulls() {
+        let mut c = Column::new(DataType::Int64);
+        c.push(Value::Int(5)).unwrap();
+        c.push(Value::Null).unwrap();
+        c.push(Value::Int(7)).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(0), Value::Int(5));
+        assert_eq!(c.get(1), Value::Null);
+        assert_eq!(c.get(2), Value::Int(7));
+        assert_eq!(c.null_count(), 1);
+    }
+
+    #[test]
+    fn float_accepts_int_widening() {
+        let mut c = Column::new(DataType::Float64);
+        c.push(Value::Int(2)).unwrap();
+        assert_eq!(c.get(0), Value::Float(2.0));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut c = Column::new(DataType::Int64);
+        assert!(c.push(Value::from("x")).is_err());
+        let mut c = Column::new(DataType::Str);
+        assert!(c.push(Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn string_dictionary_shared_codes() {
+        let mut c = Column::new(DataType::Str);
+        for s in ["MA", "WA", "MA", "NY", "MA"] {
+            c.push(Value::from(s)).unwrap();
+        }
+        let codes = c.str_codes().unwrap();
+        assert_eq!(codes, &[0, 1, 0, 2, 0]);
+        assert_eq!(c.str_dict().unwrap().len(), 3);
+        assert_eq!(c.get(3), Value::from("NY"));
+    }
+
+    #[test]
+    fn distinct_counts() {
+        let mut c = Column::new(DataType::Str);
+        for s in ["a", "b", "a"] {
+            c.push(Value::from(s)).unwrap();
+        }
+        assert_eq!(c.distinct_count(), 2);
+
+        let mut c = Column::new(DataType::Int64);
+        for v in [1, 2, 2, 3] {
+            c.push(Value::Int(v)).unwrap();
+        }
+        c.push(Value::Null).unwrap();
+        assert_eq!(c.distinct_count(), 3);
+
+        let mut c = Column::new(DataType::Bool);
+        c.push(Value::Bool(true)).unwrap();
+        c.push(Value::Bool(true)).unwrap();
+        assert_eq!(c.distinct_count(), 1);
+    }
+
+    #[test]
+    fn validity_lazy_allocation() {
+        let mut c = Column::new(DataType::Int64);
+        c.push(Value::Int(1)).unwrap();
+        c.push(Value::Int(2)).unwrap();
+        assert_eq!(c.null_count(), 0);
+        c.push(Value::Null).unwrap();
+        assert_eq!(c.null_count(), 1);
+        assert!(c.is_valid(0));
+        assert!(!c.is_valid(2));
+    }
+
+    #[test]
+    fn f64_at_views() {
+        let mut c = Column::new(DataType::Int64);
+        c.push(Value::Int(4)).unwrap();
+        c.push(Value::Null).unwrap();
+        assert_eq!(c.f64_at(0), Some(4.0));
+        assert_eq!(c.f64_at(1), None);
+        let mut s = Column::new(DataType::Str);
+        s.push(Value::from("x")).unwrap();
+        assert_eq!(s.f64_at(0), None);
+    }
+}

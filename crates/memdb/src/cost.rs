@@ -1,0 +1,137 @@
+//! Database-wide cost accounting.
+//!
+//! Wall-clock time is noisy and machine-dependent; scan and row counters
+//! are deterministic. SeeDB's experiments report both, and the *shape* of
+//! the paper's optimization claims (e.g. "combining target and comparison
+//! halves the work") is asserted in CI using the deterministic counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::exec::ExecStats;
+
+/// Monotonic counters accumulated across every query a [`crate::Database`]
+/// executes. Thread-safe; updated by parallel executions as well.
+#[derive(Debug, Default)]
+pub struct CostCounters {
+    queries: AtomicU64,
+    table_scans: AtomicU64,
+    rows_scanned: AtomicU64,
+    groups_emitted: AtomicU64,
+}
+
+impl CostCounters {
+    /// Record one execution.
+    pub fn record(&self, stats: &ExecStats) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.table_scans.fetch_add(stats.table_scans, Ordering::Relaxed);
+        self.rows_scanned.fetch_add(stats.rows_scanned, Ordering::Relaxed);
+        self.groups_emitted
+            .fetch_add(stats.groups_emitted, Ordering::Relaxed);
+    }
+
+    /// Snapshot the current totals.
+    pub fn snapshot(&self) -> CostSnapshot {
+        CostSnapshot {
+            queries: self.queries.load(Ordering::Relaxed),
+            table_scans: self.table_scans.load(Ordering::Relaxed),
+            rows_scanned: self.rows_scanned.load(Ordering::Relaxed),
+            groups_emitted: self.groups_emitted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        self.queries.store(0, Ordering::Relaxed);
+        self.table_scans.store(0, Ordering::Relaxed);
+        self.rows_scanned.store(0, Ordering::Relaxed);
+        self.groups_emitted.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`CostCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostSnapshot {
+    /// Queries executed.
+    pub queries: u64,
+    /// Table scans performed.
+    pub table_scans: u64,
+    /// Rows scanned.
+    pub rows_scanned: u64,
+    /// Groups emitted.
+    pub groups_emitted: u64,
+}
+
+impl CostSnapshot {
+    /// Counter deltas between two snapshots (`self` taken after `earlier`).
+    pub fn since(&self, earlier: &CostSnapshot) -> CostSnapshot {
+        CostSnapshot {
+            queries: self.queries - earlier.queries,
+            table_scans: self.table_scans - earlier.table_scans,
+            rows_scanned: self.rows_scanned - earlier.rows_scanned,
+            groups_emitted: self.groups_emitted - earlier.groups_emitted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn stats(rows: u64, scans: u64, groups: u64) -> ExecStats {
+        ExecStats {
+            rows_scanned: rows,
+            table_scans: scans,
+            groups_emitted: groups,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn record_and_snapshot() {
+        let c = CostCounters::default();
+        c.record(&stats(100, 1, 5));
+        c.record(&stats(200, 1, 7));
+        let s = c.snapshot();
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.table_scans, 2);
+        assert_eq!(s.rows_scanned, 300);
+        assert_eq!(s.groups_emitted, 12);
+    }
+
+    #[test]
+    fn since_computes_delta() {
+        let c = CostCounters::default();
+        c.record(&stats(100, 1, 5));
+        let before = c.snapshot();
+        c.record(&stats(50, 1, 2));
+        let delta = c.snapshot().since(&before);
+        assert_eq!(delta.queries, 1);
+        assert_eq!(delta.rows_scanned, 50);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let c = CostCounters::default();
+        c.record(&stats(1, 1, 1));
+        c.reset();
+        assert_eq!(c.snapshot(), CostSnapshot::default());
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let c = std::sync::Arc::new(CostCounters::default());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.record(&stats(1, 1, 1));
+                    }
+                });
+            }
+        });
+        assert_eq!(c.snapshot().queries, 4000);
+        assert_eq!(c.snapshot().rows_scanned, 4000);
+    }
+}

@@ -1,0 +1,89 @@
+//! Error types for the memdb engine.
+
+use std::fmt;
+
+/// Errors produced by the memdb engine.
+///
+/// All fallible public APIs in this crate return [`DbResult`]. Variants are
+/// deliberately coarse-grained: callers (SeeDB's backend) typically either
+/// surface the message to the analyst or treat any error as "view failed".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// Referenced a table that does not exist in the catalog.
+    UnknownTable(String),
+    /// Referenced a column that does not exist in the table schema.
+    UnknownColumn(String),
+    /// An operation was applied to a column of an incompatible type
+    /// (e.g. `SUM` over a string column).
+    TypeMismatch {
+        /// What the operation expected ("numeric", "string", ...).
+        expected: String,
+        /// What it actually found.
+        found: String,
+        /// Additional context, usually the column name.
+        context: String,
+    },
+    /// The SQL text could not be tokenized or parsed.
+    Parse(String),
+    /// A query referenced rows/values inconsistently (internal invariant
+    /// violations surface here rather than panicking).
+    Internal(String),
+    /// Schema violation when building or mutating tables (e.g. appending a
+    /// row with the wrong arity).
+    Schema(String),
+    /// Invalid query construction (e.g. empty grouping set list).
+    InvalidQuery(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            DbError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            DbError::TypeMismatch {
+                expected,
+                found,
+                context,
+            } => write!(f, "type mismatch in {context}: expected {expected}, found {found}"),
+            DbError::Parse(msg) => write!(f, "SQL parse error: {msg}"),
+            DbError::Internal(msg) => write!(f, "internal error: {msg}"),
+            DbError::Schema(msg) => write!(f, "schema error: {msg}"),
+            DbError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Convenience alias used across the crate.
+pub type DbResult<T> = Result<T, DbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_unknown_table() {
+        let e = DbError::UnknownTable("sales".into());
+        assert_eq!(e.to_string(), "unknown table: sales");
+    }
+
+    #[test]
+    fn display_type_mismatch_mentions_context() {
+        let e = DbError::TypeMismatch {
+            expected: "numeric".into(),
+            found: "string".into(),
+            context: "SUM(store)".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("SUM(store)"));
+        assert!(s.contains("numeric"));
+        assert!(s.contains("string"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&DbError::Parse("x".into()));
+    }
+}

@@ -1,0 +1,559 @@
+//! Query representation and execution.
+//!
+//! A [`Query`] is a single `SELECT ... FROM t [WHERE ...] [GROUP BY ...]`
+//! over one table; a [`SetsQuery`] is the shared-scan variant that
+//! evaluates several grouping sets in one pass (SeeDB's "combine multiple
+//! group-bys" rewrite). Execution returns a [`ResultSet`] plus
+//! [`ExecStats`] for cost accounting.
+
+pub mod aggregate;
+
+use std::time::{Duration, Instant};
+
+pub use aggregate::{agg_output_type, AggFunc, AggRequest, Grouped};
+
+use crate::error::{DbError, DbResult};
+use crate::expr::Expr;
+use crate::sample::{sample_rows, SampleSpec};
+use crate::table::Table;
+use crate::value::Value;
+
+/// One aggregate in a query's SELECT list.
+#[derive(Debug, Clone)]
+pub struct AggSpec {
+    /// Aggregate function.
+    pub func: AggFunc,
+    /// Input column name; `None` only for `COUNT(*)`.
+    pub column: Option<String>,
+    /// Optional per-aggregate predicate (rows failing it do not feed this
+    /// aggregate). This is how a combined target/comparison query is
+    /// expressed: the target aggregate carries the analyst's filter, the
+    /// comparison aggregate carries none.
+    pub filter: Option<Expr>,
+    /// Output column name; defaults to `FUNC(col)` (with a `_target`
+    /// suffix convention applied by SeeDB's query generator, not here).
+    pub alias: Option<String>,
+}
+
+impl AggSpec {
+    /// `func(column)` with no per-aggregate filter.
+    pub fn new(func: AggFunc, column: &str) -> Self {
+        AggSpec {
+            func,
+            column: Some(column.to_string()),
+            filter: None,
+            alias: None,
+        }
+    }
+
+    /// `COUNT(*)`.
+    pub fn count_star() -> Self {
+        AggSpec {
+            func: AggFunc::Count,
+            column: None,
+            filter: None,
+            alias: None,
+        }
+    }
+
+    /// Attach a per-aggregate filter (builder style).
+    pub fn with_filter(mut self, filter: Expr) -> Self {
+        self.filter = Some(filter);
+        self
+    }
+
+    /// Attach an output alias (builder style).
+    pub fn with_alias(mut self, alias: &str) -> Self {
+        self.alias = Some(alias.to_string());
+        self
+    }
+
+    /// The output column name.
+    pub fn output_name(&self) -> String {
+        if let Some(a) = &self.alias {
+            return a.clone();
+        }
+        match &self.column {
+            Some(c) => format!("{}({})", self.func.sql(), c),
+            None => format!("{}(*)", self.func.sql()),
+        }
+    }
+}
+
+/// A single-grouping query over one table.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// Target table name.
+    pub table: String,
+    /// Scan-level filter (`WHERE`): rows failing it contribute to nothing.
+    pub filter: Option<Expr>,
+    /// Grouping attributes; empty = one global group.
+    pub group_by: Vec<String>,
+    /// Aggregates to compute.
+    pub aggregates: Vec<AggSpec>,
+    /// Optional sampling of the scan domain.
+    pub sample: Option<SampleSpec>,
+}
+
+impl Query {
+    /// `SELECT <aggs> FROM table GROUP BY <group_by>`.
+    pub fn aggregate(table: &str, group_by: Vec<&str>, aggregates: Vec<AggSpec>) -> Self {
+        Query {
+            table: table.to_string(),
+            filter: None,
+            group_by: group_by.into_iter().map(str::to_string).collect(),
+            aggregates,
+            sample: None,
+        }
+    }
+
+    /// Attach a WHERE filter (builder style).
+    pub fn with_filter(mut self, filter: Expr) -> Self {
+        self.filter = Some(filter);
+        self
+    }
+
+    /// Attach sampling (builder style).
+    pub fn with_sample(mut self, sample: SampleSpec) -> Self {
+        self.sample = Some(sample);
+        self
+    }
+
+    /// Render as SQL text (for logs and the demo frontend).
+    pub fn to_sql(&self) -> String {
+        let mut select: Vec<String> = self.group_by.clone();
+        for a in &self.aggregates {
+            let base = match &a.column {
+                Some(c) => format!("{}({})", a.func.sql(), c),
+                None => format!("{}(*)", a.func.sql()),
+            };
+            let expr = match &a.filter {
+                Some(f) => format!("{base} FILTER (WHERE {})", f.to_sql()),
+                None => base,
+            };
+            match &a.alias {
+                Some(al) => select.push(format!("{expr} AS {al}")),
+                None => select.push(expr),
+            }
+        }
+        let mut sql = format!("SELECT {} FROM {}", select.join(", "), self.table);
+        if let Some(f) = &self.filter {
+            sql.push_str(&format!(" WHERE {}", f.to_sql()));
+        }
+        if !self.group_by.is_empty() {
+            sql.push_str(&format!(" GROUP BY {}", self.group_by.join(", ")));
+        }
+        sql
+    }
+
+    /// All column names this query touches (for access-frequency stats).
+    pub fn referenced_columns(&self) -> Vec<String> {
+        let mut out: Vec<String> = self.group_by.clone();
+        for a in &self.aggregates {
+            if let Some(c) = &a.column {
+                out.push(c.clone());
+            }
+            if let Some(f) = &a.filter {
+                out.extend(f.referenced_columns().iter().map(|s| s.to_string()));
+            }
+        }
+        if let Some(f) = &self.filter {
+            out.extend(f.referenced_columns().iter().map(|s| s.to_string()));
+        }
+        out
+    }
+}
+
+/// A shared-scan query evaluating several grouping sets at once.
+#[derive(Debug, Clone)]
+pub struct SetsQuery {
+    /// Target table name.
+    pub table: String,
+    /// Scan-level filter.
+    pub filter: Option<Expr>,
+    /// The grouping sets; each produces its own [`ResultSet`].
+    pub sets: Vec<Vec<String>>,
+    /// Aggregates (computed for every set).
+    pub aggregates: Vec<AggSpec>,
+    /// Optional sampling of the scan domain.
+    pub sample: Option<SampleSpec>,
+}
+
+/// Tabular query output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Output column names: grouping attributes then aggregates.
+    pub columns: Vec<String>,
+    /// Row-major values.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Index of an output column.
+    ///
+    /// # Errors
+    /// `UnknownColumn` if absent.
+    pub fn column_index(&self, name: &str) -> DbResult<usize> {
+        self.columns
+            .iter()
+            .position(|c| c == name)
+            .ok_or_else(|| DbError::UnknownColumn(name.to_string()))
+    }
+
+    /// Render as an aligned text table (for examples and the demo).
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(Value::render).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+            .collect();
+        out.push_str(&header.join(" | "));
+        out.push('\n');
+        out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"));
+        out.push('\n');
+        for row in &rendered {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+                .collect();
+            out.push_str(&line.join(" | "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Per-execution cost figures.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Rows in the scan domain (full table, or sample size).
+    pub rows_scanned: u64,
+    /// Table scans performed (1 per execution — shared scans are the point).
+    pub table_scans: u64,
+    /// Total groups emitted across all grouping sets.
+    pub groups_emitted: u64,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl ExecStats {
+    /// Accumulate another execution's stats into this one.
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.rows_scanned += other.rows_scanned;
+        self.table_scans += other.table_scans;
+        self.groups_emitted += other.groups_emitted;
+        self.elapsed += other.elapsed;
+    }
+}
+
+/// Result + stats for a single-grouping query.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// The result table.
+    pub result: ResultSet,
+    /// Cost figures.
+    pub stats: ExecStats,
+}
+
+/// Results + stats for a shared-scan multi-set query.
+#[derive(Debug, Clone)]
+pub struct SetsOutput {
+    /// One result per grouping set, in input order.
+    pub results: Vec<ResultSet>,
+    /// Cost figures for the one shared scan.
+    pub stats: ExecStats,
+}
+
+fn resolve_aggs(table: &Table, aggs: &[AggSpec]) -> DbResult<Vec<AggRequest>> {
+    aggs.iter()
+        .map(|a| {
+            let column = match &a.column {
+                Some(c) => Some(table.schema().index_of(c)?),
+                None => None,
+            };
+            let predicate = match &a.filter {
+                Some(f) => Some(f.bind(table.schema())?),
+                None => None,
+            };
+            Ok(AggRequest {
+                func: a.func,
+                column,
+                predicate,
+            })
+        })
+        .collect()
+}
+
+fn scan_domain(table: &Table, filter: Option<&Expr>, sample: Option<&SampleSpec>) -> DbResult<(Vec<u32>, u64)> {
+    // The scan domain is (optionally) sampled first, then filtered; the
+    // cost charged is the number of rows the engine had to look at, which
+    // is the domain size before filtering (the filter is evaluated inside
+    // the same scan).
+    let base: Vec<u32> = match sample {
+        None => (0..table.num_rows() as u32).collect(),
+        Some(s) => sample_rows(table.num_rows(), s),
+    };
+    let scanned = base.len() as u64;
+    let rows = match filter {
+        None => base,
+        Some(f) => {
+            let bound = f.bind(table.schema())?;
+            base.into_iter()
+                .filter(|&r| bound.eval_bool(table, r as usize) == Some(true))
+                .collect()
+        }
+    };
+    Ok((rows, scanned))
+}
+
+fn grouped_to_result(group_by: &[String], aggs: &[AggSpec], g: Grouped) -> ResultSet {
+    let mut columns: Vec<String> = group_by.to_vec();
+    columns.extend(aggs.iter().map(AggSpec::output_name));
+    let rows = g
+        .keys
+        .into_iter()
+        .zip(g.values)
+        .map(|(mut k, v)| {
+            k.extend(v);
+            k
+        })
+        .collect();
+    ResultSet { columns, rows }
+}
+
+/// Execute a [`Query`] against a table.
+///
+/// # Errors
+/// Unknown columns, type errors, or invalid query shapes.
+pub fn execute(table: &Table, q: &Query) -> DbResult<QueryOutput> {
+    let start = Instant::now();
+    let group_cols: Vec<usize> = q
+        .group_by
+        .iter()
+        .map(|c| table.schema().index_of(c))
+        .collect::<DbResult<_>>()?;
+    let aggs = resolve_aggs(table, &q.aggregates)?;
+    if aggs.is_empty() {
+        return Err(DbError::InvalidQuery(
+            "queries must compute at least one aggregate".to_string(),
+        ));
+    }
+    let (rows, scanned) = scan_domain(table, q.filter.as_ref(), q.sample.as_ref())?;
+    let grouped = aggregate::aggregate_scan(table, &rows, &group_cols, &aggs)?;
+    let groups = grouped.num_groups() as u64;
+    let result = grouped_to_result(&q.group_by, &q.aggregates, grouped);
+    Ok(QueryOutput {
+        result,
+        stats: ExecStats {
+            rows_scanned: scanned,
+            table_scans: 1,
+            groups_emitted: groups,
+            elapsed: start.elapsed(),
+        },
+    })
+}
+
+/// Execute a [`SetsQuery`]: one scan, many grouping sets.
+///
+/// # Errors
+/// Unknown columns, type errors, or invalid query shapes.
+pub fn execute_sets(table: &Table, q: &SetsQuery) -> DbResult<SetsOutput> {
+    let start = Instant::now();
+    let sets: Vec<Vec<usize>> = q
+        .sets
+        .iter()
+        .map(|set| {
+            set.iter()
+                .map(|c| table.schema().index_of(c))
+                .collect::<DbResult<Vec<usize>>>()
+        })
+        .collect::<DbResult<_>>()?;
+    let aggs = resolve_aggs(table, &q.aggregates)?;
+    let (rows, scanned) = scan_domain(table, q.filter.as_ref(), q.sample.as_ref())?;
+    let grouped = aggregate::grouping_sets_scan(table, &rows, &sets, &aggs)?;
+    let groups: u64 = grouped.iter().map(|g| g.num_groups() as u64).sum();
+    let results = q
+        .sets
+        .iter()
+        .zip(grouped)
+        .map(|(set, g)| grouped_to_result(set, &q.aggregates, g))
+        .collect();
+    Ok(SetsOutput {
+        results,
+        stats: ExecStats {
+            rows_scanned: scanned,
+            table_scans: 1,
+            groups_emitted: groups,
+            elapsed: start.elapsed(),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, Schema};
+    use crate::value::DataType;
+
+    fn sales() -> Table {
+        let schema = Schema::new(vec![
+            ColumnDef::dimension("store", DataType::Str),
+            ColumnDef::dimension("product", DataType::Str),
+            ColumnDef::measure("amount", DataType::Float64),
+        ])
+        .unwrap();
+        let mut t = Table::new("sales", schema);
+        for (s, p, a) in [
+            ("MA", "Laserwave", 10.0),
+            ("MA", "Saberwave", 20.0),
+            ("WA", "Laserwave", 30.0),
+            ("NY", "Saberwave", 50.0),
+        ] {
+            t.push_row(vec![s.into(), p.into(), a.into()]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn basic_group_by_query() {
+        let t = sales();
+        let q = Query::aggregate("sales", vec!["store"], vec![AggSpec::new(AggFunc::Sum, "amount")]);
+        let out = execute(&t, &q).unwrap();
+        assert_eq!(out.result.columns, vec!["store", "SUM(amount)"]);
+        assert_eq!(out.result.num_rows(), 3);
+        assert_eq!(out.stats.rows_scanned, 4);
+        assert_eq!(out.stats.table_scans, 1);
+        assert_eq!(out.stats.groups_emitted, 3);
+    }
+
+    #[test]
+    fn where_filter_restricts_groups() {
+        let t = sales();
+        let q = Query::aggregate("sales", vec!["store"], vec![AggSpec::new(AggFunc::Sum, "amount")])
+            .with_filter(Expr::col("product").eq("Laserwave"));
+        let out = execute(&t, &q).unwrap();
+        assert_eq!(out.result.num_rows(), 2); // MA, WA only
+        // Cost: the filter is evaluated inside the scan, so all 4 rows
+        // are charged.
+        assert_eq!(out.stats.rows_scanned, 4);
+    }
+
+    #[test]
+    fn aliases_and_filtered_aggregates() {
+        let t = sales();
+        let q = Query::aggregate(
+            "sales",
+            vec!["store"],
+            vec![
+                AggSpec::new(AggFunc::Sum, "amount")
+                    .with_filter(Expr::col("product").eq("Laserwave"))
+                    .with_alias("target"),
+                AggSpec::new(AggFunc::Sum, "amount").with_alias("comparison"),
+            ],
+        );
+        let out = execute(&t, &q).unwrap();
+        assert_eq!(out.result.columns, vec!["store", "target", "comparison"]);
+        let ma = &out.result.rows[0];
+        assert_eq!(ma[1], Value::Float(10.0));
+        assert_eq!(ma[2], Value::Float(30.0));
+    }
+
+    #[test]
+    fn sets_query_shares_one_scan() {
+        let t = sales();
+        let q = SetsQuery {
+            table: "sales".into(),
+            filter: None,
+            sets: vec![vec!["store".into()], vec!["product".into()]],
+            aggregates: vec![AggSpec::new(AggFunc::Sum, "amount")],
+            sample: None,
+        };
+        let out = execute_sets(&t, &q).unwrap();
+        assert_eq!(out.results.len(), 2);
+        assert_eq!(out.stats.table_scans, 1);
+        assert_eq!(out.stats.rows_scanned, 4);
+        assert_eq!(out.stats.groups_emitted, 3 + 2);
+    }
+
+    #[test]
+    fn sql_rendering_roundtrip_shape() {
+        let q = Query::aggregate("sales", vec!["store"], vec![AggSpec::new(AggFunc::Sum, "amount")])
+            .with_filter(Expr::col("product").eq("Laserwave"));
+        assert_eq!(
+            q.to_sql(),
+            "SELECT store, SUM(amount) FROM sales WHERE product = 'Laserwave' GROUP BY store"
+        );
+    }
+
+    #[test]
+    fn no_aggregates_rejected() {
+        let t = sales();
+        let q = Query::aggregate("sales", vec!["store"], vec![]);
+        assert!(execute(&t, &q).is_err());
+    }
+
+    #[test]
+    fn result_set_text_rendering() {
+        let t = sales();
+        let q = Query::aggregate("sales", vec!["store"], vec![AggSpec::new(AggFunc::Sum, "amount")]);
+        let out = execute(&t, &q).unwrap();
+        let text = out.result.to_text();
+        assert!(text.contains("store"));
+        assert!(text.contains("MA"));
+        assert!(text.lines().count() >= 5);
+    }
+
+    #[test]
+    fn referenced_columns_cover_all_clauses() {
+        let q = Query::aggregate(
+            "sales",
+            vec!["store"],
+            vec![AggSpec::new(AggFunc::Sum, "amount")
+                .with_filter(Expr::col("product").eq("x"))],
+        )
+        .with_filter(Expr::col("region").eq("east"));
+        let mut cols = q.referenced_columns();
+        cols.sort();
+        assert_eq!(cols, vec!["amount", "product", "region", "store"]);
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = ExecStats {
+            rows_scanned: 10,
+            table_scans: 1,
+            groups_emitted: 3,
+            elapsed: Duration::from_millis(5),
+        };
+        let b = ExecStats {
+            rows_scanned: 20,
+            table_scans: 2,
+            groups_emitted: 4,
+            elapsed: Duration::from_millis(7),
+        };
+        a.merge(&b);
+        assert_eq!(a.rows_scanned, 30);
+        assert_eq!(a.table_scans, 3);
+        assert_eq!(a.groups_emitted, 7);
+        assert_eq!(a.elapsed, Duration::from_millis(12));
+    }
+}

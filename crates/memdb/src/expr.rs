@@ -1,0 +1,543 @@
+//! Predicate expressions for `WHERE` clauses.
+//!
+//! [`Expr`] is the user-facing AST (also produced by the SQL parser);
+//! binding it against a schema yields a [`BoundExpr`] with resolved column
+//! indices, which evaluates row-at-a-time with SQL three-valued logic.
+
+use std::cmp::Ordering;
+
+use crate::error::{DbError, DbResult};
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::Value;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    fn matches(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+
+    /// SQL spelling of the operator.
+    pub fn sql(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// A predicate expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Reference to a column by name.
+    Column(String),
+    /// A literal value.
+    Literal(Value),
+    /// Binary comparison.
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Logical AND (three-valued).
+    And(Box<Expr>, Box<Expr>),
+    /// Logical OR (three-valued).
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical NOT (three-valued).
+    Not(Box<Expr>),
+    /// `expr IN (v1, v2, ...)` / `expr NOT IN (...)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Candidate values.
+        list: Vec<Value>,
+        /// True for `NOT IN`.
+        negated: bool,
+    },
+    /// `expr IS NULL` / `expr IS NOT NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+}
+
+impl Expr {
+    /// Column reference.
+    pub fn col(name: &str) -> Expr {
+        Expr::Column(name.to_string())
+    }
+
+    /// Literal value.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    fn cmp(self, op: CmpOp, rhs: Expr) -> Expr {
+        Expr::Cmp {
+            op,
+            left: Box::new(self),
+            right: Box::new(rhs),
+        }
+    }
+
+    /// `self = rhs`
+    pub fn eq(self, rhs: impl Into<Value>) -> Expr {
+        self.cmp(CmpOp::Eq, Expr::Literal(rhs.into()))
+    }
+    /// `self <> rhs`
+    pub fn ne(self, rhs: impl Into<Value>) -> Expr {
+        self.cmp(CmpOp::Ne, Expr::Literal(rhs.into()))
+    }
+    /// `self < rhs`
+    pub fn lt(self, rhs: impl Into<Value>) -> Expr {
+        self.cmp(CmpOp::Lt, Expr::Literal(rhs.into()))
+    }
+    /// `self <= rhs`
+    pub fn le(self, rhs: impl Into<Value>) -> Expr {
+        self.cmp(CmpOp::Le, Expr::Literal(rhs.into()))
+    }
+    /// `self > rhs`
+    pub fn gt(self, rhs: impl Into<Value>) -> Expr {
+        self.cmp(CmpOp::Gt, Expr::Literal(rhs.into()))
+    }
+    /// `self >= rhs`
+    pub fn ge(self, rhs: impl Into<Value>) -> Expr {
+        self.cmp(CmpOp::Ge, Expr::Literal(rhs.into()))
+    }
+    /// `self AND rhs`
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(rhs))
+    }
+    /// `self OR rhs`
+    pub fn or(self, rhs: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(rhs))
+    }
+    /// `NOT self`
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+    /// `self IN (list)`
+    pub fn in_list(self, list: Vec<Value>) -> Expr {
+        Expr::InList {
+            expr: Box::new(self),
+            list,
+            negated: false,
+        }
+    }
+    /// `self IS NULL`
+    pub fn is_null(self) -> Expr {
+        Expr::IsNull {
+            expr: Box::new(self),
+            negated: false,
+        }
+    }
+
+    /// Resolve column references against `schema`.
+    ///
+    /// # Errors
+    /// `UnknownColumn` if any referenced column is missing.
+    pub fn bind(&self, schema: &Schema) -> DbResult<BoundExpr> {
+        Ok(match self {
+            Expr::Column(name) => BoundExpr::Column(schema.index_of(name)?),
+            Expr::Literal(v) => BoundExpr::Literal(v.clone()),
+            Expr::Cmp { op, left, right } => BoundExpr::Cmp {
+                op: *op,
+                left: Box::new(left.bind(schema)?),
+                right: Box::new(right.bind(schema)?),
+            },
+            Expr::And(a, b) => BoundExpr::And(Box::new(a.bind(schema)?), Box::new(b.bind(schema)?)),
+            Expr::Or(a, b) => BoundExpr::Or(Box::new(a.bind(schema)?), Box::new(b.bind(schema)?)),
+            Expr::Not(e) => BoundExpr::Not(Box::new(e.bind(schema)?)),
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => BoundExpr::InList {
+                expr: Box::new(expr.bind(schema)?),
+                list: list.clone(),
+                negated: *negated,
+            },
+            Expr::IsNull { expr, negated } => BoundExpr::IsNull {
+                expr: Box::new(expr.bind(schema)?),
+                negated: *negated,
+            },
+        })
+    }
+
+    /// Column names referenced by this expression (with duplicates),
+    /// used by SeeDB's access-frequency tracker.
+    pub fn referenced_columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Column(name) => out.push(name),
+            Expr::Literal(_) => {}
+            Expr::Cmp { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Expr::Not(e) => e.collect_columns(out),
+            Expr::InList { expr, .. } => expr.collect_columns(out),
+            Expr::IsNull { expr, .. } => expr.collect_columns(out),
+        }
+    }
+
+    /// Render as SQL text (round-trips through the parser).
+    pub fn to_sql(&self) -> String {
+        match self {
+            Expr::Column(name) => name.clone(),
+            Expr::Literal(v) => match v {
+                Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+                other => other.render(),
+            },
+            Expr::Cmp { op, left, right } => {
+                format!("{} {} {}", left.to_sql(), op.sql(), right.to_sql())
+            }
+            Expr::And(a, b) => format!("({} AND {})", a.to_sql(), b.to_sql()),
+            Expr::Or(a, b) => format!("({} OR {})", a.to_sql(), b.to_sql()),
+            Expr::Not(e) => format!("(NOT {})", e.to_sql()),
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let items: Vec<String> = list
+                    .iter()
+                    .map(|v| match v {
+                        Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+                        other => other.render(),
+                    })
+                    .collect();
+                format!(
+                    "{} {}IN ({})",
+                    expr.to_sql(),
+                    if *negated { "NOT " } else { "" },
+                    items.join(", ")
+                )
+            }
+            Expr::IsNull { expr, negated } => format!(
+                "{} IS {}NULL",
+                expr.to_sql(),
+                if *negated { "NOT " } else { "" }
+            ),
+        }
+    }
+}
+
+/// An [`Expr`] with column references resolved to indices.
+#[derive(Debug, Clone)]
+pub enum BoundExpr {
+    /// Column by index.
+    Column(usize),
+    /// Literal.
+    Literal(Value),
+    /// Comparison.
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        left: Box<BoundExpr>,
+        /// Right operand.
+        right: Box<BoundExpr>,
+    },
+    /// AND.
+    And(Box<BoundExpr>, Box<BoundExpr>),
+    /// OR.
+    Or(Box<BoundExpr>, Box<BoundExpr>),
+    /// NOT.
+    Not(Box<BoundExpr>),
+    /// IN list.
+    InList {
+        /// Tested expression.
+        expr: Box<BoundExpr>,
+        /// Candidates.
+        list: Vec<Value>,
+        /// NOT IN.
+        negated: bool,
+    },
+    /// IS (NOT) NULL.
+    IsNull {
+        /// Tested expression.
+        expr: Box<BoundExpr>,
+        /// IS NOT NULL.
+        negated: bool,
+    },
+}
+
+impl BoundExpr {
+    /// Evaluate this expression as a value at row `i`.
+    fn eval_value(&self, table: &Table, i: usize) -> Value {
+        match self {
+            BoundExpr::Column(idx) => table.column_at(*idx).get(i),
+            BoundExpr::Literal(v) => v.clone(),
+            // Nested predicates used as values evaluate to booleans.
+            other => match other.eval_bool(table, i) {
+                Some(b) => Value::Bool(b),
+                None => Value::Null,
+            },
+        }
+    }
+
+    /// Evaluate as a predicate at row `i` with three-valued logic:
+    /// `Some(true)` match, `Some(false)` no match, `None` unknown (NULL).
+    pub fn eval_bool(&self, table: &Table, i: usize) -> Option<bool> {
+        match self {
+            BoundExpr::Column(idx) => table.column_at(*idx).get(i).as_bool(),
+            BoundExpr::Literal(v) => v.as_bool(),
+            BoundExpr::Cmp { op, left, right } => {
+                let l = left.eval_value(table, i);
+                let r = right.eval_value(table, i);
+                l.sql_cmp(&r).map(|ord| op.matches(ord))
+            }
+            BoundExpr::And(a, b) => match (a.eval_bool(table, i), b.eval_bool(table, i)) {
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                (Some(true), Some(true)) => Some(true),
+                _ => None,
+            },
+            BoundExpr::Or(a, b) => match (a.eval_bool(table, i), b.eval_bool(table, i)) {
+                (Some(true), _) | (_, Some(true)) => Some(true),
+                (Some(false), Some(false)) => Some(false),
+                _ => None,
+            },
+            BoundExpr::Not(e) => e.eval_bool(table, i).map(|b| !b),
+            BoundExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let v = expr.eval_value(table, i);
+                if v.is_null() {
+                    return None;
+                }
+                let mut saw_null = false;
+                for item in list {
+                    match v.sql_cmp(item) {
+                        Some(Ordering::Equal) => return Some(!negated),
+                        None if item.is_null() => saw_null = true,
+                        _ => {}
+                    }
+                }
+                if saw_null {
+                    None
+                } else {
+                    Some(*negated)
+                }
+            }
+            BoundExpr::IsNull { expr, negated } => {
+                let v = expr.eval_value(table, i);
+                Some(v.is_null() != *negated)
+            }
+        }
+    }
+
+    /// Evaluate the predicate over every row, returning matching row ids.
+    pub fn selection(&self, table: &Table) -> Vec<u32> {
+        let n = table.num_rows();
+        let mut out = Vec::new();
+        for i in 0..n {
+            if self.eval_bool(table, i) == Some(true) {
+                out.push(i as u32);
+            }
+        }
+        out
+    }
+}
+
+/// Evaluate an optional filter over `table`: `None` selects all rows.
+///
+/// # Errors
+/// Binding errors (unknown columns) are propagated.
+pub fn selection_for(table: &Table, filter: Option<&Expr>) -> DbResult<Vec<u32>> {
+    match filter {
+        None => Ok((0..table.num_rows() as u32).collect()),
+        Some(f) => {
+            let bound = f.bind(table.schema())?;
+            Ok(bound.selection(table))
+        }
+    }
+}
+
+/// Guard that an expression only references existing columns.
+///
+/// # Errors
+/// `UnknownColumn` for the first missing reference.
+pub fn validate(expr: &Expr, schema: &Schema) -> DbResult<()> {
+    for c in expr.referenced_columns() {
+        if schema.index_of(c).is_err() {
+            return Err(DbError::UnknownColumn(c.to_string()));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, Schema};
+    use crate::value::DataType;
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            ColumnDef::dimension("product", DataType::Str),
+            ColumnDef::dimension("region", DataType::Str),
+            ColumnDef::measure("amount", DataType::Float64),
+        ])
+        .unwrap();
+        let mut t = Table::new("sales", schema);
+        let rows: Vec<(Value, Value, Value)> = vec![
+            ("Laserwave".into(), "east".into(), 10.0.into()),
+            ("Saberwave".into(), "west".into(), 20.0.into()),
+            ("Laserwave".into(), "west".into(), 30.0.into()),
+            (Value::Null, "east".into(), 40.0.into()),
+        ];
+        for (p, r, a) in rows {
+            t.push_row(vec![p, r, a]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn eq_filter_selects_matching_rows() {
+        let t = table();
+        let e = Expr::col("product").eq("Laserwave");
+        let sel = selection_for(&t, Some(&e)).unwrap();
+        assert_eq!(sel, vec![0, 2]);
+    }
+
+    #[test]
+    fn null_rows_never_match() {
+        let t = table();
+        let e = Expr::col("product").ne("Laserwave");
+        let sel = selection_for(&t, Some(&e)).unwrap();
+        // Row 3 has NULL product: excluded by three-valued logic.
+        assert_eq!(sel, vec![1]);
+    }
+
+    #[test]
+    fn and_or_combination() {
+        let t = table();
+        let e = Expr::col("product")
+            .eq("Laserwave")
+            .and(Expr::col("region").eq("west"));
+        assert_eq!(selection_for(&t, Some(&e)).unwrap(), vec![2]);
+        let e = Expr::col("region")
+            .eq("east")
+            .or(Expr::col("amount").gt(25.0));
+        assert_eq!(selection_for(&t, Some(&e)).unwrap(), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn numeric_range() {
+        let t = table();
+        let e = Expr::col("amount").ge(20.0).and(Expr::col("amount").lt(40.0));
+        assert_eq!(selection_for(&t, Some(&e)).unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn in_list_and_negation() {
+        let t = table();
+        let e = Expr::col("region").in_list(vec!["east".into()]);
+        assert_eq!(selection_for(&t, Some(&e)).unwrap(), vec![0, 3]);
+        let e = Expr::InList {
+            expr: Box::new(Expr::col("product")),
+            list: vec!["Laserwave".into()],
+            negated: true,
+        };
+        // NULL product row excluded from NOT IN as well.
+        assert_eq!(selection_for(&t, Some(&e)).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn is_null_predicates() {
+        let t = table();
+        let e = Expr::col("product").is_null();
+        assert_eq!(selection_for(&t, Some(&e)).unwrap(), vec![3]);
+        let e = Expr::IsNull {
+            expr: Box::new(Expr::col("product")),
+            negated: true,
+        };
+        assert_eq!(selection_for(&t, Some(&e)).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn none_filter_selects_everything() {
+        let t = table();
+        assert_eq!(selection_for(&t, None).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let t = table();
+        let e = Expr::col("nope").eq(1);
+        assert!(selection_for(&t, Some(&e)).is_err());
+        assert!(validate(&e, t.schema()).is_err());
+        assert!(validate(&Expr::col("region").eq("east"), t.schema()).is_ok());
+    }
+
+    #[test]
+    fn to_sql_rendering() {
+        let e = Expr::col("product")
+            .eq("O'Brien")
+            .and(Expr::col("amount").gt(5.0));
+        assert_eq!(e.to_sql(), "(product = 'O''Brien' AND amount > 5.0)");
+    }
+
+    #[test]
+    fn not_flips_known_values_only() {
+        let t = table();
+        let e = Expr::col("product").eq("Laserwave").not();
+        // NULL stays unknown under NOT: row 3 still excluded.
+        assert_eq!(selection_for(&t, Some(&e)).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn referenced_columns_collects_all() {
+        let e = Expr::col("a")
+            .eq(1)
+            .and(Expr::col("b").lt(2).or(Expr::col("a").is_null()));
+        let mut cols = e.referenced_columns();
+        cols.sort_unstable();
+        assert_eq!(cols, vec!["a", "a", "b"]);
+    }
+}

@@ -1,0 +1,77 @@
+//! # memdb — the relational substrate SeeDB wraps
+//!
+//! An in-memory, columnar, analytical database engine built from scratch
+//! for the SeeDB reproduction. SeeDB (VLDB 2014) is "a layer on top of a
+//! traditional relational database system"; this crate is that system.
+//! It provides exactly the capabilities SeeDB's backend relies on:
+//!
+//! * typed, dictionary-encoded columnar tables with snowflake-style
+//!   dimension/measure roles ([`schema`], [`column`](mod@column), [`table`]);
+//! * filtered scans with SQL three-valued logic ([`expr`]);
+//! * group-by aggregation with **per-aggregate predicates** and
+//!   **grouping sets sharing one scan** ([`exec`]) — the two primitives
+//!   behind SeeDB's combined target/comparison and combined group-by
+//!   rewrites;
+//! * Bernoulli and reservoir sampling ([`sample`]);
+//! * parallel batch execution ([`parallel`]);
+//! * table/column statistics and association measures ([`stats`]);
+//! * deterministic cost accounting ([`cost`]);
+//! * a SQL subset parser for the analyst-facing text box ([`sql`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use memdb::{Database, Table, Schema, ColumnDef, DataType, Query, AggSpec, AggFunc, Expr};
+//!
+//! let schema = Schema::new(vec![
+//!     ColumnDef::dimension("store", DataType::Str),
+//!     ColumnDef::dimension("product", DataType::Str),
+//!     ColumnDef::measure("amount", DataType::Float64),
+//! ]).unwrap();
+//! let mut sales = Table::new("sales", schema);
+//! sales.push_row(vec!["Cambridge, MA".into(), "Laserwave".into(), 180.55.into()]).unwrap();
+//! sales.push_row(vec!["Seattle, WA".into(), "Laserwave".into(), 145.50.into()]).unwrap();
+//!
+//! let db = Database::new();
+//! db.register(sales);
+//!
+//! let q = Query::aggregate("sales", vec!["store"], vec![AggSpec::new(AggFunc::Sum, "amount")])
+//!     .with_filter(Expr::col("product").eq("Laserwave"));
+//! let out = db.run(&q).unwrap();
+//! assert_eq!(out.result.num_rows(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod binning;
+pub mod catalog;
+pub mod column;
+pub mod cost;
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod parallel;
+pub mod sample;
+pub mod schema;
+pub mod sql;
+pub mod stats;
+pub mod table;
+pub mod value;
+
+pub use binning::{with_binned_column, BinStrategy, Binning};
+pub use catalog::Database;
+pub use column::{Column, StrDict};
+pub use cost::{CostCounters, CostSnapshot};
+pub use error::{DbError, DbResult};
+pub use exec::{
+    AggFunc, AggSpec, ExecStats, Query, QueryOutput, ResultSet, SetsOutput, SetsQuery,
+};
+pub use expr::{CmpOp, Expr};
+pub use parallel::{run_batch, AnyOutput, AnyQuery, BatchOutput};
+pub use sample::{sample_rows, SampleSpec};
+pub use schema::{ColumnDef, Role, Schema, Semantic};
+pub use sql::{parse_query, parse_selection, Selection};
+pub use stats::{cramers_v, ColumnStats, TableStats};
+pub use table::Table;
+pub use value::{DataType, Value};

@@ -1,0 +1,231 @@
+//! Parallel batch execution.
+//!
+//! SeeDB's final optimization (§3.3) issues view queries to the DBMS in
+//! parallel: "as the number of queries executed in parallel increases, the
+//! total latency decreases at the cost of increased per query execution
+//! time". [`run_batch`] reproduces exactly that trade-off with a fixed
+//! worker pool pulling from a shared queue.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::catalog::Database;
+use crate::error::DbResult;
+use crate::exec::{Query, QueryOutput, SetsOutput, SetsQuery};
+
+/// A query of either shape, for heterogeneous batches.
+#[derive(Debug, Clone)]
+pub enum AnyQuery {
+    /// Single-grouping query.
+    Single(Query),
+    /// Shared-scan multi-grouping-set query.
+    Sets(SetsQuery),
+}
+
+/// Output matching [`AnyQuery`].
+#[derive(Debug, Clone)]
+pub enum AnyOutput {
+    /// Output of a single-grouping query.
+    Single(QueryOutput),
+    /// Output of a multi-set query.
+    Sets(SetsOutput),
+}
+
+impl AnyOutput {
+    /// Wall time the query itself took (excluding queue wait).
+    pub fn elapsed(&self) -> Duration {
+        match self {
+            AnyOutput::Single(o) => o.stats.elapsed,
+            AnyOutput::Sets(o) => o.stats.elapsed,
+        }
+    }
+}
+
+/// Result of running a batch.
+#[derive(Debug)]
+pub struct BatchOutput {
+    /// Per-query outcomes, in input order.
+    pub outputs: Vec<DbResult<AnyOutput>>,
+    /// Total wall-clock time for the whole batch.
+    pub total_elapsed: Duration,
+}
+
+impl BatchOutput {
+    /// Mean per-query execution time over successful queries.
+    pub fn mean_query_time(&self) -> Duration {
+        let times: Vec<Duration> = self
+            .outputs
+            .iter()
+            .filter_map(|r| r.as_ref().ok().map(AnyOutput::elapsed))
+            .collect();
+        if times.is_empty() {
+            return Duration::ZERO;
+        }
+        times.iter().sum::<Duration>() / times.len() as u32
+    }
+}
+
+/// Execute `queries` against `db` using `workers` threads.
+///
+/// `workers == 1` degenerates to sequential execution (the paper's
+/// baseline). Outputs preserve input order regardless of completion order.
+pub fn run_batch(db: &Database, queries: &[AnyQuery], workers: usize) -> BatchOutput {
+    let start = Instant::now();
+    let n = queries.len();
+    let workers = workers.max(1).min(n.max(1));
+    let mut outputs: Vec<Option<DbResult<AnyOutput>>> = Vec::with_capacity(n);
+    outputs.resize_with(n, || None);
+
+    if workers <= 1 {
+        for (i, q) in queries.iter().enumerate() {
+            outputs[i] = Some(run_one(db, q));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let slots: Vec<parking_lot::Mutex<Option<DbResult<AnyOutput>>>> =
+            (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+        crossbeam::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let out = run_one(db, &queries[i]);
+                    *slots[i].lock() = Some(out);
+                });
+            }
+        })
+        .expect("worker thread panicked");
+        for (i, slot) in slots.into_iter().enumerate() {
+            outputs[i] = slot.into_inner();
+        }
+    }
+
+    BatchOutput {
+        outputs: outputs
+            .into_iter()
+            .map(|o| o.expect("every slot filled"))
+            .collect(),
+        total_elapsed: start.elapsed(),
+    }
+}
+
+fn run_one(db: &Database, q: &AnyQuery) -> DbResult<AnyOutput> {
+    match q {
+        AnyQuery::Single(q) => db.run(q).map(AnyOutput::Single),
+        AnyQuery::Sets(q) => db.run_sets(q).map(AnyOutput::Sets),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{AggFunc, AggSpec};
+    use crate::schema::{ColumnDef, Schema};
+    use crate::table::Table;
+    use crate::value::{DataType, Value};
+
+    fn db() -> Database {
+        let schema = Schema::new(vec![
+            ColumnDef::dimension("d1", DataType::Str),
+            ColumnDef::dimension("d2", DataType::Str),
+            ColumnDef::measure("m", DataType::Float64),
+        ])
+        .unwrap();
+        let mut t = Table::new("t", schema);
+        for i in 0..1000 {
+            t.push_row(vec![
+                Value::from(format!("a{}", i % 7)),
+                Value::from(format!("b{}", i % 11)),
+                Value::Float(i as f64),
+            ])
+            .unwrap();
+        }
+        let db = Database::new();
+        db.register(t);
+        db
+    }
+
+    fn queries(n: usize) -> Vec<AnyQuery> {
+        (0..n)
+            .map(|i| {
+                AnyQuery::Single(Query::aggregate(
+                    "t",
+                    vec![if i % 2 == 0 { "d1" } else { "d2" }],
+                    vec![AggSpec::new(AggFunc::Sum, "m")],
+                ))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let db = db();
+        let qs = queries(8);
+        let seq = run_batch(&db, &qs, 1);
+        let par = run_batch(&db, &qs, 4);
+        assert_eq!(seq.outputs.len(), 8);
+        for (a, b) in seq.outputs.iter().zip(par.outputs.iter()) {
+            match (a.as_ref().unwrap(), b.as_ref().unwrap()) {
+                (AnyOutput::Single(x), AnyOutput::Single(y)) => {
+                    assert_eq!(x.result, y.result);
+                }
+                _ => panic!("shape mismatch"),
+            }
+        }
+    }
+
+    #[test]
+    fn errors_are_per_query() {
+        let db = db();
+        let mut qs = queries(2);
+        qs.push(AnyQuery::Single(Query::aggregate(
+            "missing",
+            vec![],
+            vec![AggSpec::count_star()],
+        )));
+        let out = run_batch(&db, &qs, 2);
+        assert!(out.outputs[0].is_ok());
+        assert!(out.outputs[1].is_ok());
+        assert!(out.outputs[2].is_err());
+    }
+
+    #[test]
+    fn empty_batch() {
+        let db = db();
+        let out = run_batch(&db, &[], 4);
+        assert!(out.outputs.is_empty());
+        assert_eq!(out.mean_query_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn sets_queries_in_batch() {
+        let db = db();
+        let qs = vec![AnyQuery::Sets(SetsQuery {
+            table: "t".into(),
+            filter: None,
+            sets: vec![vec!["d1".into()], vec!["d2".into()]],
+            aggregates: vec![AggSpec::new(AggFunc::Sum, "m")],
+            sample: None,
+        })];
+        let out = run_batch(&db, &qs, 2);
+        match out.outputs[0].as_ref().unwrap() {
+            AnyOutput::Sets(s) => assert_eq!(s.results.len(), 2),
+            _ => panic!("expected sets output"),
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_affect_cost_counters() {
+        let db = db();
+        let qs = queries(6);
+        db.reset_cost();
+        run_batch(&db, &qs, 1);
+        let seq_cost = db.cost();
+        db.reset_cost();
+        run_batch(&db, &qs, 3);
+        let par_cost = db.cost();
+        assert_eq!(seq_cost, par_cost);
+    }
+}

@@ -1,0 +1,221 @@
+//! Table schemas with SeeDB's snowflake-schema attribute roles.
+//!
+//! SeeDB (§2 of the paper) assumes a database with *dimension attributes*
+//! `A` (group-by candidates) and *measure attributes* `M` (aggregation
+//! candidates). The role is part of the column definition so the view
+//! enumerator can read the view space straight off the schema.
+
+use crate::error::{DbError, DbResult};
+use crate::value::DataType;
+
+/// The analytical role an attribute plays in SeeDB's view space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// Grouping candidate (`a ∈ A`): categorical or low-cardinality.
+    Dimension,
+    /// Aggregation candidate (`m ∈ M`): numeric quantity.
+    Measure,
+    /// Neither — identifiers, free text, timestamps used only for display.
+    Ignore,
+}
+
+/// Semantic hint used by the frontend to pick a chart type
+/// (paper §3.2: "data type (e.g. ordinal, numeric), ... semantics
+/// (e.g. geography vs. time series)").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Semantic {
+    /// No special semantics.
+    None,
+    /// Geographic entity (state, city, region...).
+    Geography,
+    /// A point or bucket in time (month, quarter, date...).
+    Temporal,
+    /// Values with a natural order (small/medium/large).
+    Ordinal,
+}
+
+/// Definition of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    /// Column name, unique within the table.
+    pub name: String,
+    /// Storage type.
+    pub dtype: DataType,
+    /// SeeDB role (dimension / measure / ignore).
+    pub role: Role,
+    /// Semantic hint for visualization.
+    pub semantic: Semantic,
+}
+
+impl ColumnDef {
+    /// A dimension column.
+    pub fn dimension(name: &str, dtype: DataType) -> Self {
+        ColumnDef {
+            name: name.to_string(),
+            dtype,
+            role: Role::Dimension,
+            semantic: Semantic::None,
+        }
+    }
+
+    /// A numeric measure column.
+    pub fn measure(name: &str, dtype: DataType) -> Self {
+        ColumnDef {
+            name: name.to_string(),
+            dtype,
+            role: Role::Measure,
+            semantic: Semantic::None,
+        }
+    }
+
+    /// A column excluded from the view space.
+    pub fn ignored(name: &str, dtype: DataType) -> Self {
+        ColumnDef {
+            name: name.to_string(),
+            dtype,
+            role: Role::Ignore,
+            semantic: Semantic::None,
+        }
+    }
+
+    /// Attach a semantic hint (builder style).
+    pub fn with_semantic(mut self, semantic: Semantic) -> Self {
+        self.semantic = semantic;
+        self
+    }
+}
+
+/// An ordered collection of column definitions.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    /// Build a schema from column definitions.
+    ///
+    /// # Errors
+    /// Fails if two columns share a name or a measure column is
+    /// non-numeric.
+    pub fn new(columns: Vec<ColumnDef>) -> DbResult<Self> {
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|p| p.name == c.name) {
+                return Err(DbError::Schema(format!("duplicate column name: {}", c.name)));
+            }
+            if c.role == Role::Measure && !c.dtype.is_numeric() {
+                return Err(DbError::Schema(format!(
+                    "measure column {} must be numeric, got {}",
+                    c.name, c.dtype
+                )));
+            }
+        }
+        Ok(Schema { columns })
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True if the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// All column definitions in order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Index of a column by name.
+    pub fn index_of(&self, name: &str) -> DbResult<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| DbError::UnknownColumn(name.to_string()))
+    }
+
+    /// Column definition by name.
+    pub fn column(&self, name: &str) -> DbResult<&ColumnDef> {
+        self.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// Column definition by position.
+    pub fn column_at(&self, idx: usize) -> &ColumnDef {
+        &self.columns[idx]
+    }
+
+    /// Names of all dimension attributes (SeeDB's `A`).
+    pub fn dimensions(&self) -> Vec<&str> {
+        self.columns
+            .iter()
+            .filter(|c| c.role == Role::Dimension)
+            .map(|c| c.name.as_str())
+            .collect()
+    }
+
+    /// Names of all measure attributes (SeeDB's `M`).
+    pub fn measures(&self) -> Vec<&str> {
+        self.columns
+            .iter()
+            .filter(|c| c.role == Role::Measure)
+            .map(|c| c.name.as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            ColumnDef::dimension("store", DataType::Str).with_semantic(Semantic::Geography),
+            ColumnDef::dimension("month", DataType::Str).with_semantic(Semantic::Temporal),
+            ColumnDef::measure("amount", DataType::Float64),
+            ColumnDef::ignored("order_id", DataType::Int64),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn dimension_and_measure_listing() {
+        let s = sample();
+        assert_eq!(s.dimensions(), vec!["store", "month"]);
+        assert_eq!(s.measures(), vec!["amount"]);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let r = Schema::new(vec![
+            ColumnDef::dimension("a", DataType::Str),
+            ColumnDef::measure("a", DataType::Int64),
+        ]);
+        assert!(matches!(r, Err(DbError::Schema(_))));
+    }
+
+    #[test]
+    fn non_numeric_measure_rejected() {
+        let r = Schema::new(vec![ColumnDef::measure("m", DataType::Str)]);
+        assert!(matches!(r, Err(DbError::Schema(_))));
+    }
+
+    #[test]
+    fn index_lookup() {
+        let s = sample();
+        assert_eq!(s.index_of("amount").unwrap(), 2);
+        assert!(matches!(
+            s.index_of("nope"),
+            Err(DbError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn semantics_roundtrip() {
+        let s = sample();
+        assert_eq!(s.column("store").unwrap().semantic, Semantic::Geography);
+        assert_eq!(s.column("month").unwrap().semantic, Semantic::Temporal);
+        assert_eq!(s.column("amount").unwrap().semantic, Semantic::None);
+    }
+}

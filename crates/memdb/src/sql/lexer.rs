@@ -1,0 +1,304 @@
+//! SQL tokenizer.
+
+use crate::error::{DbError, DbResult};
+
+/// SQL keywords recognized by the parser (stored uppercase).
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "AND", "OR", "NOT", "IN", "IS", "NULL", "AS",
+    "TRUE", "FALSE", "COUNT", "SUM", "AVG", "MIN", "MAX",
+];
+
+/// A SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword (uppercased).
+    Keyword(String),
+    /// Identifier (original case preserved).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (quotes removed, `''` unescaped).
+    Str(String),
+    /// Comparison or arithmetic operator: `=`, `<>`, `!=`, `<`, `<=`, `>`,
+    /// `>=`, `-`.
+    Op(String),
+    /// Single-character symbol: `(`, `)`, `,`, `*`, `;`.
+    Symbol(char),
+    /// End of input.
+    Eof,
+}
+
+/// Streaming tokenizer over SQL text.
+pub struct Lexer<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// A lexer over `input`.
+    pub fn new(input: &'a str) -> Self {
+        Lexer {
+            input: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// Tokenize the whole input.
+    ///
+    /// # Errors
+    /// `Parse` for unterminated strings, malformed numbers, or unexpected
+    /// characters.
+    pub fn tokenize(mut self) -> DbResult<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_whitespace();
+            if self.pos >= self.input.len() {
+                break;
+            }
+            let c = self.input[self.pos];
+            let tok = match c {
+                b'(' | b')' | b',' | b'*' | b';' => {
+                    self.pos += 1;
+                    Token::Symbol(c as char)
+                }
+                b'=' => {
+                    self.pos += 1;
+                    Token::Op("=".to_string())
+                }
+                b'<' => {
+                    self.pos += 1;
+                    if self.peek_byte() == Some(b'=') {
+                        self.pos += 1;
+                        Token::Op("<=".to_string())
+                    } else if self.peek_byte() == Some(b'>') {
+                        self.pos += 1;
+                        Token::Op("<>".to_string())
+                    } else {
+                        Token::Op("<".to_string())
+                    }
+                }
+                b'>' => {
+                    self.pos += 1;
+                    if self.peek_byte() == Some(b'=') {
+                        self.pos += 1;
+                        Token::Op(">=".to_string())
+                    } else {
+                        Token::Op(">".to_string())
+                    }
+                }
+                b'!' => {
+                    self.pos += 1;
+                    if self.peek_byte() == Some(b'=') {
+                        self.pos += 1;
+                        Token::Op("!=".to_string())
+                    } else {
+                        return Err(DbError::Parse("unexpected '!'".to_string()));
+                    }
+                }
+                b'-' => {
+                    self.pos += 1;
+                    Token::Op("-".to_string())
+                }
+                b'\'' => self.string()?,
+                b'0'..=b'9' => self.number()?,
+                c if c.is_ascii_alphabetic() || c == b'_' || c == b'"' => self.word()?,
+                other => {
+                    return Err(DbError::Parse(format!(
+                        "unexpected character '{}'",
+                        other as char
+                    )))
+                }
+            };
+            out.push(tok);
+        }
+        if out.is_empty() {
+            return Err(DbError::Parse("empty input".to_string()));
+        }
+        out.push(Token::Eof);
+        Ok(out)
+    }
+
+    fn peek_byte(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while self
+            .input
+            .get(self.pos)
+            .is_some_and(|c| c.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn string(&mut self) -> DbResult<Token> {
+        debug_assert_eq!(self.input[self.pos], b'\'');
+        self.pos += 1;
+        let mut s = String::new();
+        loop {
+            match self.input.get(self.pos) {
+                None => return Err(DbError::Parse("unterminated string literal".to_string())),
+                Some(b'\'') => {
+                    // '' escapes a single quote.
+                    if self.input.get(self.pos + 1) == Some(&b'\'') {
+                        s.push('\'');
+                        self.pos += 2;
+                    } else {
+                        self.pos += 1;
+                        return Ok(Token::Str(s));
+                    }
+                }
+                Some(&c) => {
+                    s.push(c as char);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> DbResult<Token> {
+        let start = self.pos;
+        let mut saw_dot = false;
+        let mut saw_exp = false;
+        while let Some(&c) = self.input.get(self.pos) {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' if !saw_dot && !saw_exp => {
+                    saw_dot = true;
+                    self.pos += 1;
+                }
+                b'e' | b'E' if !saw_exp => {
+                    saw_exp = true;
+                    self.pos += 1;
+                    if matches!(self.peek_byte(), Some(b'+') | Some(b'-')) {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| DbError::Parse("non-utf8 number".to_string()))?;
+        if saw_dot || saw_exp {
+            text.parse::<f64>()
+                .map(Token::Float)
+                .map_err(|_| DbError::Parse(format!("bad float literal: {text}")))
+        } else {
+            text.parse::<i64>()
+                .map(Token::Int)
+                .map_err(|_| DbError::Parse(format!("bad int literal: {text}")))
+        }
+    }
+
+    fn word(&mut self) -> DbResult<Token> {
+        // Double-quoted identifiers keep exact case and allow any chars.
+        if self.input[self.pos] == b'"' {
+            self.pos += 1;
+            let start = self.pos;
+            while let Some(&c) = self.input.get(self.pos) {
+                if c == b'"' {
+                    let s = std::str::from_utf8(&self.input[start..self.pos])
+                        .map_err(|_| DbError::Parse("non-utf8 identifier".to_string()))?;
+                    self.pos += 1;
+                    return Ok(Token::Ident(s.to_string()));
+                }
+                self.pos += 1;
+            }
+            return Err(DbError::Parse("unterminated quoted identifier".to_string()));
+        }
+        let start = self.pos;
+        while self
+            .input
+            .get(self.pos)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_')
+        {
+            self.pos += 1;
+        }
+        let s = std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| DbError::Parse("non-utf8 identifier".to_string()))?;
+        let upper = s.to_ascii_uppercase();
+        if KEYWORDS.contains(&upper.as_str()) {
+            Ok(Token::Keyword(upper))
+        } else {
+            Ok(Token::Ident(s.to_string()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(s: &str) -> Vec<Token> {
+        Lexer::new(s).tokenize().unwrap()
+    }
+
+    #[test]
+    fn keywords_and_identifiers() {
+        let t = lex("SELECT store FROM Sales");
+        assert_eq!(
+            t,
+            vec![
+                Token::Keyword("SELECT".into()),
+                Token::Ident("store".into()),
+                Token::Keyword("FROM".into()),
+                Token::Ident("Sales".into()),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        let t = lex("a <= 1 AND b <> 2 AND c != 3 AND d >= 4");
+        assert!(t.contains(&Token::Op("<=".into())));
+        assert!(t.contains(&Token::Op("<>".into())));
+        assert!(t.contains(&Token::Op("!=".into())));
+        assert!(t.contains(&Token::Op(">=".into())));
+    }
+
+    #[test]
+    fn numbers() {
+        let t = lex("1 2.5 1e3 1.5E-2");
+        assert_eq!(t[0], Token::Int(1));
+        assert_eq!(t[1], Token::Float(2.5));
+        assert_eq!(t[2], Token::Float(1000.0));
+        assert_eq!(t[3], Token::Float(0.015));
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let t = lex("'hello' 'O''Brien' ''");
+        assert_eq!(t[0], Token::Str("hello".into()));
+        assert_eq!(t[1], Token::Str("O'Brien".into()));
+        assert_eq!(t[2], Token::Str("".into()));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(Lexer::new("'oops").tokenize().is_err());
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        let t = lex("\"Group\" \"weird name\"");
+        assert_eq!(t[0], Token::Ident("Group".into()));
+        assert_eq!(t[1], Token::Ident("weird name".into()));
+    }
+
+    #[test]
+    fn bare_bang_errors() {
+        assert!(Lexer::new("a ! b").tokenize().is_err());
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        let t = lex("select Select SELECT");
+        assert!(t[..3]
+            .iter()
+            .all(|tok| *tok == Token::Keyword("SELECT".into())));
+    }
+}

@@ -1,0 +1,446 @@
+//! Table and column statistics.
+//!
+//! These are the "metadata tables" SeeDB's Metadata Collector queries
+//! (paper §3.1): table sizes, column types, data distributions, and the
+//! inputs to variance-based and correlation-based view pruning.
+
+use std::collections::HashMap;
+
+use crate::column::Column;
+use crate::error::{DbError, DbResult};
+use crate::table::Table;
+
+/// Statistics for one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Column name.
+    pub name: String,
+    /// Rows in the table.
+    pub row_count: usize,
+    /// Null rows.
+    pub null_count: usize,
+    /// Distinct non-null values (the group count if used as a grouping
+    /// attribute).
+    pub distinct: usize,
+    /// Mean of numeric values (numeric columns only).
+    pub mean: Option<f64>,
+    /// Population variance of numeric values (numeric columns only).
+    pub value_variance: Option<f64>,
+    /// Variance of the *relative frequency distribution* over distinct
+    /// values. This is the paper's "variance" signal for dimension
+    /// attributes: an attribute taking a single value has frequency
+    /// distribution {1.0} with variance 0 relative to uniform spread.
+    /// Defined as the population variance of per-value frequencies
+    /// (each distinct value's share of non-null rows).
+    pub frequency_variance: f64,
+    /// Shannon entropy (nats) of the frequency distribution — a second
+    /// skew signal exposed for pruning policies.
+    pub entropy: f64,
+}
+
+impl ColumnStats {
+    /// Collect statistics for `column` (named `name`).
+    pub fn collect(name: &str, column: &Column) -> ColumnStats {
+        let n = column.len();
+        let null_count = column.null_count();
+        let valid = n - null_count;
+
+        // Frequency distribution over distinct values.
+        let freqs: Vec<usize> = value_frequencies(column);
+        let distinct = freqs.len();
+        let (frequency_variance, entropy) = if valid == 0 || distinct == 0 {
+            (0.0, 0.0)
+        } else {
+            let total = valid as f64;
+            let probs: Vec<f64> = freqs.iter().map(|&c| c as f64 / total).collect();
+            let mean_p = 1.0 / distinct as f64;
+            let var = probs.iter().map(|p| (p - mean_p).powi(2)).sum::<f64>() / distinct as f64;
+            let ent = -probs
+                .iter()
+                .filter(|&&p| p > 0.0)
+                .map(|&p| p * p.ln())
+                .sum::<f64>();
+            (var, ent)
+        };
+
+        // Numeric moments.
+        let (mean, value_variance) = match column {
+            Column::Int64 { .. } | Column::Float64 { .. } => {
+                let mut count = 0usize;
+                let mut m = 0.0f64;
+                let mut m2 = 0.0f64;
+                for i in 0..n {
+                    if let Some(v) = column.f64_at(i) {
+                        count += 1;
+                        let delta = v - m;
+                        m += delta / count as f64;
+                        m2 += delta * (v - m);
+                    }
+                }
+                if count == 0 {
+                    (None, None)
+                } else {
+                    (Some(m), Some(m2 / count as f64))
+                }
+            }
+            _ => (None, None),
+        };
+
+        ColumnStats {
+            name: name.to_string(),
+            row_count: n,
+            null_count,
+            distinct,
+            mean,
+            value_variance,
+            frequency_variance,
+            entropy,
+        }
+    }
+}
+
+/// Count occurrences of each distinct non-null value.
+fn value_frequencies(column: &Column) -> Vec<usize> {
+    match column {
+        Column::Str { codes, dict, .. } => {
+            let mut counts = vec![0usize; dict.len()];
+            for (i, &c) in codes.iter().enumerate() {
+                if column.is_valid(i) {
+                    counts[c as usize] += 1;
+                }
+            }
+            counts.into_iter().filter(|&c| c > 0).collect()
+        }
+        Column::Int64 { data, .. } => {
+            let mut counts: HashMap<i64, usize> = HashMap::new();
+            for (i, &v) in data.iter().enumerate() {
+                if column.is_valid(i) {
+                    *counts.entry(v).or_insert(0) += 1;
+                }
+            }
+            counts.into_values().collect()
+        }
+        Column::Float64 { data, .. } => {
+            let mut counts: HashMap<u64, usize> = HashMap::new();
+            for (i, &v) in data.iter().enumerate() {
+                if column.is_valid(i) {
+                    *counts.entry(v.to_bits()).or_insert(0) += 1;
+                }
+            }
+            counts.into_values().collect()
+        }
+        Column::Bool { data, .. } => {
+            let mut t = 0usize;
+            let mut f = 0usize;
+            for (i, &v) in data.iter().enumerate() {
+                if column.is_valid(i) {
+                    if v {
+                        t += 1;
+                    } else {
+                        f += 1;
+                    }
+                }
+            }
+            [t, f].into_iter().filter(|&c| c > 0).collect()
+        }
+    }
+}
+
+/// Dense code for a row's value in an arbitrary column (for contingency
+/// tables). Returns `None` for null rows.
+fn dense_codes(column: &Column) -> (Vec<Option<u32>>, usize) {
+    let n = column.len();
+    match column {
+        Column::Str { codes, dict, .. } => {
+            let out = (0..n)
+                .map(|i| column.is_valid(i).then(|| codes[i]))
+                .collect();
+            (out, dict.len())
+        }
+        _ => {
+            let mut map: HashMap<u64, u32> = HashMap::new();
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                if !column.is_valid(i) {
+                    out.push(None);
+                    continue;
+                }
+                let bits = match column {
+                    Column::Int64 { data, .. } => data[i] as u64,
+                    Column::Float64 { data, .. } => data[i].to_bits(),
+                    Column::Bool { data, .. } => data[i] as u64,
+                    Column::Str { .. } => unreachable!("handled above"),
+                };
+                let next = map.len() as u32;
+                let code = *map.entry(bits).or_insert(next);
+                out.push(Some(code));
+            }
+            let k = map.len();
+            (out, k)
+        }
+    }
+}
+
+/// Cramér's V association between two columns of the same table, in
+/// `[0, 1]`: 0 = independent, 1 = perfectly determined.
+///
+/// This drives SeeDB's correlated-attribute pruning: two dimension
+/// attributes with V near 1 (e.g. airport name vs airport code) produce
+/// near-identical views, so only one representative needs evaluating.
+///
+/// # Errors
+/// `Internal` if the columns have different lengths.
+pub fn cramers_v(a: &Column, b: &Column) -> DbResult<f64> {
+    if a.len() != b.len() {
+        return Err(DbError::Internal(format!(
+            "cramers_v over columns of different lengths ({} vs {})",
+            a.len(),
+            b.len()
+        )));
+    }
+    let (ca, ka) = dense_codes(a);
+    let (cb, kb) = dense_codes(b);
+    if ka < 2 || kb < 2 {
+        // A constant column is vacuously "determined"; treat as fully
+        // correlated so pruning collapses it with anything (a constant
+        // grouping attribute is useless regardless).
+        return Ok(1.0);
+    }
+    let mut table = vec![0u64; ka * kb];
+    let mut row_tot = vec![0u64; ka];
+    let mut col_tot = vec![0u64; kb];
+    let mut n = 0u64;
+    for (x, y) in ca.iter().zip(cb.iter()) {
+        if let (Some(x), Some(y)) = (x, y) {
+            table[*x as usize * kb + *y as usize] += 1;
+            row_tot[*x as usize] += 1;
+            col_tot[*y as usize] += 1;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        return Ok(0.0);
+    }
+    let nf = n as f64;
+    let mut chi2 = 0.0f64;
+    for i in 0..ka {
+        if row_tot[i] == 0 {
+            continue;
+        }
+        for j in 0..kb {
+            if col_tot[j] == 0 {
+                continue;
+            }
+            let expected = row_tot[i] as f64 * col_tot[j] as f64 / nf;
+            let observed = table[i * kb + j] as f64;
+            chi2 += (observed - expected).powi(2) / expected;
+        }
+    }
+    let min_dim = (ka.min(kb) - 1) as f64;
+    if min_dim == 0.0 {
+        return Ok(1.0);
+    }
+    Ok((chi2 / (nf * min_dim)).sqrt().min(1.0))
+}
+
+/// Statistics for a whole table.
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    /// Table name.
+    pub table: String,
+    /// Row count.
+    pub row_count: usize,
+    /// Per-column statistics, in schema order.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Collect statistics for every column of `table`.
+    pub fn collect(table: &Table) -> TableStats {
+        let columns = table
+            .schema()
+            .columns()
+            .iter()
+            .enumerate()
+            .map(|(i, def)| ColumnStats::collect(&def.name, table.column_at(i)))
+            .collect();
+        TableStats {
+            table: table.name().to_string(),
+            row_count: table.num_rows(),
+            columns,
+        }
+    }
+
+    /// Stats for one column by name.
+    ///
+    /// # Errors
+    /// `UnknownColumn` if absent.
+    pub fn column(&self, name: &str) -> DbResult<&ColumnStats> {
+        self.columns
+            .iter()
+            .find(|c| c.name == name)
+            .ok_or_else(|| DbError::UnknownColumn(name.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, Schema};
+    use crate::value::{DataType, Value};
+
+    fn table_with(col: &str, dtype: DataType, values: Vec<Value>) -> Table {
+        let schema = Schema::new(vec![ColumnDef::dimension(col, dtype)]).unwrap();
+        let mut t = Table::new("t", schema);
+        for v in values {
+            t.push_row(vec![v]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn numeric_moments() {
+        let t = table_with(
+            "m",
+            DataType::Float64,
+            vec![1.0.into(), 2.0.into(), 3.0.into(), 4.0.into()],
+        );
+        let s = ColumnStats::collect("m", t.column("m").unwrap());
+        assert_eq!(s.mean, Some(2.5));
+        assert!((s.value_variance.unwrap() - 1.25).abs() < 1e-12);
+        assert_eq!(s.distinct, 4);
+    }
+
+    #[test]
+    fn constant_column_has_zero_entropy_and_max_freq_variance_zero() {
+        let t = table_with(
+            "d",
+            DataType::Str,
+            vec!["a".into(), "a".into(), "a".into()],
+        );
+        let s = ColumnStats::collect("d", t.column("d").unwrap());
+        assert_eq!(s.distinct, 1);
+        assert_eq!(s.entropy, 0.0);
+        // Single value: freq dist {1.0}, variance vs uniform(1) = 0.
+        assert_eq!(s.frequency_variance, 0.0);
+    }
+
+    #[test]
+    fn uniform_column_has_zero_frequency_variance() {
+        let t = table_with(
+            "d",
+            DataType::Str,
+            vec!["a".into(), "b".into(), "c".into(), "a".into(), "b".into(), "c".into()],
+        );
+        let s = ColumnStats::collect("d", t.column("d").unwrap());
+        assert!(s.frequency_variance.abs() < 1e-12);
+        assert!((s.entropy - 3.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_column_has_positive_frequency_variance() {
+        let mut vals: Vec<Value> = vec!["hot".into(); 98];
+        vals.push("cold".into());
+        vals.push("warm".into());
+        let t = table_with("d", DataType::Str, vals);
+        let s = ColumnStats::collect("d", t.column("d").unwrap());
+        assert!(s.frequency_variance > 0.1);
+        assert!(s.entropy < 0.2);
+    }
+
+    #[test]
+    fn nulls_excluded_from_stats() {
+        let t = table_with(
+            "m",
+            DataType::Int64,
+            vec![Value::Int(2), Value::Null, Value::Int(4)],
+        );
+        let s = ColumnStats::collect("m", t.column("m").unwrap());
+        assert_eq!(s.null_count, 1);
+        assert_eq!(s.mean, Some(3.0));
+        assert_eq!(s.distinct, 2);
+    }
+
+    #[test]
+    fn cramers_v_perfect_association() {
+        // b is a renaming of a.
+        let schema = Schema::new(vec![
+            ColumnDef::dimension("a", DataType::Str),
+            ColumnDef::dimension("b", DataType::Str),
+        ])
+        .unwrap();
+        let mut t = Table::new("t", schema);
+        for (x, y) in [("BOS", "Boston"), ("SEA", "Seattle"), ("BOS", "Boston"), ("SFO", "San Francisco"), ("SEA", "Seattle")] {
+            t.push_row(vec![x.into(), y.into()]).unwrap();
+        }
+        let v = cramers_v(t.column("a").unwrap(), t.column("b").unwrap()).unwrap();
+        assert!((v - 1.0).abs() < 1e-9, "got {v}");
+    }
+
+    #[test]
+    fn cramers_v_independence() {
+        // a and b independent by construction (all 4 combos equally often).
+        let schema = Schema::new(vec![
+            ColumnDef::dimension("a", DataType::Str),
+            ColumnDef::dimension("b", DataType::Str),
+        ])
+        .unwrap();
+        let mut t = Table::new("t", schema);
+        for x in ["p", "q"] {
+            for y in ["u", "v"] {
+                for _ in 0..10 {
+                    t.push_row(vec![x.into(), y.into()]).unwrap();
+                }
+            }
+        }
+        let v = cramers_v(t.column("a").unwrap(), t.column("b").unwrap()).unwrap();
+        assert!(v < 1e-9, "got {v}");
+    }
+
+    #[test]
+    fn cramers_v_mismatched_lengths_error() {
+        let t1 = table_with("a", DataType::Str, vec!["x".into()]);
+        let t2 = table_with("b", DataType::Str, vec!["x".into(), "y".into()]);
+        assert!(cramers_v(t1.column("a").unwrap(), t2.column("b").unwrap()).is_err());
+    }
+
+    #[test]
+    fn cramers_v_constant_column_is_one() {
+        let t1 = table_with("a", DataType::Str, vec!["k".into(), "k".into()]);
+        let t2 = table_with("b", DataType::Str, vec!["x".into(), "y".into()]);
+        let v = cramers_v(t1.column("a").unwrap(), t2.column("b").unwrap()).unwrap();
+        assert_eq!(v, 1.0);
+    }
+
+    #[test]
+    fn cramers_v_int_columns() {
+        let schema = Schema::new(vec![
+            ColumnDef::dimension("a", DataType::Int64),
+            ColumnDef::dimension("b", DataType::Int64),
+        ])
+        .unwrap();
+        let mut t = Table::new("t", schema);
+        for i in 0..40 {
+            let a = i % 4;
+            t.push_row(vec![Value::Int(a), Value::Int(a * 10)]).unwrap();
+        }
+        let v = cramers_v(t.column("a").unwrap(), t.column("b").unwrap()).unwrap();
+        assert!((v - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_stats_covers_all_columns() {
+        let schema = Schema::new(vec![
+            ColumnDef::dimension("d", DataType::Str),
+            ColumnDef::measure("m", DataType::Float64),
+        ])
+        .unwrap();
+        let mut t = Table::new("t", schema);
+        t.push_row(vec!["a".into(), 1.0.into()]).unwrap();
+        let stats = TableStats::collect(&t);
+        assert_eq!(stats.row_count, 1);
+        assert_eq!(stats.columns.len(), 2);
+        assert!(stats.column("m").unwrap().mean.is_some());
+        assert!(stats.column("zzz").is_err());
+    }
+}

@@ -1,0 +1,203 @@
+//! Tables: a schema plus columnar data.
+
+use crate::column::Column;
+use crate::error::{DbError, DbResult};
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// An in-memory table: schema + one [`Column`] per attribute.
+///
+/// Tables are append-only; SeeDB's workload is analytical (scan/aggregate),
+/// so there is no update/delete path.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Table {
+    /// An empty table with the given schema.
+    pub fn new(name: &str, schema: Schema) -> Self {
+        let columns = schema
+            .columns()
+            .iter()
+            .map(|c| Column::new(c.dtype))
+            .collect();
+        Table {
+            name: name.to_string(),
+            schema,
+            columns,
+            rows: 0,
+        }
+    }
+
+    /// An empty table with row capacity pre-reserved.
+    pub fn with_capacity(name: &str, schema: Schema, cap: usize) -> Self {
+        let columns = schema
+            .columns()
+            .iter()
+            .map(|c| Column::with_capacity(c.dtype, cap))
+            .collect();
+        Table {
+            name: name.to_string(),
+            schema,
+            columns,
+            rows: 0,
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// True if the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Append one row. Values must match the schema arity and types.
+    ///
+    /// # Errors
+    /// `Schema` on arity mismatch; `TypeMismatch` on a bad value. On type
+    /// error the row is *not* partially applied — the table stays
+    /// consistent.
+    pub fn push_row(&mut self, row: Vec<Value>) -> DbResult<()> {
+        if row.len() != self.schema.len() {
+            return Err(DbError::Schema(format!(
+                "row arity {} does not match schema arity {}",
+                row.len(),
+                self.schema.len()
+            )));
+        }
+        // Validate types before mutating any column so a failure cannot
+        // leave columns at different lengths.
+        for (v, def) in row.iter().zip(self.schema.columns()) {
+            if let Some(t) = v.data_type() {
+                let ok = t == def.dtype
+                    || (def.dtype == crate::value::DataType::Float64
+                        && t == crate::value::DataType::Int64);
+                if !ok {
+                    return Err(DbError::TypeMismatch {
+                        expected: def.dtype.name().to_string(),
+                        found: t.name().to_string(),
+                        context: format!("column {}", def.name),
+                    });
+                }
+            }
+        }
+        for (v, col) in row.into_iter().zip(self.columns.iter_mut()) {
+            col.push(v)?;
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Column by index.
+    pub fn column_at(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Column by name.
+    pub fn column(&self, name: &str) -> DbResult<&Column> {
+        let idx = self.schema.index_of(name)?;
+        Ok(&self.columns[idx])
+    }
+
+    /// Materialize row `i` as values (for display / small results only).
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.get(i)).collect()
+    }
+
+    /// Build a new table containing only the rows in `selection`
+    /// (used by reservoir sampling and tests; analytical paths work on
+    /// selections without materializing).
+    pub fn materialize_selection(&self, name: &str, selection: &[u32]) -> DbResult<Table> {
+        let mut t = Table::with_capacity(name, self.schema.clone(), selection.len());
+        for &i in selection {
+            t.push_row(self.row(i as usize))?;
+        }
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::value::DataType;
+
+    fn sales_schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::dimension("store", DataType::Str),
+            ColumnDef::measure("amount", DataType::Float64),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn push_and_read_rows() {
+        let mut t = Table::new("sales", sales_schema());
+        t.push_row(vec!["Cambridge, MA".into(), 180.55.into()]).unwrap();
+        t.push_row(vec!["Seattle, WA".into(), 145.50.into()]).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.row(1), vec![Value::from("Seattle, WA"), Value::Float(145.5)]);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut t = Table::new("sales", sales_schema());
+        let r = t.push_row(vec!["x".into()]);
+        assert!(matches!(r, Err(DbError::Schema(_))));
+        assert_eq!(t.num_rows(), 0);
+    }
+
+    #[test]
+    fn type_mismatch_leaves_table_consistent() {
+        let mut t = Table::new("sales", sales_schema());
+        // amount is float; pushing a string into it must fail without
+        // corrupting the store column.
+        let r = t.push_row(vec!["x".into(), "oops".into()]);
+        assert!(r.is_err());
+        assert_eq!(t.num_rows(), 0);
+        assert_eq!(t.column("store").unwrap().len(), 0);
+        assert_eq!(t.column("amount").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn int_widens_into_float_measure() {
+        let mut t = Table::new("sales", sales_schema());
+        t.push_row(vec!["x".into(), Value::Int(3)]).unwrap();
+        assert_eq!(t.column("amount").unwrap().get(0), Value::Float(3.0));
+    }
+
+    #[test]
+    fn materialize_selection_picks_rows() {
+        let mut t = Table::new("sales", sales_schema());
+        for (s, a) in [("a", 1.0), ("b", 2.0), ("c", 3.0)] {
+            t.push_row(vec![s.into(), a.into()]).unwrap();
+        }
+        let sub = t.materialize_selection("sub", &[0, 2]).unwrap();
+        assert_eq!(sub.num_rows(), 2);
+        assert_eq!(sub.row(1)[0], Value::from("c"));
+    }
+
+    #[test]
+    fn nulls_allowed_in_any_column() {
+        let mut t = Table::new("sales", sales_schema());
+        t.push_row(vec![Value::Null, Value::Null]).unwrap();
+        assert_eq!(t.row(0), vec![Value::Null, Value::Null]);
+    }
+}

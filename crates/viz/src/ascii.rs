@@ -1,0 +1,159 @@
+//! Terminal rendering of visualization specs.
+//!
+//! The demo's browser canvas is out of scope for a library, but the
+//! examples and the experiment harness still need to *show* the
+//! recommended views; this module renders a [`VisualizationSpec`] as a
+//! paired horizontal bar chart (target ▐ vs comparison ░ per group),
+//! which is enough to eyeball Figures 1–3 of the paper.
+
+use crate::spec::VisualizationSpec;
+
+/// Width (in characters) of the bar area.
+pub const BAR_WIDTH: usize = 40;
+
+/// Render a spec as a text chart.
+///
+/// Output shape:
+///
+/// ```text
+/// SUM(amount) BY store   [bar_chart]  utility 0.731 (emd)
+///   Cambridge, MA | ██████████████████████████▌ 0.34
+///                 | ░░░░░ 0.03
+///   ...
+/// ```
+pub fn render(spec: &VisualizationSpec) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{}   [{}]  utility {:.4} ({})\n",
+        spec.title,
+        serde_json::to_value(spec.chart_type)
+            .ok()
+            .and_then(|v| v.as_str().map(str::to_string))
+            .unwrap_or_default(),
+        spec.metadata.utility,
+        spec.metadata.metric,
+    ));
+    if spec.series.len() < 2 {
+        out.push_str("  (no series)\n");
+        return out;
+    }
+    let target = &spec.series[0];
+    let comparison = &spec.series[1];
+    let label_w = target
+        .points
+        .iter()
+        .map(|p| p.label.len())
+        .max()
+        .unwrap_or(0)
+        .max(4);
+    let max_p = target
+        .points
+        .iter()
+        .chain(&comparison.points)
+        .map(|p| p.probability)
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+
+    for (t, c) in target.points.iter().zip(&comparison.points) {
+        let t_len = ((t.probability / max_p) * BAR_WIDTH as f64).round() as usize;
+        let c_len = ((c.probability / max_p) * BAR_WIDTH as f64).round() as usize;
+        out.push_str(&format!(
+            "  {:w$} | {} {:.3}  (raw {:.2})\n",
+            t.label,
+            "█".repeat(t_len),
+            t.probability,
+            t.raw,
+            w = label_w
+        ));
+        out.push_str(&format!(
+            "  {:w$} | {} {:.3}  (raw {:.2})\n",
+            "",
+            "░".repeat(c_len),
+            c.probability,
+            c.raw,
+            w = label_w
+        ));
+    }
+    if spec.truncated {
+        out.push_str(&format!(
+            "  … truncated to the top {} of {} groups\n",
+            target.points.len(),
+            spec.metadata.num_groups
+        ));
+    }
+    if let (Some(g), Some(d)) = (&spec.metadata.max_change_group, spec.metadata.max_change) {
+        out.push_str(&format!("  max change: {g} (Δp = {d:.3})\n"));
+    }
+    out
+}
+
+/// Render a legend line explaining the two bar styles.
+pub fn legend() -> &'static str {
+    "█ target (query subset)   ░ comparison (entire table)"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::VisualizationSpec;
+    use memdb::{AggFunc, ColumnDef, DataType, Schema};
+    use seedb_core::{AlignedPair, Distribution, Metric, ViewResult, ViewSpec};
+
+    fn spec() -> VisualizationSpec {
+        let target = Distribution::from_pairs(vec![
+            ("Cambridge, MA".into(), Some(180.55)),
+            ("Seattle, WA".into(), Some(145.5)),
+        ]);
+        let comparison = Distribution::from_pairs(vec![
+            ("Cambridge, MA".into(), Some(1000.0)),
+            ("Seattle, WA".into(), Some(30000.0)),
+        ]);
+        let aligned = AlignedPair::align(&target, &comparison);
+        let utility = Metric::EarthMovers.distance(&aligned);
+        let view = ViewResult {
+            spec: ViewSpec::new("store", "amount", AggFunc::Sum),
+            utility,
+            target,
+            comparison,
+            aligned,
+        };
+        let schema = Schema::new(vec![
+            ColumnDef::dimension("store", DataType::Str),
+            ColumnDef::measure("amount", DataType::Float64),
+        ])
+        .unwrap();
+        VisualizationSpec::from_view(&view, &schema, Metric::EarthMovers, "sales", None)
+    }
+
+    #[test]
+    fn render_contains_labels_bars_and_metadata() {
+        let text = render(&spec());
+        assert!(text.contains("SUM(amount) BY store"));
+        assert!(text.contains("Cambridge, MA"));
+        assert!(text.contains('█'));
+        assert!(text.contains('░'));
+        assert!(text.contains("max change"));
+        assert!(text.contains("utility"));
+    }
+
+    #[test]
+    fn bars_scale_with_probability() {
+        let text = render(&spec());
+        // Target: Cambridge has most mass; comparison: Seattle does.
+        let lines: Vec<&str> = text.lines().collect();
+        let cambridge_target = lines.iter().find(|l| l.contains("Cambridge")).unwrap();
+        let solid = cambridge_target.matches('█').count();
+        assert!(solid > BAR_WIDTH / 2, "dominant group gets a long bar");
+    }
+
+    #[test]
+    fn legend_mentions_both_series() {
+        assert!(legend().contains("target"));
+        assert!(legend().contains("comparison"));
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        assert_eq!(render(&spec()), render(&spec()));
+    }
+}

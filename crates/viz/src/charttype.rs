@@ -1,0 +1,106 @@
+//! Chart-type selection.
+//!
+//! "For each view delivered by the backend, the frontend creates a
+//! visualization based on parameters such as the data type (e.g. ordinal,
+//! numeric), number of distinct values, and semantics (e.g. geography vs.
+//! time series)." (paper §3.2)
+
+use memdb::{Schema, Semantic};
+use serde::Serialize;
+
+/// The visualization type chosen for a view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ChartType {
+    /// Categorical bar chart, bars sorted by value (the Fig. 1 default).
+    BarChart,
+    /// Bar chart in the dimension's natural order (ordinal semantics,
+    /// e.g. age buckets or amount buckets).
+    OrderedBarChart,
+    /// Line chart over a temporal dimension (time series).
+    LineChart,
+    /// Choropleth-style map for geographic dimensions.
+    Map,
+    /// Histogram for high-cardinality numeric dimensions.
+    Histogram,
+    /// Bar chart truncated to the heaviest groups, with a "top N" note
+    /// (high-cardinality categorical dimensions).
+    TopNBarChart,
+}
+
+/// Group-count threshold above which a categorical dimension is rendered
+/// as a top-N chart and a numeric one as a histogram.
+pub const MAX_BARS: usize = 25;
+
+/// Choose a chart type for a view grouping on `dimension` with
+/// `num_groups` distinct groups, consulting the schema's data type and
+/// semantic hints. Unknown dimensions fall back to a bar chart.
+pub fn choose_chart(schema: &Schema, dimension: &str, num_groups: usize) -> ChartType {
+    let Ok(def) = schema.column(dimension) else {
+        return ChartType::BarChart;
+    };
+    match def.semantic {
+        Semantic::Temporal => ChartType::LineChart,
+        Semantic::Geography => ChartType::Map,
+        Semantic::Ordinal => ChartType::OrderedBarChart,
+        Semantic::None => {
+            if num_groups > MAX_BARS {
+                if def.dtype.is_numeric() {
+                    ChartType::Histogram
+                } else {
+                    ChartType::TopNBarChart
+                }
+            } else {
+                ChartType::BarChart
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memdb::{ColumnDef, DataType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::dimension("store", DataType::Str),
+            ColumnDef::dimension("state", DataType::Str).with_semantic(Semantic::Geography),
+            ColumnDef::dimension("month", DataType::Str).with_semantic(Semantic::Temporal),
+            ColumnDef::dimension("size", DataType::Str).with_semantic(Semantic::Ordinal),
+            ColumnDef::dimension("price_point", DataType::Float64),
+            ColumnDef::measure("amount", DataType::Float64),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn semantics_drive_chart_type() {
+        let s = schema();
+        assert_eq!(choose_chart(&s, "state", 10), ChartType::Map);
+        assert_eq!(choose_chart(&s, "month", 12), ChartType::LineChart);
+        assert_eq!(choose_chart(&s, "size", 3), ChartType::OrderedBarChart);
+        assert_eq!(choose_chart(&s, "store", 10), ChartType::BarChart);
+    }
+
+    #[test]
+    fn cardinality_fallbacks() {
+        let s = schema();
+        assert_eq!(choose_chart(&s, "store", 100), ChartType::TopNBarChart);
+        assert_eq!(choose_chart(&s, "price_point", 100), ChartType::Histogram);
+        assert_eq!(choose_chart(&s, "price_point", 5), ChartType::BarChart);
+    }
+
+    #[test]
+    fn semantics_beat_cardinality() {
+        let s = schema();
+        // A geographic dimension stays a map even with many groups.
+        assert_eq!(choose_chart(&s, "state", 200), ChartType::Map);
+    }
+
+    #[test]
+    fn unknown_dimension_defaults_to_bar() {
+        let s = schema();
+        assert_eq!(choose_chart(&s, "missing", 5), ChartType::BarChart);
+    }
+}

@@ -1,0 +1,406 @@
+//! The SeeDB frontend (paper §3.2 and Fig. 5).
+//!
+//! "SEEDB provides the analyst with three mechanisms for specifying an
+//! input query: (a) directly filling in SQL into a text box, (b) using a
+//! query builder tool ... (c) using pre-defined query templates which
+//! encode commonly performed operations, e.g., selecting outliers in a
+//! particular column."
+//!
+//! [`Frontend`] wraps a [`SeeDb`] engine, accepts queries through all
+//! three mechanisms, and turns the recommended views into
+//! [`VisualizationSpec`]s plus text renderings.
+
+use memdb::{CmpOp, DbError, DbResult, Expr, TableStats, Value};
+use seedb_core::{AnalystQuery, Recommendation, SeeDb};
+
+use crate::ascii;
+use crate::spec::VisualizationSpec;
+
+/// Mechanism (b): a form-based query builder for analysts unfamiliar
+/// with SQL. Conditions combine conjunctively (AND).
+#[derive(Debug, Clone)]
+pub struct QueryBuilder {
+    table: String,
+    conditions: Vec<(String, CmpOp, Value)>,
+}
+
+impl QueryBuilder {
+    /// Start building a query against `table`.
+    pub fn new(table: &str) -> Self {
+        QueryBuilder {
+            table: table.to_string(),
+            conditions: Vec::new(),
+        }
+    }
+
+    /// Add a condition (column ⟨op⟩ value).
+    pub fn filter(mut self, column: &str, op: CmpOp, value: impl Into<Value>) -> Self {
+        self.conditions.push((column.to_string(), op, value.into()));
+        self
+    }
+
+    /// Shorthand for an equality condition.
+    pub fn filter_eq(self, column: &str, value: impl Into<Value>) -> Self {
+        self.filter(column, CmpOp::Eq, value)
+    }
+
+    /// Finish: produce the analyst query.
+    pub fn build(self) -> AnalystQuery {
+        let filter = self
+            .conditions
+            .into_iter()
+            .map(|(col, op, v)| Expr::Cmp {
+                op,
+                left: Box::new(Expr::col(&col)),
+                right: Box::new(Expr::Literal(v)),
+            })
+            .reduce(Expr::and);
+        AnalystQuery {
+            table: self.table,
+            filter,
+        }
+    }
+}
+
+/// Mechanism (c): pre-defined query templates encoding common analyses.
+#[derive(Debug, Clone)]
+pub enum QueryTemplate {
+    /// Rows where `measure` exceeds `mean + sigmas · std` — "selecting
+    /// outliers in a particular column", the paper's own example.
+    OutliersAbove {
+        /// Fact table.
+        table: String,
+        /// Numeric column.
+        measure: String,
+        /// Threshold in standard deviations.
+        sigmas: f64,
+    },
+    /// Rows where `measure` falls below `mean - sigmas · std`.
+    OutliersBelow {
+        /// Fact table.
+        table: String,
+        /// Numeric column.
+        measure: String,
+        /// Threshold in standard deviations.
+        sigmas: f64,
+    },
+    /// Rows belonging to the most frequent value of `dimension`.
+    ModalCategory {
+        /// Fact table.
+        table: String,
+        /// Categorical column.
+        dimension: String,
+    },
+}
+
+impl QueryTemplate {
+    /// Instantiate the template into a concrete analyst query by
+    /// consulting table statistics.
+    ///
+    /// # Errors
+    /// Unknown table/column; `TypeMismatch` when an outlier template
+    /// targets a non-numeric column.
+    pub fn instantiate(&self, db: &memdb::Database) -> DbResult<AnalystQuery> {
+        match self {
+            QueryTemplate::OutliersAbove {
+                table,
+                measure,
+                sigmas,
+            }
+            | QueryTemplate::OutliersBelow {
+                table,
+                measure,
+                sigmas,
+            } => {
+                let t = db.table(table)?;
+                let stats = TableStats::collect(&t);
+                let col = stats.column(measure)?;
+                let (mean, var) = match (col.mean, col.value_variance) {
+                    (Some(m), Some(v)) => (m, v),
+                    _ => {
+                        return Err(DbError::TypeMismatch {
+                            expected: "numeric".to_string(),
+                            found: "non-numeric".to_string(),
+                            context: format!("outlier template on {measure}"),
+                        })
+                    }
+                };
+                let above = matches!(self, QueryTemplate::OutliersAbove { .. });
+                let threshold = if above {
+                    mean + sigmas * var.sqrt()
+                } else {
+                    mean - sigmas * var.sqrt()
+                };
+                let filter = if above {
+                    Expr::col(measure).gt(threshold)
+                } else {
+                    Expr::col(measure).lt(threshold)
+                };
+                Ok(AnalystQuery::new(table, Some(filter)))
+            }
+            QueryTemplate::ModalCategory { table, dimension } => {
+                let t = db.table(table)?;
+                let col = t.column(dimension)?;
+                // Find the modal value by scanning.
+                let mut counts: std::collections::HashMap<String, usize> =
+                    std::collections::HashMap::new();
+                for i in 0..t.num_rows() {
+                    let v = col.get(i);
+                    if !v.is_null() {
+                        *counts.entry(v.render()).or_insert(0) += 1;
+                    }
+                }
+                let modal = counts
+                    .into_iter()
+                    .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+                    .map(|(v, _)| v)
+                    .ok_or_else(|| {
+                        DbError::InvalidQuery(format!("{dimension} has no non-null values"))
+                    })?;
+                Ok(AnalystQuery::new(
+                    table,
+                    Some(Expr::col(dimension).eq(modal)),
+                ))
+            }
+        }
+    }
+}
+
+/// Everything the frontend shows for one analyst query.
+#[derive(Debug)]
+pub struct FrontendOutput {
+    /// The analyst query that was issued.
+    pub query: AnalystQuery,
+    /// The backend's full recommendation.
+    pub recommendation: Recommendation,
+    /// One visualization per recommended (top-k) view.
+    pub visualizations: Vec<VisualizationSpec>,
+    /// Visualizations for the configured low-utility contrast views.
+    pub low_utility_visualizations: Vec<VisualizationSpec>,
+}
+
+impl FrontendOutput {
+    /// Render the whole output as terminal text (title, charts, pruning
+    /// summary) — the library-world stand-in for Fig. 5's right pane.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("Query: {}\n", self.query.to_sql()));
+        out.push_str(&format!(
+            "Candidates: {}   Pruned: {}   Executed queries: {}\n",
+            self.recommendation.num_candidates,
+            self.recommendation.pruned.len(),
+            self.recommendation.num_queries
+        ));
+        out.push_str(&format!("{}\n\n", ascii::legend()));
+        for (i, spec) in self.visualizations.iter().enumerate() {
+            out.push_str(&format!("#{} ", i + 1));
+            out.push_str(&ascii::render(spec));
+            out.push('\n');
+        }
+        if !self.low_utility_visualizations.is_empty() {
+            out.push_str("--- low-utility views (for contrast) ---\n");
+            for spec in &self.low_utility_visualizations {
+                out.push_str(&ascii::render(spec));
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// The thin client: issues queries to a [`SeeDb`] backend and prepares
+/// visualizations of the recommended views.
+#[derive(Debug)]
+pub struct Frontend {
+    seedb: SeeDb,
+}
+
+impl Frontend {
+    /// Wrap an engine.
+    pub fn new(seedb: SeeDb) -> Self {
+        Frontend { seedb }
+    }
+
+    /// Access the wrapped engine (e.g. to adjust configuration knobs).
+    pub fn engine(&self) -> &SeeDb {
+        &self.seedb
+    }
+
+    /// Mutable access to the wrapped engine.
+    pub fn engine_mut(&mut self) -> &mut SeeDb {
+        &mut self.seedb
+    }
+
+    /// Mechanism (a): raw SQL.
+    ///
+    /// # Errors
+    /// Parse and execution errors from the backend.
+    pub fn issue_sql(&self, sql: &str) -> DbResult<FrontendOutput> {
+        let query = AnalystQuery::from_sql(sql)?;
+        self.issue(&query)
+    }
+
+    /// Mechanism (b): a built query.
+    ///
+    /// # Errors
+    /// Execution errors from the backend.
+    pub fn issue(&self, query: &AnalystQuery) -> DbResult<FrontendOutput> {
+        let recommendation = self.seedb.recommend(query)?;
+        let table = self.seedb.database().table(&query.table)?;
+        let schema = table.schema();
+        let metric = self.seedb.config().metric;
+        let where_sql = query.filter.as_ref().map(Expr::to_sql);
+        let make = |views: &[seedb_core::ViewResult]| {
+            views
+                .iter()
+                .map(|v| {
+                    VisualizationSpec::from_view(
+                        v,
+                        schema,
+                        metric,
+                        &query.table,
+                        where_sql.as_deref(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let visualizations = make(&recommendation.views);
+        let low_utility_visualizations = make(&recommendation.low_utility);
+        Ok(FrontendOutput {
+            query: query.clone(),
+            recommendation,
+            visualizations,
+            low_utility_visualizations,
+        })
+    }
+
+    /// Mechanism (c): a template.
+    ///
+    /// # Errors
+    /// Template instantiation and execution errors.
+    pub fn issue_template(&self, template: &QueryTemplate) -> DbResult<FrontendOutput> {
+        let query = template.instantiate(self.seedb.database())?;
+        self.issue(&query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seedb_core::SeeDbConfig;
+    use std::sync::Arc;
+
+    fn frontend() -> Frontend {
+        let d = seedb_data::store_orders(4000, 42);
+        let db = Arc::new(memdb::Database::new());
+        db.register(d.table);
+        let mut cfg = SeeDbConfig::recommended().with_k(5);
+        cfg.low_utility_views = 2;
+        Frontend::new(SeeDb::new(db, cfg))
+    }
+
+    #[test]
+    fn sql_mechanism_end_to_end() {
+        let f = frontend();
+        let out = f
+            .issue_sql("SELECT * FROM store_orders WHERE product = 'Laserwave Oven'")
+            .unwrap();
+        assert_eq!(out.visualizations.len(), 5);
+        assert_eq!(out.low_utility_visualizations.len(), 2);
+        let text = out.render_text();
+        assert!(text.contains("Query: SELECT * FROM store_orders"));
+        assert!(text.contains('█'));
+        assert!(text.contains("low-utility"));
+    }
+
+    #[test]
+    fn builder_mechanism_matches_sql() {
+        let f = frontend();
+        let built = QueryBuilder::new("store_orders")
+            .filter_eq("product", "Laserwave Oven")
+            .build();
+        let from_sql =
+            AnalystQuery::from_sql("SELECT * FROM store_orders WHERE product = 'Laserwave Oven'")
+                .unwrap();
+        assert_eq!(built, from_sql);
+        let a = f.issue(&built).unwrap();
+        let b = f.issue(&from_sql).unwrap();
+        assert_eq!(
+            a.visualizations[0].metadata.utility,
+            b.visualizations[0].metadata.utility
+        );
+    }
+
+    #[test]
+    fn builder_multiple_conditions() {
+        let q = QueryBuilder::new("t")
+            .filter_eq("a", "x")
+            .filter("m", CmpOp::Gt, 5.0)
+            .build();
+        assert_eq!(
+            q.filter.unwrap().to_sql(),
+            "(a = 'x' AND m > 5.0)"
+        );
+    }
+
+    #[test]
+    fn outlier_template_builds_threshold_filter() {
+        let f = frontend();
+        let t = QueryTemplate::OutliersAbove {
+            table: "store_orders".into(),
+            measure: "sales".into(),
+            sigmas: 2.0,
+        };
+        let q = t.instantiate(f.engine().database()).unwrap();
+        let sql = q.filter.as_ref().unwrap().to_sql();
+        assert!(sql.starts_with("sales > "));
+        let out = f.issue(&q).unwrap();
+        assert!(!out.visualizations.is_empty());
+    }
+
+    #[test]
+    fn outlier_template_rejects_non_numeric() {
+        let f = frontend();
+        let t = QueryTemplate::OutliersAbove {
+            table: "store_orders".into(),
+            measure: "region".into(),
+            sigmas: 2.0,
+        };
+        assert!(t.instantiate(f.engine().database()).is_err());
+    }
+
+    #[test]
+    fn modal_category_template() {
+        let f = frontend();
+        let t = QueryTemplate::ModalCategory {
+            table: "store_orders".into(),
+            dimension: "segment".into(),
+        };
+        let q = t.instantiate(f.engine().database()).unwrap();
+        // Consumer is the heaviest segment by construction.
+        assert_eq!(q.filter.unwrap().to_sql(), "segment = 'Consumer'");
+    }
+
+    #[test]
+    fn ground_truth_surfaces_in_top_views() {
+        let d = seedb_data::store_orders(12_000, 7);
+        let ground_truth = d.ground_truth.clone();
+        let sql = d.query_sql.clone();
+        let db = Arc::new(memdb::Database::new());
+        db.register(d.table);
+        let f = Frontend::new(SeeDb::new(db, SeeDbConfig::recommended().with_k(6)));
+        let out = f.issue_sql(&sql).unwrap();
+        let top_dims: Vec<&str> = out
+            .visualizations
+            .iter()
+            .map(|v| v.x_label.as_str())
+            .collect();
+        // At least one planted dimension (region/state may have been
+        // collapsed into one representative by correlation pruning).
+        let hits = ground_truth
+            .iter()
+            .filter(|g| top_dims.contains(&g.as_str()))
+            .count();
+        assert!(hits >= 1, "top dims {top_dims:?} vs truth {ground_truth:?}");
+    }
+}

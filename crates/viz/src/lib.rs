@@ -1,0 +1,41 @@
+//! # seedb-viz — the SeeDB frontend as a library
+//!
+//! The paper's frontend is "a thin client that is used to issue queries
+//! and display visualizations" (§3.2). This crate reproduces it in
+//! library form:
+//!
+//! * the three query-input mechanisms — raw SQL, a form-based
+//!   [`QueryBuilder`], and [`QueryTemplate`]s (e.g. outlier selection) —
+//!   in [`frontend`];
+//! * chart-type selection from data type / cardinality / semantics in
+//!   [`charttype`];
+//! * renderer-agnostic [`VisualizationSpec`]s with view metadata and
+//!   Vega-Lite export in [`spec`];
+//! * terminal bar-chart rendering in [`ascii`].
+//!
+//! ```
+//! use std::sync::Arc;
+//! use memdb::Database;
+//! use seedb_core::{SeeDb, SeeDbConfig};
+//! use seedb_viz::Frontend;
+//!
+//! let data = seedb_data::store_orders(2000, 1);
+//! let db = Arc::new(Database::new());
+//! db.register(data.table);
+//! let frontend = Frontend::new(SeeDb::new(db, SeeDbConfig::recommended().with_k(3)));
+//! let out = frontend.issue_sql(&data.query_sql).unwrap();
+//! assert_eq!(out.visualizations.len(), 3);
+//! println!("{}", out.render_text());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod ascii;
+pub mod charttype;
+pub mod frontend;
+pub mod spec;
+
+pub use charttype::{choose_chart, ChartType, MAX_BARS};
+pub use frontend::{Frontend, FrontendOutput, QueryBuilder, QueryTemplate};
+pub use spec::{Point, Series, ViewMetadata, VisualizationSpec};

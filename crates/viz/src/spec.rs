@@ -1,0 +1,315 @@
+//! Visualization specifications.
+//!
+//! The frontend is a thin client: the backend ships it declarative specs,
+//! and rendering is the client's problem. [`VisualizationSpec`] is that
+//! wire format (serialized with serde), including the view metadata the
+//! demo displays ("size of result, sample data, value with maximum change
+//! and other statistics", §3.2). [`VisualizationSpec::to_vega_lite`]
+//! exports a minimal Vega-Lite v5 spec for rendering in standard tooling.
+
+use memdb::Schema;
+use seedb_core::{Metric, ViewResult};
+use serde::Serialize;
+
+use crate::charttype::{choose_chart, ChartType, MAX_BARS};
+
+/// One point in a rendered series.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct Point {
+    /// Group label.
+    pub label: String,
+    /// Normalized probability (what the deviation metric saw).
+    pub probability: f64,
+    /// Raw aggregate value (what the axis shows).
+    pub raw: f64,
+}
+
+/// A named series (target or comparison).
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct Series {
+    /// `"target"` (the analyst's subset) or `"comparison"` (whole table).
+    pub name: String,
+    /// Points, in canonical group order.
+    pub points: Vec<Point>,
+}
+
+/// View metadata shown next to each visualization.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct ViewMetadata {
+    /// Deviation-based utility.
+    pub utility: f64,
+    /// Metric used.
+    pub metric: String,
+    /// Number of groups in the aligned view.
+    pub num_groups: usize,
+    /// Group with the largest probability change, if any.
+    pub max_change_group: Option<String>,
+    /// Magnitude of that change.
+    pub max_change: Option<f64>,
+    /// The target-view SQL that produced this visualization.
+    pub sql: String,
+}
+
+/// A complete, renderer-agnostic visualization description.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct VisualizationSpec {
+    /// Chart title, e.g. `SUM(amount) BY store`.
+    pub title: String,
+    /// Chosen chart type.
+    pub chart_type: ChartType,
+    /// X-axis label (the grouping attribute).
+    pub x_label: String,
+    /// Y-axis label (the aggregate).
+    pub y_label: String,
+    /// Target and comparison series (aligned on labels).
+    pub series: Vec<Series>,
+    /// Whether groups were truncated to the top [`MAX_BARS`].
+    pub truncated: bool,
+    /// Attached metadata.
+    pub metadata: ViewMetadata,
+}
+
+impl VisualizationSpec {
+    /// Build a spec from a scored view.
+    ///
+    /// `schema` supplies data types and semantic hints for chart-type
+    /// selection; `table`/`where_sql` reconstruct the displayed SQL.
+    pub fn from_view(
+        view: &ViewResult,
+        schema: &Schema,
+        metric: Metric,
+        table: &str,
+        where_sql: Option<&str>,
+    ) -> VisualizationSpec {
+        let aligned = &view.aligned;
+        let chart_type = choose_chart(schema, &view.spec.dimension, aligned.len());
+
+        // Raw values per aligned label (0 when the side lacks the group).
+        let raw_of = |dist: &seedb_core::Distribution, label: &str| -> f64 {
+            dist.labels
+                .iter()
+                .position(|l| l == label)
+                .map(|i| dist.raw[i])
+                .unwrap_or(0.0)
+        };
+
+        let mut order: Vec<usize> = (0..aligned.len()).collect();
+        let mut truncated = false;
+        if matches!(chart_type, ChartType::TopNBarChart | ChartType::Histogram)
+            && aligned.len() > MAX_BARS
+        {
+            // Keep the heaviest comparison-side groups.
+            order.sort_by(|&a, &b| {
+                aligned.q[b]
+                    .partial_cmp(&aligned.q[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            order.truncate(MAX_BARS);
+            order.sort_unstable();
+            truncated = true;
+        }
+
+        let make_series = |name: &str, probs: &[f64], dist: &seedb_core::Distribution| Series {
+            name: name.to_string(),
+            points: order
+                .iter()
+                .map(|&i| Point {
+                    label: aligned.labels[i].clone(),
+                    probability: probs[i],
+                    raw: raw_of(dist, &aligned.labels[i]),
+                })
+                .collect(),
+        };
+
+        let y_label = match &view.spec.measure {
+            Some(m) => format!("{}({m})", view.spec.func.sql()),
+            None => "COUNT(*)".to_string(),
+        };
+        let max_change = aligned.max_change();
+
+        VisualizationSpec {
+            title: view.spec.label(),
+            chart_type,
+            x_label: view.spec.dimension.clone(),
+            y_label,
+            series: vec![
+                make_series("target", &aligned.p, &view.target),
+                make_series("comparison", &aligned.q, &view.comparison),
+            ],
+            truncated,
+            metadata: ViewMetadata {
+                utility: view.utility,
+                metric: metric.name().to_string(),
+                num_groups: aligned.len(),
+                max_change_group: max_change.map(|(l, _)| l.to_string()),
+                max_change: max_change.map(|(_, d)| d),
+                sql: view.spec.to_sql(table, where_sql),
+            },
+        }
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec serializes")
+    }
+
+    /// Export a minimal Vega-Lite v5 spec (grouped bar / line chart of
+    /// target vs comparison probabilities).
+    pub fn to_vega_lite(&self) -> serde_json::Value {
+        let mark = match self.chart_type {
+            ChartType::LineChart => "line",
+            _ => "bar",
+        };
+        let values: Vec<serde_json::Value> = self
+            .series
+            .iter()
+            .flat_map(|s| {
+                s.points.iter().map(move |p| {
+                    serde_json::json!({
+                        "series": s.name,
+                        "label": p.label,
+                        "probability": p.probability,
+                        "raw": p.raw,
+                    })
+                })
+            })
+            .collect();
+        serde_json::json!({
+            "$schema": "https://vega.github.io/schema/vega-lite/v5.json",
+            "title": self.title,
+            "mark": mark,
+            "data": {"values": values},
+            "encoding": {
+                "x": {"field": "label", "type": "nominal", "title": self.x_label},
+                "y": {"field": "probability", "type": "quantitative", "title": self.y_label},
+                "xOffset": {"field": "series"},
+                "color": {"field": "series"}
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memdb::{AggFunc, ColumnDef, DataType};
+    use seedb_core::{AlignedPair, Distribution, ViewSpec};
+
+    fn view() -> ViewResult {
+        let target = Distribution::from_pairs(vec![
+            ("MA".into(), Some(180.55)),
+            ("WA".into(), Some(145.5)),
+        ]);
+        let comparison = Distribution::from_pairs(vec![
+            ("MA".into(), Some(1000.0)),
+            ("WA".into(), Some(9000.0)),
+        ]);
+        let aligned = AlignedPair::align(&target, &comparison);
+        let utility = Metric::EarthMovers.distance(&aligned);
+        ViewResult {
+            spec: ViewSpec::new("store", "amount", AggFunc::Sum),
+            utility,
+            target,
+            comparison,
+            aligned,
+        }
+    }
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::dimension("store", DataType::Str),
+            ColumnDef::measure("amount", DataType::Float64),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn spec_carries_both_series() {
+        let spec = VisualizationSpec::from_view(
+            &view(),
+            &schema(),
+            Metric::EarthMovers,
+            "sales",
+            Some("product = 'Laserwave'"),
+        );
+        assert_eq!(spec.series.len(), 2);
+        assert_eq!(spec.series[0].name, "target");
+        assert_eq!(spec.series[0].points.len(), 2);
+        assert!((spec.series[0].points[0].raw - 180.55).abs() < 1e-12);
+        assert_eq!(spec.chart_type, ChartType::BarChart);
+        assert!(spec.metadata.sql.contains("WHERE product = 'Laserwave'"));
+        assert!(spec.metadata.utility > 0.0);
+        assert_eq!(spec.metadata.num_groups, 2);
+    }
+
+    #[test]
+    fn json_serialization() {
+        let spec = VisualizationSpec::from_view(
+            &view(),
+            &schema(),
+            Metric::EarthMovers,
+            "sales",
+            None,
+        );
+        let json = spec.to_json();
+        assert!(json.contains("\"chart_type\": \"bar_chart\""));
+        assert!(json.contains("\"target\""));
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed["title"], "SUM(amount) BY store");
+    }
+
+    #[test]
+    fn vega_lite_export() {
+        let spec = VisualizationSpec::from_view(
+            &view(),
+            &schema(),
+            Metric::EarthMovers,
+            "sales",
+            None,
+        );
+        let vl = spec.to_vega_lite();
+        assert_eq!(vl["mark"], "bar");
+        assert_eq!(vl["data"]["values"].as_array().unwrap().len(), 4);
+        assert_eq!(vl["encoding"]["x"]["field"], "label");
+    }
+
+    #[test]
+    fn truncation_for_high_cardinality() {
+        let n = 60;
+        let target = Distribution::from_pairs(
+            (0..n)
+                .map(|i| (format!("g{i:03}"), Some(1.0 + i as f64)))
+                .collect(),
+        );
+        let comparison = target.clone();
+        let aligned = AlignedPair::align(&target, &comparison);
+        let v = ViewResult {
+            spec: ViewSpec::new("store", "amount", AggFunc::Sum),
+            utility: 0.0,
+            target,
+            comparison,
+            aligned,
+        };
+        let spec =
+            VisualizationSpec::from_view(&v, &schema(), Metric::EarthMovers, "sales", None);
+        assert_eq!(spec.chart_type, ChartType::TopNBarChart);
+        assert!(spec.truncated);
+        assert_eq!(spec.series[0].points.len(), MAX_BARS);
+        // The heaviest groups survive truncation.
+        assert!(spec.series[0].points.iter().any(|p| p.label == "g059"));
+        assert!(!spec.series[0].points.iter().any(|p| p.label == "g000"));
+    }
+
+    #[test]
+    fn max_change_metadata_present() {
+        let spec = VisualizationSpec::from_view(
+            &view(),
+            &schema(),
+            Metric::EarthMovers,
+            "sales",
+            None,
+        );
+        assert!(spec.metadata.max_change_group.is_some());
+        assert!(spec.metadata.max_change.unwrap() > 0.0);
+    }
+}

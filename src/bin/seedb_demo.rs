@@ -1,0 +1,304 @@
+//! The SeeDB demo, in the terminal (paper §4, "Demo Walkthrough").
+//!
+//! Loads one of the four demo datasets, issues the suggested analyst
+//! query (or yours), prints the recommended visualizations, and accepts
+//! interactive commands to change knobs, drill down, and roll up —
+//! Scenario 1 and Scenario 2 in one binary.
+//!
+//! ```sh
+//! cargo run --release --bin seedb_demo -- --dataset election
+//! cargo run --release --bin seedb_demo -- --dataset synthetic --rows 100000 --interactive
+//! ```
+//!
+//! Interactive commands:
+//! * any `SELECT * FROM <table> WHERE ...` — run a new analyst query
+//! * `:k <n>` / `:metric <name>` / `:basic on|off` / `:sample <frac|off>`
+//! * `:drill <view#> <label>` — narrow to one group of a recommended view
+//! * `:up` — undo the last drill-down
+//! * `:quit`
+
+use std::io::{BufRead, Write as _};
+use std::sync::Arc;
+
+use seedb::core::{drill_down, roll_up, AnalystQuery, Metric, SeeDb, SeeDbConfig};
+use seedb::memdb::{Database, SampleSpec};
+use seedb::viz::Frontend;
+
+struct Args {
+    dataset: String,
+    rows: usize,
+    seed: u64,
+    k: usize,
+    metric: Metric,
+    basic: bool,
+    sample: Option<f64>,
+    interactive: bool,
+    query: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        dataset: "store_orders".to_string(),
+        rows: 20_000,
+        seed: 42,
+        k: 5,
+        metric: Metric::EarthMovers,
+        basic: false,
+        sample: None,
+        interactive: false,
+        query: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--dataset" => args.dataset = value("--dataset")?,
+            "--rows" => {
+                args.rows = value("--rows")?
+                    .parse()
+                    .map_err(|e| format!("--rows: {e}"))?
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--k" => {
+                args.k = value("--k")?.parse().map_err(|e| format!("--k: {e}"))?
+            }
+            "--metric" => {
+                let name = value("--metric")?;
+                args.metric = Metric::parse(&name)
+                    .ok_or_else(|| format!("unknown metric {name}"))?;
+            }
+            "--basic" => args.basic = true,
+            "--sample" => {
+                args.sample = Some(
+                    value("--sample")?
+                        .parse()
+                        .map_err(|e| format!("--sample: {e}"))?,
+                )
+            }
+            "--interactive" | "-i" => args.interactive = true,
+            "--query" => args.query = Some(value("--query")?),
+            "--help" | "-h" => {
+                return Err("usage: seedb_demo [--dataset store_orders|election|medical|synthetic] \
+                            [--rows N] [--seed S] [--k K] [--metric emd|euclidean|l1|kl|js|chi2|hellinger|tv] \
+                            [--basic] [--sample FRAC] [--query SQL] [--interactive]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn load(dataset: &str, rows: usize, seed: u64) -> Result<(Arc<Database>, String), String> {
+    let db = Arc::new(Database::new());
+    let (table, query) = match dataset {
+        "store_orders" => {
+            let d = seedb::data::store_orders(rows, seed);
+            (d.table, d.query_sql)
+        }
+        "election" => {
+            let d = seedb::data::election_contributions(rows, seed);
+            (d.table, d.query_sql)
+        }
+        "medical" => {
+            let d = seedb::data::medical(rows, seed);
+            (d.table, d.query_sql)
+        }
+        "synthetic" => {
+            let spec = seedb::data::SyntheticSpec::knobs(rows, 8, 10, 1.0, 3, seed).with_plant(
+                seedb::data::Plant {
+                    subset_dim: 0,
+                    subset_value: 0,
+                    deviating_dims: vec![1, 2],
+                    deviating_measures: vec![(0, 30.0)],
+                },
+            );
+            let sql = format!(
+                "SELECT * FROM synthetic WHERE {}",
+                spec.subset_filter().expect("plant defines a filter").to_sql()
+            );
+            (spec.generate(), sql)
+        }
+        other => return Err(format!("unknown dataset {other}")),
+    };
+    db.register(table);
+    Ok((db, query))
+}
+
+fn build_config(args: &Args) -> SeeDbConfig {
+    let mut cfg = if args.basic {
+        SeeDbConfig::basic()
+    } else {
+        SeeDbConfig::recommended()
+    };
+    cfg = cfg.with_k(args.k).with_metric(args.metric);
+    cfg.low_utility_views = 2;
+    if let Some(f) = args.sample {
+        cfg.optimizer.sample = Some(SampleSpec::Bernoulli {
+            fraction: f,
+            seed: 1,
+        });
+    }
+    cfg
+}
+
+fn run_and_print(frontend: &Frontend, query: &AnalystQuery) -> Option<seedb::viz::FrontendOutput> {
+    match frontend.issue(query) {
+        Ok(out) => {
+            println!("{}", out.render_text());
+            println!(
+                "[{} candidates, {} pruned, {} queries, {:.1?}]",
+                out.recommendation.num_candidates,
+                out.recommendation.pruned.len(),
+                out.recommendation.num_queries,
+                out.recommendation.timings.total()
+            );
+            Some(out)
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            None
+        }
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let (db, suggested) = match load(&args.dataset, args.rows, args.seed) {
+        Ok(x) => x,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let mut frontend = Frontend::new(SeeDb::new(db, build_config(&args)));
+
+    let first_sql = args.query.clone().unwrap_or(suggested);
+    println!("dataset: {} ({} rows)\nquery:   {first_sql}\n", args.dataset, args.rows);
+    let mut current = match AnalystQuery::from_sql(&first_sql) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("bad query: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut last = run_and_print(&frontend, &current);
+
+    if !args.interactive {
+        return;
+    }
+
+    let stdin = std::io::stdin();
+    loop {
+        print!("seedb> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(':') {
+            let mut parts = rest.split_whitespace();
+            match parts.next() {
+                Some("quit") | Some("q") => break,
+                Some("k") => {
+                    if let Some(Ok(k)) = parts.next().map(str::parse) {
+                        frontend.engine_mut().config_mut().k = k;
+                        last = run_and_print(&frontend, &current);
+                    } else {
+                        eprintln!("usage: :k <n>");
+                    }
+                }
+                Some("metric") => match parts.next().and_then(Metric::parse) {
+                    Some(m) => {
+                        frontend.engine_mut().config_mut().metric = m;
+                        last = run_and_print(&frontend, &current);
+                    }
+                    None => eprintln!("metrics: emd euclidean l1 kl js chi2 hellinger tv"),
+                },
+                Some("basic") => {
+                    let on = parts.next() == Some("on");
+                    let cfg = frontend.engine_mut().config_mut();
+                    if on {
+                        cfg.optimizer = seedb::core::OptimizerConfig::basic();
+                        cfg.pruning = seedb::core::PruningConfig::disabled();
+                    } else {
+                        cfg.optimizer = seedb::core::OptimizerConfig::all_optimizations();
+                        cfg.pruning = seedb::core::PruningConfig::aggressive();
+                    }
+                    last = run_and_print(&frontend, &current);
+                }
+                Some("sample") => {
+                    let cfg = frontend.engine_mut().config_mut();
+                    match parts.next() {
+                        Some("off") => cfg.optimizer.sample = None,
+                        Some(f) => match f.parse::<f64>() {
+                            Ok(frac) => {
+                                cfg.optimizer.sample =
+                                    Some(SampleSpec::Bernoulli { fraction: frac, seed: 1 })
+                            }
+                            Err(e) => {
+                                eprintln!("bad fraction: {e}");
+                                continue;
+                            }
+                        },
+                        None => {
+                            eprintln!("usage: :sample <fraction|off>");
+                            continue;
+                        }
+                    }
+                    last = run_and_print(&frontend, &current);
+                }
+                Some("drill") => {
+                    let idx: Option<usize> = parts.next().and_then(|s| s.parse().ok());
+                    let label: Vec<&str> = parts.collect();
+                    match (idx, &last) {
+                        (Some(i), Some(out)) if i >= 1 && i <= out.recommendation.views.len() => {
+                            let view = &out.recommendation.views[i - 1];
+                            let next =
+                                drill_down(&current, &view.spec, &label.join(" "));
+                            println!("drilled: {}", next.to_sql());
+                            current = next;
+                            last = run_and_print(&frontend, &current);
+                        }
+                        _ => eprintln!("usage: :drill <view#> <group label>"),
+                    }
+                }
+                Some("up") => match roll_up(&current) {
+                    Ok(q) => {
+                        println!("rolled up: {}", q.to_sql());
+                        current = q;
+                        last = run_and_print(&frontend, &current);
+                    }
+                    Err(e) => eprintln!("{e}"),
+                },
+                _ => eprintln!("commands: :k :metric :basic :sample :drill :up :quit"),
+            }
+            continue;
+        }
+        // A SQL query.
+        match AnalystQuery::from_sql(line) {
+            Ok(q) => {
+                current = q;
+                last = run_and_print(&frontend, &current);
+            }
+            Err(e) => eprintln!("parse error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # seedb — SeeDB: Automatically Generating Query Visualizations
+//!
+//! A complete Rust reproduction of the VLDB 2014 system by Vartak,
+//! Madden, Parameswaran, and Polyzotis. This facade crate re-exports the
+//! whole workspace:
+//!
+//! | Crate | Role |
+//! |-------|------|
+//! | [`memdb`] | the in-memory columnar DBMS SeeDB wraps (from scratch) |
+//! | [`core`](mod@crate::core) | the SeeDB backend: view enumeration, pruning, query-combining optimizer, deviation scoring, top-k |
+//! | [`viz`](mod@crate::viz) | the frontend: query builder/templates, chart selection, visualization specs |
+//! | [`data`](mod@crate::data) | demo datasets (Store Orders / Election / Medical analogues) and synthetic generators |
+//!
+//! ## Five-minute tour
+//!
+//! ```
+//! use std::sync::Arc;
+//! use seedb::memdb::Database;
+//! use seedb::core::{SeeDb, SeeDbConfig};
+//! use seedb::viz::Frontend;
+//!
+//! // 1. Load a dataset into the DBMS substrate.
+//! let data = seedb::data::store_orders(5_000, 42);
+//! let query = data.query_sql.clone();
+//! let db = Arc::new(Database::new());
+//! db.register(data.table);
+//!
+//! // 2. Wrap it with SeeDB and a frontend.
+//! let frontend = Frontend::new(SeeDb::new(db, SeeDbConfig::recommended().with_k(3)));
+//!
+//! // 3. Issue the analyst query; get the most interesting views back.
+//! let out = frontend.issue_sql(&query).unwrap();
+//! for spec in &out.visualizations {
+//!     println!("{} (utility {:.3})", spec.title, spec.metadata.utility);
+//! }
+//! assert_eq!(out.visualizations.len(), 3);
+//! ```
+
+pub use memdb;
+pub use seedb_core as core;
+pub use seedb_data as data;
+pub use seedb_viz as viz;
+
+pub use seedb_core::{AnalystQuery, Metric, Recommendation, SeeDb, SeeDbConfig, ViewResult};
+pub use seedb_viz::{Frontend, QueryBuilder, QueryTemplate, VisualizationSpec};

@@ -1,0 +1,180 @@
+//! Integration test: the full pipeline over the three demo-dataset
+//! analogues (Scenario 1), checking that planted ground truth surfaces
+//! and that the optimizer/pruning machinery behaves across crates.
+
+use std::sync::Arc;
+
+use seedb::core::{PruningConfig, SeeDb, SeeDbConfig};
+use seedb::memdb::Database;
+use seedb::viz::Frontend;
+
+fn recall(truth: &[String], dims: &[String]) -> f64 {
+    truth.iter().filter(|t| dims.contains(t)).count() as f64 / truth.len() as f64
+}
+
+fn run_dataset(data: seedb::data::Dataset, k: usize) -> (Vec<String>, seedb::Recommendation) {
+    let truth = data.ground_truth.clone();
+    let sql = data.query_sql.clone();
+    let db = Arc::new(Database::new());
+    db.register(data.table);
+    let seedb = SeeDb::new(db, SeeDbConfig::recommended().with_k(k));
+    let rec = seedb.recommend_sql(&sql).unwrap();
+    assert!(rec.errors.is_empty(), "{:?}", rec.errors);
+    let mut sorted = rec.all.clone();
+    sorted.sort_by(|a, b| b.utility.partial_cmp(&a.utility).unwrap());
+    let mut dims: Vec<String> = Vec::new();
+    for v in &sorted {
+        if !dims.contains(&v.spec.dimension) {
+            dims.push(v.spec.dimension.clone());
+        }
+    }
+    dims.truncate(4);
+    let r = recall(&truth, &dims);
+    assert!(
+        r >= 0.5,
+        "dataset {}: recall {r} (top dims {dims:?}, truth {truth:?})",
+        rec.num_candidates
+    );
+    (truth, rec)
+}
+
+#[test]
+fn store_orders_recovers_planted_trends() {
+    let (_, rec) = run_dataset(seedb::data::store_orders(20_000, 11), 8);
+    // Correlation pruning should have clustered state with region.
+    assert!(
+        rec.clusters.iter().any(|c| c.contains(&"state".to_string())
+            && c.contains(&"region".to_string())),
+        "state/region cluster expected, got {:?}",
+        rec.clusters
+    );
+}
+
+#[test]
+fn election_recovers_planted_trends() {
+    let (_, rec) = run_dataset(seedb::data::election_contributions(20_000, 12), 8);
+    // candidate is the filter attribute: excluded from the view space.
+    assert!(rec
+        .all
+        .iter()
+        .all(|v| v.spec.dimension != "candidate"));
+}
+
+#[test]
+fn medical_recovers_planted_trends() {
+    run_dataset(seedb::data::medical(20_000, 13), 8);
+}
+
+#[test]
+fn optimizations_do_not_change_scores_on_real_schemas() {
+    let data = seedb::data::store_orders(8_000, 21);
+    let sql = data.query_sql.clone();
+    let db = Arc::new(Database::new());
+    db.register(data.table);
+
+    let mut basic_cfg = SeeDbConfig::basic();
+    basic_cfg.pruning = PruningConfig::disabled();
+    let basic = SeeDb::new(db.clone(), basic_cfg).recommend_sql(&sql).unwrap();
+
+    let mut opt_cfg = SeeDbConfig::recommended();
+    opt_cfg.pruning = PruningConfig::disabled();
+    let opt = SeeDb::new(db, opt_cfg).recommend_sql(&sql).unwrap();
+
+    assert_eq!(basic.all.len(), opt.all.len());
+    for (a, b) in basic.all.iter().zip(&opt.all) {
+        assert_eq!(a.spec, b.spec);
+        assert!(
+            (a.utility - b.utility).abs() < 1e-9,
+            "{}: {} vs {}",
+            a.spec,
+            a.utility,
+            b.utility
+        );
+    }
+    // And the optimized run does dramatically less DBMS work.
+    assert!(opt.num_queries * 3 <= basic.num_queries);
+    assert!(opt.cost.rows_scanned * 2 <= basic.cost.rows_scanned);
+}
+
+#[test]
+fn frontend_renders_all_datasets() {
+    for data in [
+        seedb::data::store_orders(3_000, 1),
+        seedb::data::election_contributions(3_000, 1),
+        seedb::data::medical(3_000, 1),
+    ] {
+        let sql = data.query_sql.clone();
+        let db = Arc::new(Database::new());
+        db.register(data.table);
+        let mut cfg = SeeDbConfig::recommended().with_k(3);
+        cfg.low_utility_views = 1;
+        let frontend = Frontend::new(SeeDb::new(db, cfg));
+        let out = frontend.issue_sql(&sql).unwrap();
+        assert_eq!(out.visualizations.len(), 3);
+        let text = out.render_text();
+        assert!(text.contains('█'));
+        // Specs serialize to valid JSON and Vega-Lite.
+        for spec in &out.visualizations {
+            let json: serde_json::Value = serde_json::from_str(&spec.to_json()).unwrap();
+            assert!(json["metadata"]["utility"].is_number());
+            let vl = spec.to_vega_lite();
+            assert!(vl["data"]["values"].as_array().is_some());
+        }
+    }
+}
+
+#[test]
+fn workload_accumulation_enables_access_pruning() {
+    let data = seedb::data::store_orders(5_000, 31);
+    let sql = data.query_sql.clone();
+    let db = Arc::new(Database::new());
+    db.register(data.table);
+    let mut cfg = SeeDbConfig::recommended().with_k(5);
+    cfg.pruning.min_workload_queries = 5;
+    cfg.pruning.min_access_fraction = 0.5;
+    let seedb = SeeDb::new(db, cfg);
+    // Simulate a session: the analyst keeps querying product and sales.
+    for _ in 0..10 {
+        seedb
+            .tracker()
+            .record("store_orders", ["product", "sales", "region"]);
+    }
+    let rec = seedb.recommend_sql(&sql).unwrap();
+    // Attributes outside the hot set get pruned by access frequency.
+    assert!(rec
+        .pruned
+        .iter()
+        .any(|p| matches!(p.reason, seedb::core::PruneReason::RarelyAccessed { .. })));
+    // The hot dimension survives.
+    assert!(rec.all.iter().any(|v| v.spec.dimension == "region"));
+}
+
+#[test]
+fn binned_numeric_column_flows_through_the_pipeline() {
+    use seedb::memdb::{with_binned_column, BinStrategy};
+    // Medical data: bin the heart_rate measure into an ordinal dimension
+    // and let SeeDB group on it (paper §1: "binning, grouping, and
+    // aggregation").
+    let data = seedb::data::medical(10_000, 3);
+    let (binned, binning) =
+        with_binned_column(&data.table, "heart_rate", BinStrategy::EqualDepth { bins: 6 })
+            .unwrap();
+    assert!(binning.num_bins() <= 6);
+    let db = Arc::new(Database::new());
+    db.register(binned);
+    let seedb = SeeDb::new(db, SeeDbConfig::recommended().with_k(10));
+    let rec = seedb.recommend_sql(&data.query_sql).unwrap();
+    // Cardiac admissions have elevated heart rate, so the derived
+    // heart_rate_bin dimension deviates and appears among the views.
+    let bin_view = rec
+        .all
+        .iter()
+        .find(|v| v.spec.dimension == "heart_rate_bin")
+        .expect("binned dimension becomes a candidate view");
+    assert!(bin_view.utility > 0.05, "got {}", bin_view.utility);
+    // Its labels sort in bucket order, so EMD sees the right geometry.
+    let labels = &bin_view.aligned.labels;
+    let mut sorted = labels.clone();
+    sorted.sort();
+    assert_eq!(&sorted, labels);
+}

@@ -1,0 +1,202 @@
+//! Property-based tests over the core invariants, spanning crates:
+//! distance-metric axioms, distribution normalization, alignment,
+//! bin-packing validity, and optimizer-plan equivalence on random data.
+
+use proptest::prelude::*;
+
+use seedb::core::{distance, AlignedPair, Distribution, Metric};
+use seedb::core::packing::{is_valid_packing, pack};
+
+fn prob_vec(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..100.0, n).prop_map(|v| {
+        let s: f64 = v.iter().sum();
+        if s > 0.0 {
+            v.into_iter().map(|x| x / s).collect()
+        } else {
+            v
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn distances_are_nonnegative_and_finite(
+        n in 1usize..30,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let raw: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..10.0)).collect();
+        let raw2: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..10.0)).collect();
+        let norm = |v: &[f64]| {
+            let s: f64 = v.iter().sum();
+            v.iter().map(|x| if s > 0.0 { x / s } else { 0.0 }).collect::<Vec<_>>()
+        };
+        let p = norm(&raw);
+        let q = norm(&raw2);
+        for m in Metric::all() {
+            let d = distance(m, &p, &q);
+            prop_assert!(d.is_finite(), "{m}: {d}");
+            prop_assert!(d >= 0.0, "{m}: {d}");
+        }
+    }
+
+    #[test]
+    fn identity_of_indiscernibles(p in prob_vec(12)) {
+        for m in Metric::all() {
+            let d = distance(m, &p, &p);
+            prop_assert!(d.abs() < 1e-9, "{m}: d(p,p) = {d}");
+        }
+    }
+
+    #[test]
+    fn symmetric_metrics_commute(p in prob_vec(10), q in prob_vec(10)) {
+        for m in Metric::all().into_iter().filter(|m| m.is_symmetric()) {
+            let ab = distance(m, &p, &q);
+            let ba = distance(m, &q, &p);
+            prop_assert!((ab - ba).abs() < 1e-9, "{m}: {ab} vs {ba}");
+        }
+    }
+
+    #[test]
+    fn l1_triangle_inequality(
+        p in prob_vec(8),
+        q in prob_vec(8),
+        r in prob_vec(8),
+    ) {
+        let pq = distance(Metric::L1, &p, &q);
+        let qr = distance(Metric::L1, &q, &r);
+        let pr = distance(Metric::L1, &p, &r);
+        prop_assert!(pr <= pq + qr + 1e-9);
+        // Euclidean too.
+        let pq = distance(Metric::Euclidean, &p, &q);
+        let qr = distance(Metric::Euclidean, &q, &r);
+        let pr = distance(Metric::Euclidean, &p, &r);
+        prop_assert!(pr <= pq + qr + 1e-9);
+    }
+
+    #[test]
+    fn js_distance_is_bounded(p in prob_vec(10), q in prob_vec(10)) {
+        let d = distance(Metric::JensenShannon, &p, &q);
+        prop_assert!(d <= 2f64.ln().sqrt() + 1e-9, "JS distance exceeded bound: {d}");
+    }
+
+    #[test]
+    fn distribution_normalizes(values in proptest::collection::vec(-50.0f64..200.0, 1..40)) {
+        let pairs: Vec<(String, Option<f64>)> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (format!("g{i:02}"), Some(*v)))
+            .collect();
+        let d = Distribution::from_pairs(pairs);
+        let total: f64 = d.probs.iter().sum();
+        let has_mass = values.iter().any(|v| *v > 0.0);
+        if has_mass {
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        } else {
+            prop_assert!(total.abs() < 1e-12);
+        }
+        prop_assert!(d.probs.iter().all(|p| *p >= 0.0));
+        // Labels sorted.
+        prop_assert!(d.labels.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn alignment_is_a_label_union(
+        a in proptest::collection::btree_set(0u8..40, 0..20),
+        b in proptest::collection::btree_set(0u8..40, 0..20),
+    ) {
+        let mk = |s: &std::collections::BTreeSet<u8>| Distribution::from_pairs(
+            s.iter().map(|i| (format!("g{i:02}"), Some(1.0))).collect(),
+        );
+        let da = mk(&a);
+        let db = mk(&b);
+        let aligned = AlignedPair::align(&da, &db);
+        let union: std::collections::BTreeSet<u8> = a.union(&b).copied().collect();
+        prop_assert_eq!(aligned.len(), union.len());
+        prop_assert!(aligned.labels.windows(2).all(|w| w[0] < w[1]));
+        // Probabilities preserved for labels each side owns.
+        for (i, l) in aligned.labels.iter().enumerate() {
+            prop_assert!((aligned.p[i] - da.prob(l)).abs() < 1e-12);
+            prop_assert!((aligned.q[i] - db.prob(l)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn packing_is_always_valid(
+        weights in proptest::collection::vec(1u64..100, 0..40),
+        capacity in 1u64..200,
+    ) {
+        let bins = pack(&weights, capacity);
+        prop_assert!(is_valid_packing(&bins, &weights, capacity));
+        // Lower bound: every oversized item needs its own bin, and the
+        // normal items need at least ceil(sum/capacity) bins.
+        if !weights.is_empty() {
+            let oversized = weights.iter().filter(|w| **w > capacity).count();
+            let normal_sum: u64 = weights.iter().filter(|w| **w <= capacity).sum();
+            let lb = oversized + normal_sum.div_ceil(capacity) as usize;
+            prop_assert!(bins.len() >= lb, "{} bins < lower bound {lb}", bins.len());
+            prop_assert!(bins.len() <= weights.len());
+        }
+    }
+}
+
+mod optimizer_equivalence {
+    use super::*;
+    use seedb::core::{AnalystQuery, GroupByCombining, PruningConfig, SeeDb, SeeDbConfig};
+    use seedb::data::{Plant, SyntheticSpec};
+    use seedb::memdb::Database;
+    use std::sync::Arc;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        /// On random synthetic datasets, every optimizer configuration
+        /// produces the same utilities as the basic framework.
+        #[test]
+        fn all_plans_score_identically(
+            seed in 0u64..1000,
+            dims in 3usize..6,
+            card in 2usize..12,
+            measures in 1usize..3,
+        ) {
+            let spec = SyntheticSpec::knobs(800, dims, card, 1.0, measures, seed)
+                .with_plant(Plant {
+                    subset_dim: 0,
+                    subset_value: 0,
+                    deviating_dims: vec![1],
+                    deviating_measures: vec![],
+                });
+            let analyst = AnalystQuery::new("synthetic", spec.subset_filter());
+            let db = Arc::new(Database::new());
+            db.register(spec.generate());
+
+            let mut base_cfg = SeeDbConfig::basic();
+            base_cfg.pruning = PruningConfig::disabled();
+            let baseline = SeeDb::new(db.clone(), base_cfg).recommend(&analyst).unwrap();
+
+            for combining in [
+                GroupByCombining::Off,
+                GroupByCombining::GroupingSets,
+                GroupByCombining::MultiGroupBy,
+            ] {
+                for budget in [8u64, 1_000_000] {
+                    let mut cfg = SeeDbConfig::recommended();
+                    cfg.pruning = PruningConfig::disabled();
+                    cfg.optimizer.parallelism = 2;
+                    cfg.optimizer.group_by_combining = combining;
+                    cfg.optimizer.memory_budget_groups = budget;
+                    let rec = SeeDb::new(db.clone(), cfg).recommend(&analyst).unwrap();
+                    prop_assert_eq!(rec.all.len(), baseline.all.len());
+                    for (a, b) in baseline.all.iter().zip(&rec.all) {
+                        prop_assert_eq!(&a.spec, &b.spec);
+                        prop_assert!(
+                            (a.utility - b.utility).abs() < 1e-9,
+                            "{} differs under {:?}/{}: {} vs {}",
+                            a.spec, combining, budget, a.utility, b.utility
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
