@@ -64,7 +64,9 @@ fn bench_pruning(c: &mut Criterion) {
         let seedb = SeeDb::new(db.clone(), config);
         // Prime the workload log so the access rule can fire.
         for _ in 0..20 {
-            seedb.tracker().record("synthetic", ["d0", "d1", "d2", "m0", "m1"]);
+            seedb
+                .tracker()
+                .record("synthetic", ["d0", "d1", "d2", "m0", "m1"]);
         }
         group.bench_with_input(BenchmarkId::from_parameter(name), &seedb, |b, s| {
             b.iter(|| s.recommend(&analyst).expect("recommendation runs"))

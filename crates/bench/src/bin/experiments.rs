@@ -12,10 +12,10 @@ use std::time::Instant;
 
 use memdb::{Database, SampleSpec};
 use seedb_bench::{jaccard, recall, workload};
+use seedb_core::{view_space_size, FunctionSet};
 use seedb_core::{
     AnalystQuery, GroupByCombining, Metric, PruningConfig, SeeDb, SeeDbConfig, ViewResult,
 };
-use seedb_core::{view_space_size, FunctionSet};
 use seedb_data::{Categorical, DimSpec, Plant, SyntheticSpec};
 
 fn main() {
@@ -89,7 +89,10 @@ fn exp_c1_view_space_growth() {
         "view-space growth",
         "\"the number of candidate views increases as the square of the number of attributes\"",
     );
-    println!("{:>12} {:>16} {:>10}", "attributes", "candidate views", "ratio");
+    println!(
+        "{:>12} {:>16} {:>10}",
+        "attributes", "candidate views", "ratio"
+    );
     let funcs = FunctionSet::standard();
     let mut prev = 0usize;
     for attrs in [10usize, 20, 40, 80, 160] {
@@ -224,8 +227,14 @@ fn exp_s2b_combine_target_comparison() {
     let (off_ms, off_scans, off_rows) = run(false);
     let (on_ms, on_scans, on_rows) = run(true);
     println!("{:<22} {:>9} {:>12} {:>10}", "", "scans", "rows", "ms");
-    println!("{:<22} {off_scans:>9} {off_rows:>12} {off_ms:>10.1}", "separate queries");
-    println!("{:<22} {on_scans:>9} {on_rows:>12} {on_ms:>10.1}", "combined query");
+    println!(
+        "{:<22} {off_scans:>9} {off_rows:>12} {off_ms:>10.1}",
+        "separate queries"
+    );
+    println!(
+        "{:<22} {on_scans:>9} {on_rows:>12} {on_ms:>10.1}",
+        "combined query"
+    );
     println!(
         "    scan reduction {:.2}x (paper: 2x), wall speedup {:.2}x\n",
         off_scans as f64 / on_scans as f64,
@@ -299,7 +308,11 @@ fn exp_s2d_combine_groupbys() {
             t0.elapsed().as_secs_f64() * 1e3
         );
     };
-    run("off (one query per dim)".into(), GroupByCombining::Off, u64::MAX);
+    run(
+        "off (one query per dim)".into(),
+        GroupByCombining::Off,
+        u64::MAX,
+    );
     for budget in [12u64, 24, 48, 1_000_000] {
         run(
             format!("grouping sets, budget {budget}"),
@@ -355,7 +368,9 @@ fn exp_s2e_sampling() {
             recall(&w.ground_truth_dims, &dims),
         );
     }
-    println!("    (latency falls with the sample; ranking stays accurate until very small samples)\n");
+    println!(
+        "    (latency falls with the sample; ranking stays accurate until very small samples)\n"
+    );
 }
 
 /// S2f — parallelism: total latency down, per-query time up.
@@ -380,8 +395,8 @@ fn exp_s2f_parallelism() {
         let total_ms = t0.elapsed().as_secs_f64() * 1e3;
         // Mean per-query time: execution phase / queries, scaled by
         // workers (queries overlap), approximated from phase timing.
-        let per_query_ms = rec.timings.execution.as_secs_f64() * 1e3 * workers as f64
-            / rec.num_queries as f64;
+        let per_query_ms =
+            rec.timings.execution.as_secs_f64() * 1e3 * workers as f64 / rec.num_queries as f64;
         println!("{workers:>9} {total_ms:>12.1} {per_query_ms:>18.2}");
     }
     println!();

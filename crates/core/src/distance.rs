@@ -166,9 +166,7 @@ pub fn distance(metric: Metric, p: &[f64], q: &[f64]) -> f64 {
                     .sum::<f64>();
             h2.min(1.0).sqrt()
         }
-        Metric::TotalVariation => {
-            0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>()
-        }
+        Metric::TotalVariation => 0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>(),
     }
 }
 
@@ -209,9 +207,7 @@ mod tests {
         // EMD: all mass moves one slot.
         assert!((distance(Metric::EarthMovers, &p, &q) - 1.0).abs() < 1e-12);
         // JS distance of disjoint distributions = sqrt(ln 2).
-        assert!(
-            (distance(Metric::JensenShannon, &p, &q) - 2f64.ln().sqrt()).abs() < 1e-9
-        );
+        assert!((distance(Metric::JensenShannon, &p, &q) - 2f64.ln().sqrt()).abs() < 1e-9);
         // TV and Hellinger are 1 for disjoint distributions.
         assert!((distance(Metric::TotalVariation, &p, &q) - 1.0).abs() < 1e-12);
         assert!((distance(Metric::Hellinger, &p, &q) - 1.0).abs() < 1e-12);
@@ -254,7 +250,7 @@ mod tests {
         let ab = distance(Metric::KlDivergence, &p, &q);
         let ba = distance(Metric::KlDivergence, &q, &p);
         assert!((ab - ba).abs() > 1e-12 || ab == ba); // may coincide numerically
-        // q has a zero where p has mass: smoothing keeps it finite.
+                                                      // q has a zero where p has mass: smoothing keeps it finite.
         let d = distance(Metric::KlDivergence, &[0.5, 0.5], &[1.0, 0.0]);
         assert!(d.is_finite());
         assert!(d > 0.0);
@@ -291,14 +287,8 @@ mod tests {
 
     #[test]
     fn metric_distance_on_aligned_pair_matches_raw() {
-        let t = Distribution::from_pairs(vec![
-            ("a".into(), Some(3.0)),
-            ("b".into(), Some(1.0)),
-        ]);
-        let c = Distribution::from_pairs(vec![
-            ("a".into(), Some(1.0)),
-            ("b".into(), Some(3.0)),
-        ]);
+        let t = Distribution::from_pairs(vec![("a".into(), Some(3.0)), ("b".into(), Some(1.0))]);
+        let c = Distribution::from_pairs(vec![("a".into(), Some(1.0)), ("b".into(), Some(3.0))]);
         let pair = AlignedPair::align(&t, &c);
         for m in Metric::all() {
             assert!((m.distance(&pair) - distance(m, &pair.p, &pair.q)).abs() < 1e-15);
@@ -321,10 +311,7 @@ mod tests {
         let mild = vec![0.6, 0.4];
         let strong = vec![0.9, 0.1];
         for m in Metric::all() {
-            assert!(
-                distance(m, &strong, &q) > distance(m, &mild, &q),
-                "{m}"
-            );
+            assert!(distance(m, &strong, &q) > distance(m, &mild, &q), "{m}");
         }
     }
 

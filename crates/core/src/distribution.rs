@@ -161,7 +161,12 @@ mod tests {
 
     #[test]
     fn normalization_sums_to_one() {
-        let d = dist(&[("Jan", 180.55), ("Feb", 145.50), ("Mar", 122.00), ("Apr", 90.13)]);
+        let d = dist(&[
+            ("Jan", 180.55),
+            ("Feb", 145.50),
+            ("Mar", 122.00),
+            ("Apr", 90.13),
+        ]);
         let total: f64 = d.probs.iter().sum();
         assert!((total - 1.0).abs() < 1e-12);
         // Paper example: 180.55 / 538.18.

@@ -12,7 +12,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use memdb::{run_batch, AnyQuery, CostSnapshot, Database, DbError, DbResult};
+use memdb::{run_batch, CostSnapshot, Database, DbError, DbResult, LogicalPlan};
 
 use crate::config::SeeDbConfig;
 use crate::metadata::{AccessTracker, MetadataCollector};
@@ -186,8 +186,8 @@ impl SeeDb {
 
         // Phase 4: execute.
         let t0 = Instant::now();
-        let queries: Vec<AnyQuery> = exec_plan.queries.iter().map(|q| q.query.clone()).collect();
-        let batch = run_batch(&self.db, &queries, exec_plan.parallelism);
+        let plans: Vec<LogicalPlan> = exec_plan.queries.iter().map(|q| q.plan.clone()).collect();
+        let batch = run_batch(&self.db, &plans, exec_plan.parallelism);
         timings.execution = t0.elapsed();
 
         // Phase 5: process (streaming over completed queries).
@@ -314,7 +314,9 @@ mod tests {
     #[test]
     fn basic_and_optimized_agree_on_ranking() {
         let db = demo_db();
-        let basic = SeeDb::new(db.clone(), SeeDbConfig::basic()).recommend(&laserwave()).unwrap();
+        let basic = SeeDb::new(db.clone(), SeeDbConfig::basic())
+            .recommend(&laserwave())
+            .unwrap();
         let mut cfg = SeeDbConfig::recommended();
         cfg.pruning = crate::pruning::PruningConfig::disabled(); // same view set
         let optimized = SeeDb::new(db, cfg).recommend(&laserwave()).unwrap();
@@ -330,7 +332,9 @@ mod tests {
     #[test]
     fn optimizations_reduce_scan_cost() {
         let db = demo_db();
-        let basic = SeeDb::new(db.clone(), SeeDbConfig::basic()).recommend(&laserwave()).unwrap();
+        let basic = SeeDb::new(db.clone(), SeeDbConfig::basic())
+            .recommend(&laserwave())
+            .unwrap();
         let mut cfg = SeeDbConfig::recommended();
         cfg.optimizer.parallelism = 1;
         let optimized = SeeDb::new(db, cfg).recommend(&laserwave()).unwrap();
@@ -384,7 +388,9 @@ mod tests {
         let db = demo_db();
         let mut cfg = SeeDbConfig::recommended();
         cfg.metric = Metric::EarthMovers;
-        let emd = SeeDb::new(db.clone(), cfg.clone()).recommend(&laserwave()).unwrap();
+        let emd = SeeDb::new(db.clone(), cfg.clone())
+            .recommend(&laserwave())
+            .unwrap();
         cfg.metric = Metric::KlDivergence;
         let kl = SeeDb::new(db, cfg).recommend(&laserwave()).unwrap();
         let e = emd.views[0].utility;

@@ -125,7 +125,7 @@ mod tests {
     fn drilled_query_executes_end_to_end() {
         use crate::config::SeeDbConfig;
         use crate::engine::SeeDb;
-        use memdb::{ColumnDef, Database, DataType, Schema, Table};
+        use memdb::{ColumnDef, DataType, Database, Schema, Table};
         use std::sync::Arc;
 
         let schema = Schema::new(vec![

@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 
 use memdb::{cramers_v, DbResult, Table, TableStats};
-use parking_lot::RwLock;
+use std::sync::RwLock;
 
 /// Tracks which columns analyst queries touch, per table — the paper's
 /// "table access patterns" metadata. SeeDB records every analyst query
@@ -42,18 +42,24 @@ impl AccessTracker {
             .collect();
         unique.sort();
         unique.dedup();
-        let mut counts = self.counts.write();
+        let mut counts = self.counts.write().expect("tracker lock poisoned");
         let per_table = counts.entry(table.to_string()).or_default();
         for c in unique {
             *per_table.entry(c).or_insert(0) += 1;
         }
-        *self.queries.write().entry(table.to_string()).or_insert(0) += 1;
+        *self
+            .queries
+            .write()
+            .expect("tracker lock poisoned")
+            .entry(table.to_string())
+            .or_insert(0) += 1;
     }
 
     /// Access count for one column.
     pub fn count(&self, table: &str, column: &str) -> u64 {
         self.counts
             .read()
+            .expect("tracker lock poisoned")
             .get(table)
             .and_then(|m| m.get(column))
             .copied()
@@ -62,12 +68,22 @@ impl AccessTracker {
 
     /// Total queries recorded against `table`.
     pub fn total_queries(&self, table: &str) -> u64 {
-        self.queries.read().get(table).copied().unwrap_or(0)
+        self.queries
+            .read()
+            .expect("tracker lock poisoned")
+            .get(table)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Snapshot of all column counts for `table`.
     pub fn snapshot(&self, table: &str) -> HashMap<String, u64> {
-        self.counts.read().get(table).cloned().unwrap_or_default()
+        self.counts
+            .read()
+            .expect("tracker lock poisoned")
+            .get(table)
+            .cloned()
+            .unwrap_or_default()
     }
 }
 
@@ -164,7 +180,11 @@ mod tests {
         ])
         .unwrap();
         let mut t = Table::new("orders", schema);
-        let states = [("MA", "Massachusetts"), ("WA", "Washington"), ("NY", "New York")];
+        let states = [
+            ("MA", "Massachusetts"),
+            ("WA", "Washington"),
+            ("NY", "New York"),
+        ];
         for i in 0..90 {
             let (s, sn) = states[i % 3];
             let cat = ["tech", "office", "furniture"][(i / 2) % 3];

@@ -25,7 +25,7 @@
 
 use std::collections::HashMap;
 
-use memdb::{AggFunc, AggSpec, AnyQuery, Query, SampleSpec, SetsQuery};
+use memdb::{AggFunc, AggSpec, LogicalPlan, SampleSpec};
 
 use crate::metadata::Metadata;
 use crate::querygen::{direct_alias, view_agg, AnalystQuery, Side};
@@ -163,11 +163,12 @@ pub struct Extract {
     pub source: ValueSource,
 }
 
-/// One query the DBMS will run, with extraction instructions.
+/// One query the DBMS will run — a typed logical plan plus instructions
+/// for recovering view distributions from its output.
 #[derive(Debug, Clone)]
 pub struct PlannedQuery {
-    /// The executable query.
-    pub query: AnyQuery,
+    /// The logical plan (lowered and executed by the DBMS layer).
+    pub plan: LogicalPlan,
     /// How view distributions are recovered from its output.
     pub extracts: Vec<Extract>,
 }
@@ -253,10 +254,7 @@ pub fn plan(
     let mut queries: Vec<PlannedQuery> = Vec::new();
     for bin in bins {
         // Views in this bin.
-        let view_indices: Vec<usize> = bin
-            .iter()
-            .flat_map(|d| by_dim[d].iter().copied())
-            .collect();
+        let view_indices: Vec<usize> = bin.iter().flat_map(|d| by_dim[d].iter().copied()).collect();
 
         // Aggregate-sharing units: all views at once, or one per view.
         let units: Vec<Vec<usize>> = if config.aggregates_combined() {
@@ -276,7 +274,14 @@ pub fn plan(
                     config,
                 ));
             } else {
-                queries.push(build_query(&bin, &unit, views, analyst, &[Side::Target], config));
+                queries.push(build_query(
+                    &bin,
+                    &unit,
+                    views,
+                    analyst,
+                    &[Side::Target],
+                    config,
+                ));
                 queries.push(build_query(
                     &bin,
                     &unit,
@@ -335,10 +340,7 @@ fn build_query(
 
     for &vi in unit {
         let view = &views[vi];
-        let result_index = if matches!(
-            config.group_by_combining,
-            GroupByCombining::GroupingSets
-        ) {
+        let result_index = if matches!(config.group_by_combining, GroupByCombining::GroupingSets) {
             bin.iter()
                 .position(|d| *d == view.dimension)
                 .expect("view's dimension is in its bin")
@@ -402,36 +404,24 @@ fn build_query(
         None
     };
 
-    let query = match config.group_by_combining {
+    let mut source = LogicalPlan::scan(&analyst.table);
+    if let Some(f) = filter {
+        source = source.filter(f);
+    }
+    let plan = match config.group_by_combining {
+        // Single-set grouping sets lower to the plain single-grouping
+        // operator in the plan layer, so the general shape is emitted
+        // unconditionally here.
         GroupByCombining::GroupingSets => {
-            let mut q = SetsQuery {
-                table: analyst.table.clone(),
-                filter,
-                sets: bin.iter().map(|d| vec![d.clone()]).collect(),
-                aggregates: aggs,
-                sample: config.sample,
-            };
-            // Single-set SetsQuery is fine, but prefer the simpler shape.
-            if q.sets.len() == 1 {
-                let mut sq = Query::aggregate(&q.table, vec![], std::mem::take(&mut q.aggregates));
-                sq.group_by = q.sets.remove(0);
-                sq.filter = q.filter.take();
-                sq.sample = q.sample;
-                AnyQuery::Single(sq)
-            } else {
-                AnyQuery::Sets(q)
-            }
+            source.grouping_sets(bin.iter().map(|d| vec![d.clone()]).collect(), aggs)
         }
         GroupByCombining::MultiGroupBy | GroupByCombining::Off => {
-            let mut q = Query::aggregate(&analyst.table, vec![], aggs);
-            q.group_by = bin.to_vec();
-            q.filter = filter;
-            q.sample = config.sample;
-            AnyQuery::Single(q)
+            source.aggregate(bin.to_vec(), aggs)
         }
-    };
+    }
+    .sampled(config.sample);
 
-    PlannedQuery { query, extracts }
+    PlannedQuery { plan, extracts }
 }
 
 #[cfg(test)]
@@ -528,9 +518,9 @@ mod tests {
         cfg.memory_budget_groups = u64::MAX;
         let p = plan(&views, &analyst, &md, &cfg);
         assert_eq!(p.num_queries(), 1);
-        match &p.queries[0].query {
-            AnyQuery::Sets(s) => assert_eq!(s.sets.len(), 3),
-            AnyQuery::Single(_) => panic!("expected sets query"),
+        match p.queries[0].plan.lower().unwrap() {
+            memdb::PhysicalPlan::GroupingSets { query, .. } => assert_eq!(query.sets.len(), 3),
+            memdb::PhysicalPlan::Aggregate { .. } => panic!("expected grouping-sets plan"),
         }
     }
 
@@ -543,9 +533,9 @@ mod tests {
         cfg.memory_budget_groups = 1_000_000; // 5*7*9 = 315 fits
         let p = plan(&views, &analyst, &md, &cfg);
         assert_eq!(p.num_queries(), 1);
-        match &p.queries[0].query {
-            AnyQuery::Single(q) => assert_eq!(q.group_by.len(), 3),
-            _ => panic!("expected single query"),
+        match p.queries[0].plan.lower().unwrap() {
+            memdb::PhysicalPlan::Aggregate { query, .. } => assert_eq!(query.group_by.len(), 3),
+            _ => panic!("expected single-grouping plan"),
         }
         assert!(p.queries[0]
             .extracts
@@ -604,8 +594,8 @@ mod tests {
         cfg.combine_target_comparison = true;
         cfg.group_by_combining = GroupByCombining::MultiGroupBy;
         let p = plan(&views, &analyst, &md, &cfg);
-        let q = match &p.queries[0].query {
-            AnyQuery::Single(q) => q,
+        let q = match p.queries[0].plan.lower().unwrap() {
+            memdb::PhysicalPlan::Aggregate { query, .. } => query,
             _ => panic!(),
         };
         let aliases: Vec<&str> = q
@@ -628,9 +618,9 @@ mod tests {
         });
         let p = plan(&views, &analyst, &md, &cfg);
         for q in &p.queries {
-            match &q.query {
-                AnyQuery::Single(q) => assert!(q.sample.is_some()),
-                AnyQuery::Sets(q) => assert!(q.sample.is_some()),
+            match q.plan.lower().unwrap() {
+                memdb::PhysicalPlan::Aggregate { query, .. } => assert!(query.sample.is_some()),
+                memdb::PhysicalPlan::GroupingSets { query, .. } => assert!(query.sample.is_some()),
             }
         }
     }
@@ -639,12 +629,12 @@ mod tests {
     fn standalone_target_queries_use_where_clause() {
         let (_t, md, analyst, views) = setup(1, &[3]);
         let p = plan(&views, &analyst, &md, &OptimizerConfig::basic());
-        let target_queries: Vec<&Query> = p
+        let target_queries: Vec<memdb::Query> = p
             .queries
             .iter()
             .filter(|pq| pq.extracts[0].side == Side::Target)
-            .map(|pq| match &pq.query {
-                AnyQuery::Single(q) => q,
+            .map(|pq| match pq.plan.lower().unwrap() {
+                memdb::PhysicalPlan::Aggregate { query, .. } => query,
                 _ => panic!(),
             })
             .collect();
@@ -662,8 +652,8 @@ mod tests {
         cfg.combine_target_comparison = true;
         let p = plan(&views, &analyst, &md, &cfg);
         for pq in &p.queries {
-            let q = match &pq.query {
-                AnyQuery::Single(q) => q,
+            let q = match pq.plan.lower().unwrap() {
+                memdb::PhysicalPlan::Aggregate { query, .. } => query,
                 _ => panic!(),
             };
             assert!(q.filter.is_none());

@@ -22,8 +22,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use memdb::exec::aggregate::{grouping_sets_scan, AggFunc, AggRequest};
-use memdb::{DbError, DbResult, Table, Value};
+use memdb::{AggFunc, AggSpec, DbError, DbResult, LogicalPlan, Table, Value};
 
 use crate::distance::Metric;
 use crate::distribution::{AlignedPair, Distribution};
@@ -129,7 +128,14 @@ impl Default for Comp {
 }
 
 impl SideAcc {
-    fn merge(&mut self, label: String, sum: Option<f64>, count: Option<f64>, min: Option<f64>, max: Option<f64>) {
+    fn merge(
+        &mut self,
+        label: String,
+        sum: Option<f64>,
+        count: Option<f64>,
+        min: Option<f64>,
+        max: Option<f64>,
+    ) {
         let c = self.groups.entry(label).or_default();
         if let Some(v) = sum {
             c.sum += v;
@@ -182,10 +188,12 @@ pub fn confidence_halfwidth(n: f64, k_groups: usize, delta: f64) -> f64 {
 ///
 /// Semantics: the table is split into `config.phases` contiguous slices;
 /// every view still alive is updated from each slice via one shared
-/// grouping-sets scan per slice. After each slice (past `min_phases`),
-/// views whose utility upper bound falls below the k-th best lower bound
-/// are discarded. Survivors end with exact full-table utilities —
-/// identical to what [`crate::engine::SeeDb::recommend`] computes.
+/// grouping-sets plan per slice (a row-sliced [`LogicalPlan`] lowered
+/// onto the same shared-scan operator the optimizer's rewrites use).
+/// After each slice (past `min_phases`), views whose utility upper bound
+/// falls below the k-th best lower bound are discarded. Survivors end
+/// with exact full-table utilities — identical to what
+/// [`crate::engine::SeeDb::recommend`] computes.
 ///
 /// # Errors
 /// Unknown columns or type errors from the underlying scans.
@@ -205,11 +213,6 @@ pub fn run_phased(
             table.name()
         )));
     }
-    let filter = match &analyst.filter {
-        Some(f) => Some(f.bind(table.schema())?),
-        None => None,
-    };
-
     // Alive set + accumulators.
     let mut alive: Vec<bool> = vec![true; views.len()];
     let mut target_acc: Vec<SideAcc> = vec![SideAcc::default(); views.len()];
@@ -221,8 +224,7 @@ pub fn run_phased(
     for phase in 0..phases {
         let lo = n_rows * phase / phases;
         let hi = n_rows * (phase + 1) / phases;
-        let rows: Vec<u32> = (lo as u32..hi as u32).collect();
-        if rows.is_empty() {
+        if lo == hi {
             survivors_per_phase.push(alive.iter().filter(|a| **a).count());
             continue;
         }
@@ -237,21 +239,19 @@ pub fn run_phased(
         if dims.is_empty() {
             break;
         }
-        let sets: Vec<Vec<usize>> = dims
-            .iter()
-            .map(|d| Ok(vec![table.schema().index_of(d)?]))
-            .collect::<DbResult<_>>()?;
+        let sets: Vec<Vec<String>> = dims.iter().map(|d| vec![d.to_string()]).collect();
 
         // Component aggregates: for every (measure, side) needed by an
         // alive view: SUM/COUNT/MIN/MAX (+ COUNT(*) for measureless
-        // views). Deduplicated; target side carries the filter.
+        // views). Deduplicated; target side carries the analyst filter
+        // as a per-aggregate predicate.
         #[derive(PartialEq, Eq, Hash, Clone)]
         struct CompKey {
             measure: Option<String>,
             target: bool,
         }
         let mut comp_index: HashMap<CompKey, usize> = HashMap::new(); // -> base agg idx
-        let mut aggs: Vec<AggRequest> = Vec::new();
+        let mut aggs: Vec<AggSpec> = Vec::new();
         for (i, v) in views.iter().enumerate() {
             if !alive[i] {
                 continue;
@@ -264,34 +264,45 @@ pub fn run_phased(
                 if comp_index.contains_key(&key) {
                     continue;
                 }
-                let predicate = if target { filter.clone() } else { None };
+                let predicate = if target { analyst.filter.clone() } else { None };
+                let prefix = if target { "t" } else { "c" };
                 let base = aggs.len();
                 match &v.measure {
                     Some(m) => {
-                        let col = table.schema().index_of(m)?;
                         for func in [AggFunc::Sum, AggFunc::Count, AggFunc::Min, AggFunc::Max] {
-                            aggs.push(AggRequest {
-                                func,
-                                column: Some(col),
-                                predicate: predicate.clone(),
-                            });
+                            let mut spec = AggSpec::new(func, m).with_alias(&format!(
+                                "ph_{prefix}_{}_{m}",
+                                func.sql().to_lowercase()
+                            ));
+                            if let Some(f) = &predicate {
+                                spec = spec.with_filter(f.clone());
+                            }
+                            aggs.push(spec);
                         }
                     }
                     None => {
-                        aggs.push(AggRequest {
-                            func: AggFunc::Count,
-                            column: None,
-                            predicate: predicate.clone(),
-                        });
+                        let mut spec =
+                            AggSpec::count_star().with_alias(&format!("ph_{prefix}_count_star"));
+                        if let Some(f) = &predicate {
+                            spec = spec.with_filter(f.clone());
+                        }
+                        aggs.push(spec);
                     }
                 }
                 comp_index.insert(key, base);
             }
         }
 
-        let grouped = grouping_sets_scan(table, &rows, &sets, &aggs)?;
+        // One row-sliced shared-scan plan per phase, through the same
+        // lowering path the engine's optimizer output takes.
+        let plan = LogicalPlan::scan(table.name())
+            .grouping_sets(sets, aggs)
+            .sliced(lo, hi);
+        let output = plan.lower()?.execute(table)?;
 
-        // Fold the phase results into per-view accumulators.
+        // Fold the phase results into per-view accumulators. Each
+        // per-set result is `[dimension, agg0, agg1, ...]`, so component
+        // `base + j` lives in row column `1 + base + j`.
         for (i, v) in views.iter().enumerate() {
             if !alive[i] {
                 continue;
@@ -301,31 +312,31 @@ pub fn run_phased(
                 .iter()
                 .position(|d| *d == v.dimension)
                 .expect("alive view's dimension is planned");
-            let g = &grouped[set_idx];
+            let result = output.result_set(set_idx)?;
             for (target, acc) in [(true, &mut target_acc[i]), (false, &mut comp_acc[i])] {
-                let base = comp_index[&CompKey {
+                let base = 1 + comp_index[&CompKey {
                     measure: v.measure.clone(),
                     target,
                 }];
-                for (key, vals) in g.keys.iter().zip(&g.values) {
-                    let label = key[0].render();
+                for row in &result.rows {
+                    let label = row[0].render();
                     match &v.measure {
                         Some(_) => {
                             let as_f = |val: &Value| val.as_f64();
-                            let count = match &vals[base + 1] {
+                            let count = match &row[base + 1] {
                                 Value::Int(n) => Some(*n as f64),
                                 other => other.as_f64(),
                             };
                             acc.merge(
                                 label,
-                                as_f(&vals[base]),
+                                as_f(&row[base]),
                                 count,
-                                as_f(&vals[base + 2]),
-                                as_f(&vals[base + 3]),
+                                as_f(&row[base + 2]),
+                                as_f(&row[base + 3]),
                             );
                         }
                         None => {
-                            let count = match &vals[base] {
+                            let count = match &row[base] {
                                 Value::Int(n) => Some(*n as f64),
                                 other => other.as_f64(),
                             };
@@ -363,8 +374,7 @@ pub fn run_phased(
                         let v = &views[i];
                         let t = target_acc[i].distribution(v.func);
                         let c = comp_acc[i].distribution(v.func);
-                        let estimate =
-                            config.metric.distance(&AlignedPair::align(&t, &c));
+                        let estimate = config.metric.distance(&AlignedPair::align(&t, &c));
                         pruned.push(EarlyPrune {
                             spec: v.clone(),
                             at_phase: phase + 1,
@@ -413,7 +423,7 @@ mod tests {
     use crate::engine::SeeDb;
     use crate::pruning::PruningConfig;
     use crate::view::{enumerate_views, FunctionSet};
-    use memdb::{ColumnDef, Database, DataType, Expr, Schema};
+    use memdb::{ColumnDef, DataType, Database, Expr, Schema};
 
     /// Table with one strongly deviating dimension (d1) and several
     /// boring ones.
@@ -518,10 +528,7 @@ mod tests {
         let saved = out.work_saved(views.len(), cfg.phases);
         assert!(saved > 0.2, "saved only {saved:.2}");
         // Survivor count is non-increasing.
-        assert!(out
-            .survivors_per_phase
-            .windows(2)
-            .all(|w| w[0] >= w[1]));
+        assert!(out.survivors_per_phase.windows(2).all(|w| w[0] >= w[1]));
     }
 
     #[test]

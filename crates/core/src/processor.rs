@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 
-use memdb::{AnyOutput, DbError, DbResult, ResultSet, Value};
+use memdb::{DbResult, PlanOutput, ResultSet, Value};
 
 use crate::distance::Metric;
 use crate::distribution::{label_of, AlignedPair, Distribution};
@@ -40,9 +40,7 @@ pub struct ViewResult {
 impl ViewResult {
     /// The group with the largest probability change (frontend metadata).
     pub fn max_change(&self) -> Option<(String, f64)> {
-        self.aligned
-            .max_change()
-            .map(|(l, d)| (l.to_string(), d))
+        self.aligned.max_change().map(|(l, d)| (l.to_string(), d))
     }
 }
 
@@ -74,25 +72,9 @@ impl Processor {
     /// `UnknownColumn`/`Internal` if the output does not match the plan
     /// (a plan/executor mismatch is a bug, surfaced as an error rather
     /// than a panic).
-    pub fn consume(&mut self, planned: &PlannedQuery, output: &AnyOutput) -> DbResult<()> {
+    pub fn consume(&mut self, planned: &PlannedQuery, output: &PlanOutput) -> DbResult<()> {
         for extract in &planned.extracts {
-            let result = match output {
-                AnyOutput::Single(o) => {
-                    if extract.result_index != 0 {
-                        return Err(DbError::Internal(
-                            "nonzero result index for single query".to_string(),
-                        ));
-                    }
-                    &o.result
-                }
-                AnyOutput::Sets(o) => o.results.get(extract.result_index).ok_or_else(|| {
-                    DbError::Internal(format!(
-                        "result index {} out of range ({} sets)",
-                        extract.result_index,
-                        o.results.len()
-                    ))
-                })?,
-            };
+            let result = output.result_set(extract.result_index)?;
             let dist = extract_distribution(result, extract)?;
             let slot = match extract.side {
                 Side::Target => &mut self.target[extract.view_index],
@@ -277,9 +259,7 @@ mod tests {
     use crate::optimizer::{plan, GroupByCombining, OptimizerConfig};
     use crate::querygen::AnalystQuery;
     use crate::view::{enumerate_views, FunctionSet};
-    use memdb::{
-        run_batch, AggFunc, ColumnDef, Database, DataType, Expr, Schema, Table, Value,
-    };
+    use memdb::{run_batch, AggFunc, ColumnDef, DataType, Database, Expr, Schema, Table, Value};
 
     /// Sales table where Laserwave rows skew heavily to MA while overall
     /// sales skew to WA — so SUM(amount) BY store deviates strongly, and
@@ -323,9 +303,8 @@ mod tests {
         let md = MetadataCollector::new().collect(&t, false).unwrap();
         let analyst = AnalystQuery::new("sales", Some(Expr::col("product").eq("Laserwave")));
         let p = plan(&views, &analyst, &md, cfg);
-        let queries: Vec<memdb::AnyQuery> =
-            p.queries.iter().map(|q| q.query.clone()).collect();
-        let batch = run_batch(db, &queries, 1);
+        let plans: Vec<memdb::LogicalPlan> = p.queries.iter().map(|q| q.plan.clone()).collect();
+        let batch = run_batch(db, &plans, 1);
         let mut proc = Processor::new(views, Metric::EarthMovers);
         for (pq, out) in p.queries.iter().zip(batch.outputs) {
             proc.consume(pq, &out.unwrap()).unwrap();
@@ -436,20 +415,17 @@ mod tests {
         let views = vec![ViewSpec::count("d")];
         let mut proc = Processor::new(views.clone(), Metric::L1);
         let planned = PlannedQuery {
-            query: memdb::AnyQuery::Single(memdb::Query::aggregate(
-                "t",
-                vec!["d"],
-                vec![memdb::AggSpec::count_star()],
-            )),
+            plan: memdb::LogicalPlan::scan("t")
+                .aggregate(vec!["d".into()], vec![memdb::AggSpec::count_star()]),
             extracts: vec![Extract {
                 view_index: 0,
-                result_index: 3, // out of range for a single query
+                result_index: 3, // out of range for a single-grouping plan
                 side: Side::Target,
                 dim_col: "d".into(),
                 source: ValueSource::Column("x".into()),
             }],
         };
-        let output = AnyOutput::Single(memdb::QueryOutput {
+        let output = PlanOutput::Aggregate(memdb::QueryOutput {
             result: ResultSet {
                 columns: vec!["d".into(), "x".into()],
                 rows: vec![],

@@ -123,7 +123,10 @@ impl std::fmt::Display for PruneReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PruneReason::LowVariance { entropy, distinct } => {
-                write!(f, "low variance (entropy {entropy:.3}, {distinct} distinct)")
+                write!(
+                    f,
+                    "low variance (entropy {entropy:.3}, {distinct} distinct)"
+                )
             }
             PruneReason::TooManyGroups { distinct } => {
                 write!(f, "too many groups ({distinct})")
@@ -253,11 +256,7 @@ pub fn prune(
             .copied()
             .filter(|d| !dim_kill.contains_key(*d))
             .collect();
-        let index: HashMap<&str, usize> = alive
-            .iter()
-            .enumerate()
-            .map(|(i, &d)| (d, i))
-            .collect();
+        let index: HashMap<&str, usize> = alive.iter().enumerate().map(|(i, &d)| (d, i)).collect();
         let mut uf = UnionFind::new(alive.len());
         for (a, b, v) in &metadata.dim_correlations {
             if *v >= config.correlation_threshold {
@@ -279,13 +278,7 @@ pub fn prune(
             let rep = *members
                 .iter()
                 .max_by(|&&a, &&b| {
-                    let acc = |i: usize| {
-                        metadata
-                            .access_counts
-                            .get(alive[i])
-                            .copied()
-                            .unwrap_or(0)
-                    };
+                    let acc = |i: usize| metadata.access_counts.get(alive[i]).copied().unwrap_or(0);
                     let ent = |i: usize| {
                         metadata
                             .stats
@@ -295,7 +288,11 @@ pub fn prune(
                     };
                     acc(a)
                         .cmp(&acc(b))
-                        .then(ent(a).partial_cmp(&ent(b)).unwrap_or(std::cmp::Ordering::Equal))
+                        .then(
+                            ent(a)
+                                .partial_cmp(&ent(b))
+                                .unwrap_or(std::cmp::Ordering::Equal),
+                        )
                         .then(b.cmp(&a)) // earlier schema position wins ties
                 })
                 .expect("non-empty cluster");
@@ -402,7 +399,12 @@ mod tests {
         ])
         .unwrap();
         let mut t = Table::new("orders", schema);
-        let states = [("MA", "Massachusetts"), ("WA", "Washington"), ("NY", "New York"), ("CA", "California")];
+        let states = [
+            ("MA", "Massachusetts"),
+            ("WA", "Washington"),
+            ("NY", "New York"),
+            ("CA", "California"),
+        ];
         for i in 0..200 {
             let (s, sn) = states[i % 4];
             // region varies independently of state so Cramér's V between
@@ -435,10 +437,7 @@ mod tests {
         cfg.correlation = false;
         cfg.access_frequency = false;
         let out = prune(views, &md, &cfg);
-        assert!(out
-            .pruned
-            .iter()
-            .all(|p| p.spec.dimension == "constant"));
+        assert!(out.pruned.iter().all(|p| p.spec.dimension == "constant"));
         assert!(out
             .pruned
             .iter()

@@ -104,7 +104,12 @@ pub fn direct_alias(side: Side, view: &ViewSpec) -> String {
 /// it as a per-aggregate predicate (usable in combined queries); in a
 /// standalone target query the same filter sits in the `WHERE` clause
 /// instead and `carry_filter` should be `false`.
-pub fn view_agg(view: &ViewSpec, side: Side, analyst: &AnalystQuery, carry_filter: bool) -> AggSpec {
+pub fn view_agg(
+    view: &ViewSpec,
+    side: Side,
+    analyst: &AnalystQuery,
+    carry_filter: bool,
+) -> AggSpec {
     let mut spec = match &view.measure {
         Some(m) => AggSpec::new(view.func, m),
         None => AggSpec::count_star(),

@@ -109,10 +109,7 @@ impl FunctionSet {
     /// A custom set.
     pub fn custom(funcs: Vec<AggFunc>, include_count_star: bool) -> Self {
         FunctionSet {
-            funcs: funcs
-                .into_iter()
-                .filter(|f| *f != AggFunc::Count)
-                .collect(),
+            funcs: funcs.into_iter().filter(|f| *f != AggFunc::Count).collect(),
             include_count_star,
         }
     }
@@ -141,8 +138,7 @@ impl Default for FunctionSet {
 pub fn enumerate_views(schema: &Schema, funcs: &FunctionSet) -> Vec<ViewSpec> {
     let dims = schema.dimensions();
     let measures = schema.measures();
-    let mut out =
-        Vec::with_capacity(dims.len() * (measures.len() * funcs.funcs().len() + 1));
+    let mut out = Vec::with_capacity(dims.len() * (measures.len() * funcs.funcs().len() + 1));
     for a in &dims {
         if funcs.includes_count_star() {
             out.push(ViewSpec::count(a));
@@ -208,11 +204,12 @@ mod tests {
     #[test]
     fn size_matches_enumeration() {
         let s = schema(4, 3);
-        for fs in [FunctionSet::sum_only(), FunctionSet::standard(), FunctionSet::full()] {
-            assert_eq!(
-                enumerate_views(&s, &fs).len(),
-                view_space_size(4, 3, &fs)
-            );
+        for fs in [
+            FunctionSet::sum_only(),
+            FunctionSet::standard(),
+            FunctionSet::full(),
+        ] {
+            assert_eq!(enumerate_views(&s, &fs).len(), view_space_size(4, 3, &fs));
         }
     }
 

@@ -132,7 +132,7 @@ pub fn store_orders(rows: usize, seed: u64) -> Dataset {
             // Overall skew toward the West.
             let w = rng.gen::<f64>();
             if w < 0.40 {
-                4 + rng.gen_range(0..4) // West
+                4 + rng.gen_range(0..4usize) // West
             } else {
                 rng.gen_range(0..STATES.len())
             }
@@ -158,7 +158,7 @@ pub fn store_orders(rows: usize, seed: u64) -> Dataset {
         );
         let sales = sales_dist.sample(&mut rng).max(5.0);
         let quantity = rng.gen_range(1..=14) as f64;
-        let discount = [0.0, 0.0, 0.0, 0.1, 0.2, 0.3][rng.gen_range(0..6)];
+        let discount = [0.0, 0.0, 0.0, 0.1, 0.2, 0.3][rng.gen_range(0..6usize)];
         let profit = profit_dist.sample(&mut rng);
         t.push_row(vec![
             region.into(),
@@ -200,8 +200,7 @@ pub fn election_contributions(rows: usize, seed: u64) -> Dataset {
     let schema = Schema::new(vec![
         ColumnDef::dimension("candidate", DataType::Str),
         ColumnDef::dimension("party", DataType::Str),
-        ColumnDef::dimension("contributor_state", DataType::Str)
-            .with_semantic(Semantic::Geography),
+        ColumnDef::dimension("contributor_state", DataType::Str).with_semantic(Semantic::Geography),
         ColumnDef::dimension("occupation", DataType::Str),
         ColumnDef::dimension("amount_bucket", DataType::Str).with_semantic(Semantic::Ordinal),
         ColumnDef::measure("amount", DataType::Float64),

@@ -411,7 +411,10 @@ mod tests {
         spec.dims.push(DimSpec::derived("d_noisy", 6, 0, 0.8));
         let t = spec.generate();
         let v = memdb::cramers_v(t.column("d0").unwrap(), t.column("d_noisy").unwrap()).unwrap();
-        assert!(v < 0.7, "noisy derivation should weaken association, got {v}");
+        assert!(
+            v < 0.7,
+            "noisy derivation should weaken association, got {v}"
+        );
     }
 
     #[test]

@@ -60,7 +60,9 @@ impl Binning {
             BinStrategy::EqualWidth { bins } | BinStrategy::EqualDepth { bins } => bins,
         };
         if bins == 0 {
-            return Err(DbError::InvalidQuery("binning needs at least 1 bin".to_string()));
+            return Err(DbError::InvalidQuery(
+                "binning needs at least 1 bin".to_string(),
+            ));
         }
         let mut values: Vec<f64> = (0..column.len())
             .filter_map(|i| column.f64_at(i))
@@ -110,7 +112,12 @@ impl Binning {
                 let close = if i == bounds.len() - 2 { "]" } else { ")" };
                 // Zero-padded bucket index keeps lexicographic label order
                 // equal to numeric bucket order (EMD relies on this).
-                format!("b{:02} [{}, {}{close}", i, fmt(bounds[i]), fmt(bounds[i + 1]))
+                format!(
+                    "b{:02} [{}, {}{close}",
+                    i,
+                    fmt(bounds[i]),
+                    fmt(bounds[i + 1])
+                )
             })
             .collect();
 
@@ -202,8 +209,12 @@ mod tests {
     #[test]
     fn equal_width_bins() {
         let t = numeric_table(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 10.0]);
-        let b = Binning::compute("price", t.column("price").unwrap(), BinStrategy::EqualWidth { bins: 5 })
-            .unwrap();
+        let b = Binning::compute(
+            "price",
+            t.column("price").unwrap(),
+            BinStrategy::EqualWidth { bins: 5 },
+        )
+        .unwrap();
         assert_eq!(b.num_bins(), 5);
         assert_eq!(b.edges, vec![2.0, 4.0, 6.0, 8.0]);
         assert_eq!(b.bucket_of(0.0), 0);
@@ -218,10 +229,16 @@ mod tests {
         // Heavily skewed data: equal-width would put almost everything in
         // bucket 0; equal-depth balances.
         let mut vals: Vec<f64> = (0..90).map(|i| i as f64 / 100.0).collect();
-        vals.extend([100.0, 200.0, 300.0, 400.0, 500.0, 600.0, 700.0, 800.0, 900.0, 1000.0]);
+        vals.extend([
+            100.0, 200.0, 300.0, 400.0, 500.0, 600.0, 700.0, 800.0, 900.0, 1000.0,
+        ]);
         let t = numeric_table(&vals);
-        let b = Binning::compute("price", t.column("price").unwrap(), BinStrategy::EqualDepth { bins: 4 })
-            .unwrap();
+        let b = Binning::compute(
+            "price",
+            t.column("price").unwrap(),
+            BinStrategy::EqualDepth { bins: 4 },
+        )
+        .unwrap();
         let mut counts = vec![0usize; b.num_bins()];
         for &v in &vals {
             counts[b.bucket_of(v)] += 1;
@@ -234,8 +251,12 @@ mod tests {
     #[test]
     fn constant_column_single_bucket() {
         let t = numeric_table(&[5.0; 20]);
-        let b = Binning::compute("price", t.column("price").unwrap(), BinStrategy::EqualWidth { bins: 4 })
-            .unwrap();
+        let b = Binning::compute(
+            "price",
+            t.column("price").unwrap(),
+            BinStrategy::EqualWidth { bins: 4 },
+        )
+        .unwrap();
         assert_eq!(b.num_bins(), 1);
         assert_eq!(b.bucket_of(5.0), 0);
     }
@@ -243,8 +264,12 @@ mod tests {
     #[test]
     fn labels_sort_in_bucket_order() {
         let t = numeric_table(&(0..100).map(|i| i as f64).collect::<Vec<_>>());
-        let b = Binning::compute("price", t.column("price").unwrap(), BinStrategy::EqualWidth { bins: 12 })
-            .unwrap();
+        let b = Binning::compute(
+            "price",
+            t.column("price").unwrap(),
+            BinStrategy::EqualWidth { bins: 12 },
+        )
+        .unwrap();
         let mut sorted = b.labels.clone();
         sorted.sort();
         assert_eq!(sorted, b.labels, "lexicographic == numeric bucket order");
@@ -255,7 +280,12 @@ mod tests {
         let schema = Schema::new(vec![ColumnDef::dimension("d", DataType::Str)]).unwrap();
         let mut t = Table::new("t", schema);
         t.push_row(vec!["x".into()]).unwrap();
-        assert!(Binning::compute("d", t.column("d").unwrap(), BinStrategy::EqualWidth { bins: 3 }).is_err());
+        assert!(Binning::compute(
+            "d",
+            t.column("d").unwrap(),
+            BinStrategy::EqualWidth { bins: 3 }
+        )
+        .is_err());
     }
 
     #[test]
@@ -313,7 +343,8 @@ mod tests {
     #[test]
     fn duplicate_bin_column_rejected() {
         let t = numeric_table(&[1.0, 2.0]);
-        let (binned, _) = with_binned_column(&t, "price", BinStrategy::EqualWidth { bins: 2 }).unwrap();
+        let (binned, _) =
+            with_binned_column(&t, "price", BinStrategy::EqualWidth { bins: 2 }).unwrap();
         assert!(with_binned_column(&binned, "price", BinStrategy::EqualWidth { bins: 2 }).is_err());
     }
 

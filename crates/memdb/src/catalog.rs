@@ -3,11 +3,12 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use std::sync::RwLock;
 
 use crate::cost::{CostCounters, CostSnapshot};
 use crate::error::{DbError, DbResult};
 use crate::exec::{self, Query, QueryOutput, SetsOutput, SetsQuery};
+use crate::plan::{LogicalPlan, PhysicalPlan, PlanOutput};
 use crate::table::Table;
 
 /// An in-memory database: a set of named tables.
@@ -32,6 +33,7 @@ impl Database {
         let arc = Arc::new(table);
         self.tables
             .write()
+            .expect("catalog lock poisoned")
             .insert(arc.name().to_string(), arc.clone());
         arc
     }
@@ -43,6 +45,7 @@ impl Database {
     pub fn table(&self, name: &str) -> DbResult<Arc<Table>> {
         self.tables
             .read()
+            .expect("catalog lock poisoned")
             .get(name)
             .cloned()
             .ok_or_else(|| DbError::UnknownTable(name.to_string()))
@@ -50,14 +53,24 @@ impl Database {
 
     /// Names of all registered tables, sorted.
     pub fn table_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        let mut names: Vec<String> = self
+            .tables
+            .read()
+            .expect("catalog lock poisoned")
+            .keys()
+            .cloned()
+            .collect();
         names.sort();
         names
     }
 
     /// Remove a table. Returns whether it existed.
     pub fn drop_table(&self, name: &str) -> bool {
-        self.tables.write().remove(name).is_some()
+        self.tables
+            .write()
+            .expect("catalog lock poisoned")
+            .remove(name)
+            .is_some()
     }
 
     /// Execute a single-grouping [`Query`], recording its cost.
@@ -79,6 +92,26 @@ impl Database {
         let table = self.table(&q.table)?;
         let out = exec::execute_sets(&table, q)?;
         self.counters.record(&out.stats);
+        Ok(out)
+    }
+
+    /// Lower and execute a [`LogicalPlan`], recording its cost.
+    ///
+    /// # Errors
+    /// Malformed plans (`InvalidQuery`), unknown table/columns, type
+    /// errors.
+    pub fn execute_plan(&self, plan: &LogicalPlan) -> DbResult<PlanOutput> {
+        self.run_physical(&plan.lower()?)
+    }
+
+    /// Execute an already-lowered [`PhysicalPlan`], recording its cost.
+    ///
+    /// # Errors
+    /// Unknown table/columns, type errors.
+    pub fn run_physical(&self, plan: &PhysicalPlan) -> DbResult<PlanOutput> {
+        let table = self.table(plan.table())?;
+        let out = plan.execute(&table)?;
+        self.counters.record(out.stats());
         Ok(out)
     }
 
@@ -127,7 +160,11 @@ mod tests {
     #[test]
     fn register_and_query() {
         let db = db_with_sales();
-        let q = Query::aggregate("sales", vec!["store"], vec![AggSpec::new(AggFunc::Sum, "amount")]);
+        let q = Query::aggregate(
+            "sales",
+            vec!["store"],
+            vec![AggSpec::new(AggFunc::Sum, "amount")],
+        );
         let out = db.run(&q).unwrap();
         assert_eq!(out.result.num_rows(), 2);
         assert_eq!(db.cost().queries, 1);

@@ -329,7 +329,11 @@ impl Column {
     /// columns). Other types scan.
     pub fn distinct_count(&self) -> usize {
         match self {
-            Column::Str { dict, codes, validity } => {
+            Column::Str {
+                dict,
+                codes,
+                validity,
+            } => {
                 // Dictionary may over-count only if values were interned but
                 // never stored; append-only pushes always store, so the dict
                 // size is exact unless nulls exist (code 0 placeholder).

@@ -23,8 +23,10 @@ impl CostCounters {
     /// Record one execution.
     pub fn record(&self, stats: &ExecStats) {
         self.queries.fetch_add(1, Ordering::Relaxed);
-        self.table_scans.fetch_add(stats.table_scans, Ordering::Relaxed);
-        self.rows_scanned.fetch_add(stats.rows_scanned, Ordering::Relaxed);
+        self.table_scans
+            .fetch_add(stats.table_scans, Ordering::Relaxed);
+        self.rows_scanned
+            .fetch_add(stats.rows_scanned, Ordering::Relaxed);
         self.groups_emitted
             .fetch_add(stats.groups_emitted, Ordering::Relaxed);
     }

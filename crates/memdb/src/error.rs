@@ -44,7 +44,10 @@ impl fmt::Display for DbError {
                 expected,
                 found,
                 context,
-            } => write!(f, "type mismatch in {context}: expected {expected}, found {found}"),
+            } => write!(
+                f,
+                "type mismatch in {context}: expected {expected}, found {found}"
+            ),
             DbError::Parse(msg) => write!(f, "SQL parse error: {msg}"),
             DbError::Internal(msg) => write!(f, "internal error: {msg}"),
             DbError::Schema(msg) => write!(f, "schema error: {msg}"),

@@ -236,11 +236,7 @@ impl SetAcc {
                 .extend(std::iter::repeat_n(AggState::EMPTY, self.num_aggs));
             return g;
         }
-        let key: Vec<KeyPart> = self
-            .cols
-            .iter()
-            .map(|&c| key_part(table, c, row))
-            .collect();
+        let key: Vec<KeyPart> = self.cols.iter().map(|&c| key_part(table, c, row)).collect();
         if let Some(&g) = self.index.get(&key) {
             return g as usize;
         }
@@ -291,9 +287,7 @@ pub(crate) fn cmp_label_tuple(a: &[Value], b: &[Value]) -> std::cmp::Ordering {
             (true, true) => Ordering::Equal,
             (true, false) => Ordering::Less,
             (false, true) => Ordering::Greater,
-            (false, false) => x
-                .sql_cmp(y)
-                .unwrap_or_else(|| x.render().cmp(&y.render())),
+            (false, false) => x.sql_cmp(y).unwrap_or_else(|| x.render().cmp(&y.render())),
         };
         if ord != Ordering::Equal {
             return ord;
@@ -468,16 +462,22 @@ mod tests {
             predicate: None,
         }];
         let g = aggregate_scan(&t, &all_rows(&t), &[0], &aggs).unwrap();
-        assert_eq!(g.keys, vec![
-            vec![Value::from("MA")],
-            vec![Value::from("NY")],
-            vec![Value::from("WA")],
-        ]);
-        assert_eq!(g.values, vec![
-            vec![Value::Float(30.0)],
-            vec![Value::Float(50.0)],
-            vec![Value::Float(70.0)],
-        ]);
+        assert_eq!(
+            g.keys,
+            vec![
+                vec![Value::from("MA")],
+                vec![Value::from("NY")],
+                vec![Value::from("WA")],
+            ]
+        );
+        assert_eq!(
+            g.values,
+            vec![
+                vec![Value::Float(30.0)],
+                vec![Value::Float(50.0)],
+                vec![Value::Float(70.0)],
+            ]
+        );
     }
 
     #[test]

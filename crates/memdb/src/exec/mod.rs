@@ -227,7 +227,13 @@ impl ResultSet {
             .collect();
         out.push_str(&header.join(" | "));
         out.push('\n');
-        out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"));
+        out.push_str(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("-+-"),
+        );
         out.push('\n');
         for row in &rendered {
             let line: Vec<String> = row
@@ -303,14 +309,26 @@ fn resolve_aggs(table: &Table, aggs: &[AggSpec]) -> DbResult<Vec<AggRequest>> {
         .collect()
 }
 
-fn scan_domain(table: &Table, filter: Option<&Expr>, sample: Option<&SampleSpec>) -> DbResult<(Vec<u32>, u64)> {
-    // The scan domain is (optionally) sampled first, then filtered; the
-    // cost charged is the number of rows the engine had to look at, which
-    // is the domain size before filtering (the filter is evaluated inside
-    // the same scan).
+fn scan_domain(
+    table: &Table,
+    filter: Option<&Expr>,
+    sample: Option<&SampleSpec>,
+    row_range: Option<(usize, usize)>,
+) -> DbResult<(Vec<u32>, u64)> {
+    // The scan domain is (optionally) sliced to a row range, then
+    // sampled, then filtered; the cost charged is the number of rows the
+    // engine had to look at, which is the domain size before filtering
+    // (the filter is evaluated inside the same scan).
+    let (lo, hi) = match row_range {
+        None => (0, table.num_rows()),
+        Some((lo, hi)) => (lo.min(table.num_rows()), hi.min(table.num_rows())),
+    };
     let base: Vec<u32> = match sample {
-        None => (0..table.num_rows() as u32).collect(),
-        Some(s) => sample_rows(table.num_rows(), s),
+        None => (lo as u32..hi as u32).collect(),
+        Some(s) => sample_rows(hi.saturating_sub(lo), s)
+            .into_iter()
+            .map(|r| r + lo as u32)
+            .collect(),
     };
     let scanned = base.len() as u64;
     let rows = match filter {
@@ -345,6 +363,19 @@ fn grouped_to_result(group_by: &[String], aggs: &[AggSpec], g: Grouped) -> Resul
 /// # Errors
 /// Unknown columns, type errors, or invalid query shapes.
 pub fn execute(table: &Table, q: &Query) -> DbResult<QueryOutput> {
+    execute_ranged(table, q, None)
+}
+
+/// Execute a [`Query`] over an optional row slice of the table (the
+/// plan layer's scan-domain restriction; see [`crate::plan`]).
+///
+/// # Errors
+/// Unknown columns, type errors, or invalid query shapes.
+pub fn execute_ranged(
+    table: &Table,
+    q: &Query,
+    row_range: Option<(usize, usize)>,
+) -> DbResult<QueryOutput> {
     let start = Instant::now();
     let group_cols: Vec<usize> = q
         .group_by
@@ -357,7 +388,7 @@ pub fn execute(table: &Table, q: &Query) -> DbResult<QueryOutput> {
             "queries must compute at least one aggregate".to_string(),
         ));
     }
-    let (rows, scanned) = scan_domain(table, q.filter.as_ref(), q.sample.as_ref())?;
+    let (rows, scanned) = scan_domain(table, q.filter.as_ref(), q.sample.as_ref(), row_range)?;
     let grouped = aggregate::aggregate_scan(table, &rows, &group_cols, &aggs)?;
     let groups = grouped.num_groups() as u64;
     let result = grouped_to_result(&q.group_by, &q.aggregates, grouped);
@@ -377,6 +408,18 @@ pub fn execute(table: &Table, q: &Query) -> DbResult<QueryOutput> {
 /// # Errors
 /// Unknown columns, type errors, or invalid query shapes.
 pub fn execute_sets(table: &Table, q: &SetsQuery) -> DbResult<SetsOutput> {
+    execute_sets_ranged(table, q, None)
+}
+
+/// Execute a [`SetsQuery`] over an optional row slice of the table.
+///
+/// # Errors
+/// Unknown columns, type errors, or invalid query shapes.
+pub fn execute_sets_ranged(
+    table: &Table,
+    q: &SetsQuery,
+    row_range: Option<(usize, usize)>,
+) -> DbResult<SetsOutput> {
     let start = Instant::now();
     let sets: Vec<Vec<usize>> = q
         .sets
@@ -388,7 +431,7 @@ pub fn execute_sets(table: &Table, q: &SetsQuery) -> DbResult<SetsOutput> {
         })
         .collect::<DbResult<_>>()?;
     let aggs = resolve_aggs(table, &q.aggregates)?;
-    let (rows, scanned) = scan_domain(table, q.filter.as_ref(), q.sample.as_ref())?;
+    let (rows, scanned) = scan_domain(table, q.filter.as_ref(), q.sample.as_ref(), row_range)?;
     let grouped = aggregate::grouping_sets_scan(table, &rows, &sets, &aggs)?;
     let groups: u64 = grouped.iter().map(|g| g.num_groups() as u64).sum();
     let results = q
@@ -436,7 +479,11 @@ mod tests {
     #[test]
     fn basic_group_by_query() {
         let t = sales();
-        let q = Query::aggregate("sales", vec!["store"], vec![AggSpec::new(AggFunc::Sum, "amount")]);
+        let q = Query::aggregate(
+            "sales",
+            vec!["store"],
+            vec![AggSpec::new(AggFunc::Sum, "amount")],
+        );
         let out = execute(&t, &q).unwrap();
         assert_eq!(out.result.columns, vec!["store", "SUM(amount)"]);
         assert_eq!(out.result.num_rows(), 3);
@@ -448,12 +495,16 @@ mod tests {
     #[test]
     fn where_filter_restricts_groups() {
         let t = sales();
-        let q = Query::aggregate("sales", vec!["store"], vec![AggSpec::new(AggFunc::Sum, "amount")])
-            .with_filter(Expr::col("product").eq("Laserwave"));
+        let q = Query::aggregate(
+            "sales",
+            vec!["store"],
+            vec![AggSpec::new(AggFunc::Sum, "amount")],
+        )
+        .with_filter(Expr::col("product").eq("Laserwave"));
         let out = execute(&t, &q).unwrap();
         assert_eq!(out.result.num_rows(), 2); // MA, WA only
-        // Cost: the filter is evaluated inside the scan, so all 4 rows
-        // are charged.
+                                              // Cost: the filter is evaluated inside the scan, so all 4 rows
+                                              // are charged.
         assert_eq!(out.stats.rows_scanned, 4);
     }
 
@@ -496,8 +547,12 @@ mod tests {
 
     #[test]
     fn sql_rendering_roundtrip_shape() {
-        let q = Query::aggregate("sales", vec!["store"], vec![AggSpec::new(AggFunc::Sum, "amount")])
-            .with_filter(Expr::col("product").eq("Laserwave"));
+        let q = Query::aggregate(
+            "sales",
+            vec!["store"],
+            vec![AggSpec::new(AggFunc::Sum, "amount")],
+        )
+        .with_filter(Expr::col("product").eq("Laserwave"));
         assert_eq!(
             q.to_sql(),
             "SELECT store, SUM(amount) FROM sales WHERE product = 'Laserwave' GROUP BY store"
@@ -514,7 +569,11 @@ mod tests {
     #[test]
     fn result_set_text_rendering() {
         let t = sales();
-        let q = Query::aggregate("sales", vec!["store"], vec![AggSpec::new(AggFunc::Sum, "amount")]);
+        let q = Query::aggregate(
+            "sales",
+            vec!["store"],
+            vec![AggSpec::new(AggFunc::Sum, "amount")],
+        );
         let out = execute(&t, &q).unwrap();
         let text = out.result.to_text();
         assert!(text.contains("store"));
@@ -527,8 +586,7 @@ mod tests {
         let q = Query::aggregate(
             "sales",
             vec!["store"],
-            vec![AggSpec::new(AggFunc::Sum, "amount")
-                .with_filter(Expr::col("product").eq("x"))],
+            vec![AggSpec::new(AggFunc::Sum, "amount").with_filter(Expr::col("product").eq("x"))],
         )
         .with_filter(Expr::col("region").eq("east"));
         let mut cols = q.referenced_columns();

@@ -470,7 +470,9 @@ mod tests {
     #[test]
     fn numeric_range() {
         let t = table();
-        let e = Expr::col("amount").ge(20.0).and(Expr::col("amount").lt(40.0));
+        let e = Expr::col("amount")
+            .ge(20.0)
+            .and(Expr::col("amount").lt(40.0));
         assert_eq!(selection_for(&t, Some(&e)).unwrap(), vec![1, 2]);
     }
 

@@ -13,7 +13,9 @@
 //!   behind SeeDB's combined target/comparison and combined group-by
 //!   rewrites;
 //! * Bernoulli and reservoir sampling ([`sample`]);
-//! * parallel batch execution ([`parallel`]);
+//! * a typed logical/physical plan layer the optimizer targets, lowering
+//!   onto those shared-scan primitives ([`plan`]);
+//! * parallel batch execution of plans ([`parallel`]);
 //! * table/column statistics and association measures ([`stats`]);
 //! * deterministic cost accounting ([`cost`]);
 //! * a SQL subset parser for the analyst-facing text box ([`sql`]).
@@ -52,6 +54,7 @@ pub mod error;
 pub mod exec;
 pub mod expr;
 pub mod parallel;
+pub mod plan;
 pub mod sample;
 pub mod schema;
 pub mod sql;
@@ -64,11 +67,10 @@ pub use catalog::Database;
 pub use column::{Column, StrDict};
 pub use cost::{CostCounters, CostSnapshot};
 pub use error::{DbError, DbResult};
-pub use exec::{
-    AggFunc, AggSpec, ExecStats, Query, QueryOutput, ResultSet, SetsOutput, SetsQuery,
-};
+pub use exec::{AggFunc, AggSpec, ExecStats, Query, QueryOutput, ResultSet, SetsOutput, SetsQuery};
 pub use expr::{CmpOp, Expr};
-pub use parallel::{run_batch, AnyOutput, AnyQuery, BatchOutput};
+pub use parallel::{run_batch, BatchOutput};
+pub use plan::{LogicalPlan, PhysicalPlan, PlanOutput};
 pub use sample::{sample_rows, SampleSpec};
 pub use schema::{ColumnDef, Role, Schema, Semantic};
 pub use sql::{parse_query, parse_selection, Selection};

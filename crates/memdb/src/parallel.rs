@@ -1,51 +1,25 @@
-//! Parallel batch execution.
+//! Parallel batch execution of logical plans.
 //!
 //! SeeDB's final optimization (§3.3) issues view queries to the DBMS in
 //! parallel: "as the number of queries executed in parallel increases, the
 //! total latency decreases at the cost of increased per query execution
 //! time". [`run_batch`] reproduces exactly that trade-off with a fixed
-//! worker pool pulling from a shared queue.
+//! worker pool pulling plans from a shared queue: each [`LogicalPlan`] is
+//! lowered to its physical operator and executed, and outputs come back
+//! in input order regardless of completion order.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::catalog::Database;
 use crate::error::DbResult;
-use crate::exec::{Query, QueryOutput, SetsOutput, SetsQuery};
-
-/// A query of either shape, for heterogeneous batches.
-#[derive(Debug, Clone)]
-pub enum AnyQuery {
-    /// Single-grouping query.
-    Single(Query),
-    /// Shared-scan multi-grouping-set query.
-    Sets(SetsQuery),
-}
-
-/// Output matching [`AnyQuery`].
-#[derive(Debug, Clone)]
-pub enum AnyOutput {
-    /// Output of a single-grouping query.
-    Single(QueryOutput),
-    /// Output of a multi-set query.
-    Sets(SetsOutput),
-}
-
-impl AnyOutput {
-    /// Wall time the query itself took (excluding queue wait).
-    pub fn elapsed(&self) -> Duration {
-        match self {
-            AnyOutput::Single(o) => o.stats.elapsed,
-            AnyOutput::Sets(o) => o.stats.elapsed,
-        }
-    }
-}
+use crate::plan::{LogicalPlan, PlanOutput};
 
 /// Result of running a batch.
 #[derive(Debug)]
 pub struct BatchOutput {
-    /// Per-query outcomes, in input order.
-    pub outputs: Vec<DbResult<AnyOutput>>,
+    /// Per-plan outcomes, in input order.
+    pub outputs: Vec<DbResult<PlanOutput>>,
     /// Total wall-clock time for the whole batch.
     pub total_elapsed: Duration,
 }
@@ -56,7 +30,7 @@ impl BatchOutput {
         let times: Vec<Duration> = self
             .outputs
             .iter()
-            .filter_map(|r| r.as_ref().ok().map(AnyOutput::elapsed))
+            .filter_map(|r| r.as_ref().ok().map(PlanOutput::elapsed))
             .collect();
         if times.is_empty() {
             return Duration::ZERO;
@@ -65,41 +39,46 @@ impl BatchOutput {
     }
 }
 
-/// Execute `queries` against `db` using `workers` threads.
+/// Execute `plans` against `db` using `workers` threads.
 ///
 /// `workers == 1` degenerates to sequential execution (the paper's
-/// baseline). Outputs preserve input order regardless of completion order.
-pub fn run_batch(db: &Database, queries: &[AnyQuery], workers: usize) -> BatchOutput {
+/// baseline). Outputs preserve input order regardless of completion
+/// order; lowering and execution errors are reported per plan.
+pub fn run_batch(db: &Database, plans: &[LogicalPlan], workers: usize) -> BatchOutput {
     let start = Instant::now();
-    let n = queries.len();
+    let n = plans.len();
     let workers = workers.max(1).min(n.max(1));
-    let mut outputs: Vec<Option<DbResult<AnyOutput>>> = Vec::with_capacity(n);
+    let mut outputs: Vec<Option<DbResult<PlanOutput>>> = Vec::with_capacity(n);
     outputs.resize_with(n, || None);
 
     if workers <= 1 {
-        for (i, q) in queries.iter().enumerate() {
-            outputs[i] = Some(run_one(db, q));
+        for (i, plan) in plans.iter().enumerate() {
+            outputs[i] = Some(db.execute_plan(plan));
         }
     } else {
         let next = AtomicUsize::new(0);
-        let slots: Vec<parking_lot::Mutex<Option<DbResult<AnyOutput>>>> =
-            (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
-        crossbeam::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let out = run_one(db, &queries[i]);
-                    *slots[i].lock() = Some(out);
-                });
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            local.push((i, db.execute_plan(&plans[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, out) in handle.join().expect("worker thread panicked") {
+                    outputs[i] = Some(out);
+                }
             }
-        })
-        .expect("worker thread panicked");
-        for (i, slot) in slots.into_iter().enumerate() {
-            outputs[i] = slot.into_inner();
-        }
+        });
     }
 
     BatchOutput {
@@ -108,13 +87,6 @@ pub fn run_batch(db: &Database, queries: &[AnyQuery], workers: usize) -> BatchOu
             .map(|o| o.expect("every slot filled"))
             .collect(),
         total_elapsed: start.elapsed(),
-    }
-}
-
-fn run_one(db: &Database, q: &AnyQuery) -> DbResult<AnyOutput> {
-    match q {
-        AnyQuery::Single(q) => db.run(q).map(AnyOutput::Single),
-        AnyQuery::Sets(q) => db.run_sets(q).map(AnyOutput::Sets),
     }
 }
 
@@ -147,14 +119,13 @@ mod tests {
         db
     }
 
-    fn queries(n: usize) -> Vec<AnyQuery> {
+    fn plans(n: usize) -> Vec<LogicalPlan> {
         (0..n)
             .map(|i| {
-                AnyQuery::Single(Query::aggregate(
-                    "t",
-                    vec![if i % 2 == 0 { "d1" } else { "d2" }],
+                LogicalPlan::scan("t").aggregate(
+                    vec![if i % 2 == 0 { "d1".into() } else { "d2".into() }],
                     vec![AggSpec::new(AggFunc::Sum, "m")],
-                ))
+                )
             })
             .collect()
     }
@@ -162,13 +133,13 @@ mod tests {
     #[test]
     fn sequential_and_parallel_agree() {
         let db = db();
-        let qs = queries(8);
-        let seq = run_batch(&db, &qs, 1);
-        let par = run_batch(&db, &qs, 4);
+        let ps = plans(8);
+        let seq = run_batch(&db, &ps, 1);
+        let par = run_batch(&db, &ps, 4);
         assert_eq!(seq.outputs.len(), 8);
         for (a, b) in seq.outputs.iter().zip(par.outputs.iter()) {
             match (a.as_ref().unwrap(), b.as_ref().unwrap()) {
-                (AnyOutput::Single(x), AnyOutput::Single(y)) => {
+                (PlanOutput::Aggregate(x), PlanOutput::Aggregate(y)) => {
                     assert_eq!(x.result, y.result);
                 }
                 _ => panic!("shape mismatch"),
@@ -177,18 +148,17 @@ mod tests {
     }
 
     #[test]
-    fn errors_are_per_query() {
+    fn errors_are_per_plan() {
         let db = db();
-        let mut qs = queries(2);
-        qs.push(AnyQuery::Single(Query::aggregate(
-            "missing",
-            vec![],
-            vec![AggSpec::count_star()],
-        )));
-        let out = run_batch(&db, &qs, 2);
+        let mut ps = plans(2);
+        ps.push(LogicalPlan::scan("missing").aggregate(vec![], vec![AggSpec::count_star()]));
+        // A malformed plan (lowering error) is also reported in place.
+        ps.push(LogicalPlan::scan("t"));
+        let out = run_batch(&db, &ps, 2);
         assert!(out.outputs[0].is_ok());
         assert!(out.outputs[1].is_ok());
         assert!(out.outputs[2].is_err());
+        assert!(out.outputs[3].is_err());
     }
 
     #[test]
@@ -200,31 +170,28 @@ mod tests {
     }
 
     #[test]
-    fn sets_queries_in_batch() {
+    fn grouping_sets_plans_in_batch() {
         let db = db();
-        let qs = vec![AnyQuery::Sets(SetsQuery {
-            table: "t".into(),
-            filter: None,
-            sets: vec![vec!["d1".into()], vec!["d2".into()]],
-            aggregates: vec![AggSpec::new(AggFunc::Sum, "m")],
-            sample: None,
-        })];
-        let out = run_batch(&db, &qs, 2);
+        let ps = vec![LogicalPlan::scan("t").grouping_sets(
+            vec![vec!["d1".into()], vec!["d2".into()]],
+            vec![AggSpec::new(AggFunc::Sum, "m")],
+        )];
+        let out = run_batch(&db, &ps, 2);
         match out.outputs[0].as_ref().unwrap() {
-            AnyOutput::Sets(s) => assert_eq!(s.results.len(), 2),
-            _ => panic!("expected sets output"),
+            PlanOutput::GroupingSets(s) => assert_eq!(s.results.len(), 2),
+            _ => panic!("expected grouping-sets output"),
         }
     }
 
     #[test]
     fn worker_count_does_not_affect_cost_counters() {
         let db = db();
-        let qs = queries(6);
+        let ps = plans(6);
         db.reset_cost();
-        run_batch(&db, &qs, 1);
+        run_batch(&db, &ps, 1);
         let seq_cost = db.cost();
         db.reset_cost();
-        run_batch(&db, &qs, 3);
+        run_batch(&db, &ps, 3);
         let par_cost = db.cost();
         assert_eq!(seq_cost, par_cost);
     }

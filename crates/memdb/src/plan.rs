@@ -1,0 +1,566 @@
+//! The logical/physical plan layer between SeeDB's optimizer and the
+//! executor.
+//!
+//! SeeDB's performance story is rewriting many candidate view queries
+//! into few shared-scan DBMS queries. This module gives that rewrite a
+//! typed target: the optimizer emits [`LogicalPlan`] trees (scan →
+//! filter → shared-scan aggregate / grouping sets), [`lower`] validates
+//! each tree and picks the physical operator, and
+//! [`crate::parallel::run_batch`] (or [`crate::Database::execute_plan`])
+//! executes the result. All three paper optimizations — combined
+//! target/comparison (per-aggregate predicates), combined aggregates,
+//! and combined group-bys — lower onto the same shared-scan aggregation
+//! operator in [`crate::exec`].
+//!
+//! ```
+//! use memdb::{plan::LogicalPlan, AggFunc, AggSpec, Expr};
+//!
+//! // One scan computes both sides of a view: the target aggregate
+//! // carries the analyst's predicate, the comparison carries none.
+//! let plan = LogicalPlan::scan("sales").aggregate(
+//!     vec!["store".into()],
+//!     vec![
+//!         AggSpec::new(AggFunc::Sum, "amount")
+//!             .with_filter(Expr::col("product").eq("Laserwave"))
+//!             .with_alias("target"),
+//!         AggSpec::new(AggFunc::Sum, "amount").with_alias("comparison"),
+//!     ],
+//! );
+//! assert!(plan.lower().is_ok());
+//! ```
+
+use std::time::Duration;
+
+use crate::error::{DbError, DbResult};
+use crate::exec::{self, AggSpec, ExecStats, Query, QueryOutput, ResultSet, SetsOutput, SetsQuery};
+use crate::expr::Expr;
+use crate::sample::SampleSpec;
+use crate::table::Table;
+
+/// A leaf scan of one table, optionally sampled and/or restricted to a
+/// contiguous row slice (phased execution scans one slice per phase).
+#[derive(Debug, Clone)]
+pub struct TableScan {
+    /// Table name.
+    pub table: String,
+    /// Optional sampling of the scan domain.
+    pub sample: Option<SampleSpec>,
+    /// Optional half-open row-id slice `[lo, hi)` of the scan domain.
+    pub row_range: Option<(usize, usize)>,
+}
+
+/// A scan-level predicate (`WHERE`): rows failing it feed nothing.
+#[derive(Debug, Clone)]
+pub struct FilterNode {
+    /// The node being filtered.
+    pub input: Box<LogicalPlan>,
+    /// The predicate.
+    pub predicate: Expr,
+}
+
+/// Shared-scan multi-aggregate over one grouping: every aggregate is
+/// computed in the same pass, each optionally carrying its own
+/// per-aggregate predicate (SeeDB's combined target/comparison rewrite).
+#[derive(Debug, Clone)]
+pub struct AggregateNode {
+    /// The node being aggregated.
+    pub input: Box<LogicalPlan>,
+    /// Grouping attributes; empty = one global group.
+    pub group_by: Vec<String>,
+    /// Aggregates computed in the shared pass.
+    pub aggregates: Vec<AggSpec>,
+}
+
+/// Shared-scan grouping sets: several group-bys evaluated in one pass
+/// (SeeDB's combined group-by rewrite).
+#[derive(Debug, Clone)]
+pub struct GroupingSetsNode {
+    /// The node being aggregated.
+    pub input: Box<LogicalPlan>,
+    /// The grouping sets; each produces its own result set.
+    pub sets: Vec<Vec<String>>,
+    /// Aggregates computed for every set in the shared pass.
+    pub aggregates: Vec<AggSpec>,
+}
+
+/// A typed logical plan: what the optimizer hands the DBMS.
+#[derive(Debug, Clone)]
+pub enum LogicalPlan {
+    /// Leaf table scan.
+    Scan(TableScan),
+    /// Scan-level filter.
+    Filter(FilterNode),
+    /// Shared-scan multi-aggregate with per-aggregate predicates.
+    Aggregate(AggregateNode),
+    /// Shared-scan grouping sets.
+    GroupingSets(GroupingSetsNode),
+}
+
+impl LogicalPlan {
+    /// A full scan of `table`.
+    pub fn scan(table: &str) -> LogicalPlan {
+        LogicalPlan::Scan(TableScan {
+            table: table.to_string(),
+            sample: None,
+            row_range: None,
+        })
+    }
+
+    /// Add a scan-level filter on top of this node.
+    pub fn filter(self, predicate: Expr) -> LogicalPlan {
+        LogicalPlan::Filter(FilterNode {
+            input: Box::new(self),
+            predicate,
+        })
+    }
+
+    /// Aggregate this node by `group_by`.
+    pub fn aggregate(self, group_by: Vec<String>, aggregates: Vec<AggSpec>) -> LogicalPlan {
+        LogicalPlan::Aggregate(AggregateNode {
+            input: Box::new(self),
+            group_by,
+            aggregates,
+        })
+    }
+
+    /// Aggregate this node over several grouping sets in one pass.
+    pub fn grouping_sets(self, sets: Vec<Vec<String>>, aggregates: Vec<AggSpec>) -> LogicalPlan {
+        LogicalPlan::GroupingSets(GroupingSetsNode {
+            input: Box::new(self),
+            sets,
+            aggregates,
+        })
+    }
+
+    /// Attach sampling to the scan leaf (no-op for `None`).
+    pub fn sampled(mut self, sample: Option<SampleSpec>) -> LogicalPlan {
+        if let Some(scan) = self.scan_leaf_mut() {
+            scan.sample = sample;
+        }
+        self
+    }
+
+    /// Restrict the scan leaf to the half-open row slice `[lo, hi)`.
+    pub fn sliced(mut self, lo: usize, hi: usize) -> LogicalPlan {
+        if let Some(scan) = self.scan_leaf_mut() {
+            scan.row_range = Some((lo, hi));
+        }
+        self
+    }
+
+    fn scan_leaf_mut(&mut self) -> Option<&mut TableScan> {
+        match self {
+            LogicalPlan::Scan(s) => Some(s),
+            LogicalPlan::Filter(f) => f.input.scan_leaf_mut(),
+            LogicalPlan::Aggregate(a) => a.input.scan_leaf_mut(),
+            LogicalPlan::GroupingSets(g) => g.input.scan_leaf_mut(),
+        }
+    }
+
+    /// The table this plan scans.
+    pub fn table(&self) -> &str {
+        match self {
+            LogicalPlan::Scan(s) => &s.table,
+            LogicalPlan::Filter(f) => f.input.table(),
+            LogicalPlan::Aggregate(a) => a.input.table(),
+            LogicalPlan::GroupingSets(g) => g.input.table(),
+        }
+    }
+
+    /// Validate this tree and pick the physical operator.
+    ///
+    /// # Errors
+    /// `InvalidQuery` for malformed trees: a bare scan/filter root (no
+    /// aggregation), nested aggregations, empty aggregate or set lists.
+    pub fn lower(&self) -> DbResult<PhysicalPlan> {
+        lower(self)
+    }
+}
+
+/// Source description shared by both physical operators.
+#[derive(Debug, Clone, Default)]
+struct Source {
+    table: Option<String>,
+    filter: Option<Expr>,
+    sample: Option<SampleSpec>,
+    row_range: Option<(usize, usize)>,
+}
+
+fn lower_source(node: &LogicalPlan) -> DbResult<Source> {
+    match node {
+        LogicalPlan::Scan(s) => Ok(Source {
+            table: Some(s.table.clone()),
+            filter: None,
+            sample: s.sample,
+            row_range: s.row_range,
+        }),
+        LogicalPlan::Filter(f) => {
+            let mut src = lower_source(&f.input)?;
+            // Stacked filters AND-combine into one scan-level predicate.
+            src.filter = Some(match src.filter.take() {
+                Some(existing) => existing.and(f.predicate.clone()),
+                None => f.predicate.clone(),
+            });
+            Ok(src)
+        }
+        LogicalPlan::Aggregate(_) | LogicalPlan::GroupingSets(_) => Err(DbError::InvalidQuery(
+            "nested aggregation is not supported: aggregate inputs must be scan/filter chains"
+                .to_string(),
+        )),
+    }
+}
+
+/// The physical operator a logical plan lowers to, plus its scan-domain
+/// restriction. Wraps the executor's query types.
+#[derive(Debug, Clone)]
+pub enum PhysicalPlan {
+    /// One shared scan, one grouping ([`exec::execute`]).
+    Aggregate {
+        /// The executable query.
+        query: Query,
+        /// Optional half-open row slice of the scan domain.
+        row_range: Option<(usize, usize)>,
+    },
+    /// One shared scan, many groupings ([`exec::execute_sets`]).
+    GroupingSets {
+        /// The executable query.
+        query: SetsQuery,
+        /// Optional half-open row slice of the scan domain.
+        row_range: Option<(usize, usize)>,
+    },
+}
+
+/// Lower a logical plan to its physical operator.
+///
+/// A [`LogicalPlan::GroupingSets`] with exactly one set lowers to the
+/// simpler single-grouping operator — callers build the general shape
+/// and the planner picks the fast path.
+///
+/// # Errors
+/// `InvalidQuery` for malformed trees (see [`LogicalPlan::lower`]).
+pub fn lower(plan: &LogicalPlan) -> DbResult<PhysicalPlan> {
+    match plan {
+        LogicalPlan::Scan(_) | LogicalPlan::Filter(_) => Err(DbError::InvalidQuery(
+            "plan root must be an aggregation (bare scans have no output operator)".to_string(),
+        )),
+        LogicalPlan::Aggregate(a) => {
+            if a.aggregates.is_empty() {
+                return Err(DbError::InvalidQuery(
+                    "aggregate node computes no aggregates".to_string(),
+                ));
+            }
+            let src = lower_source(&a.input)?;
+            Ok(PhysicalPlan::Aggregate {
+                query: Query {
+                    table: src.table.expect("source always has a table"),
+                    filter: src.filter,
+                    group_by: a.group_by.clone(),
+                    aggregates: a.aggregates.clone(),
+                    sample: src.sample,
+                },
+                row_range: src.row_range,
+            })
+        }
+        LogicalPlan::GroupingSets(g) => {
+            if g.aggregates.is_empty() {
+                return Err(DbError::InvalidQuery(
+                    "grouping-sets node computes no aggregates".to_string(),
+                ));
+            }
+            if g.sets.is_empty() {
+                return Err(DbError::InvalidQuery(
+                    "grouping-sets node has no grouping sets".to_string(),
+                ));
+            }
+            let src = lower_source(&g.input)?;
+            let table = src.table.expect("source always has a table");
+            if g.sets.len() == 1 {
+                // Single-set shared scan degenerates to the plain
+                // single-grouping operator.
+                return Ok(PhysicalPlan::Aggregate {
+                    query: Query {
+                        table,
+                        filter: src.filter,
+                        group_by: g.sets[0].clone(),
+                        aggregates: g.aggregates.clone(),
+                        sample: src.sample,
+                    },
+                    row_range: src.row_range,
+                });
+            }
+            Ok(PhysicalPlan::GroupingSets {
+                query: SetsQuery {
+                    table,
+                    filter: src.filter,
+                    sets: g.sets.clone(),
+                    aggregates: g.aggregates.clone(),
+                    sample: src.sample,
+                },
+                row_range: src.row_range,
+            })
+        }
+    }
+}
+
+impl PhysicalPlan {
+    /// The table this plan scans.
+    pub fn table(&self) -> &str {
+        match self {
+            PhysicalPlan::Aggregate { query, .. } => &query.table,
+            PhysicalPlan::GroupingSets { query, .. } => &query.table,
+        }
+    }
+
+    /// Execute directly against a table (no catalog, no cost recording).
+    ///
+    /// # Errors
+    /// Unknown columns, type errors, or invalid query shapes.
+    pub fn execute(&self, table: &Table) -> DbResult<PlanOutput> {
+        match self {
+            PhysicalPlan::Aggregate { query, row_range } => {
+                exec::execute_ranged(table, query, *row_range).map(PlanOutput::Aggregate)
+            }
+            PhysicalPlan::GroupingSets { query, row_range } => {
+                exec::execute_sets_ranged(table, query, *row_range).map(PlanOutput::GroupingSets)
+            }
+        }
+    }
+}
+
+/// Output of an executed plan, matching [`PhysicalPlan`]'s shape.
+#[derive(Debug, Clone)]
+pub enum PlanOutput {
+    /// Output of a single-grouping plan.
+    Aggregate(QueryOutput),
+    /// Output of a multi-set plan.
+    GroupingSets(SetsOutput),
+}
+
+impl PlanOutput {
+    /// Execution cost figures.
+    pub fn stats(&self) -> &ExecStats {
+        match self {
+            PlanOutput::Aggregate(o) => &o.stats,
+            PlanOutput::GroupingSets(o) => &o.stats,
+        }
+    }
+
+    /// Wall time the query itself took (excluding queue wait).
+    pub fn elapsed(&self) -> Duration {
+        self.stats().elapsed
+    }
+
+    /// The result set at `index`: a single-grouping output has exactly
+    /// index 0; a grouping-sets output has one per set.
+    ///
+    /// # Errors
+    /// `Internal` if `index` is out of range for this output's shape (a
+    /// plan/executor mismatch is a bug, surfaced as an error).
+    pub fn result_set(&self, index: usize) -> DbResult<&ResultSet> {
+        match self {
+            PlanOutput::Aggregate(o) => {
+                if index == 0 {
+                    Ok(&o.result)
+                } else {
+                    Err(DbError::Internal(format!(
+                        "result index {index} out of range for single-grouping output"
+                    )))
+                }
+            }
+            PlanOutput::GroupingSets(o) => o.results.get(index).ok_or_else(|| {
+                DbError::Internal(format!(
+                    "result index {} out of range ({} sets)",
+                    index,
+                    o.results.len()
+                ))
+            }),
+        }
+    }
+
+    /// Number of result sets.
+    pub fn num_result_sets(&self) -> usize {
+        match self {
+            PlanOutput::Aggregate(_) => 1,
+            PlanOutput::GroupingSets(o) => o.results.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Database;
+    use crate::exec::AggFunc;
+    use crate::schema::{ColumnDef, Schema};
+    use crate::value::{DataType, Value};
+
+    fn sales() -> Table {
+        let schema = Schema::new(vec![
+            ColumnDef::dimension("store", DataType::Str),
+            ColumnDef::dimension("product", DataType::Str),
+            ColumnDef::measure("amount", DataType::Float64),
+        ])
+        .unwrap();
+        let mut t = Table::new("sales", schema);
+        for (s, p, a) in [
+            ("MA", "Laserwave", 10.0),
+            ("MA", "Saberwave", 20.0),
+            ("WA", "Laserwave", 30.0),
+            ("NY", "Saberwave", 50.0),
+        ] {
+            t.push_row(vec![s.into(), p.into(), a.into()]).unwrap();
+        }
+        t
+    }
+
+    fn sum_amount() -> Vec<AggSpec> {
+        vec![AggSpec::new(AggFunc::Sum, "amount")]
+    }
+
+    #[test]
+    fn aggregate_plan_lowers_and_executes() {
+        let t = sales();
+        let plan = LogicalPlan::scan("sales").aggregate(vec!["store".into()], sum_amount());
+        let out = plan.lower().unwrap().execute(&t).unwrap();
+        assert_eq!(out.num_result_sets(), 1);
+        assert_eq!(out.result_set(0).unwrap().num_rows(), 3);
+        assert!(out.result_set(1).is_err());
+    }
+
+    #[test]
+    fn filters_collapse_into_the_scan() {
+        let t = sales();
+        let plan = LogicalPlan::scan("sales")
+            .filter(Expr::col("product").eq("Laserwave"))
+            .filter(Expr::col("store").eq("MA"))
+            .aggregate(vec!["store".into()], sum_amount());
+        let phys = plan.lower().unwrap();
+        match &phys {
+            PhysicalPlan::Aggregate { query, .. } => {
+                assert!(query.filter.is_some(), "both filters AND-combined")
+            }
+            _ => panic!("expected aggregate"),
+        }
+        let out = phys.execute(&t).unwrap();
+        assert_eq!(out.result_set(0).unwrap().num_rows(), 1);
+    }
+
+    #[test]
+    fn single_set_grouping_sets_lowers_to_aggregate() {
+        let plan =
+            LogicalPlan::scan("sales").grouping_sets(vec![vec!["store".into()]], sum_amount());
+        match plan.lower().unwrap() {
+            PhysicalPlan::Aggregate { query, .. } => {
+                assert_eq!(query.group_by, vec!["store".to_string()])
+            }
+            PhysicalPlan::GroupingSets { .. } => panic!("single set should use the fast path"),
+        }
+    }
+
+    #[test]
+    fn multi_set_plan_shares_one_scan() {
+        let t = sales();
+        let plan = LogicalPlan::scan("sales").grouping_sets(
+            vec![vec!["store".into()], vec!["product".into()]],
+            sum_amount(),
+        );
+        let out = plan.lower().unwrap().execute(&t).unwrap();
+        assert_eq!(out.num_result_sets(), 2);
+        assert_eq!(out.stats().table_scans, 1);
+        assert_eq!(out.stats().rows_scanned, 4);
+    }
+
+    #[test]
+    fn row_slices_restrict_the_scan_domain() {
+        let t = sales();
+        let full = LogicalPlan::scan("sales").aggregate(vec![], vec![AggSpec::count_star()]);
+        let slice = full.clone().sliced(1, 3);
+        let out = slice.lower().unwrap().execute(&t).unwrap();
+        assert_eq!(out.result_set(0).unwrap().rows[0][0], Value::Int(2));
+        assert_eq!(out.stats().rows_scanned, 2);
+        // Slices partition: all-phase counts sum to the full count.
+        let a = LogicalPlan::scan("sales")
+            .aggregate(vec![], vec![AggSpec::count_star()])
+            .sliced(0, 2);
+        let b = LogicalPlan::scan("sales")
+            .aggregate(vec![], vec![AggSpec::count_star()])
+            .sliced(2, 4);
+        let na = match a
+            .lower()
+            .unwrap()
+            .execute(&t)
+            .unwrap()
+            .result_set(0)
+            .unwrap()
+            .rows[0][0]
+        {
+            Value::Int(n) => n,
+            _ => panic!(),
+        };
+        let nb = match b
+            .lower()
+            .unwrap()
+            .execute(&t)
+            .unwrap()
+            .result_set(0)
+            .unwrap()
+            .rows[0][0]
+        {
+            Value::Int(n) => n,
+            _ => panic!(),
+        };
+        assert_eq!(na + nb, 4);
+    }
+
+    #[test]
+    fn malformed_plans_are_rejected() {
+        // Bare scan: no output operator.
+        assert!(LogicalPlan::scan("sales").lower().is_err());
+        // Filter root.
+        assert!(LogicalPlan::scan("sales")
+            .filter(Expr::col("store").eq("MA"))
+            .lower()
+            .is_err());
+        // Empty aggregates.
+        assert!(LogicalPlan::scan("sales")
+            .aggregate(vec!["store".into()], vec![])
+            .lower()
+            .is_err());
+        // Empty sets.
+        assert!(LogicalPlan::scan("sales")
+            .grouping_sets(vec![], sum_amount())
+            .lower()
+            .is_err());
+        // Nested aggregation.
+        let nested = LogicalPlan::scan("sales")
+            .aggregate(vec!["store".into()], sum_amount())
+            .aggregate(vec![], sum_amount());
+        assert!(nested.lower().is_err());
+    }
+
+    #[test]
+    fn database_executes_plans_and_records_cost() {
+        let db = Database::new();
+        db.register(sales());
+        let plan = LogicalPlan::scan("sales").aggregate(vec!["store".into()], sum_amount());
+        let out = db.execute_plan(&plan).unwrap();
+        assert_eq!(out.num_result_sets(), 1);
+        assert_eq!(db.cost().queries, 1);
+        assert_eq!(db.cost().rows_scanned, 4);
+    }
+
+    #[test]
+    fn sample_attaches_to_the_scan_leaf() {
+        let plan = LogicalPlan::scan("sales")
+            .filter(Expr::col("store").eq("MA"))
+            .aggregate(vec!["store".into()], sum_amount())
+            .sampled(Some(SampleSpec::Bernoulli {
+                fraction: 0.5,
+                seed: 1,
+            }));
+        match plan.lower().unwrap() {
+            PhysicalPlan::Aggregate { query, .. } => assert!(query.sample.is_some()),
+            _ => panic!("expected aggregate"),
+        }
+    }
+}

@@ -82,32 +82,77 @@ mod tests {
     #[test]
     fn bernoulli_edge_fractions() {
         assert_eq!(
-            sample_rows(10, &SampleSpec::Bernoulli { fraction: 1.0, seed: 1 }).len(),
+            sample_rows(
+                10,
+                &SampleSpec::Bernoulli {
+                    fraction: 1.0,
+                    seed: 1
+                }
+            )
+            .len(),
             10
         );
         assert_eq!(
-            sample_rows(10, &SampleSpec::Bernoulli { fraction: 0.0, seed: 1 }).len(),
+            sample_rows(
+                10,
+                &SampleSpec::Bernoulli {
+                    fraction: 0.0,
+                    seed: 1
+                }
+            )
+            .len(),
             0
         );
         // Out-of-range fractions are clamped rather than panicking.
         assert_eq!(
-            sample_rows(10, &SampleSpec::Bernoulli { fraction: 2.0, seed: 1 }).len(),
+            sample_rows(
+                10,
+                &SampleSpec::Bernoulli {
+                    fraction: 2.0,
+                    seed: 1
+                }
+            )
+            .len(),
             10
         );
     }
 
     #[test]
     fn bernoulli_is_deterministic_per_seed() {
-        let a = sample_rows(1000, &SampleSpec::Bernoulli { fraction: 0.3, seed: 42 });
-        let b = sample_rows(1000, &SampleSpec::Bernoulli { fraction: 0.3, seed: 42 });
-        let c = sample_rows(1000, &SampleSpec::Bernoulli { fraction: 0.3, seed: 43 });
+        let a = sample_rows(
+            1000,
+            &SampleSpec::Bernoulli {
+                fraction: 0.3,
+                seed: 42,
+            },
+        );
+        let b = sample_rows(
+            1000,
+            &SampleSpec::Bernoulli {
+                fraction: 0.3,
+                seed: 42,
+            },
+        );
+        let c = sample_rows(
+            1000,
+            &SampleSpec::Bernoulli {
+                fraction: 0.3,
+                seed: 43,
+            },
+        );
         assert_eq!(a, b);
         assert_ne!(a, c);
     }
 
     #[test]
     fn bernoulli_size_near_expectation() {
-        let s = sample_rows(100_000, &SampleSpec::Bernoulli { fraction: 0.1, seed: 7 });
+        let s = sample_rows(
+            100_000,
+            &SampleSpec::Bernoulli {
+                fraction: 0.1,
+                seed: 7,
+            },
+        );
         let n = s.len() as f64;
         assert!((9_000.0..11_000.0).contains(&n), "got {n}");
     }
@@ -147,7 +192,11 @@ mod tests {
     #[test]
     fn expected_size_helper() {
         assert_eq!(
-            SampleSpec::Bernoulli { fraction: 0.25, seed: 0 }.expected_size(1000),
+            SampleSpec::Bernoulli {
+                fraction: 0.25,
+                seed: 0
+            }
+            .expected_size(1000),
             250
         );
         assert_eq!(

@@ -100,7 +100,10 @@ impl Schema {
     pub fn new(columns: Vec<ColumnDef>) -> DbResult<Self> {
         for (i, c) in columns.iter().enumerate() {
             if columns[..i].iter().any(|p| p.name == c.name) {
-                return Err(DbError::Schema(format!("duplicate column name: {}", c.name)));
+                return Err(DbError::Schema(format!(
+                    "duplicate column name: {}",
+                    c.name
+                )));
             }
             if c.role == Role::Measure && !c.dtype.is_numeric() {
                 return Err(DbError::Schema(format!(
@@ -205,10 +208,7 @@ mod tests {
     fn index_lookup() {
         let s = sample();
         assert_eq!(s.index_of("amount").unwrap(), 2);
-        assert!(matches!(
-            s.index_of("nope"),
-            Err(DbError::UnknownColumn(_))
-        ));
+        assert!(matches!(s.index_of("nope"), Err(DbError::UnknownColumn(_))));
     }
 
     #[test]

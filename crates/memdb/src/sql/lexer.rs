@@ -4,8 +4,8 @@ use crate::error::{DbError, DbResult};
 
 /// SQL keywords recognized by the parser (stored uppercase).
 const KEYWORDS: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "GROUP", "BY", "AND", "OR", "NOT", "IN", "IS", "NULL", "AS",
-    "TRUE", "FALSE", "COUNT", "SUM", "AVG", "MIN", "MAX",
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "AND", "OR", "NOT", "IN", "IS", "NULL", "AS", "TRUE",
+    "FALSE", "COUNT", "SUM", "AVG", "MIN", "MAX",
 ];
 
 /// A SQL token.

@@ -102,7 +102,9 @@ impl Parser {
     fn expect_ident(&mut self) -> DbResult<String> {
         match self.next() {
             Token::Ident(s) => Ok(s),
-            other => Err(DbError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(DbError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -415,16 +417,12 @@ mod tests {
         assert_eq!(q.aggregates.len(), 1);
         assert_eq!(q.aggregates[0].func, AggFunc::Sum);
         assert_eq!(q.aggregates[0].column.as_deref(), Some("amount"));
-        assert_eq!(
-            q.filter.as_ref().unwrap().to_sql(),
-            "Product = 'Laserwave'"
-        );
+        assert_eq!(q.filter.as_ref().unwrap().to_sql(), "Product = 'Laserwave'");
     }
 
     #[test]
     fn parse_paper_query_q_star() {
-        let sel =
-            parse_selection("SELECT * FROM Sales WHERE Product = 'Laserwave'").unwrap();
+        let sel = parse_selection("SELECT * FROM Sales WHERE Product = 'Laserwave'").unwrap();
         assert_eq!(sel.table, "Sales");
         assert!(sel.filter.is_some());
     }

@@ -313,11 +313,7 @@ mod tests {
 
     #[test]
     fn constant_column_has_zero_entropy_and_max_freq_variance_zero() {
-        let t = table_with(
-            "d",
-            DataType::Str,
-            vec!["a".into(), "a".into(), "a".into()],
-        );
+        let t = table_with("d", DataType::Str, vec!["a".into(), "a".into(), "a".into()]);
         let s = ColumnStats::collect("d", t.column("d").unwrap());
         assert_eq!(s.distinct, 1);
         assert_eq!(s.entropy, 0.0);
@@ -330,7 +326,14 @@ mod tests {
         let t = table_with(
             "d",
             DataType::Str,
-            vec!["a".into(), "b".into(), "c".into(), "a".into(), "b".into(), "c".into()],
+            vec![
+                "a".into(),
+                "b".into(),
+                "c".into(),
+                "a".into(),
+                "b".into(),
+                "c".into(),
+            ],
         );
         let s = ColumnStats::collect("d", t.column("d").unwrap());
         assert!(s.frequency_variance.abs() < 1e-12);
@@ -370,7 +373,13 @@ mod tests {
         ])
         .unwrap();
         let mut t = Table::new("t", schema);
-        for (x, y) in [("BOS", "Boston"), ("SEA", "Seattle"), ("BOS", "Boston"), ("SFO", "San Francisco"), ("SEA", "Seattle")] {
+        for (x, y) in [
+            ("BOS", "Boston"),
+            ("SEA", "Seattle"),
+            ("BOS", "Boston"),
+            ("SFO", "San Francisco"),
+            ("SEA", "Seattle"),
+        ] {
             t.push_row(vec![x.into(), y.into()]).unwrap();
         }
         let v = cramers_v(t.column("a").unwrap(), t.column("b").unwrap()).unwrap();

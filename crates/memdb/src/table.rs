@@ -150,10 +150,15 @@ mod tests {
     #[test]
     fn push_and_read_rows() {
         let mut t = Table::new("sales", sales_schema());
-        t.push_row(vec!["Cambridge, MA".into(), 180.55.into()]).unwrap();
-        t.push_row(vec!["Seattle, WA".into(), 145.50.into()]).unwrap();
+        t.push_row(vec!["Cambridge, MA".into(), 180.55.into()])
+            .unwrap();
+        t.push_row(vec!["Seattle, WA".into(), 145.50.into()])
+            .unwrap();
         assert_eq!(t.num_rows(), 2);
-        assert_eq!(t.row(1), vec![Value::from("Seattle, WA"), Value::Float(145.5)]);
+        assert_eq!(
+            t.row(1),
+            vec![Value::from("Seattle, WA"), Value::Float(145.5)]
+        );
     }
 
     #[test]

@@ -53,7 +53,7 @@ fn reference_aggregate(
     data: &TestData,
     group_cols: &[usize], // 0=d1, 1=d2, 2=d3
     func: AggFunc,
-    filter_d2: Option<&str>, // per-aggregate predicate: d2 == value
+    filter_d2: Option<&str>,  // per-aggregate predicate: d2 == value
     where_d3_lt: Option<i64>, // scan filter: d3 < value
 ) -> BTreeMap<Vec<String>, Option<f64>> {
     let mut groups: BTreeMap<Vec<String>, Vec<f64>> = BTreeMap::new();
@@ -126,7 +126,10 @@ fn result_to_map(
         .collect()
 }
 
-fn approx_eq(a: &BTreeMap<Vec<String>, Option<f64>>, b: &BTreeMap<Vec<String>, Option<f64>>) -> Result<(), String> {
+fn approx_eq(
+    a: &BTreeMap<Vec<String>, Option<f64>>,
+    b: &BTreeMap<Vec<String>, Option<f64>>,
+) -> Result<(), String> {
     if a.keys().collect::<Vec<_>>() != b.keys().collect::<Vec<_>>() {
         return Err(format!(
             "group keys differ:\n  engine: {:?}\n  reference: {:?}",

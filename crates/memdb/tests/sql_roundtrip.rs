@@ -10,8 +10,7 @@ use proptest::prelude::*;
 /// n (int), and m (float).
 fn expr_strategy() -> impl Strategy<Value = Expr> {
     let leaf = prop_oneof![
-        proptest::sample::select(vec!["a", "b", "c", "zz"])
-            .prop_map(|v| Expr::col("d").eq(v)),
+        proptest::sample::select(vec!["a", "b", "c", "zz"]).prop_map(|v| Expr::col("d").eq(v)),
         (-5i64..5).prop_map(|v| Expr::col("n").gt(v)),
         (-5i64..5).prop_map(|v| Expr::col("n").le(v)),
         (-10.0f64..10.0).prop_map(|v| Expr::col("m").lt(v)),

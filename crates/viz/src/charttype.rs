@@ -6,11 +6,9 @@
 //! time series)." (paper §3.2)
 
 use memdb::{Schema, Semantic};
-use serde::Serialize;
 
 /// The visualization type chosen for a view.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ChartType {
     /// Categorical bar chart, bars sorted by value (the Fig. 1 default).
     BarChart,
@@ -26,6 +24,26 @@ pub enum ChartType {
     /// Bar chart truncated to the heaviest groups, with a "top N" note
     /// (high-cardinality categorical dimensions).
     TopNBarChart,
+}
+
+impl ChartType {
+    /// The wire-format name (snake_case, serde-compatible).
+    pub fn name(self) -> &'static str {
+        match self {
+            ChartType::BarChart => "bar_chart",
+            ChartType::OrderedBarChart => "ordered_bar_chart",
+            ChartType::LineChart => "line_chart",
+            ChartType::Map => "map",
+            ChartType::Histogram => "histogram",
+            ChartType::TopNBarChart => "top_n_bar_chart",
+        }
+    }
+}
+
+impl serde_json::Serialize for ChartType {
+    fn to_json_value(&self) -> serde_json::Value {
+        serde_json::Value::String(self.name().to_string())
+    }
 }
 
 /// Group-count threshold above which a categorical dimension is rendered

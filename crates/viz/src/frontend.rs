@@ -337,10 +337,7 @@ mod tests {
             .filter_eq("a", "x")
             .filter("m", CmpOp::Gt, 5.0)
             .build();
-        assert_eq!(
-            q.filter.unwrap().to_sql(),
-            "(a = 'x' AND m > 5.0)"
-        );
+        assert_eq!(q.filter.unwrap().to_sql(), "(a = 'x' AND m > 5.0)");
     }
 
     #[test]

@@ -9,12 +9,12 @@
 
 use memdb::Schema;
 use seedb_core::{Metric, ViewResult};
-use serde::Serialize;
+use serde_json::{json, Serialize, Value};
 
 use crate::charttype::{choose_chart, ChartType, MAX_BARS};
 
 /// One point in a rendered series.
-#[derive(Debug, Clone, Serialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Point {
     /// Group label.
     pub label: String,
@@ -25,7 +25,7 @@ pub struct Point {
 }
 
 /// A named series (target or comparison).
-#[derive(Debug, Clone, Serialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// `"target"` (the analyst's subset) or `"comparison"` (whole table).
     pub name: String,
@@ -34,7 +34,7 @@ pub struct Series {
 }
 
 /// View metadata shown next to each visualization.
-#[derive(Debug, Clone, Serialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ViewMetadata {
     /// Deviation-based utility.
     pub utility: f64,
@@ -51,7 +51,7 @@ pub struct ViewMetadata {
 }
 
 /// A complete, renderer-agnostic visualization description.
-#[derive(Debug, Clone, Serialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VisualizationSpec {
     /// Chart title, e.g. `SUM(amount) BY store`.
     pub title: String,
@@ -67,6 +67,52 @@ pub struct VisualizationSpec {
     pub truncated: bool,
     /// Attached metadata.
     pub metadata: ViewMetadata,
+}
+
+impl Serialize for Point {
+    fn to_json_value(&self) -> Value {
+        json!({
+            "label": self.label,
+            "probability": self.probability,
+            "raw": self.raw,
+        })
+    }
+}
+
+impl Serialize for Series {
+    fn to_json_value(&self) -> Value {
+        json!({
+            "name": self.name,
+            "points": self.points,
+        })
+    }
+}
+
+impl Serialize for ViewMetadata {
+    fn to_json_value(&self) -> Value {
+        json!({
+            "utility": self.utility,
+            "metric": self.metric,
+            "num_groups": self.num_groups,
+            "max_change_group": self.max_change_group,
+            "max_change": self.max_change,
+            "sql": self.sql,
+        })
+    }
+}
+
+impl Serialize for VisualizationSpec {
+    fn to_json_value(&self) -> Value {
+        json!({
+            "title": self.title,
+            "chart_type": self.chart_type,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "series": self.series,
+            "truncated": self.truncated,
+            "metadata": self.metadata,
+        })
+    }
 }
 
 impl VisualizationSpec {
@@ -244,13 +290,8 @@ mod tests {
 
     #[test]
     fn json_serialization() {
-        let spec = VisualizationSpec::from_view(
-            &view(),
-            &schema(),
-            Metric::EarthMovers,
-            "sales",
-            None,
-        );
+        let spec =
+            VisualizationSpec::from_view(&view(), &schema(), Metric::EarthMovers, "sales", None);
         let json = spec.to_json();
         assert!(json.contains("\"chart_type\": \"bar_chart\""));
         assert!(json.contains("\"target\""));
@@ -260,13 +301,8 @@ mod tests {
 
     #[test]
     fn vega_lite_export() {
-        let spec = VisualizationSpec::from_view(
-            &view(),
-            &schema(),
-            Metric::EarthMovers,
-            "sales",
-            None,
-        );
+        let spec =
+            VisualizationSpec::from_view(&view(), &schema(), Metric::EarthMovers, "sales", None);
         let vl = spec.to_vega_lite();
         assert_eq!(vl["mark"], "bar");
         assert_eq!(vl["data"]["values"].as_array().unwrap().len(), 4);
@@ -290,8 +326,7 @@ mod tests {
             comparison,
             aligned,
         };
-        let spec =
-            VisualizationSpec::from_view(&v, &schema(), Metric::EarthMovers, "sales", None);
+        let spec = VisualizationSpec::from_view(&v, &schema(), Metric::EarthMovers, "sales", None);
         assert_eq!(spec.chart_type, ChartType::TopNBarChart);
         assert!(spec.truncated);
         assert_eq!(spec.series[0].points.len(), MAX_BARS);
@@ -302,13 +337,8 @@ mod tests {
 
     #[test]
     fn max_change_metadata_present() {
-        let spec = VisualizationSpec::from_view(
-            &view(),
-            &schema(),
-            Metric::EarthMovers,
-            "sales",
-            None,
-        );
+        let spec =
+            VisualizationSpec::from_view(&view(), &schema(), Metric::EarthMovers, "sales", None);
         assert!(spec.metadata.max_change_group.is_some());
         assert!(spec.metadata.max_change.unwrap() > 0.0);
     }

@@ -20,7 +20,7 @@ use std::sync::Arc;
 
 use seedb::core::{AnalystQuery, Metric, SeeDb, SeeDbConfig};
 use seedb::memdb::{
-    AggFunc, AggSpec, ColumnDef, Database, DataType, Expr, Query, Schema, Semantic, Table, Value,
+    AggFunc, AggSpec, ColumnDef, DataType, Database, Expr, Query, Schema, Semantic, Table, Value,
 };
 use seedb::viz::{Frontend, VisualizationSpec};
 
@@ -94,7 +94,7 @@ fn main() {
     // the Laserwave trend. Scenario B (Figure 3): overall sales follow
     // the *same* east-heavy trend as Laserwave.
     let scenario_a_background: Vec<(&str, f64)> = vec![
-        ("Cambridge, MA", 1_819.45),     // + Laserwave 180.55 ≈ 2 000
+        ("Cambridge, MA", 1_819.45), // + Laserwave 180.55 ≈ 2 000
         ("New York, NY", 19_878.0),
         ("San Francisco, CA", 36_909.87),
         ("Seattle, WA", 38_854.5),
@@ -121,8 +121,18 @@ fn main() {
     );
 
     // --- Figures 2 and 3: the two comparison views ------------------
-    show_view(&db, "sales_a", None, "Scenario A (Fig. 2): Total Sales by Store — opposite trend");
-    show_view(&db, "sales_b", None, "Scenario B (Fig. 3): Total Sales by Store — same trend");
+    show_view(
+        &db,
+        "sales_a",
+        None,
+        "Scenario A (Fig. 2): Total Sales by Store — opposite trend",
+    );
+    show_view(
+        &db,
+        "sales_b",
+        None,
+        "Scenario B (Fig. 3): Total Sales by Store — same trend",
+    );
 
     // --- SeeDB's verdict --------------------------------------------
     println!("SeeDB utility of the view SUM(amount) BY store:\n");
@@ -177,9 +187,7 @@ fn main() {
         .unwrap();
     assert_eq!(out.visualizations[0].x_label, "store");
     for store in STORES {
-        assert!(out
-            .visualizations[0]
-            .series[0]
+        assert!(out.visualizations[0].series[0]
             .points
             .iter()
             .any(|p| p.label == store));

@@ -16,9 +16,7 @@
 
 use std::sync::Arc;
 
-use seedb::core::{
-    AnalystQuery, GroupByCombining, SeeDb, SeeDbConfig, ViewResult,
-};
+use seedb::core::{AnalystQuery, GroupByCombining, SeeDb, SeeDbConfig, ViewResult};
 use seedb::data::{Plant, SyntheticSpec};
 use seedb::memdb::{Database, SampleSpec};
 

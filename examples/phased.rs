@@ -49,7 +49,9 @@ fn main() {
     exact_cfg.pruning = PruningConfig::disabled();
     exact_cfg.optimizer.parallelism = 1;
     let t0 = Instant::now();
-    let exact = SeeDb::new(db.clone(), exact_cfg).recommend(&analyst).unwrap();
+    let exact = SeeDb::new(db.clone(), exact_cfg)
+        .recommend(&analyst)
+        .unwrap();
     let exact_ms = t0.elapsed().as_secs_f64() * 1e3;
 
     // Phased with early termination.

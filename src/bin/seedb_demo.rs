@@ -50,10 +50,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("{name} requires a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match a.as_str() {
             "--dataset" => args.dataset = value("--dataset")?,
             "--rows" => {
@@ -122,7 +119,9 @@ fn load(dataset: &str, rows: usize, seed: u64) -> Result<(Arc<Database>, String)
             );
             let sql = format!(
                 "SELECT * FROM synthetic WHERE {}",
-                spec.subset_filter().expect("plant defines a filter").to_sql()
+                spec.subset_filter()
+                    .expect("plant defines a filter")
+                    .to_sql()
             );
             (spec.generate(), sql)
         }
@@ -187,7 +186,10 @@ fn main() {
     let mut frontend = Frontend::new(SeeDb::new(db, build_config(&args)));
 
     let first_sql = args.query.clone().unwrap_or(suggested);
-    println!("dataset: {} ({} rows)\nquery:   {first_sql}\n", args.dataset, args.rows);
+    println!(
+        "dataset: {} ({} rows)\nquery:   {first_sql}\n",
+        args.dataset, args.rows
+    );
     let mut current = match AnalystQuery::from_sql(&first_sql) {
         Ok(q) => q,
         Err(e) => {
@@ -250,8 +252,10 @@ fn main() {
                         Some("off") => cfg.optimizer.sample = None,
                         Some(f) => match f.parse::<f64>() {
                             Ok(frac) => {
-                                cfg.optimizer.sample =
-                                    Some(SampleSpec::Bernoulli { fraction: frac, seed: 1 })
+                                cfg.optimizer.sample = Some(SampleSpec::Bernoulli {
+                                    fraction: frac,
+                                    seed: 1,
+                                })
                             }
                             Err(e) => {
                                 eprintln!("bad fraction: {e}");
@@ -271,8 +275,7 @@ fn main() {
                     match (idx, &last) {
                         (Some(i), Some(out)) if i >= 1 && i <= out.recommendation.views.len() => {
                             let view = &out.recommendation.views[i - 1];
-                            let next =
-                                drill_down(&current, &view.spec, &label.join(" "));
+                            let next = drill_down(&current, &view.spec, &label.join(" "));
                             println!("drilled: {}", next.to_sql());
                             current = next;
                             last = run_and_print(&frontend, &current);

@@ -43,8 +43,9 @@ fn store_orders_recovers_planted_trends() {
     let (_, rec) = run_dataset(seedb::data::store_orders(20_000, 11), 8);
     // Correlation pruning should have clustered state with region.
     assert!(
-        rec.clusters.iter().any(|c| c.contains(&"state".to_string())
-            && c.contains(&"region".to_string())),
+        rec.clusters
+            .iter()
+            .any(|c| c.contains(&"state".to_string()) && c.contains(&"region".to_string())),
         "state/region cluster expected, got {:?}",
         rec.clusters
     );
@@ -54,10 +55,7 @@ fn store_orders_recovers_planted_trends() {
 fn election_recovers_planted_trends() {
     let (_, rec) = run_dataset(seedb::data::election_contributions(20_000, 12), 8);
     // candidate is the filter attribute: excluded from the view space.
-    assert!(rec
-        .all
-        .iter()
-        .all(|v| v.spec.dimension != "candidate"));
+    assert!(rec.all.iter().all(|v| v.spec.dimension != "candidate"));
 }
 
 #[test]
@@ -74,7 +72,9 @@ fn optimizations_do_not_change_scores_on_real_schemas() {
 
     let mut basic_cfg = SeeDbConfig::basic();
     basic_cfg.pruning = PruningConfig::disabled();
-    let basic = SeeDb::new(db.clone(), basic_cfg).recommend_sql(&sql).unwrap();
+    let basic = SeeDb::new(db.clone(), basic_cfg)
+        .recommend_sql(&sql)
+        .unwrap();
 
     let mut opt_cfg = SeeDbConfig::recommended();
     opt_cfg.pruning = PruningConfig::disabled();
@@ -156,9 +156,12 @@ fn binned_numeric_column_flows_through_the_pipeline() {
     // and let SeeDB group on it (paper §1: "binning, grouping, and
     // aggregation").
     let data = seedb::data::medical(10_000, 3);
-    let (binned, binning) =
-        with_binned_column(&data.table, "heart_rate", BinStrategy::EqualDepth { bins: 6 })
-            .unwrap();
+    let (binned, binning) = with_binned_column(
+        &data.table,
+        "heart_rate",
+        BinStrategy::EqualDepth { bins: 6 },
+    )
+    .unwrap();
     assert!(binning.num_bins() <= 6);
     let db = Arc::new(Database::new());
     db.register(binned);

@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use seedb::core::{AnalystQuery, FunctionSet, Metric, SeeDb, SeeDbConfig};
 use seedb::memdb::{
-    AggFunc, AggSpec, ColumnDef, Database, DataType, Expr, Query, Schema, Table, Value,
+    AggFunc, AggSpec, ColumnDef, DataType, Database, Expr, Query, Schema, Table, Value,
 };
 
 const LASERWAVE: [(&str, f64); 4] = [

@@ -1,0 +1,190 @@
+//! Plan-lowering equivalence properties: on randomly generated synthetic
+//! tables, every shared-scan rewrite the optimizer emits through the
+//! logical plan layer must produce **byte-identical** `ViewResult`s to
+//! naive one-query-per-view execution.
+//!
+//! Byte-identical is achievable (and asserted, via `f64::to_bits`) for
+//! the three paper rewrites — combined target/comparison, combined
+//! aggregates, and combined group-bys via grouping sets — because each
+//! lowers onto a shared scan that visits rows in exactly the same order
+//! as the naive queries. The multi-group-by roll-up mode re-associates
+//! floating-point additions, so it is held to a 1e-9 tolerance instead.
+
+use proptest::prelude::*;
+use seedb::core::optimizer::plan;
+use seedb::core::{
+    enumerate_views, AnalystQuery, FunctionSet, GroupByCombining, MetadataCollector, Metric,
+    OptimizerConfig, Processor, ViewResult,
+};
+use seedb::data::{Plant, SyntheticSpec};
+use seedb::memdb::{run_batch, Database, LogicalPlan};
+
+/// Execute `views` under `cfg` through the full plan → lower → execute →
+/// extract pipeline and score them.
+fn run_views(db: &Database, analyst: &AnalystQuery, cfg: &OptimizerConfig) -> Vec<ViewResult> {
+    let table = db.table(&analyst.table).unwrap();
+    let views = enumerate_views(table.schema(), &FunctionSet::standard());
+    let metadata = MetadataCollector::new().collect(&table, false).unwrap();
+    let exec_plan = plan(&views, analyst, &metadata, cfg);
+    let plans: Vec<LogicalPlan> = exec_plan.queries.iter().map(|q| q.plan.clone()).collect();
+    let batch = run_batch(db, &plans, cfg.parallelism.max(1));
+    let mut processor = Processor::new(views, Metric::EarthMovers);
+    for (pq, out) in exec_plan.queries.iter().zip(batch.outputs) {
+        processor.consume(pq, &out.expect("plan executes")).unwrap();
+    }
+    processor.finish()
+}
+
+/// Bitwise comparison of two scored views: utility, the full comparison
+/// distribution, and the aligned target/comparison pair (exactly what
+/// the deviation metric consumes) must match to the bit.
+///
+/// The *raw* target distribution is intentionally compared through the
+/// aligned pair rather than by label set: a group with zero qualifying
+/// target rows is absent from a naive standalone target query's output
+/// but present with zero mass in a combined query's (its per-aggregate
+/// predicate keeps the group alive via the comparison aggregate). Both
+/// encode the same distribution, and their aligned probability vectors
+/// are required to be bit-equal.
+fn bitwise_eq(a: &ViewResult, b: &ViewResult) -> Result<(), String> {
+    let ctx = |what: &str| format!("{}: {what} differs", a.spec);
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    if a.spec != b.spec {
+        return Err("view specs differ".to_string());
+    }
+    if a.utility.to_bits() != b.utility.to_bits() {
+        return Err(format!(
+            "{}: utility {} vs {}",
+            a.spec, a.utility, b.utility
+        ));
+    }
+    // The comparison side runs over the whole table in both modes and
+    // must be identical down to label support and raw values.
+    if a.comparison.labels != b.comparison.labels {
+        return Err(ctx("comparison labels"));
+    }
+    if bits(&a.comparison.probs) != bits(&b.comparison.probs) {
+        return Err(ctx("comparison probabilities"));
+    }
+    if bits(&a.comparison.raw) != bits(&b.comparison.raw) {
+        return Err(ctx("comparison raw values"));
+    }
+    // The aligned pair is the scored object; it must be bit-identical.
+    if a.aligned.labels != b.aligned.labels {
+        return Err(ctx("aligned labels"));
+    }
+    if bits(&a.aligned.p) != bits(&b.aligned.p) {
+        return Err(ctx("aligned target probabilities"));
+    }
+    if bits(&a.aligned.q) != bits(&b.aligned.q) {
+        return Err(ctx("aligned comparison probabilities"));
+    }
+    Ok(())
+}
+
+fn build_db(
+    rows: usize,
+    dims: usize,
+    card: usize,
+    measures: usize,
+    seed: u64,
+) -> (Database, AnalystQuery) {
+    let spec = SyntheticSpec::knobs(rows, dims, card, 1.0, measures, seed).with_plant(Plant {
+        subset_dim: 0,
+        subset_value: 0,
+        deviating_dims: vec![1],
+        deviating_measures: vec![],
+    });
+    let analyst = AnalystQuery::new("synthetic", spec.subset_filter());
+    let db = Database::new();
+    db.register(spec.generate());
+    (db, analyst)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Combined target/comparison, combined aggregates, and grouping-set
+    /// combining (under tight and loose memory budgets, sequential and
+    /// parallel) are all byte-identical to the basic framework.
+    #[test]
+    fn shared_scan_plans_match_naive_execution_bitwise(
+        seed in 0u64..10_000,
+        dims in 2usize..5,
+        card in 2usize..10,
+        measures in 1usize..3,
+        budget in prop_oneof![Just(6u64), Just(1_000_000u64)],
+    ) {
+        let (db, analyst) = build_db(400, dims, card, measures, seed);
+        let baseline = run_views(&db, &analyst, &OptimizerConfig::basic());
+
+        let mut combined_tc = OptimizerConfig::basic();
+        combined_tc.combine_target_comparison = true;
+
+        let mut combined_aggs = OptimizerConfig::basic();
+        combined_aggs.combine_aggregates = true;
+
+        let mut grouping_sets = OptimizerConfig::basic();
+        grouping_sets.combine_target_comparison = true;
+        grouping_sets.combine_aggregates = true;
+        grouping_sets.group_by_combining = GroupByCombining::GroupingSets;
+        grouping_sets.memory_budget_groups = budget;
+
+        let mut grouping_sets_parallel = grouping_sets.clone();
+        grouping_sets_parallel.parallelism = 3;
+
+        for (name, cfg) in [
+            ("combine target/comparison", &combined_tc),
+            ("combine aggregates", &combined_aggs),
+            ("combine group-bys (grouping sets)", &grouping_sets),
+            ("combine group-bys, parallel", &grouping_sets_parallel),
+        ] {
+            let optimized = run_views(&db, &analyst, cfg);
+            prop_assert_eq!(optimized.len(), baseline.len());
+            for (a, b) in baseline.iter().zip(&optimized) {
+                if let Err(msg) = bitwise_eq(a, b) {
+                    return Err(TestCaseError::fail(format!("[{name}] {msg}")));
+                }
+            }
+            // The rewrites must actually share scans: never more DBMS
+            // queries than the basic framework's two per view.
+            let table = db.table(&analyst.table).unwrap();
+            let views = enumerate_views(table.schema(), &FunctionSet::standard());
+            let md = MetadataCollector::new().collect(&table, false).unwrap();
+            let n_opt = plan(&views, &analyst, &md, cfg).num_queries();
+            let n_base = plan(&views, &analyst, &md, &OptimizerConfig::basic()).num_queries();
+            prop_assert!(n_opt < n_base, "[{}] {} queries vs {} baseline", name, n_opt, n_base);
+        }
+    }
+
+    /// The multi-group-by roll-up mode re-associates float additions, so
+    /// it is equivalent to 1e-9 rather than bit-exact.
+    #[test]
+    fn multigroupby_rollup_matches_within_tolerance(
+        seed in 0u64..10_000,
+        dims in 2usize..4,
+        card in 2usize..6,
+    ) {
+        let (db, analyst) = build_db(300, dims, card, 1, seed);
+        let baseline = run_views(&db, &analyst, &OptimizerConfig::basic());
+
+        let mut cfg = OptimizerConfig::basic();
+        cfg.combine_target_comparison = true;
+        cfg.combine_aggregates = true;
+        cfg.group_by_combining = GroupByCombining::MultiGroupBy;
+        cfg.memory_budget_groups = 1_000_000;
+        let rolled = run_views(&db, &analyst, &cfg);
+
+        prop_assert_eq!(rolled.len(), baseline.len());
+        for (a, b) in baseline.iter().zip(&rolled) {
+            prop_assert_eq!(&a.spec, &b.spec);
+            prop_assert!(
+                (a.utility - b.utility).abs() < 1e-9,
+                "{}: {} vs {}",
+                a.spec,
+                a.utility,
+                b.utility
+            );
+        }
+    }
+}

@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 
-use seedb::core::{distance, AlignedPair, Distribution, Metric};
 use seedb::core::packing::{is_valid_packing, pack};
+use seedb::core::{distance, AlignedPair, Distribution, Metric};
 
 fn prob_vec(n: usize) -> impl Strategy<Value = Vec<f64>> {
     proptest::collection::vec(0.0f64..100.0, n).prop_map(|v| {

@@ -1,0 +1,309 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of the criterion 0.5 API this workspace's
+//! benches use: [`Criterion::benchmark_group`], `sample_size`,
+//! `bench_function` / `bench_with_input`, [`BenchmarkId`], `b.iter(..)`,
+//! and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark is warmed up once, then timed over
+//! `sample_size` samples; fast closures are batched so every sample
+//! spans at least ~1 ms of wall time. Results are printed to stdout and
+//! written as `BENCH_<binary>.json` into `$SEEDB_BENCH_DIR` (default:
+//! the current working directory) so CI can archive a perf baseline.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/id` path.
+    pub name: String,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest sample (ns/iter).
+    pub min_ns: f64,
+    /// Slowest sample (ns/iter).
+    pub max_ns: f64,
+    /// Samples measured.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+/// Benchmark identifier: a function name and/or parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter rendering.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its output alive via [`black_box`].
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The top-level harness state.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let result = measure(&id.id, 10, f);
+        report(&result);
+        self.results.push(result);
+        self
+    }
+
+    /// Print the final summary and write the JSON baseline file.
+    pub fn final_summary(&self) {
+        if self.results.is_empty() {
+            return;
+        }
+        let mut json = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let comma = if i + 1 == self.results.len() { "" } else { "," };
+            let _ = writeln!(
+                json,
+                "  {{\"name\": {:?}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \
+                 \"samples\": {}, \"iters_per_sample\": {}}}{comma}",
+                r.name, r.mean_ns, r.min_ns, r.max_ns, r.samples, r.iters_per_sample
+            );
+        }
+        json.push_str("]\n");
+
+        let dir = std::env::var("SEEDB_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+        let path = format!("{dir}/BENCH_{}.json", binary_stem());
+        match std::fs::write(&path, &json) {
+            Ok(()) => println!("\nwrote {path}"),
+            Err(e) => eprintln!("\ncould not write {path}: {e}"),
+        }
+    }
+}
+
+/// The `bench` binary's name with cargo's `-<hash>` suffix stripped.
+fn binary_stem() -> String {
+    let arg0 = std::env::args()
+        .next()
+        .unwrap_or_else(|| "bench".to_string());
+    let stem = std::path::Path::new(&arg0)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench")
+        .to_string();
+    match stem.rsplit_once('-') {
+        Some((base, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            base.to_string()
+        }
+        _ => stem,
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmark `f` under this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let name = format!("{}/{}", self.name, id.id);
+        let result = measure(&name, self.sample_size, f);
+        report(&result);
+        self.criterion.results.push(result);
+        self
+    }
+
+    /// Benchmark `f` with a borrowed input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (results were recorded as they ran).
+    pub fn finish(self) {}
+}
+
+fn measure<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) -> BenchResult {
+    // Warmup + calibration: one iteration tells us how many iterations a
+    // ~1 ms sample needs, so fast routines are batched.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let once = b.elapsed.max(Duration::from_nanos(1));
+    let iters_per_sample =
+        (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+    }
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    let min = per_iter_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_iter_ns.iter().cloned().fold(0.0, f64::max);
+    BenchResult {
+        name: name.to_string(),
+        mean_ns: mean,
+        min_ns: min,
+        max_ns: max,
+        samples,
+        iters_per_sample,
+    }
+}
+
+fn report(r: &BenchResult) {
+    println!(
+        "{:<56} {:>14} /iter (min {}, max {})",
+        r.name,
+        fmt_ns(r.mean_ns),
+        fmt_ns(r.min_ns),
+        fmt_ns(r.max_ns)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Bundle benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+            g.finish();
+        }
+        assert_eq!(c.results.len(), 1);
+        assert_eq!(c.results[0].name, "g/4");
+        assert!(c.results[0].mean_ns > 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("m", 10).id, "m/10");
+        assert_eq!(BenchmarkId::from_parameter("0.25").id, "0.25");
+    }
+}
