@@ -59,7 +59,7 @@ fn bench_pruning(c: &mut Criterion) {
 
     for (name, pruning) in configs {
         let mut config = SeeDbConfig::recommended().with_k(5);
-        config.optimizer.parallelism = 1;
+        config.execution = config.execution.with_workers(1);
         config.pruning = pruning;
         let seedb = SeeDb::new(db.clone(), config);
         // Prime the workload log so the access rule can fire.

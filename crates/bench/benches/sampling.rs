@@ -17,7 +17,7 @@ fn bench_sampling(c: &mut Criterion) {
     group.sample_size(10);
     for fraction in [1.0f64, 0.5, 0.2, 0.1, 0.05, 0.01] {
         let mut config = SeeDbConfig::recommended().with_k(5);
-        config.optimizer.parallelism = 1; // isolate the sampling effect
+        config.execution = config.execution.with_workers(1); // isolate the sampling effect
         if fraction < 1.0 {
             config.optimizer.sample = Some(SampleSpec::Bernoulli { fraction, seed: 1 });
         }

@@ -340,7 +340,7 @@ fn exp_s2e_sampling() {
     let w = workload(200_000, 6, 10, 2, 21);
     let exact = {
         let mut cfg = SeeDbConfig::recommended().with_k(5);
-        cfg.optimizer.parallelism = 1;
+        cfg.execution = cfg.execution.with_workers(1);
         let seedb = SeeDb::new(w.db.clone(), cfg);
         let rec = seedb.recommend(&w.analyst).expect("runs");
         top_labels(&rec.all, 5)
@@ -351,7 +351,7 @@ fn exp_s2e_sampling() {
     );
     for fraction in [1.0f64, 0.5, 0.2, 0.1, 0.05, 0.01, 0.002] {
         let mut cfg = SeeDbConfig::recommended().with_k(5);
-        cfg.optimizer.parallelism = 1;
+        cfg.execution = cfg.execution.with_workers(1);
         if fraction < 1.0 {
             cfg.optimizer.sample = Some(SampleSpec::Bernoulli { fraction, seed: 3 });
         }
@@ -388,7 +388,7 @@ fn exp_s2f_parallelism() {
     );
     for workers in [1usize, 2, 4, 8, 16] {
         let mut cfg = SeeDbConfig::basic().with_k(5);
-        cfg.optimizer.parallelism = workers;
+        cfg.execution = cfg.execution.with_workers(workers);
         let seedb = SeeDb::new(w.db.clone(), cfg);
         let t0 = Instant::now();
         let rec = seedb.recommend(&w.analyst).expect("runs");
@@ -405,7 +405,10 @@ fn exp_s2f_parallelism() {
 /// E1 — extension: phased execution with confidence-interval pruning
 /// (paper challenge (d): trade estimation accuracy for latency).
 fn exp_e1_phased() {
-    use seedb_core::{enumerate_views, run_phased, FunctionSet, PhasedConfig};
+    use seedb_core::{
+        enumerate_views, run_phased, run_phased_with_group_counts, FunctionSet, PhasedConfig,
+    };
+    use std::collections::HashMap;
     header(
         "E1",
         "EXTENSION: phased execution + confidence-interval pruning",
@@ -429,9 +432,19 @@ fn exp_e1_phased() {
         delta: 0.05,
         min_phases: 1,
         metric: Metric::EarthMovers,
+        workers: 1,
     };
     let exact = run_phased(&table, &w.analyst, &views, &exact_cfg).unwrap();
     let exact_top: Vec<String> = exact.views.iter().map(|v| v.spec.label()).collect();
+    // Per-dimension group counts for the confidence bound, computed
+    // once outside the timed loop (as the engine does from metadata).
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    for v in &views {
+        if !counts.contains_key(&v.dimension) {
+            let s = memdb::ColumnStats::collect(&v.dimension, table.column(&v.dimension).unwrap());
+            counts.insert(v.dimension.clone(), s.group_count());
+        }
+    }
     for phases in [1usize, 4, 10, 20] {
         let cfg = PhasedConfig {
             phases,
@@ -439,9 +452,10 @@ fn exp_e1_phased() {
             delta: 0.05,
             min_phases: 2,
             metric: Metric::EarthMovers,
+            workers: 1,
         };
         let t0 = Instant::now();
-        let out = run_phased(&table, &w.analyst, &views, &cfg).unwrap();
+        let out = run_phased_with_group_counts(&table, &w.analyst, &views, &cfg, &counts).unwrap();
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         let top: Vec<String> = out.views.iter().map(|v| v.spec.label()).collect();
         println!(
@@ -542,7 +556,7 @@ fn exp_s2g_pruning() {
     ];
     for (name, pruning) in configs {
         let mut cfg = SeeDbConfig::recommended().with_k(5);
-        cfg.optimizer.parallelism = 1;
+        cfg.execution = cfg.execution.with_workers(1);
         cfg.pruning = pruning;
         let seedb = SeeDb::new(db.clone(), cfg);
         for _ in 0..20 {

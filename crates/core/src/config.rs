@@ -5,6 +5,167 @@ use crate::optimizer::OptimizerConfig;
 use crate::pruning::PruningConfig;
 use crate::view::FunctionSet;
 
+/// How the planned view queries are executed — the parallelism ×
+/// early-termination axis of §3.3, selectable per engine (and from the
+/// demo CLI via `:strategy` / `:workers`).
+///
+/// The two phased strategies trade the batch executor for
+/// [`crate::phased::run_phased`]: the table is processed in `phases`
+/// contiguous slices and views whose utility confidence interval falls
+/// below the running top-k are discarded early (survivors still end
+/// with exact full-table utilities). `PhasedParallel` additionally
+/// splits every phase slice across `workers` row partitions whose
+/// partial aggregate states merge deterministically — outcomes are
+/// byte-identical for every worker count. Phased strategies execute
+/// against the table directly, so [`crate::engine::Recommendation::cost`]
+/// reflects only catalog-mediated work (zero for a pure phased run).
+///
+/// Phased strategies are *exact by construction* (survivors end with
+/// full-table utilities); they do not compose with scan sampling, so a
+/// configured `optimizer.sample` is ignored while a phased strategy is
+/// selected (the demo CLI prints a notice when both are set).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecutionStrategy {
+    /// One query at a time (the paper's baseline).
+    Sequential,
+    /// Independent plans fan out across a `workers`-thread pool
+    /// ([`memdb::run_batch`]).
+    Parallel {
+        /// Worker threads pulling plans from the shared queue.
+        workers: usize,
+    },
+    /// Phase-sliced execution with confidence-interval pruning,
+    /// single-threaded.
+    Phased {
+        /// Number of table slices.
+        phases: usize,
+        /// Confidence parameter δ of the pruning bound.
+        delta: f64,
+        /// Never prune before this many phases.
+        min_phases: usize,
+    },
+    /// Phased execution whose phase slices additionally fan out across
+    /// row-partition workers with mergeable partial aggregates.
+    PhasedParallel {
+        /// Number of table slices.
+        phases: usize,
+        /// Confidence parameter δ of the pruning bound.
+        delta: f64,
+        /// Never prune before this many phases.
+        min_phases: usize,
+        /// Row-partition workers per phase slice.
+        workers: usize,
+    },
+}
+
+impl ExecutionStrategy {
+    /// Phased defaults (10 slices, δ = 0.05, 2 warm-up phases).
+    pub fn phased() -> Self {
+        ExecutionStrategy::Phased {
+            phases: 10,
+            delta: 0.05,
+            min_phases: 2,
+        }
+    }
+
+    /// Phased-parallel defaults with `workers` row partitions.
+    pub fn phased_parallel(workers: usize) -> Self {
+        ExecutionStrategy::PhasedParallel {
+            phases: 10,
+            delta: 0.05,
+            min_phases: 2,
+            workers,
+        }
+    }
+
+    /// The strategy with its worker count set to `n` (promoting
+    /// `Sequential` to `Parallel` and `Phased` to `PhasedParallel`;
+    /// `n <= 1` demotes back).
+    pub fn with_workers(self, n: usize) -> Self {
+        match self {
+            ExecutionStrategy::Sequential | ExecutionStrategy::Parallel { .. } => {
+                if n <= 1 {
+                    ExecutionStrategy::Sequential
+                } else {
+                    ExecutionStrategy::Parallel { workers: n }
+                }
+            }
+            ExecutionStrategy::Phased {
+                phases,
+                delta,
+                min_phases,
+            }
+            | ExecutionStrategy::PhasedParallel {
+                phases,
+                delta,
+                min_phases,
+                ..
+            } => {
+                if n <= 1 {
+                    ExecutionStrategy::Phased {
+                        phases,
+                        delta,
+                        min_phases,
+                    }
+                } else {
+                    ExecutionStrategy::PhasedParallel {
+                        phases,
+                        delta,
+                        min_phases,
+                        workers: n,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Worker count this strategy uses (1 for the sequential forms).
+    pub fn workers(&self) -> usize {
+        match self {
+            ExecutionStrategy::Sequential | ExecutionStrategy::Phased { .. } => 1,
+            ExecutionStrategy::Parallel { workers }
+            | ExecutionStrategy::PhasedParallel { workers, .. } => (*workers).max(1),
+        }
+    }
+
+    /// Parse a CLI/demo name: `sequential`, `parallel`, `phased`,
+    /// `phased-parallel`.
+    pub fn parse(name: &str, default_workers: usize) -> Option<Self> {
+        match name {
+            "sequential" | "seq" => Some(ExecutionStrategy::Sequential),
+            "parallel" | "par" => Some(ExecutionStrategy::Parallel {
+                workers: default_workers,
+            }),
+            "phased" => Some(ExecutionStrategy::phased()),
+            "phased-parallel" | "phased_parallel" => {
+                Some(ExecutionStrategy::phased_parallel(default_workers))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ExecutionStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecutionStrategy::Sequential => write!(f, "sequential"),
+            ExecutionStrategy::Parallel { workers } => write!(f, "parallel ({workers} workers)"),
+            ExecutionStrategy::Phased { phases, .. } => write!(f, "phased ({phases} phases)"),
+            ExecutionStrategy::PhasedParallel {
+                phases, workers, ..
+            } => write!(f, "phased-parallel ({phases} phases × {workers} workers)"),
+        }
+    }
+}
+
+/// Hardware parallelism (the default worker count for the parallel
+/// strategies).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
 /// Everything tunable about a SeeDB instance — the "knobs" of demo
 /// Scenario 2 ("attendees will also be able to select the optimizations
 /// that SEEDB applies and observe the effect on response times and
@@ -34,6 +195,9 @@ pub struct SeeDbConfig {
     /// `WHERE product = 'Laserwave'`) and would crowd out genuine
     /// insights. Default: on.
     pub exclude_filter_attributes: bool,
+    /// How planned queries are executed (sequential, batch-parallel, or
+    /// phased with confidence-interval pruning).
+    pub execution: ExecutionStrategy,
 }
 
 impl SeeDbConfig {
@@ -49,6 +213,9 @@ impl SeeDbConfig {
             compute_correlations: true,
             low_utility_views: 0,
             exclude_filter_attributes: true,
+            execution: ExecutionStrategy::Parallel {
+                workers: default_workers(),
+            },
         }
     }
 
@@ -63,6 +230,7 @@ impl SeeDbConfig {
             compute_correlations: false,
             low_utility_views: 0,
             exclude_filter_attributes: true,
+            execution: ExecutionStrategy::Sequential,
         }
     }
 
@@ -81,6 +249,12 @@ impl SeeDbConfig {
     /// Builder: set the function set.
     pub fn with_functions(mut self, functions: FunctionSet) -> Self {
         self.functions = functions;
+        self
+    }
+
+    /// Builder: set the execution strategy.
+    pub fn with_execution(mut self, execution: ExecutionStrategy) -> Self {
+        self.execution = execution;
         self
     }
 }
@@ -103,6 +277,60 @@ mod tests {
         assert!(rec.optimizer.combine_target_comparison);
         assert!(!basic.optimizer.combine_target_comparison);
         assert_eq!(basic.optimizer.parallelism, 1);
+    }
+
+    #[test]
+    fn strategy_parsing_and_worker_promotion() {
+        assert_eq!(
+            ExecutionStrategy::parse("sequential", 8),
+            Some(ExecutionStrategy::Sequential)
+        );
+        assert_eq!(
+            ExecutionStrategy::parse("parallel", 8),
+            Some(ExecutionStrategy::Parallel { workers: 8 })
+        );
+        assert!(matches!(
+            ExecutionStrategy::parse("phased", 8),
+            Some(ExecutionStrategy::Phased { phases: 10, .. })
+        ));
+        assert!(matches!(
+            ExecutionStrategy::parse("phased-parallel", 8),
+            Some(ExecutionStrategy::PhasedParallel { workers: 8, .. })
+        ));
+        assert_eq!(ExecutionStrategy::parse("turbo", 8), None);
+
+        // Worker promotion/demotion keeps the phased parameters.
+        let p = ExecutionStrategy::phased().with_workers(6);
+        assert!(matches!(
+            p,
+            ExecutionStrategy::PhasedParallel {
+                phases: 10,
+                workers: 6,
+                ..
+            }
+        ));
+        assert!(matches!(
+            p.with_workers(1),
+            ExecutionStrategy::Phased { phases: 10, .. }
+        ));
+        assert_eq!(
+            ExecutionStrategy::Sequential.with_workers(4),
+            ExecutionStrategy::Parallel { workers: 4 }
+        );
+        assert_eq!(
+            ExecutionStrategy::Parallel { workers: 4 }.with_workers(1),
+            ExecutionStrategy::Sequential
+        );
+        assert_eq!(ExecutionStrategy::Sequential.workers(), 1);
+        assert_eq!(ExecutionStrategy::phased_parallel(3).workers(), 3);
+    }
+
+    #[test]
+    fn strategies_render() {
+        assert_eq!(ExecutionStrategy::Sequential.to_string(), "sequential");
+        assert!(ExecutionStrategy::phased_parallel(4)
+            .to_string()
+            .contains("4 workers"));
     }
 
     #[test]

@@ -14,9 +14,10 @@ use std::time::{Duration, Instant};
 
 use memdb::{run_batch, CostSnapshot, Database, DbError, DbResult, LogicalPlan};
 
-use crate::config::SeeDbConfig;
+use crate::config::{ExecutionStrategy, SeeDbConfig};
 use crate::metadata::{AccessTracker, MetadataCollector};
 use crate::optimizer::plan;
+use crate::phased::{run_phased_with_group_counts, EarlyPrune, PhasedConfig};
 use crate::processor::{top_k, Processor, ViewResult};
 use crate::pruning::{prune, PrunedView};
 use crate::querygen::AnalystQuery;
@@ -56,6 +57,9 @@ pub struct Recommendation {
     pub all: Vec<ViewResult>,
     /// Views pruned without execution, with reasons.
     pub pruned: Vec<PrunedView>,
+    /// Views discarded mid-execution by a phased strategy's
+    /// confidence-interval pruning (empty for the batch strategies).
+    pub early_pruned: Vec<EarlyPrune>,
     /// Correlation clusters detected during pruning.
     pub clusters: Vec<Vec<String>>,
     /// Candidate views before pruning.
@@ -179,6 +183,71 @@ impl SeeDb {
         outcome.pruned.extend(filter_pruned);
         timings.pruning = t0.elapsed();
 
+        // Phases 3–5 depend on the execution strategy: the batch
+        // strategies plan shared-scan queries and stream their outputs
+        // through the view processor; the phased strategies hand the
+        // surviving views to the phase-sliced executor, which prunes
+        // hopeless views mid-flight via confidence intervals.
+        let phased_params = match self.config.execution {
+            ExecutionStrategy::Phased {
+                phases,
+                delta,
+                min_phases,
+            } => Some((phases, delta, min_phases, 1)),
+            ExecutionStrategy::PhasedParallel {
+                phases,
+                delta,
+                min_phases,
+                workers,
+            } => Some((phases, delta, min_phases, workers)),
+            ExecutionStrategy::Sequential | ExecutionStrategy::Parallel { .. } => None,
+        };
+        if let Some((phases, delta, min_phases, workers)) = phased_params {
+            let phased_cfg = PhasedConfig {
+                phases,
+                k: self.config.k,
+                delta,
+                min_phases,
+                metric: self.config.metric,
+                workers,
+            };
+            // The confidence bound's per-dimension group counts come
+            // from the Phase-1 metadata — no table rescan.
+            let mut dim_groups = std::collections::HashMap::new();
+            for v in &outcome.kept {
+                if !dim_groups.contains_key(&v.dimension) {
+                    if let Ok(stats) = metadata.stats.column(&v.dimension) {
+                        dim_groups.insert(v.dimension.clone(), stats.group_count());
+                    }
+                }
+            }
+            let t0 = Instant::now();
+            let phased = run_phased_with_group_counts(
+                &table,
+                analyst,
+                &outcome.kept,
+                &phased_cfg,
+                &dim_groups,
+            )?;
+            timings.execution = t0.elapsed();
+            let t0 = Instant::now();
+            let low_utility = low_utility_views(&phased.survivors, self.config.low_utility_views);
+            timings.processing = t0.elapsed();
+            return Ok(Recommendation {
+                views: phased.views,
+                low_utility,
+                all: phased.survivors,
+                pruned: outcome.pruned,
+                early_pruned: phased.pruned,
+                clusters: outcome.clusters,
+                num_candidates,
+                num_queries: phased.plans_executed,
+                errors: Vec::new(),
+                timings,
+                cost: self.db.cost().since(&cost_before),
+            });
+        }
+
         // Phase 3: plan.
         let t0 = Instant::now();
         let exec_plan = plan(&outcome.kept, analyst, &metadata, &self.config.optimizer);
@@ -187,7 +256,7 @@ impl SeeDb {
         // Phase 4: execute.
         let t0 = Instant::now();
         let plans: Vec<LogicalPlan> = exec_plan.queries.iter().map(|q| q.plan.clone()).collect();
-        let batch = run_batch(&self.db, &plans, exec_plan.parallelism);
+        let batch = run_batch(&self.db, &plans, self.config.execution.workers());
         timings.execution = t0.elapsed();
 
         // Phase 5: process (streaming over completed queries).
@@ -202,19 +271,7 @@ impl SeeDb {
         }
         let all = processor.finish();
         let views = top_k(all.clone(), self.config.k);
-        let low_utility = if self.config.low_utility_views > 0 {
-            let mut asc = all.clone();
-            asc.sort_by(|a, b| {
-                a.utility
-                    .partial_cmp(&b.utility)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then_with(|| a.spec.label().cmp(&b.spec.label()))
-            });
-            asc.truncate(self.config.low_utility_views);
-            asc
-        } else {
-            Vec::new()
-        };
+        let low_utility = low_utility_views(&all, self.config.low_utility_views);
         timings.processing = t0.elapsed();
 
         Ok(Recommendation {
@@ -222,6 +279,7 @@ impl SeeDb {
             low_utility,
             all,
             pruned: outcome.pruned,
+            early_pruned: Vec::new(),
             clusters: outcome.clusters,
             num_candidates,
             num_queries: exec_plan.num_queries(),
@@ -230,6 +288,22 @@ impl SeeDb {
             cost: self.db.cost().since(&cost_before),
         })
     }
+}
+
+/// The `n` lowest-utility views (demo contrast), ascending.
+fn low_utility_views(all: &[ViewResult], n: usize) -> Vec<ViewResult> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut asc = all.to_vec();
+    asc.sort_by(|a, b| {
+        a.utility
+            .partial_cmp(&b.utility)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.spec.label().cmp(&b.spec.label()))
+    });
+    asc.truncate(n);
+    asc
 }
 
 #[cfg(test)]
@@ -336,7 +410,7 @@ mod tests {
             .recommend(&laserwave())
             .unwrap();
         let mut cfg = SeeDbConfig::recommended();
-        cfg.optimizer.parallelism = 1;
+        cfg.execution = cfg.execution.with_workers(1);
         let optimized = SeeDb::new(db, cfg).recommend(&laserwave()).unwrap();
         assert!(
             optimized.cost.rows_scanned < basic.cost.rows_scanned / 2,
@@ -356,6 +430,56 @@ mod tests {
         let worst = rec.low_utility[0].utility;
         let best = rec.views[0].utility;
         assert!(worst <= best);
+    }
+
+    #[test]
+    fn phased_strategy_matches_batch_top_k() {
+        let db = demo_db();
+        let mut batch_cfg = SeeDbConfig::recommended().with_k(3);
+        batch_cfg.pruning = crate::pruning::PruningConfig::disabled();
+        let batch = SeeDb::new(db.clone(), batch_cfg.clone())
+            .recommend(&laserwave())
+            .unwrap();
+
+        for strategy in [
+            ExecutionStrategy::phased(),
+            ExecutionStrategy::phased_parallel(4),
+        ] {
+            let cfg = batch_cfg.clone().with_execution(strategy.clone());
+            let rec = SeeDb::new(db.clone(), cfg).recommend(&laserwave()).unwrap();
+            assert!(rec.errors.is_empty());
+            let b: Vec<String> = batch.views.iter().map(|v| v.spec.label()).collect();
+            let p: Vec<String> = rec.views.iter().map(|v| v.spec.label()).collect();
+            assert_eq!(b, p, "{strategy}: phased top-k must match batch top-k");
+            for (x, y) in batch.views.iter().zip(&rec.views) {
+                assert!((x.utility - y.utility).abs() < 1e-9, "{strategy}");
+            }
+            // Phased execution runs one shared-scan plan per phase.
+            assert!(rec.num_queries <= 10, "one plan per phase");
+        }
+    }
+
+    #[test]
+    fn phased_strategy_reports_early_pruned_views() {
+        let db = demo_db();
+        let mut cfg = SeeDbConfig::recommended().with_k(1);
+        cfg.pruning = crate::pruning::PruningConfig::disabled();
+        cfg.execution = ExecutionStrategy::Phased {
+            phases: 10,
+            delta: 0.05,
+            min_phases: 2,
+        };
+        let rec = SeeDb::new(db, cfg).recommend(&laserwave()).unwrap();
+        // survivors + early-pruned partition the executed candidates.
+        assert_eq!(
+            rec.all.len() + rec.early_pruned.len(),
+            rec.num_candidates - rec.pruned.len()
+        );
+        // The batch strategies never early-prune.
+        let rec2 = SeeDb::with_defaults(demo_db())
+            .recommend(&laserwave())
+            .unwrap();
+        assert!(rec2.early_pruned.is_empty());
     }
 
     #[test]

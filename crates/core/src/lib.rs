@@ -73,7 +73,7 @@ pub mod pruning;
 pub mod querygen;
 pub mod view;
 
-pub use config::SeeDbConfig;
+pub use config::{default_workers, ExecutionStrategy, SeeDbConfig};
 pub use distance::{distance, Metric};
 pub use distribution::{AlignedPair, Distribution};
 pub use engine::{PhaseTimings, Recommendation, SeeDb};
@@ -82,7 +82,10 @@ pub use metadata::{AccessTracker, Metadata, MetadataCollector};
 pub use optimizer::{
     ExecutionPlan, Extract, GroupByCombining, OptimizerConfig, PlannedQuery, ValueSource,
 };
-pub use phased::{confidence_halfwidth, run_phased, EarlyPrune, PhasedConfig, PhasedOutcome};
+pub use phased::{
+    confidence_halfwidth, run_phased, run_phased_with_group_counts, EarlyPrune, PhasedConfig,
+    PhasedOutcome,
+};
 pub use processor::{top_k, Processor, ViewResult};
 pub use pruning::{prune, PruneOutcome, PruneReason, PrunedView, PruningConfig};
 pub use querygen::{comparison_query, target_query, AnalystQuery, Side};

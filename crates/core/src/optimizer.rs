@@ -66,7 +66,11 @@ pub struct OptimizerConfig {
     pub memory_budget_groups: u64,
     /// Optional sampling applied to every planned query.
     pub sample: Option<SampleSpec>,
-    /// Worker threads for executing the planned queries (1 = sequential).
+    /// Suggested worker threads for callers executing the resulting
+    /// [`ExecutionPlan`] directly via [`memdb::run_batch`]
+    /// (1 = sequential). **Not consulted by the engine**: the worker
+    /// count of [`crate::engine::SeeDb::recommend`] comes from
+    /// [`crate::config::SeeDbConfig::execution`].
     pub parallelism: usize,
 }
 
@@ -181,7 +185,9 @@ pub struct ExecutionPlan {
     pub queries: Vec<PlannedQuery>,
     /// Number of candidate views covered.
     pub num_views: usize,
-    /// Worker threads to execute with.
+    /// Suggested worker threads for direct [`memdb::run_batch`] callers
+    /// (the engine takes its worker count from
+    /// [`crate::config::SeeDbConfig::execution`] instead).
     pub parallelism: usize,
 }
 

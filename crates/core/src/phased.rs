@@ -1,4 +1,5 @@
-//! **Extension**: phased execution with confidence-interval pruning.
+//! **Extension**: phased execution with confidence-interval pruning,
+//! optionally partition-parallel.
 //!
 //! The demo paper's challenge (d) reads: "Since analysis must happen in
 //! real-time, we must trade-off accuracy of visualizations or estimation
@@ -15,14 +16,33 @@
 //! rows, the deviation of an empirical distribution (and hence of any of
 //! our Lipschitz-in-TV metrics) is bounded with probability `1 − δ` by
 //! `ε(n) = sqrt((K + ln(2/δ)) / (2n))` where `K` is the number of
-//! groups. This is a practical bound, not a per-metric minimax result —
-//! see DESIGN.md.
+//! groups the view can take **over the full table** (its dimension's
+//! distinct count from column statistics — using only the groups seen
+//! so far would under-widen early-phase intervals and prune views whose
+//! groups arrive late). This is a practical bound, not a per-metric
+//! minimax result — see DESIGN.md.
+//!
+//! # Parallelism × early termination
+//!
+//! Each phase executes one shared grouping-sets plan over its row
+//! slice. With [`PhasedConfig::workers`] > 1 the slice itself is split
+//! into contiguous partitions executed on `std::thread::scope` workers
+//! via [`memdb::run_partitioned_partial`], and the per-partition
+//! [`memdb::PartialAggState`]s merge in deterministic partition order.
+//! The per-view accumulators below then fold the *unfinalized*
+//! [`memdb::AggState`]s straight out of the partial state — the same
+//! merge machinery the partitioned executor uses — so worker count
+//! never changes a single bit of the outcome: utilities, pruning
+//! decisions, and phase counts are identical for any `workers`.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use memdb::{AggFunc, AggSpec, DbError, DbResult, LogicalPlan, Table, Value};
+use memdb::{
+    run_partitioned_partial, AggFunc, AggSpec, AggState, ColumnStats, DbError, DbResult,
+    LogicalPlan, Table,
+};
 
 use crate::distance::Metric;
 use crate::distribution::{AlignedPair, Distribution};
@@ -35,7 +55,8 @@ use crate::view::ViewSpec;
 pub struct PhasedConfig {
     /// Number of table slices to process (≥ 1).
     pub phases: usize,
-    /// Views to return.
+    /// Views to return. `0` disables pruning entirely (nothing can be
+    /// in a top-0, so no view is ever hopeless).
     pub k: usize,
     /// Confidence parameter δ: pruning is wrong for a view with
     /// probability at most δ (per view, per phase, under the bound's
@@ -45,6 +66,9 @@ pub struct PhasedConfig {
     pub min_phases: usize,
     /// Distance metric.
     pub metric: Metric,
+    /// Row-partition workers per phase slice (≥ 1). Results are
+    /// byte-identical for every value; see the module docs.
+    pub workers: usize,
 }
 
 impl Default for PhasedConfig {
@@ -55,6 +79,7 @@ impl Default for PhasedConfig {
             delta: 0.05,
             min_phases: 2,
             metric: Metric::EarthMovers,
+            workers: 1,
         }
     }
 }
@@ -79,12 +104,16 @@ pub struct PhasedOutcome {
     pub survivors: Vec<ViewResult>,
     /// Views discarded early, with the phase and estimate.
     pub pruned: Vec<EarlyPrune>,
-    /// Surviving view count after each phase (index 0 = after phase 1).
+    /// Surviving view count after each phase (index 0 = after phase 1),
+    /// recorded *after* that phase's pruning step — entry `p` already
+    /// excludes views discarded at `at_phase == p + 1`.
     pub survivors_per_phase: Vec<usize>,
     /// Σ over phases of (views still evaluated that phase) — the work
     /// measure that early termination reduces. Without pruning this is
     /// `phases × num_views`.
     pub view_phases: u64,
+    /// Shared-scan plans executed (one per non-empty phase).
+    pub plans_executed: usize,
     /// Wall time.
     pub elapsed: Duration,
 }
@@ -101,53 +130,25 @@ impl PhasedOutcome {
     }
 }
 
-/// Per-(view, side) accumulator: mergeable aggregate components per
-/// group label.
+/// Per-(view, side) accumulator: one mergeable [`AggState`] per group
+/// label, folded phase-by-phase from the partial aggregate states the
+/// partitioned executor produces. This *is* the executor's merge
+/// machinery — `AggState::merge` is associative and exact, so the
+/// fold order (phases, partitions, workers) never shows in the result.
 #[derive(Debug, Default, Clone)]
 struct SideAcc {
-    groups: HashMap<String, Comp>,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Comp {
-    sum: f64,
-    count: f64,
-    min: f64,
-    max: f64,
-}
-
-impl Default for Comp {
-    fn default() -> Self {
-        Comp {
-            sum: 0.0,
-            count: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-        }
-    }
+    groups: HashMap<String, AggState>,
 }
 
 impl SideAcc {
-    fn merge(
-        &mut self,
-        label: String,
-        sum: Option<f64>,
-        count: Option<f64>,
-        min: Option<f64>,
-        max: Option<f64>,
-    ) {
-        let c = self.groups.entry(label).or_default();
-        if let Some(v) = sum {
-            c.sum += v;
-        }
-        if let Some(v) = count {
-            c.count += v;
-        }
-        if let Some(v) = min {
-            c.min = c.min.min(v);
-        }
-        if let Some(v) = max {
-            c.max = c.max.max(v);
+    fn absorb(&mut self, label: &str, state: &AggState) {
+        match self.groups.get_mut(label) {
+            Some(acc) => acc.merge(state),
+            None => {
+                let mut acc = AggState::EMPTY;
+                acc.merge(state);
+                self.groups.insert(label.to_string(), acc);
+            }
         }
     }
 
@@ -155,22 +156,13 @@ impl SideAcc {
         let pairs = self
             .groups
             .iter()
-            .map(|(label, c)| {
-                let value = match func {
-                    AggFunc::Sum => (c.count > 0.0).then_some(c.sum),
-                    AggFunc::Count => Some(c.count),
-                    AggFunc::Avg => (c.count > 0.0).then(|| c.sum / c.count),
-                    AggFunc::Min => c.min.is_finite().then_some(c.min),
-                    AggFunc::Max => c.max.is_finite().then_some(c.max),
-                };
-                (label.clone(), value)
-            })
+            .map(|(label, state)| (label.clone(), state.finalize(func).as_f64()))
             .collect();
         Distribution::from_pairs(pairs)
     }
 
     fn total_count(&self) -> f64 {
-        self.groups.values().map(|c| c.count).sum()
+        self.groups.values().map(|s| s.count() as f64).sum()
     }
 }
 
@@ -189,8 +181,9 @@ pub fn confidence_halfwidth(n: f64, k_groups: usize, delta: f64) -> f64 {
 /// Semantics: the table is split into `config.phases` contiguous slices;
 /// every view still alive is updated from each slice via one shared
 /// grouping-sets plan per slice (a row-sliced [`LogicalPlan`] lowered
-/// onto the same shared-scan operator the optimizer's rewrites use).
-/// After each slice (past `min_phases`), views whose utility upper bound
+/// onto the same shared-scan operator the optimizer's rewrites use,
+/// executed across [`PhasedConfig::workers`] row partitions). After
+/// each slice (past `min_phases`), views whose utility upper bound
 /// falls below the k-th best lower bound are discarded. Survivors end
 /// with exact full-table utilities — identical to what
 /// [`crate::engine::SeeDb::recommend`] computes.
@@ -203,8 +196,46 @@ pub fn run_phased(
     views: &[ViewSpec],
     config: &PhasedConfig,
 ) -> DbResult<PhasedOutcome> {
+    // Full-table group count per dimension, for the confidence bound's
+    // `K`. Using the groups *seen so far* instead would shrink the
+    // early-phase interval and over-eagerly prune views whose groups
+    // (and deviation) only appear in later slices. The counts are only
+    // consulted by the pruning block, so when pruning can never fire
+    // (`k == 0`, or no phase satisfies `min_phases <= p < phases`) the
+    // stats pass is skipped entirely. Callers that already hold column
+    // statistics (the engine's Phase-1 metadata) should use
+    // [`run_phased_with_group_counts`] instead of paying this rescan.
+    let pruning_possible = config.k > 0 && config.min_phases < config.phases.max(1);
+    let mut dim_group_counts: HashMap<String, usize> = HashMap::new();
+    if pruning_possible {
+        for v in views {
+            if !dim_group_counts.contains_key(&v.dimension) {
+                let stats = ColumnStats::collect(&v.dimension, table.column(&v.dimension)?);
+                dim_group_counts.insert(v.dimension.clone(), stats.group_count());
+            }
+        }
+    }
+    run_phased_with_group_counts(table, analyst, views, config, &dim_group_counts)
+}
+
+/// [`run_phased`] with precomputed full-table group counts per
+/// dimension (`distinct + 1` if the column has nulls) — the engine
+/// passes counts derived from its Phase-1 [`crate::metadata::Metadata`]
+/// so the table is not rescanned. Dimensions missing from the map fall
+/// back to the groups seen so far (never narrower than observed).
+///
+/// # Errors
+/// Unknown columns or type errors from the underlying scans.
+pub fn run_phased_with_group_counts(
+    table: &Arc<Table>,
+    analyst: &AnalystQuery,
+    views: &[ViewSpec],
+    config: &PhasedConfig,
+    dim_group_counts: &HashMap<String, usize>,
+) -> DbResult<PhasedOutcome> {
     let start = Instant::now();
     let phases = config.phases.max(1);
+    let workers = config.workers.max(1);
     let n_rows = table.num_rows();
     if analyst.table != table.name() {
         return Err(DbError::Internal(format!(
@@ -213,6 +244,7 @@ pub fn run_phased(
             table.name()
         )));
     }
+
     // Alive set + accumulators.
     let mut alive: Vec<bool> = vec![true; views.len()];
     let mut target_acc: Vec<SideAcc> = vec![SideAcc::default(); views.len()];
@@ -220,6 +252,7 @@ pub fn run_phased(
     let mut pruned: Vec<EarlyPrune> = Vec::new();
     let mut survivors_per_phase = Vec::with_capacity(phases);
     let mut view_phases: u64 = 0;
+    let mut plans_executed = 0usize;
 
     for phase in 0..phases {
         let lo = n_rows * phase / phases;
@@ -241,16 +274,17 @@ pub fn run_phased(
         }
         let sets: Vec<Vec<String>> = dims.iter().map(|d| vec![d.to_string()]).collect();
 
-        // Component aggregates: for every (measure, side) needed by an
-        // alive view: SUM/COUNT/MIN/MAX (+ COUNT(*) for measureless
-        // views). Deduplicated; target side carries the analyst filter
-        // as a per-aggregate predicate.
+        // Component aggregates: one per (measure, side) needed by an
+        // alive view — a single mergeable AggState carries sum, count,
+        // min, and max simultaneously, so no per-function fan-out is
+        // needed. Deduplicated; the target side carries the analyst
+        // filter as a per-aggregate predicate.
         #[derive(PartialEq, Eq, Hash, Clone)]
         struct CompKey {
             measure: Option<String>,
             target: bool,
         }
-        let mut comp_index: HashMap<CompKey, usize> = HashMap::new(); // -> base agg idx
+        let mut comp_index: HashMap<CompKey, usize> = HashMap::new(); // -> agg idx
         let mut aggs: Vec<AggSpec> = Vec::new();
         for (i, v) in views.iter().enumerate() {
             if !alive[i] {
@@ -266,43 +300,41 @@ pub fn run_phased(
                 }
                 let predicate = if target { analyst.filter.clone() } else { None };
                 let prefix = if target { "t" } else { "c" };
-                let base = aggs.len();
-                match &v.measure {
+                let mut spec = match &v.measure {
                     Some(m) => {
-                        for func in [AggFunc::Sum, AggFunc::Count, AggFunc::Min, AggFunc::Max] {
-                            let mut spec = AggSpec::new(func, m).with_alias(&format!(
-                                "ph_{prefix}_{}_{m}",
-                                func.sql().to_lowercase()
-                            ));
-                            if let Some(f) = &predicate {
-                                spec = spec.with_filter(f.clone());
-                            }
-                            aggs.push(spec);
-                        }
+                        AggSpec::new(AggFunc::Sum, m).with_alias(&format!("ph_{prefix}_{m}"))
                     }
-                    None => {
-                        let mut spec =
-                            AggSpec::count_star().with_alias(&format!("ph_{prefix}_count_star"));
-                        if let Some(f) = &predicate {
-                            spec = spec.with_filter(f.clone());
-                        }
-                        aggs.push(spec);
-                    }
+                    None => AggSpec::count_star().with_alias(&format!("ph_{prefix}_count_star")),
+                };
+                if let Some(f) = &predicate {
+                    spec = spec.with_filter(f.clone());
                 }
-                comp_index.insert(key, base);
+                comp_index.insert(key, aggs.len());
+                aggs.push(spec);
             }
         }
 
         // One row-sliced shared-scan plan per phase, through the same
-        // lowering path the engine's optimizer output takes.
+        // lowering path the engine's optimizer output takes, executed
+        // across row partitions and merged — unfinalized — in
+        // deterministic partition order.
         let plan = LogicalPlan::scan(table.name())
             .grouping_sets(sets, aggs)
             .sliced(lo, hi);
-        let output = plan.lower()?.execute(table)?;
+        let partial = run_partitioned_partial(table, &plan.lower()?, workers)?;
+        plans_executed += 1;
 
-        // Fold the phase results into per-view accumulators. Each
-        // per-set result is `[dimension, agg0, agg1, ...]`, so component
-        // `base + j` lives in row column `1 + base + j`.
+        // Per-set group labels, materialized once.
+        let set_labels: Vec<Vec<String>> = (0..partial.num_sets())
+            .map(|s| {
+                (0..partial.num_groups(s))
+                    .map(|g| partial.group_label(s, g, table)[0].render())
+                    .collect()
+            })
+            .collect();
+
+        // Fold the phase's partial aggregate states into the per-view
+        // accumulators via the executor's own merge machinery.
         for (i, v) in views.iter().enumerate() {
             if !alive[i] {
                 continue;
@@ -312,46 +344,23 @@ pub fn run_phased(
                 .iter()
                 .position(|d| *d == v.dimension)
                 .expect("alive view's dimension is planned");
-            let result = output.result_set(set_idx)?;
             for (target, acc) in [(true, &mut target_acc[i]), (false, &mut comp_acc[i])] {
-                let base = 1 + comp_index[&CompKey {
+                let agg_idx = comp_index[&CompKey {
                     measure: v.measure.clone(),
                     target,
                 }];
-                for row in &result.rows {
-                    let label = row[0].render();
-                    match &v.measure {
-                        Some(_) => {
-                            let as_f = |val: &Value| val.as_f64();
-                            let count = match &row[base + 1] {
-                                Value::Int(n) => Some(*n as f64),
-                                other => other.as_f64(),
-                            };
-                            acc.merge(
-                                label,
-                                as_f(&row[base]),
-                                count,
-                                as_f(&row[base + 2]),
-                                as_f(&row[base + 3]),
-                            );
-                        }
-                        None => {
-                            let count = match &row[base] {
-                                Value::Int(n) => Some(*n as f64),
-                                other => other.as_f64(),
-                            };
-                            acc.merge(label, None, count, None, None);
-                        }
-                    }
+                for (g, label) in set_labels[set_idx].iter().enumerate() {
+                    acc.absorb(label, &partial.group_states(set_idx, g)[agg_idx]);
                 }
             }
         }
 
-        survivors_per_phase.push(alive.iter().filter(|a| **a).count());
-
-        // Confidence-interval pruning.
-        if phase + 1 >= config.min_phases && phase + 1 < phases {
-            let mut bounds: Vec<(usize, f64, f64)> = Vec::new(); // (view, lower, upper)
+        // Confidence-interval pruning. `k == 0` keeps everything: no
+        // view can be hopeless relative to an empty top-k (and the k-th
+        // lower bound would not exist).
+        if config.k > 0 && phase + 1 >= config.min_phases && phase + 1 < phases {
+            // (view, estimate, lower, upper)
+            let mut bounds: Vec<(usize, f64, f64, f64)> = Vec::new();
             for (i, v) in views.iter().enumerate() {
                 if !alive[i] {
                     continue;
@@ -361,22 +370,24 @@ pub fn run_phased(
                 let aligned = AlignedPair::align(&t, &c);
                 let estimate = config.metric.distance(&aligned);
                 let n_t = target_acc[i].total_count();
-                let eps = confidence_halfwidth(n_t, aligned.len().max(1), config.delta);
-                bounds.push((i, estimate - eps, estimate + eps));
+                let k_groups = dim_group_counts
+                    .get(&v.dimension)
+                    .copied()
+                    .unwrap_or(0)
+                    .max(aligned.len())
+                    .max(1);
+                let eps = confidence_halfwidth(n_t, k_groups, config.delta);
+                bounds.push((i, estimate, estimate - eps, estimate + eps));
             }
             if bounds.len() > config.k {
-                let mut lowers: Vec<f64> = bounds.iter().map(|(_, l, _)| *l).collect();
+                let mut lowers: Vec<f64> = bounds.iter().map(|(_, _, l, _)| *l).collect();
                 lowers.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
                 let kth_lower = lowers[config.k - 1];
-                for (i, _, upper) in bounds {
+                for (i, estimate, _, upper) in bounds {
                     if upper < kth_lower {
                         alive[i] = false;
-                        let v = &views[i];
-                        let t = target_acc[i].distribution(v.func);
-                        let c = comp_acc[i].distribution(v.func);
-                        let estimate = config.metric.distance(&AlignedPair::align(&t, &c));
                         pruned.push(EarlyPrune {
-                            spec: v.clone(),
+                            spec: views[i].clone(),
                             at_phase: phase + 1,
                             estimate,
                         });
@@ -384,6 +395,10 @@ pub fn run_phased(
                 }
             }
         }
+
+        // Recorded after pruning so entry `p` reflects the survivor set
+        // the *next* phase will actually evaluate.
+        survivors_per_phase.push(alive.iter().filter(|a| **a).count());
     }
 
     // Finalize survivors with exact full-table utilities.
@@ -412,6 +427,7 @@ pub fn run_phased(
         pruned,
         survivors_per_phase,
         view_phases,
+        plans_executed,
         elapsed: start.elapsed(),
     })
 }
@@ -423,7 +439,7 @@ mod tests {
     use crate::engine::SeeDb;
     use crate::pruning::PruningConfig;
     use crate::view::{enumerate_views, FunctionSet};
-    use memdb::{ColumnDef, DataType, Database, Expr, Schema};
+    use memdb::{ColumnDef, DataType, Database, Expr, Schema, Value};
 
     /// Table with one strongly deviating dimension (d1) and several
     /// boring ones.
@@ -464,21 +480,27 @@ mod tests {
             .collect()
     }
 
+    fn cfg(phases: usize, k: usize, min_phases: usize) -> PhasedConfig {
+        PhasedConfig {
+            phases,
+            k,
+            delta: 0.05,
+            min_phases,
+            metric: Metric::EarthMovers,
+            workers: 1,
+        }
+    }
+
     #[test]
     fn phased_matches_exact_when_pruning_disabled() {
         let (db, analyst) = demo(5_000);
         let views = candidate_views(&db);
         let table = db.table("t").unwrap();
 
-        let cfg = PhasedConfig {
-            phases: 7,
-            k: views.len(), // keep everything
-            delta: 0.05,
-            min_phases: 7, // pruning can never fire
-            metric: Metric::EarthMovers,
-        };
+        let cfg = cfg(7, views.len(), 7); // pruning can never fire
         let phased = run_phased(&table, &analyst, &views, &cfg).unwrap();
         assert!(phased.pruned.is_empty());
+        assert_eq!(phased.plans_executed, 7);
 
         let mut exact_cfg = SeeDbConfig::recommended().with_k(views.len());
         exact_cfg.pruning = PruningConfig::disabled();
@@ -510,13 +532,7 @@ mod tests {
         let (db, analyst) = demo(40_000);
         let views = candidate_views(&db);
         let table = db.table("t").unwrap();
-        let cfg = PhasedConfig {
-            phases: 10,
-            k: 2,
-            delta: 0.05,
-            min_phases: 2,
-            metric: Metric::EarthMovers,
-        };
+        let cfg = cfg(10, 2, 2);
         let out = run_phased(&table, &analyst, &views, &cfg).unwrap();
         assert!(
             !out.pruned.is_empty(),
@@ -531,19 +547,154 @@ mod tests {
         assert!(out.survivors_per_phase.windows(2).all(|w| w[0] >= w[1]));
     }
 
+    /// Regression (survivor accounting): `survivors_per_phase[p]` must
+    /// already exclude views pruned at `at_phase == p + 1` — the count
+    /// is recorded *after* that phase's pruning step.
+    #[test]
+    fn survivors_per_phase_reflects_that_phases_pruning() {
+        let (db, analyst) = demo(40_000);
+        let views = candidate_views(&db);
+        let table = db.table("t").unwrap();
+        let out = run_phased(&table, &analyst, &views, &cfg(10, 2, 2)).unwrap();
+        assert!(!out.pruned.is_empty());
+        let first_prune_phase = out.pruned.iter().map(|p| p.at_phase).min().unwrap();
+        let pruned_then = out
+            .pruned
+            .iter()
+            .filter(|p| p.at_phase == first_prune_phase)
+            .count();
+        // Pin the first post-prune entry: it must drop by exactly the
+        // number of views discarded at that phase (pre-fix code pushed
+        // the count before pruning, so the entry still said `len()`).
+        assert_eq!(
+            out.survivors_per_phase[first_prune_phase - 1],
+            views.len() - pruned_then,
+            "survivors_per_phase = {:?}, pruned at {:?}",
+            out.survivors_per_phase,
+            out.pruned
+                .iter()
+                .map(|p| (p.spec.label(), p.at_phase))
+                .collect::<Vec<_>>()
+        );
+        // And every entry agrees with the cumulative prune log.
+        for (p, &count) in out.survivors_per_phase.iter().enumerate() {
+            let pruned_by_then = out.pruned.iter().filter(|e| e.at_phase <= p + 1).count();
+            assert_eq!(count, views.len() - pruned_by_then, "phase {}", p + 1);
+        }
+    }
+
+    /// Regression (k = 0): used to panic with an index underflow at
+    /// `lowers[config.k - 1]`; now it means "prune nothing".
+    #[test]
+    fn k_zero_prunes_nothing_and_does_not_panic() {
+        let (db, analyst) = demo(3_000);
+        let views = candidate_views(&db);
+        let table = db.table("t").unwrap();
+        let out = run_phased(&table, &analyst, &views, &cfg(6, 0, 1)).unwrap();
+        assert!(out.pruned.is_empty());
+        assert_eq!(out.survivors.len(), views.len());
+        assert!(out.views.is_empty(), "top-0 is empty");
+    }
+
+    /// Regression (confidence width): the bound's `K` is the dimension's
+    /// full-table group count, not the groups seen so far. A view whose
+    /// groups (and deviation) only appear in late slices must keep a
+    /// wide enough interval to survive the early phases.
+    #[test]
+    fn late_arriving_groups_are_not_over_eagerly_pruned() {
+        // 4 000 rows, every other row in the subset. `d_mild` deviates
+        // mildly throughout (estimate ≈ 0.1). `d_late` is constant
+        // ("g0") for the first 80% of rows — estimate 0, 1 group seen —
+        // but its full-table distinct count is 9, and in the last 20%
+        // its subset rows spread over h1..h8 while non-subset rows stay
+        // g0: a genuinely deviating view whose signal arrives late.
+        let rows = 4_000;
+        let schema = Schema::new(vec![
+            ColumnDef::dimension("d0", DataType::Str),
+            ColumnDef::dimension("d_mild", DataType::Str),
+            ColumnDef::dimension("d_late", DataType::Str),
+        ])
+        .unwrap();
+        let mut t = memdb::Table::new("t", schema);
+        for r in 0..rows {
+            let subset = r % 2 == 0;
+            // Mild skew: subset is 60/40 over {A, B}, complement 40/60.
+            let mild = if (r / 2) % 10 < if subset { 6 } else { 4 } {
+                "A"
+            } else {
+                "B"
+            };
+            let late = if r >= rows * 8 / 10 && subset {
+                format!("h{}", 1 + (r / 2) % 8)
+            } else {
+                "g0".to_string()
+            };
+            t.push_row(vec![
+                Value::from(if subset { "in" } else { "out" }),
+                Value::from(mild),
+                Value::from(late),
+            ])
+            .unwrap();
+        }
+        let db = Arc::new(Database::new());
+        db.register(t);
+        let table = db.table("t").unwrap();
+        let analyst = AnalystQuery::new("t", Some(Expr::col("d0").eq("in")));
+        let views = vec![ViewSpec::count("d_mild"), ViewSpec::count("d_late")];
+
+        let out = run_phased(&table, &analyst, &views, &cfg(10, 1, 2)).unwrap();
+        assert!(
+            !out.pruned.iter().any(|p| p.spec.dimension == "d_late"),
+            "d_late pruned at phase {:?} although its groups arrive late",
+            out.pruned.iter().map(|p| p.at_phase).collect::<Vec<_>>()
+        );
+        // Its late deviation makes it the genuine winner.
+        assert_eq!(out.views[0].spec.dimension, "d_late");
+    }
+
+    /// Worker count is invisible in the outcome: utilities (to the
+    /// bit), pruning decisions, and phase counts all match.
+    #[test]
+    fn parallel_phased_is_bit_identical_to_sequential() {
+        let (db, analyst) = demo(30_000);
+        let views = candidate_views(&db);
+        let table = db.table("t").unwrap();
+        let mut sequential_cfg = cfg(8, 2, 2);
+        let mut parallel_cfg = sequential_cfg.clone();
+        sequential_cfg.workers = 1;
+        parallel_cfg.workers = 4;
+        let seq = run_phased(&table, &analyst, &views, &sequential_cfg).unwrap();
+        let par = run_phased(&table, &analyst, &views, &parallel_cfg).unwrap();
+
+        assert_eq!(seq.survivors_per_phase, par.survivors_per_phase);
+        assert_eq!(seq.view_phases, par.view_phases);
+        assert_eq!(seq.plans_executed, par.plans_executed);
+        assert_eq!(seq.pruned.len(), par.pruned.len());
+        for (a, b) in seq.pruned.iter().zip(&par.pruned) {
+            assert_eq!(a.spec, b.spec);
+            assert_eq!(a.at_phase, b.at_phase);
+            assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+        }
+        assert_eq!(seq.survivors.len(), par.survivors.len());
+        for (a, b) in seq.survivors.iter().zip(&par.survivors) {
+            assert_eq!(a.spec, b.spec);
+            assert_eq!(a.utility.to_bits(), b.utility.to_bits());
+        }
+        let labels = |o: &PhasedOutcome| {
+            o.views
+                .iter()
+                .map(|v| v.spec.label())
+                .collect::<Vec<String>>()
+        };
+        assert_eq!(labels(&seq), labels(&par));
+    }
+
     #[test]
     fn phased_top_k_matches_exact_top_k() {
         let (db, analyst) = demo(30_000);
         let views = candidate_views(&db);
         let table = db.table("t").unwrap();
-        let cfg = PhasedConfig {
-            phases: 8,
-            k: 3,
-            delta: 0.05,
-            min_phases: 2,
-            metric: Metric::EarthMovers,
-        };
-        let phased = run_phased(&table, &analyst, &views, &cfg).unwrap();
+        let phased = run_phased(&table, &analyst, &views, &cfg(8, 3, 2)).unwrap();
 
         let mut exact_cfg = SeeDbConfig::recommended().with_k(3);
         exact_cfg.pruning = PruningConfig::disabled();
@@ -564,6 +715,8 @@ mod tests {
         assert!(e1 > e2);
         assert!((e1 / e2 - 10.0).abs() < 1e-9, "sqrt(n) scaling");
         assert_eq!(confidence_halfwidth(0.0, 10, 0.05), f64::INFINITY);
+        // Wider for more groups: the full-table count matters.
+        assert!(confidence_halfwidth(100.0, 50, 0.05) > confidence_halfwidth(100.0, 2, 0.05));
     }
 
     #[test]
@@ -571,16 +724,71 @@ mod tests {
         let (db, analyst) = demo(2_000);
         let views = candidate_views(&db);
         let table = db.table("t").unwrap();
-        let cfg = PhasedConfig {
-            phases: 1,
-            k: 3,
-            delta: 0.05,
-            min_phases: 1,
-            metric: Metric::EarthMovers,
-        };
-        let out = run_phased(&table, &analyst, &views, &cfg).unwrap();
+        let out = run_phased(&table, &analyst, &views, &cfg(1, 3, 1)).unwrap();
         assert!(out.pruned.is_empty());
         assert_eq!(out.survivors.len(), views.len());
+    }
+
+    #[test]
+    fn empty_table_yields_empty_distributions() {
+        let schema = Schema::new(vec![
+            ColumnDef::dimension("d0", DataType::Str),
+            ColumnDef::dimension("d1", DataType::Str),
+            ColumnDef::measure("m", DataType::Float64),
+        ])
+        .unwrap();
+        let t = memdb::Table::new("t", schema);
+        let db = Arc::new(Database::new());
+        db.register(t);
+        let table = db.table("t").unwrap();
+        let analyst = AnalystQuery::new("t", Some(Expr::col("d0").eq("in")));
+        let views = vec![
+            ViewSpec::count("d1"),
+            ViewSpec::new("d1", "m", AggFunc::Sum),
+        ];
+        let out = run_phased(&table, &analyst, &views, &cfg(5, 1, 2)).unwrap();
+        assert!(out.pruned.is_empty());
+        assert_eq!(out.survivors.len(), 2);
+        assert!(out.survivors.iter().all(|s| s.utility == 0.0));
+        assert_eq!(out.plans_executed, 0, "no rows, no plans");
+        assert_eq!(out.survivors_per_phase, vec![2; 5]);
+    }
+
+    #[test]
+    fn more_phases_than_rows_skips_empty_slices() {
+        let (db, analyst) = demo(7);
+        let views = candidate_views(&db);
+        let table = db.table("t").unwrap();
+        let out = run_phased(&table, &analyst, &views, &cfg(50, 3, 2)).unwrap();
+        // Only 7 of the 50 slices are non-empty.
+        assert_eq!(out.plans_executed, 7);
+        assert_eq!(out.survivors_per_phase.len(), 50);
+        assert_eq!(out.survivors.len(), views.len());
+    }
+
+    /// When every view but the top-k is prunable, the alive set shrinks
+    /// to k and the run still finalizes survivors exactly.
+    #[test]
+    fn aggressive_pruning_down_to_k_still_finalizes() {
+        let (db, analyst) = demo(40_000);
+        let views = candidate_views(&db);
+        let table = db.table("t").unwrap();
+        let out = run_phased(&table, &analyst, &views, &cfg(20, 1, 2)).unwrap();
+        assert!(!out.survivors.is_empty());
+        assert_eq!(out.survivors.len() + out.pruned.len(), views.len());
+        assert_eq!(out.views[0].spec.dimension, "d1");
+        // Survivors carry exact full-table utilities.
+        let mut exact_cfg = SeeDbConfig::recommended().with_k(views.len());
+        exact_cfg.pruning = PruningConfig::disabled();
+        let exact = SeeDb::new(db, exact_cfg).recommend(&analyst).unwrap();
+        let exact_by_label: HashMap<String, f64> = exact
+            .all
+            .iter()
+            .map(|v| (v.spec.label(), v.utility))
+            .collect();
+        for s in &out.survivors {
+            assert!((s.utility - exact_by_label[&s.spec.label()]).abs() < 1e-9);
+        }
     }
 
     #[test]

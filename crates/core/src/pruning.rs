@@ -187,12 +187,22 @@ impl UnionFind {
             parent: (0..n).collect(),
         }
     }
+    /// Iterative find with full path compression. Deliberately not
+    /// recursive: a pathologically wide schema whose dimensions form
+    /// one long correlation chain would otherwise recurse once per
+    /// chain link and overflow the stack.
     fn find(&mut self, x: usize) -> usize {
-        if self.parent[x] != x {
-            let root = self.find(self.parent[x]);
-            self.parent[x] = root;
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
         }
-        self.parent[x]
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
     }
     fn union(&mut self, a: usize, b: usize) {
         let (ra, rb) = (self.find(a), self.find(b));
@@ -425,6 +435,27 @@ mod tests {
 
     fn metadata(t: &Table, mc: &MetadataCollector) -> Metadata {
         mc.collect(t, true).unwrap()
+    }
+
+    /// Regression: `UnionFind::find` must walk iteratively. A 300k-link
+    /// parent chain (worst-case correlation clustering input) overflows
+    /// the test thread's stack under the old recursive path compression.
+    #[test]
+    fn union_find_survives_a_very_deep_chain() {
+        let n = 300_000;
+        let mut uf = UnionFind::new(n);
+        // Union in descending order builds a single parent chain
+        // 0 ← 1 ← 2 ← … ← n−1 (each union links two fresh roots).
+        for i in (0..n - 1).rev() {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.find(n - 1), 0);
+        // Path compression happened: the deepest node now points at the
+        // root directly, and every element agrees on the root.
+        assert_eq!(uf.parent[n - 1], 0);
+        for i in [0, 1, n / 2, n - 2, n - 1] {
+            assert_eq!(uf.find(i), 0);
+        }
     }
 
     #[test]

@@ -124,6 +124,12 @@ impl Database {
         self.run(&q)
     }
 
+    /// Record externally executed work (partitioned execution merges
+    /// stats itself before reporting them once).
+    pub(crate) fn record_stats(&self, stats: &crate::exec::ExecStats) {
+        self.counters.record(stats);
+    }
+
     /// Snapshot the accumulated cost counters.
     pub fn cost(&self) -> CostSnapshot {
         self.counters.snapshot()

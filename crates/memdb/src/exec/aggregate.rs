@@ -11,6 +11,7 @@
 use std::collections::HashMap;
 
 use crate::error::{DbError, DbResult};
+use crate::exec::exactsum::ExactSum;
 use crate::expr::BoundExpr;
 use crate::table::Table;
 use crate::value::{DataType, Value};
@@ -67,27 +68,44 @@ pub struct AggRequest {
     pub predicate: Option<BoundExpr>,
 }
 
-/// Running state for one (group, aggregate) pair.
+/// Mergeable running state for one (group, aggregate) pair.
+///
+/// This is the unit of SeeDB's partitioned parallel execution: each
+/// worker accumulates one `AggState` per (group, aggregate) over its row
+/// range, and [`AggState::merge`] combines partitions. Because the sum
+/// component is an [`ExactSum`] (order-independent exact summation) and
+/// count/min/max are associative, merging per-partition states in any
+/// partition shape finalizes to exactly the same [`Value`]s as one
+/// sequential scan — the bit-for-bit guarantee behind
+/// [`crate::parallel::run_partitioned`].
 #[derive(Debug, Clone, Copy)]
-struct AggState {
+pub struct AggState {
     count: u64,
-    sum: f64,
+    sum: ExactSum,
     min: f64,
     max: f64,
 }
 
+impl Default for AggState {
+    fn default() -> Self {
+        AggState::EMPTY
+    }
+}
+
 impl AggState {
-    const EMPTY: AggState = AggState {
+    /// The state before any row has contributed.
+    pub const EMPTY: AggState = AggState {
         count: 0,
-        sum: 0.0,
+        sum: ExactSum::ZERO,
         min: f64::INFINITY,
         max: f64::NEG_INFINITY,
     };
 
+    /// Fold one value in.
     #[inline]
-    fn update(&mut self, v: f64) {
+    pub fn update(&mut self, v: f64) {
         self.count += 1;
-        self.sum += v;
+        self.sum.add(v);
         if v < self.min {
             self.min = v;
         }
@@ -96,26 +114,50 @@ impl AggState {
         }
     }
 
+    /// Fold one `COUNT(*)`-style contribution in (no value).
     #[inline]
-    fn count_only(&mut self) {
+    pub fn count_only(&mut self) {
         self.count += 1;
     }
 
-    fn finalize(&self, func: AggFunc) -> Value {
+    /// Combine another partition's state into this one. Uses the same
+    /// strict comparisons as [`AggState::update`] so ties (notably
+    /// `0.0` vs `-0.0`, which compare equal but differ in bits) keep
+    /// the earlier operand — exactly the first-seen value a sequential
+    /// scan keeps when partitions merge in ascending row order.
+    pub fn merge(&mut self, other: &AggState) {
+        self.count += other.count;
+        self.sum.merge(&other.sum);
+        if other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+
+    /// Rows that contributed (non-null inputs passing the predicate).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The finalized value under `func` (`Null` for empty non-count
+    /// states, per SQL semantics).
+    pub fn finalize(&self, func: AggFunc) -> Value {
         match func {
             AggFunc::Count => Value::Int(self.count as i64),
             AggFunc::Sum => {
                 if self.count == 0 {
                     Value::Null
                 } else {
-                    Value::Float(self.sum)
+                    Value::Float(self.sum.value())
                 }
             }
             AggFunc::Avg => {
                 if self.count == 0 {
                     Value::Null
                 } else {
-                    Value::Float(self.sum / self.count as f64)
+                    Value::Float(self.sum.value() / self.count as f64)
                 }
             }
             AggFunc::Min => {
@@ -174,8 +216,12 @@ fn key_part(table: &Table, col: usize, row: usize) -> KeyPart {
     }
 }
 
-/// Per-grouping-set accumulator used inside a scan.
-struct SetAcc {
+/// Per-grouping-set accumulator used inside a scan. Also the per-set
+/// payload of a partial (unfinalized) execution: two `SetAcc`s built
+/// over disjoint row ranges of the same table merge via
+/// [`SetAcc::merge`].
+#[derive(Debug)]
+pub(crate) struct SetAcc {
     cols: Vec<usize>,
     /// Group key -> dense group index.
     index: HashMap<Vec<KeyPart>, u32>,
@@ -246,6 +292,50 @@ impl SetAcc {
         self.states
             .extend(std::iter::repeat_n(AggState::EMPTY, self.num_aggs));
         g
+    }
+
+    /// Number of groups discovered so far.
+    pub(crate) fn num_groups(&self) -> usize {
+        self.rep_rows.len()
+    }
+
+    /// Grouping-attribute values of group `g` (materialized from its
+    /// representative row).
+    pub(crate) fn group_label(&self, g: usize, table: &Table) -> Vec<Value> {
+        self.cols
+            .iter()
+            .map(|&c| table.column_at(c).get(self.rep_rows[g] as usize))
+            .collect()
+    }
+
+    /// Per-aggregate states of group `g`, in aggregate order.
+    pub(crate) fn group_states(&self, g: usize) -> &[AggState] {
+        &self.states[g * self.num_aggs..(g + 1) * self.num_aggs]
+    }
+
+    /// Fold `other` (built over a different row range of the same
+    /// `table`) into this accumulator. Groups are matched by key; keys
+    /// are reconstructed from each group's representative row, so no
+    /// extra per-group storage is needed. Iterating `other`'s groups in
+    /// dense (first-seen) order keeps the merged group-creation order
+    /// identical to a sequential scan when partitions are merged in
+    /// ascending row order.
+    fn merge(&mut self, other: &SetAcc, table: &Table) {
+        debug_assert_eq!(self.cols, other.cols);
+        debug_assert_eq!(self.num_aggs, other.num_aggs);
+        for g in 0..other.rep_rows.len() {
+            let row = other.rep_rows[g] as usize;
+            let sg = self.group_index(table, row);
+            let (dst, src) = (sg * self.num_aggs, g * self.num_aggs);
+            for a in 0..self.num_aggs {
+                self.states[dst + a].merge(&other.states[src + a]);
+            }
+            // Keep the earliest representative row (what a sequential
+            // scan would have seen first).
+            if row < self.rep_rows[sg] as usize {
+                self.rep_rows[sg] = row as u32;
+            }
+        }
     }
 
     fn into_grouped(self, table: &Table, aggs: &[AggRequest]) -> Grouped {
@@ -337,6 +427,19 @@ pub fn grouping_sets_scan(
     sets: &[Vec<usize>],
     aggs: &[AggRequest],
 ) -> DbResult<Vec<Grouped>> {
+    let accs = grouping_sets_scan_partial(table, rows, sets, aggs)?;
+    Ok(finalize_accs(accs, table, aggs))
+}
+
+/// The partial (unfinalized) form of [`grouping_sets_scan`]: one
+/// mergeable [`SetAcc`] per grouping set. Partitioned execution runs
+/// this per row range, merges the accumulators, and finalizes once.
+pub(crate) fn grouping_sets_scan_partial(
+    table: &Table,
+    rows: &[u32],
+    sets: &[Vec<usize>],
+    aggs: &[AggRequest],
+) -> DbResult<Vec<SetAcc>> {
     if sets.is_empty() {
         return Err(DbError::InvalidQuery("no grouping sets".to_string()));
     }
@@ -391,10 +494,23 @@ pub fn grouping_sets_scan(
         }
     }
 
-    Ok(accs
-        .into_iter()
+    Ok(accs)
+}
+
+/// Finalize per-set accumulators into sorted [`Grouped`] outputs.
+pub(crate) fn finalize_accs(accs: Vec<SetAcc>, table: &Table, aggs: &[AggRequest]) -> Vec<Grouped> {
+    accs.into_iter()
         .map(|acc| acc.into_grouped(table, aggs))
-        .collect())
+        .collect()
+}
+
+/// Merge per-set accumulators from two partitions (pairwise, in set
+/// order). Both must come from the same table, sets, and aggregates.
+pub(crate) fn merge_accs(into: &mut [SetAcc], from: &[SetAcc], table: &Table) {
+    debug_assert_eq!(into.len(), from.len());
+    for (a, b) in into.iter_mut().zip(from) {
+        a.merge(b, table);
+    }
 }
 
 /// Single-grouping-set convenience wrapper over [`grouping_sets_scan`].

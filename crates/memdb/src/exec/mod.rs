@@ -7,10 +7,12 @@
 //! [`ExecStats`] for cost accounting.
 
 pub mod aggregate;
+pub mod exactsum;
 
 use std::time::{Duration, Instant};
 
-pub use aggregate::{agg_output_type, AggFunc, AggRequest, Grouped};
+pub use aggregate::{agg_output_type, AggFunc, AggRequest, AggState, Grouped};
+pub use exactsum::ExactSum;
 
 use crate::error::{DbError, DbResult};
 use crate::expr::Expr;
@@ -289,7 +291,7 @@ pub struct SetsOutput {
     pub stats: ExecStats,
 }
 
-fn resolve_aggs(table: &Table, aggs: &[AggSpec]) -> DbResult<Vec<AggRequest>> {
+pub(crate) fn resolve_aggs(table: &Table, aggs: &[AggSpec]) -> DbResult<Vec<AggRequest>> {
     aggs.iter()
         .map(|a| {
             let column = match &a.column {
@@ -343,7 +345,7 @@ fn scan_domain(
     Ok((rows, scanned))
 }
 
-fn grouped_to_result(group_by: &[String], aggs: &[AggSpec], g: Grouped) -> ResultSet {
+pub(crate) fn grouped_to_result(group_by: &[String], aggs: &[AggSpec], g: Grouped) -> ResultSet {
     let mut columns: Vec<String> = group_by.to_vec();
     columns.extend(aggs.iter().map(AggSpec::output_name));
     let rows = g
@@ -398,6 +400,95 @@ pub fn execute_ranged(
             rows_scanned: scanned,
             table_scans: 1,
             groups_emitted: groups,
+            elapsed: start.elapsed(),
+        },
+    })
+}
+
+/// Unfinalized output of a partial execution: mergeable per-set
+/// accumulators plus the scan's cost figures.
+pub(crate) struct RawPartial {
+    pub(crate) accs: Vec<aggregate::SetAcc>,
+    pub(crate) stats: ExecStats,
+}
+
+fn check_not_sampled(sample: Option<&SampleSpec>) -> DbResult<()> {
+    if sample.is_some() {
+        return Err(DbError::InvalidQuery(
+            "sampled queries cannot be executed partially: the sampled row domain \
+             depends on the scanned range, so per-partition samples do not compose"
+                .to_string(),
+        ));
+    }
+    Ok(())
+}
+
+/// Execute a [`Query`] over a row slice *without finalizing*: returns
+/// mergeable per-group aggregate state (one grouping set).
+///
+/// # Errors
+/// Unknown columns, type errors, invalid query shapes, or a sampled
+/// query (sampling does not compose across partitions).
+pub(crate) fn execute_partial_ranged(
+    table: &Table,
+    q: &Query,
+    row_range: Option<(usize, usize)>,
+) -> DbResult<RawPartial> {
+    let start = Instant::now();
+    check_not_sampled(q.sample.as_ref())?;
+    let group_cols: Vec<usize> = q
+        .group_by
+        .iter()
+        .map(|c| table.schema().index_of(c))
+        .collect::<DbResult<_>>()?;
+    let aggs = resolve_aggs(table, &q.aggregates)?;
+    if aggs.is_empty() {
+        return Err(DbError::InvalidQuery(
+            "queries must compute at least one aggregate".to_string(),
+        ));
+    }
+    let (rows, scanned) = scan_domain(table, q.filter.as_ref(), None, row_range)?;
+    let accs = aggregate::grouping_sets_scan_partial(table, &rows, &[group_cols], &aggs)?;
+    Ok(RawPartial {
+        accs,
+        stats: ExecStats {
+            rows_scanned: scanned,
+            table_scans: 1,
+            groups_emitted: 0,
+            elapsed: start.elapsed(),
+        },
+    })
+}
+
+/// Execute a [`SetsQuery`] over a row slice *without finalizing*.
+///
+/// # Errors
+/// Same as [`execute_partial_ranged`].
+pub(crate) fn execute_sets_partial_ranged(
+    table: &Table,
+    q: &SetsQuery,
+    row_range: Option<(usize, usize)>,
+) -> DbResult<RawPartial> {
+    let start = Instant::now();
+    check_not_sampled(q.sample.as_ref())?;
+    let sets: Vec<Vec<usize>> = q
+        .sets
+        .iter()
+        .map(|set| {
+            set.iter()
+                .map(|c| table.schema().index_of(c))
+                .collect::<DbResult<Vec<usize>>>()
+        })
+        .collect::<DbResult<_>>()?;
+    let aggs = resolve_aggs(table, &q.aggregates)?;
+    let (rows, scanned) = scan_domain(table, q.filter.as_ref(), None, row_range)?;
+    let accs = aggregate::grouping_sets_scan_partial(table, &rows, &sets, &aggs)?;
+    Ok(RawPartial {
+        accs,
+        stats: ExecStats {
+            rows_scanned: scanned,
+            table_scans: 1,
+            groups_emitted: 0,
             elapsed: start.elapsed(),
         },
     })

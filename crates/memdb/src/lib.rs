@@ -67,10 +67,13 @@ pub use catalog::Database;
 pub use column::{Column, StrDict};
 pub use cost::{CostCounters, CostSnapshot};
 pub use error::{DbError, DbResult};
-pub use exec::{AggFunc, AggSpec, ExecStats, Query, QueryOutput, ResultSet, SetsOutput, SetsQuery};
+pub use exec::{
+    AggFunc, AggSpec, AggState, ExactSum, ExecStats, Query, QueryOutput, ResultSet, SetsOutput,
+    SetsQuery,
+};
 pub use expr::{CmpOp, Expr};
-pub use parallel::{run_batch, BatchOutput};
-pub use plan::{LogicalPlan, PhysicalPlan, PlanOutput};
+pub use parallel::{run_batch, run_partitioned, run_partitioned_partial, BatchOutput};
+pub use plan::{LogicalPlan, PartialAggState, PhysicalPlan, PlanOutput};
 pub use sample::{sample_rows, SampleSpec};
 pub use schema::{ColumnDef, Role, Schema, Semantic};
 pub use sql::{parse_query, parse_selection, Selection};

@@ -1,4 +1,4 @@
-//! Parallel batch execution of logical plans.
+//! Parallel execution of logical plans: across plans and within one.
 //!
 //! SeeDB's final optimization (§3.3) issues view queries to the DBMS in
 //! parallel: "as the number of queries executed in parallel increases, the
@@ -7,13 +7,25 @@
 //! worker pool pulling plans from a shared queue: each [`LogicalPlan`] is
 //! lowered to its physical operator and executed, and outputs come back
 //! in input order regardless of completion order.
+//!
+//! [`run_partitioned`] is the complementary *intra*-plan axis: one
+//! shared-scan plan is split into contiguous row ranges, each range is
+//! executed on its own `std::thread::scope` worker via
+//! [`PhysicalPlan::execute_partial`], and the per-partition
+//! [`PartialAggState`]s are merged in ascending partition order before a
+//! single finalize. Because every aggregate component is associative
+//! (SUM/AVG through exact order-independent summation,
+//! [`crate::exec::ExactSum`]), the output is **byte-identical** to
+//! single-threaded [`PhysicalPlan::execute`] for every worker count and
+//! partition shape — `tests/plan_equivalence.rs` holds it to that.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::catalog::Database;
 use crate::error::DbResult;
-use crate::plan::{LogicalPlan, PlanOutput};
+use crate::plan::{LogicalPlan, PartialAggState, PhysicalPlan, PlanOutput};
+use crate::table::Table;
 
 /// Result of running a batch.
 #[derive(Debug)]
@@ -88,6 +100,77 @@ pub fn run_batch(db: &Database, plans: &[LogicalPlan], workers: usize) -> BatchO
             .collect(),
         total_elapsed: start.elapsed(),
     }
+}
+
+/// Execute one already-lowered plan across `workers` row partitions,
+/// merging partial aggregate states in partition order, without
+/// finalizing. This is the reusable core of [`run_partitioned`]; phased
+/// execution (`seedb-core`) folds the returned state into its per-view
+/// accumulators directly instead of re-parsing finalized rows.
+///
+/// # Errors
+/// Unknown columns, type errors, or a sampled plan (sampling does not
+/// compose across partitions — callers should fall back to
+/// [`PhysicalPlan::execute`]).
+pub fn run_partitioned_partial(
+    table: &Table,
+    plan: &PhysicalPlan,
+    workers: usize,
+) -> DbResult<PartialAggState> {
+    let (lo, hi) = plan.scan_range(table);
+    let rows = hi - lo;
+    let workers = workers.max(1).min(rows.max(1));
+    // Contiguous, ascending, near-equal partitions of [lo, hi).
+    let bounds: Vec<(usize, usize)> = (0..workers)
+        .map(|w| (lo + rows * w / workers, lo + rows * (w + 1) / workers))
+        .collect();
+    if workers <= 1 {
+        return plan.execute_partial(table, (lo, hi));
+    }
+    let partials: Vec<DbResult<PartialAggState>> = std::thread::scope(|s| {
+        let handles: Vec<_> = bounds
+            .iter()
+            .map(|&range| s.spawn(move || plan.execute_partial(table, range)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("partition worker panicked"))
+            .collect()
+    });
+    let mut merged: Option<PartialAggState> = None;
+    for partial in partials {
+        let partial = partial?;
+        match &mut merged {
+            None => merged = Some(partial),
+            Some(m) => m.merge(partial, table)?,
+        }
+    }
+    Ok(merged.expect("at least one partition"))
+}
+
+/// Execute a single plan with intra-plan parallelism: the scan is split
+/// into `workers` contiguous row ranges executed concurrently, and the
+/// partial aggregate states are merged deterministically (ascending
+/// partition order) before one finalize. The result is byte-identical
+/// to single-threaded execution; cost counters record the full scan
+/// domain. Sampled plans cannot be partitioned and fall back to a
+/// plain single-threaded execution.
+///
+/// # Errors
+/// Malformed plans (`InvalidQuery`), unknown table/columns, type errors.
+pub fn run_partitioned(db: &Database, plan: &LogicalPlan, workers: usize) -> DbResult<PlanOutput> {
+    let phys = plan.lower()?;
+    if phys.is_sampled() || workers <= 1 {
+        return db.run_physical(&phys);
+    }
+    let start = Instant::now();
+    let table = db.table(phys.table())?;
+    let mut out = run_partitioned_partial(&table, &phys, workers)?.finalize(&table)?;
+    // Merged stats carry summed per-worker scan time; report the
+    // actual wall clock like a single-threaded execution would.
+    out.stats_mut().elapsed = start.elapsed();
+    db.record_stats(out.stats());
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -181,6 +264,178 @@ mod tests {
             PlanOutput::GroupingSets(s) => assert_eq!(s.results.len(), 2),
             _ => panic!("expected grouping-sets output"),
         }
+    }
+
+    fn assert_outputs_bitwise_eq(a: &PlanOutput, b: &PlanOutput) {
+        assert_eq!(a.num_result_sets(), b.num_result_sets());
+        for s in 0..a.num_result_sets() {
+            let (ra, rb) = (a.result_set(s).unwrap(), b.result_set(s).unwrap());
+            assert_eq!(ra.columns, rb.columns);
+            assert_eq!(ra.rows.len(), rb.rows.len());
+            for (x, y) in ra.rows.iter().zip(&rb.rows) {
+                for (va, vb) in x.iter().zip(y) {
+                    match (va, vb) {
+                        (Value::Float(f), Value::Float(g)) => {
+                            assert_eq!(f.to_bits(), g.to_bits(), "{va:?} vs {vb:?}")
+                        }
+                        _ => assert_eq!(va, vb),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_matches_single_threaded_bitwise() {
+        let db = db();
+        let table = db.table("t").unwrap();
+        let filtered = LogicalPlan::scan("t")
+            .filter(crate::expr::Expr::col("d1").eq("a3"))
+            .aggregate(
+                vec!["d2".into()],
+                vec![
+                    AggSpec::new(AggFunc::Sum, "m"),
+                    AggSpec::new(AggFunc::Avg, "m")
+                        .with_filter(crate::expr::Expr::col("d1").eq("a3")),
+                    AggSpec::count_star(),
+                ],
+            );
+        let sets = LogicalPlan::scan("t").grouping_sets(
+            vec![vec!["d1".into()], vec!["d2".into()], vec![]],
+            vec![
+                AggSpec::new(AggFunc::Sum, "m"),
+                AggSpec::new(AggFunc::Min, "m"),
+                AggSpec::new(AggFunc::Max, "m"),
+            ],
+        );
+        let sliced = LogicalPlan::scan("t")
+            .aggregate(vec!["d1".into()], vec![AggSpec::new(AggFunc::Sum, "m")])
+            .sliced(123, 789);
+        for plan in [filtered, sets, sliced] {
+            let single = plan.lower().unwrap().execute(&table).unwrap();
+            for workers in [2usize, 3, 4, 7, 1000] {
+                let partitioned = run_partitioned(&db, &plan, workers).unwrap();
+                assert_outputs_bitwise_eq(&single, &partitioned);
+            }
+        }
+    }
+
+    /// Signed zeros compare equal but differ in bits: MIN/MAX merges
+    /// must keep the first-seen zero like a sequential scan does.
+    #[test]
+    fn signed_zero_min_max_is_bitwise_stable_across_partitions() {
+        let schema = Schema::new(vec![
+            ColumnDef::dimension("d", DataType::Str),
+            ColumnDef::measure("m", DataType::Float64),
+        ])
+        .unwrap();
+        let mut t = Table::new("z", schema);
+        for i in 0..64 {
+            // Alternate 0.0 / -0.0 so every partition boundary splits a
+            // run of equal-comparing, bitwise-distinct values.
+            let z = if i % 2 == 0 { 0.0f64 } else { -0.0 };
+            t.push_row(vec![Value::from("g"), Value::Float(z)]).unwrap();
+        }
+        let db = Database::new();
+        db.register(t);
+        let table = db.table("z").unwrap();
+        for flip in [false, true] {
+            let plan = LogicalPlan::scan("z").aggregate(
+                vec!["d".into()],
+                vec![
+                    AggSpec::new(AggFunc::Min, "m"),
+                    AggSpec::new(AggFunc::Max, "m"),
+                ],
+            );
+            // `flip` swaps which zero comes first via a slice offset.
+            let plan = if flip { plan.sliced(1, 64) } else { plan };
+            let single = plan.lower().unwrap().execute(&table).unwrap();
+            for workers in [2usize, 3, 7] {
+                let partitioned = run_partitioned(&db, &plan, workers).unwrap();
+                assert_outputs_bitwise_eq(&single, &partitioned);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_slices_match_single_threaded_empty_output() {
+        let db = db();
+        let table = db.table("t").unwrap();
+        let base = LogicalPlan::scan("t")
+            .aggregate(vec!["d1".into()], vec![AggSpec::new(AggFunc::Sum, "m")]);
+        // Inverted slice, and a slice entirely past the table.
+        for (lo, hi) in [(500usize, 300usize), (1200, 900), (5000, 9000)] {
+            let plan = base.clone().sliced(lo, hi);
+            let single = plan.lower().unwrap().execute(&table).unwrap();
+            let partitioned = run_partitioned(&db, &plan, 4).unwrap();
+            assert_eq!(single.result_set(0).unwrap().num_rows(), 0);
+            assert_outputs_bitwise_eq(&single, &partitioned);
+        }
+    }
+
+    #[test]
+    fn partitioned_records_full_scan_cost_once() {
+        let db = db();
+        let plan = LogicalPlan::scan("t")
+            .aggregate(vec!["d1".into()], vec![AggSpec::new(AggFunc::Sum, "m")]);
+        db.reset_cost();
+        run_partitioned(&db, &plan, 4).unwrap();
+        let cost = db.cost();
+        assert_eq!(cost.queries, 1);
+        assert_eq!(cost.rows_scanned, 1000);
+        // One *logical* shared scan, regardless of worker count: the
+        // counter must not scale with intra-plan parallelism.
+        assert_eq!(cost.table_scans, 1);
+    }
+
+    #[test]
+    fn sampled_plans_fall_back_to_single_threaded() {
+        let db = db();
+        let plan = LogicalPlan::scan("t")
+            .aggregate(vec!["d1".into()], vec![AggSpec::new(AggFunc::Sum, "m")])
+            .sampled(Some(crate::sample::SampleSpec::Bernoulli {
+                fraction: 0.5,
+                seed: 7,
+            }));
+        let single = db.execute_plan(&plan).unwrap();
+        let partitioned = run_partitioned(&db, &plan, 4).unwrap();
+        assert_outputs_bitwise_eq(&single, &partitioned);
+    }
+
+    #[test]
+    fn partial_merge_rejects_mismatched_shapes() {
+        let db = db();
+        let table = db.table("t").unwrap();
+        let a = LogicalPlan::scan("t")
+            .aggregate(vec!["d1".into()], vec![AggSpec::new(AggFunc::Sum, "m")])
+            .lower()
+            .unwrap();
+        let b = LogicalPlan::scan("t")
+            .grouping_sets(
+                vec![vec!["d1".into()], vec!["d2".into()]],
+                vec![AggSpec::new(AggFunc::Sum, "m")],
+            )
+            .lower()
+            .unwrap();
+        let mut pa = a.execute_partial(&table, (0, 500)).unwrap();
+        let pb = b.execute_partial(&table, (500, 1000)).unwrap();
+        assert!(pa.merge(pb, &table).is_err());
+
+        // Same arity but different grouping column / aggregate: must
+        // also be rejected, not silently merged.
+        let c = LogicalPlan::scan("t")
+            .aggregate(vec!["d2".into()], vec![AggSpec::new(AggFunc::Sum, "m")])
+            .lower()
+            .unwrap();
+        let d = LogicalPlan::scan("t")
+            .aggregate(vec!["d1".into()], vec![AggSpec::new(AggFunc::Avg, "m")])
+            .lower()
+            .unwrap();
+        let pc = c.execute_partial(&table, (500, 1000)).unwrap();
+        assert!(pa.merge(pc, &table).is_err(), "different grouping column");
+        let mut pa2 = a.execute_partial(&table, (0, 500)).unwrap();
+        let pd = d.execute_partial(&table, (500, 1000)).unwrap();
+        assert!(pa2.merge(pd, &table).is_err(), "different aggregate func");
     }
 
     #[test]

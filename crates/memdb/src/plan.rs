@@ -32,10 +32,13 @@
 use std::time::Duration;
 
 use crate::error::{DbError, DbResult};
-use crate::exec::{self, AggSpec, ExecStats, Query, QueryOutput, ResultSet, SetsOutput, SetsQuery};
+use crate::exec::{
+    self, AggSpec, AggState, ExecStats, Query, QueryOutput, ResultSet, SetsOutput, SetsQuery,
+};
 use crate::expr::Expr;
 use crate::sample::SampleSpec;
 use crate::table::Table;
+use crate::value::Value;
 
 /// A leaf scan of one table, optionally sampled and/or restricted to a
 /// contiguous row slice (phased execution scans one slice per phase).
@@ -325,6 +328,190 @@ impl PhysicalPlan {
             }
         }
     }
+
+    /// Whether the plan samples its scan (sampled plans cannot be
+    /// executed partially: per-partition samples do not compose).
+    pub fn is_sampled(&self) -> bool {
+        match self {
+            PhysicalPlan::Aggregate { query, .. } => query.sample.is_some(),
+            PhysicalPlan::GroupingSets { query, .. } => query.sample.is_some(),
+        }
+    }
+
+    /// The half-open row range this plan scans of `table` (its own
+    /// slice restriction clamped to the table). Always well-formed
+    /// (`lo <= hi`): an inverted or out-of-range slice degenerates to
+    /// an empty range, matching the empty output `execute` produces.
+    pub fn scan_range(&self, table: &Table) -> (usize, usize) {
+        let row_range = match self {
+            PhysicalPlan::Aggregate { row_range, .. } => *row_range,
+            PhysicalPlan::GroupingSets { row_range, .. } => *row_range,
+        };
+        match row_range {
+            None => (0, table.num_rows()),
+            Some((lo, hi)) => {
+                let lo = lo.min(table.num_rows());
+                (lo, hi.min(table.num_rows()).max(lo))
+            }
+        }
+    }
+
+    /// Execute this plan over the row slice `range` of `table` without
+    /// finalizing, returning mergeable per-(set, group, aggregate)
+    /// state. `range` is intersected with the plan's own slice; the
+    /// full-plan result is recovered by merging the partial states of a
+    /// partition of the scan range and calling
+    /// [`PartialAggState::finalize`] — bit-for-bit identical to
+    /// [`PhysicalPlan::execute`] for any partition shape.
+    ///
+    /// # Errors
+    /// Unknown columns, type errors, or a sampled plan.
+    pub fn execute_partial(
+        &self,
+        table: &Table,
+        range: (usize, usize),
+    ) -> DbResult<PartialAggState> {
+        let (plan_lo, plan_hi) = self.scan_range(table);
+        let eff = (
+            range.0.max(plan_lo),
+            range.1.min(plan_hi).max(range.0.max(plan_lo)),
+        );
+        let (raw, single, group_by, aggregates) = match self {
+            PhysicalPlan::Aggregate { query, .. } => (
+                exec::execute_partial_ranged(table, query, Some(eff))?,
+                true,
+                vec![query.group_by.clone()],
+                query.aggregates.clone(),
+            ),
+            PhysicalPlan::GroupingSets { query, .. } => (
+                exec::execute_sets_partial_ranged(table, query, Some(eff))?,
+                false,
+                query.sets.clone(),
+                query.aggregates.clone(),
+            ),
+        };
+        Ok(PartialAggState {
+            accs: raw.accs,
+            single,
+            group_by,
+            aggregates,
+            stats: raw.stats,
+        })
+    }
+}
+
+/// Mergeable partial aggregate state: the unfinalized result of
+/// executing a physical plan over one row range.
+///
+/// The contract (see also the README's "partitioned execution"
+/// section): partial states produced by [`PhysicalPlan::execute_partial`]
+/// over *disjoint* row ranges of the *same* table and plan may be
+/// [`merge`](PartialAggState::merge)d in ascending range order and then
+/// [`finalize`](PartialAggState::finalize)d; the resulting
+/// [`PlanOutput`] is byte-identical to [`PhysicalPlan::execute`] over
+/// the union of the ranges, for every partition shape. This holds
+/// because every per-(group, aggregate) component is associative —
+/// count/min/max trivially, SUM/AVG via exact order-independent
+/// summation ([`crate::exec::ExactSum`]).
+#[derive(Debug)]
+pub struct PartialAggState {
+    accs: Vec<exec::aggregate::SetAcc>,
+    single: bool,
+    group_by: Vec<Vec<String>>,
+    aggregates: Vec<AggSpec>,
+    stats: ExecStats,
+}
+
+impl PartialAggState {
+    /// Fold another partition's state into this one. Cost figures
+    /// accumulate (`rows_scanned` sums to the full scan domain;
+    /// `table_scans` counts per-partition range scans).
+    ///
+    /// # Errors
+    /// `Internal` if the two states come from different plan shapes:
+    /// output shape, grouping columns, and aggregate specs (function,
+    /// column, alias, per-aggregate predicate) must all match — same-
+    /// arity states from *different* plans must not merge silently.
+    pub fn merge(&mut self, other: PartialAggState, table: &Table) -> DbResult<()> {
+        let agg_eq = |a: &AggSpec, b: &AggSpec| {
+            a.func == b.func
+                && a.column == b.column
+                && a.alias == b.alias
+                && a.filter.as_ref().map(Expr::to_sql) == b.filter.as_ref().map(Expr::to_sql)
+        };
+        if self.single != other.single
+            || self.group_by != other.group_by
+            || self.aggregates.len() != other.aggregates.len()
+            || !self
+                .aggregates
+                .iter()
+                .zip(&other.aggregates)
+                .all(|(a, b)| agg_eq(a, b))
+        {
+            return Err(DbError::Internal(
+                "cannot merge partial states from different plans".to_string(),
+            ));
+        }
+        exec::aggregate::merge_accs(&mut self.accs, &other.accs, table);
+        self.stats.merge(&other.stats);
+        Ok(())
+    }
+
+    /// Number of grouping sets (1 for a single-grouping plan).
+    pub fn num_sets(&self) -> usize {
+        self.accs.len()
+    }
+
+    /// Number of groups discovered so far in set `set`.
+    pub fn num_groups(&self, set: usize) -> usize {
+        self.accs[set].num_groups()
+    }
+
+    /// Grouping-attribute values of group `g` in set `set`.
+    pub fn group_label(&self, set: usize, g: usize, table: &Table) -> Vec<Value> {
+        self.accs[set].group_label(g, table)
+    }
+
+    /// Mergeable per-aggregate states of group `g` in set `set`, in
+    /// the plan's aggregate order.
+    pub fn group_states(&self, set: usize, g: usize) -> &[AggState] {
+        self.accs[set].group_states(g)
+    }
+
+    /// Finalize into the same output shape [`PhysicalPlan::execute`]
+    /// produces (groups sorted by label, SQL null semantics applied).
+    ///
+    /// Stats semantics: `rows_scanned` covers the union of the merged
+    /// ranges, but `table_scans` is reported as **1** — the partitions
+    /// jointly perform one logical shared scan, and the counter's
+    /// documented meaning ("shared scans are the point") must not
+    /// scale with the worker count. `elapsed` is the summed
+    /// per-partition scan time; [`crate::parallel::run_partitioned`]
+    /// replaces it with the measured wall clock.
+    ///
+    /// # Errors
+    /// Column resolution errors (impossible for states produced against
+    /// the same table).
+    pub fn finalize(self, table: &Table) -> DbResult<PlanOutput> {
+        let requests = exec::resolve_aggs(table, &self.aggregates)?;
+        let grouped = exec::aggregate::finalize_accs(self.accs, table, &requests);
+        let mut stats = self.stats;
+        stats.table_scans = 1;
+        stats.groups_emitted = grouped.iter().map(|g| g.num_groups() as u64).sum();
+        if self.single {
+            let g = grouped.into_iter().next().expect("one set in, one out");
+            let result = exec::grouped_to_result(&self.group_by[0], &self.aggregates, g);
+            Ok(PlanOutput::Aggregate(QueryOutput { result, stats }))
+        } else {
+            let results = self
+                .group_by
+                .iter()
+                .zip(grouped)
+                .map(|(set, g)| exec::grouped_to_result(set, &self.aggregates, g))
+                .collect();
+            Ok(PlanOutput::GroupingSets(SetsOutput { results, stats }))
+        }
+    }
 }
 
 /// Output of an executed plan, matching [`PhysicalPlan`]'s shape.
@@ -342,6 +529,13 @@ impl PlanOutput {
         match self {
             PlanOutput::Aggregate(o) => &o.stats,
             PlanOutput::GroupingSets(o) => &o.stats,
+        }
+    }
+
+    pub(crate) fn stats_mut(&mut self) -> &mut ExecStats {
+        match self {
+            PlanOutput::Aggregate(o) => &mut o.stats,
+            PlanOutput::GroupingSets(o) => &mut o.stats,
         }
     }
 

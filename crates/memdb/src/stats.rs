@@ -39,6 +39,13 @@ pub struct ColumnStats {
 }
 
 impl ColumnStats {
+    /// Number of groups this column produces as a grouping attribute:
+    /// distinct non-null values, plus the NULL group when any row is
+    /// null. (Used as `K` in phased execution's confidence bound.)
+    pub fn group_count(&self) -> usize {
+        self.distinct + usize::from(self.null_count > 0)
+    }
+
     /// Collect statistics for `column` (named `name`).
     pub fn collect(name: &str, column: &Column) -> ColumnStats {
         let n = column.len();

@@ -1,11 +1,16 @@
-//! Extension demo: phased execution with confidence-interval pruning.
+//! Extension demo: phased execution with confidence-interval pruning,
+//! sequential and partition-parallel.
 //!
 //! Challenge (d) in the paper: "we must trade-off accuracy of
 //! visualizations or estimation of 'interestingness' for reduced
 //! latency." Beyond sampling, the authors' follow-up work processes the
 //! table in phases and discards views whose utility confidence interval
 //! drops below the running top-k — hopeless views stop consuming work
-//! early, while the surviving views end with *exact* utilities.
+//! early, while the surviving views end with *exact* utilities. With
+//! `workers > 1` each phase slice additionally fans out across row
+//! partitions whose mergeable partial aggregates combine
+//! deterministically, so the outcome is identical for every worker
+//! count.
 //!
 //! ```sh
 //! cargo run --release --example phased
@@ -47,24 +52,36 @@ fn main() {
     // Exact baseline.
     let mut exact_cfg = SeeDbConfig::recommended().with_k(5);
     exact_cfg.pruning = PruningConfig::disabled();
-    exact_cfg.optimizer.parallelism = 1;
+    exact_cfg.execution = exact_cfg.execution.with_workers(1);
     let t0 = Instant::now();
     let exact = SeeDb::new(db.clone(), exact_cfg)
         .recommend(&analyst)
         .unwrap();
     let exact_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-    // Phased with early termination.
+    // Phased with early termination, single-threaded.
     let cfg = PhasedConfig {
         phases: 10,
         k: 5,
         delta: 0.05,
         min_phases: 2,
         metric: Metric::EarthMovers,
+        workers: 1,
     };
     let t0 = Instant::now();
     let phased = run_phased(&table, &analyst, &views, &cfg).unwrap();
     let phased_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Phased + intra-plan parallelism: every phase slice splits across
+    // row-partition workers with mergeable partial aggregates.
+    let workers = seedb::core::default_workers().max(4);
+    let par_cfg = PhasedConfig {
+        workers,
+        ..cfg.clone()
+    };
+    let t0 = Instant::now();
+    let parallel = run_phased(&table, &analyst, &views, &par_cfg).unwrap();
+    let parallel_ms = t0.elapsed().as_secs_f64() * 1e3;
 
     println!("survivors per phase: {:?}", phased.survivors_per_phase);
     println!(
@@ -81,9 +98,13 @@ fn main() {
         );
     }
 
-    println!("\n{:<22} {:>10}", "", "ms");
-    println!("{:<22} {exact_ms:>10.1}", "exact (all phases)");
-    println!("{:<22} {phased_ms:>10.1}", "phased + CI pruning");
+    println!("\n{:<34} {:>10}", "", "ms");
+    println!("{:<34} {exact_ms:>10.1}", "exact (all phases)");
+    println!("{:<34} {phased_ms:>10.1}", "phased + CI pruning");
+    println!(
+        "{:<34} {parallel_ms:>10.1}",
+        format!("phased-parallel ({workers} workers)")
+    );
 
     println!("\ntop-5 (phased, exact utilities for survivors):");
     for (p, e) in phased.views.iter().zip(&exact.views) {
@@ -96,5 +117,15 @@ fn main() {
         assert_eq!(p.spec, e.spec, "phased top-k must match exact top-k");
         assert!((p.utility - e.utility).abs() < 1e-9);
     }
+
+    // Worker count must be invisible in the outcome — to the bit.
+    assert_eq!(phased.survivors_per_phase, parallel.survivors_per_phase);
+    assert_eq!(phased.pruned.len(), parallel.pruned.len());
+    for (a, b) in phased.survivors.iter().zip(&parallel.survivors) {
+        assert_eq!(a.spec, b.spec);
+        assert_eq!(a.utility.to_bits(), b.utility.to_bits());
+    }
+
     println!("\nphased top-k identical to exact top-k ✔");
+    println!("phased-parallel ({workers} workers) bit-identical to sequential phased ✔");
 }

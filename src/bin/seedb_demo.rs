@@ -13,6 +13,9 @@
 //! Interactive commands:
 //! * any `SELECT * FROM <table> WHERE ...` — run a new analyst query
 //! * `:k <n>` / `:metric <name>` / `:basic on|off` / `:sample <frac|off>`
+//! * `:strategy sequential|parallel|phased|phased-parallel` — pick the
+//!   execution strategy (§3.3 parallelism × early termination)
+//! * `:workers <n>` — worker count for the current strategy
 //! * `:drill <view#> <label>` — narrow to one group of a recommended view
 //! * `:up` — undo the last drill-down
 //! * `:quit`
@@ -20,7 +23,10 @@
 use std::io::{BufRead, Write as _};
 use std::sync::Arc;
 
-use seedb::core::{drill_down, roll_up, AnalystQuery, Metric, SeeDb, SeeDbConfig};
+use seedb::core::{
+    default_workers, drill_down, roll_up, AnalystQuery, ExecutionStrategy, Metric, SeeDb,
+    SeeDbConfig,
+};
 use seedb::memdb::{Database, SampleSpec};
 use seedb::viz::Frontend;
 
@@ -152,8 +158,16 @@ fn run_and_print(frontend: &Frontend, query: &AnalystQuery) -> Option<seedb::viz
     match frontend.issue(query) {
         Ok(out) => {
             println!("{}", out.render_text());
+            let early = if out.recommendation.early_pruned.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    " (+{} pruned mid-run)",
+                    out.recommendation.early_pruned.len()
+                )
+            };
             println!(
-                "[{} candidates, {} pruned, {} queries, {:.1?}]",
+                "[{} candidates, {} pruned{early}, {} queries, {:.1?}]",
                 out.recommendation.num_candidates,
                 out.recommendation.pruned.len(),
                 out.recommendation.num_queries,
@@ -165,6 +179,22 @@ fn run_and_print(frontend: &Frontend, query: &AnalystQuery) -> Option<seedb::viz
             eprintln!("error: {e}");
             None
         }
+    }
+}
+
+/// Printed whenever sampling and a phased strategy are configured
+/// together: phased execution is exact and ignores the sample.
+fn warn_sample_ignored(cfg: &SeeDbConfig) {
+    if cfg.optimizer.sample.is_some()
+        && matches!(
+            cfg.execution,
+            ExecutionStrategy::Phased { .. } | ExecutionStrategy::PhasedParallel { .. }
+        )
+    {
+        println!(
+            "note: phased strategies are exact and ignore :sample \
+             (sampling stays configured for the batch strategies)"
+        );
     }
 }
 
@@ -246,6 +276,36 @@ fn main() {
                     }
                     last = run_and_print(&frontend, &current);
                 }
+                Some("strategy") => {
+                    let cfg = frontend.engine_mut().config_mut();
+                    match parts
+                        .next()
+                        .map(|n| ExecutionStrategy::parse(n, default_workers()))
+                    {
+                        Some(Some(strategy)) => {
+                            println!("strategy: {strategy}");
+                            cfg.execution = strategy;
+                            warn_sample_ignored(cfg);
+                            last = run_and_print(&frontend, &current);
+                        }
+                        _ => eprintln!(
+                            "usage: :strategy sequential|parallel|phased|phased-parallel \
+                             (current: {})",
+                            cfg.execution
+                        ),
+                    }
+                }
+                Some("workers") => {
+                    let cfg = frontend.engine_mut().config_mut();
+                    match parts.next().map(str::parse::<usize>) {
+                        Some(Ok(n)) if n >= 1 => {
+                            cfg.execution = cfg.execution.clone().with_workers(n);
+                            println!("strategy: {}", cfg.execution);
+                            last = run_and_print(&frontend, &current);
+                        }
+                        _ => eprintln!("usage: :workers <n ≥ 1> (current: {})", cfg.execution),
+                    }
+                }
                 Some("sample") => {
                     let cfg = frontend.engine_mut().config_mut();
                     match parts.next() {
@@ -267,6 +327,7 @@ fn main() {
                             continue;
                         }
                     }
+                    warn_sample_ignored(cfg);
                     last = run_and_print(&frontend, &current);
                 }
                 Some("drill") => {
@@ -291,7 +352,9 @@ fn main() {
                     }
                     Err(e) => eprintln!("{e}"),
                 },
-                _ => eprintln!("commands: :k :metric :basic :sample :drill :up :quit"),
+                _ => eprintln!(
+                    "commands: :k :metric :basic :sample :strategy :workers :drill :up :quit"
+                ),
             }
             continue;
         }

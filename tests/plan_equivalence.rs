@@ -17,7 +17,9 @@ use seedb::core::{
     OptimizerConfig, Processor, ViewResult,
 };
 use seedb::data::{Plant, SyntheticSpec};
-use seedb::memdb::{run_batch, Database, LogicalPlan};
+use seedb::memdb::{
+    run_batch, run_partitioned, AggFunc, AggSpec, Database, Expr, LogicalPlan, PlanOutput, Value,
+};
 
 /// Execute `views` under `cfg` through the full plan → lower → execute →
 /// extract pipeline and score them.
@@ -101,8 +103,96 @@ fn build_db(
     (db, analyst)
 }
 
+/// Bitwise comparison of two plan outputs: every result set, row, and
+/// value must match, with floats compared through `to_bits`.
+fn outputs_bitwise_eq(a: &PlanOutput, b: &PlanOutput) -> Result<(), String> {
+    if a.num_result_sets() != b.num_result_sets() {
+        return Err("result-set count differs".to_string());
+    }
+    for s in 0..a.num_result_sets() {
+        let (ra, rb) = (a.result_set(s).unwrap(), b.result_set(s).unwrap());
+        if ra.columns != rb.columns {
+            return Err(format!("set {s}: columns differ"));
+        }
+        if ra.rows.len() != rb.rows.len() {
+            return Err(format!("set {s}: row count differs"));
+        }
+        for (i, (x, y)) in ra.rows.iter().zip(&rb.rows).enumerate() {
+            for (va, vb) in x.iter().zip(y) {
+                let eq = match (va, vb) {
+                    (Value::Float(f), Value::Float(g)) => f.to_bits() == g.to_bits(),
+                    _ => va == vb,
+                };
+                if !eq {
+                    return Err(format!("set {s} row {i}: {va:?} vs {vb:?}"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// `run_partitioned` — one plan split across row partitions with
+    /// mergeable partial aggregate states — is **byte-identical** to
+    /// single-threaded `execute` for aggregate and grouping-sets plans,
+    /// for every worker count and partition shape. (Float sums are
+    /// exact and order-independent in the kernel, so re-associating
+    /// them across partitions cannot perturb a single bit.)
+    #[test]
+    fn partitioned_execution_matches_single_threaded_bitwise(
+        seed in 0u64..10_000,
+        dims in 2usize..5,
+        card in 2usize..10,
+        measures in 1usize..3,
+        workers in 2usize..9,
+    ) {
+        let (db, analyst) = build_db(500, dims, card, measures, seed);
+        let table = db.table(&analyst.table).unwrap();
+        let filter = analyst.filter.clone().expect("planted filter");
+
+        // A combined target/comparison aggregate (per-aggregate
+        // predicates), a multi-set grouping-sets plan with a scan
+        // filter, and a row-sliced plan.
+        let aggregate = LogicalPlan::scan(&analyst.table).aggregate(
+            vec!["d1".into()],
+            vec![
+                AggSpec::new(AggFunc::Sum, "m0")
+                    .with_filter(filter.clone())
+                    .with_alias("target"),
+                AggSpec::new(AggFunc::Sum, "m0").with_alias("comparison"),
+                AggSpec::new(AggFunc::Avg, "m0"),
+                AggSpec::count_star(),
+            ],
+        );
+        let grouping_sets = LogicalPlan::scan(&analyst.table)
+            .filter(Expr::col("d0").eq("v0"))
+            .grouping_sets(
+                (0..dims).map(|d| vec![format!("d{d}")]).chain([vec![]]).collect(),
+                vec![
+                    AggSpec::new(AggFunc::Sum, "m0"),
+                    AggSpec::new(AggFunc::Min, "m0"),
+                    AggSpec::new(AggFunc::Max, "m0"),
+                ],
+            );
+        let sliced = aggregate.clone().sliced(71, 433);
+
+        for (name, plan) in [
+            ("aggregate", &aggregate),
+            ("grouping-sets", &grouping_sets),
+            ("sliced", &sliced),
+        ] {
+            let single = plan.lower().unwrap().execute(&table).unwrap();
+            let partitioned = run_partitioned(&db, plan, workers).unwrap();
+            if let Err(msg) = outputs_bitwise_eq(&single, &partitioned) {
+                return Err(TestCaseError::fail(format!(
+                    "[{name}, {workers} workers] {msg}"
+                )));
+            }
+        }
+    }
 
     /// Combined target/comparison, combined aggregates, and grouping-set
     /// combining (under tight and loose memory budgets, sequential and

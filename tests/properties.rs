@@ -182,7 +182,7 @@ mod optimizer_equivalence {
                 for budget in [8u64, 1_000_000] {
                     let mut cfg = SeeDbConfig::recommended();
                     cfg.pruning = PruningConfig::disabled();
-                    cfg.optimizer.parallelism = 2;
+                    cfg.execution = cfg.execution.with_workers(2);
                     cfg.optimizer.group_by_combining = combining;
                     cfg.optimizer.memory_budget_groups = budget;
                     let rec = SeeDb::new(db.clone(), cfg).recommend(&analyst).unwrap();

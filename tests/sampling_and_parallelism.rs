@@ -79,7 +79,7 @@ fn sampling_is_deterministic_per_seed() {
     let (db, analyst, _) = planted_db(20_000, 7);
     let run = |seed: u64| {
         let mut cfg = SeeDbConfig::recommended().with_k(5);
-        cfg.optimizer.parallelism = 1;
+        cfg.execution = cfg.execution.with_workers(1);
         cfg.optimizer.sample = Some(SampleSpec::Bernoulli {
             fraction: 0.05,
             seed,
@@ -101,7 +101,7 @@ fn parallelism_changes_latency_not_results() {
     let (db, analyst, _) = planted_db(30_000, 8);
     let run = |workers: usize| {
         let mut cfg = SeeDbConfig::basic().with_k(5);
-        cfg.optimizer.parallelism = workers;
+        cfg.execution = cfg.execution.with_workers(workers);
         SeeDb::new(db.clone(), cfg).recommend(&analyst).unwrap()
     };
     let seq = run(1);
@@ -114,6 +114,40 @@ fn parallelism_changes_latency_not_results() {
     // Identical DBMS work regardless of workers.
     assert_eq!(seq.cost.rows_scanned, par.cost.rows_scanned);
     assert_eq!(seq.cost.queries, par.cost.queries);
+}
+
+/// Intra-plan parallelism (PhasedParallel): worker count must be
+/// invisible in the outcome — identical utilities (to the bit), pruned
+/// sets, and per-phase survivor counts for workers ∈ {1, 4}.
+#[test]
+fn phased_parallel_workers_are_invisible_in_the_outcome() {
+    let (db, analyst, truth) = planted_db(50_000, 11);
+    let run = |workers: usize| {
+        let mut cfg = SeeDbConfig::recommended().with_k(4);
+        cfg.execution = seedb::core::ExecutionStrategy::phased().with_workers(workers);
+        SeeDb::new(db.clone(), cfg).recommend(&analyst).unwrap()
+    };
+    let seq = run(1);
+    let par = run(4);
+
+    assert_eq!(seq.all.len(), par.all.len());
+    for (a, b) in seq.all.iter().zip(&par.all) {
+        assert_eq!(a.spec, b.spec);
+        assert_eq!(a.utility.to_bits(), b.utility.to_bits());
+    }
+    assert_eq!(seq.early_pruned.len(), par.early_pruned.len());
+    for (a, b) in seq.early_pruned.iter().zip(&par.early_pruned) {
+        assert_eq!(a.spec, b.spec);
+        assert_eq!(a.at_phase, b.at_phase);
+        assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+    }
+    assert_eq!(seq.num_queries, par.num_queries, "one plan per phase");
+
+    // And the planted deviation still wins.
+    let dims = top_dims(&par.views, 2);
+    for t in &truth {
+        assert!(dims.contains(t), "phased top dims {dims:?} missing {t}");
+    }
 }
 
 #[test]
