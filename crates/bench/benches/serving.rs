@@ -1,0 +1,94 @@
+//! Serving-layer throughput: the shared partial-aggregate cache and the
+//! cross-request scan batcher under three regimes.
+//!
+//! * `serving/cold` — every request recomputes (cache cleared per
+//!   iteration): the single-shot `SeeDb::recommend` baseline plus cache
+//!   bookkeeping.
+//! * `serving/warm` — a repeated analyst query served entirely from the
+//!   cache (zero table scans); this is the steady-state cost of one
+//!   session in a hot serving loop.
+//! * `serving/concurrent_warm_x4` — four sessions issue the same query
+//!   simultaneously over a warm cache (lock-contention check; on a
+//!   multicore host this also shows cache reads scaling out).
+//! * `serving/concurrent_cold_x4` — four *distinct* analysts arrive
+//!   cold within one batch window: their plans merge into one shared
+//!   grouping-sets scan (~1 scan, not 4). Includes the window wait.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use memdb::Expr;
+use seedb_bench::workload;
+use seedb_core::{AnalystQuery, SeeDbConfig, Service, ServiceConfig};
+
+fn serving_config(window: Duration) -> ServiceConfig {
+    let mut seedb = SeeDbConfig::recommended().with_k(5);
+    // Access-frequency pruning consults workload history; keep every
+    // iteration's plan set identical so the bench measures the cache.
+    seedb.pruning.access_frequency = false;
+    ServiceConfig::recommended()
+        .with_seedb(seedb)
+        .with_batch_window(window)
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let w = workload(50_000, 6, 10, 2, 7);
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(10);
+
+    let service = Service::new(w.db.clone(), serving_config(Duration::ZERO));
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            service.clear_cache();
+            service.recommend(&w.analyst).expect("recommendation runs")
+        })
+    });
+
+    let service = Service::new(w.db.clone(), serving_config(Duration::ZERO));
+    service.recommend(&w.analyst).expect("warm-up run");
+    group.bench_function("warm", |b| {
+        b.iter(|| service.recommend(&w.analyst).expect("warm recommendation"))
+    });
+
+    let service = Service::new(w.db.clone(), serving_config(Duration::ZERO));
+    service.recommend(&w.analyst).expect("warm-up run");
+    group.bench_function("concurrent_warm_x4", |b| {
+        b.iter(|| {
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    let session = service.session();
+                    let analyst = &w.analyst;
+                    s.spawn(move || session.recommend(analyst).expect("warm recommendation"));
+                }
+            })
+        })
+    });
+
+    // Four distinct analyst subsets on the same table; a 2 ms window
+    // lets their cold misses merge into one shared scan.
+    let service = Service::new(w.db.clone(), serving_config(Duration::from_millis(2)));
+    let analysts: Vec<AnalystQuery> = (0..4)
+        .map(|i| {
+            AnalystQuery::new(
+                "synthetic",
+                Some(Expr::col("d0").eq(w.spec.dim_label(0, i).as_str())),
+            )
+        })
+        .collect();
+    group.bench_function("concurrent_cold_x4", |b| {
+        b.iter(|| {
+            service.clear_cache();
+            std::thread::scope(|s| {
+                for analyst in &analysts {
+                    let session = service.session();
+                    s.spawn(move || session.recommend(analyst).expect("cold recommendation"));
+                }
+            })
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

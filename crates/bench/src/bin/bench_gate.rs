@@ -1,0 +1,262 @@
+//! Bench regression gate: compare a fresh bench run against the
+//! committed baselines.
+//!
+//! ```sh
+//! SEEDB_BENCH_DIR=bench-out cargo bench -p seedb-bench
+//! cargo run -p seedb-bench --bin bench_gate                  # gate
+//! cargo run -p seedb-bench --bin bench_gate -- --bless       # rewrite baselines
+//! ```
+//!
+//! Reads every `BENCH_*.json` summary in the current-run directory
+//! (`--current`, default `$SEEDB_BENCH_DIR` or `bench-out`), compares
+//! each benchmark's **median** wall-time against the baseline of the
+//! same name in `--baseline` (default `benchmarks/baseline/` at the
+//! repository root), prints a per-bench delta table, and exits non-zero
+//! if any median regressed by more than the threshold (default 25%,
+//! `--threshold PCT` or `$BENCH_GATE_THRESHOLD` to override — CI
+//! runners are noisy, committed baselines come from dev machines).
+//!
+//! New benches (present in the run, absent from the baseline) fail the
+//! gate until blessed; benches that disappeared only warn.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Args {
+    bless: bool,
+    current: PathBuf,
+    baseline: PathBuf,
+    threshold: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let default_current = std::env::var("SEEDB_BENCH_DIR").unwrap_or_else(|_| "bench-out".into());
+    let default_baseline = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../benchmarks/baseline")
+        .to_path_buf();
+    let mut args = Args {
+        bless: false,
+        current: PathBuf::from(default_current),
+        baseline: default_baseline,
+        threshold: std::env::var("BENCH_GATE_THRESHOLD")
+            .ok()
+            .and_then(|t| t.parse().ok())
+            .unwrap_or(25.0),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match a.as_str() {
+            "--bless" => args.bless = true,
+            "--current" => args.current = PathBuf::from(value("--current")?),
+            "--baseline" => args.baseline = PathBuf::from(value("--baseline")?),
+            "--threshold" => {
+                args.threshold = value("--threshold")?
+                    .parse()
+                    .map_err(|e| format!("--threshold: {e}"))?
+            }
+            "--help" | "-h" => return Err(
+                "usage: bench_gate [--bless] [--current DIR] [--baseline DIR] [--threshold PCT]"
+                    .to_string(),
+            ),
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+/// `file stem -> benchmark name -> median_ns`, from every BENCH_*.json
+/// in `dir`. BTreeMaps keep the report ordering deterministic.
+fn load_medians(dir: &Path) -> Result<BTreeMap<String, BTreeMap<String, f64>>, String> {
+    let mut out = BTreeMap::new();
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        let name = match path.file_name().and_then(|n| n.to_str()) {
+            Some(n) if n.starts_with("BENCH_") && n.ends_with(".json") => n.to_string(),
+            _ => continue,
+        };
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let json = serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let mut medians = BTreeMap::new();
+        for item in json
+            .as_array()
+            .ok_or_else(|| format!("{name}: not a JSON array"))?
+        {
+            let bench = item
+                .get("name")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| format!("{name}: entry without a name"))?;
+            let median = item
+                .get("median_ns")
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("{name}/{bench}: no median_ns (re-run the benches)"))?;
+            medians.insert(bench.to_string(), median);
+        }
+        out.insert(name, medians);
+    }
+    if out.is_empty() {
+        return Err(format!(
+            "no BENCH_*.json files in {} (run: SEEDB_BENCH_DIR={} cargo bench -p seedb-bench)",
+            dir.display(),
+            dir.display()
+        ));
+    }
+    Ok(out)
+}
+
+fn bless(args: &Args) -> Result<(), String> {
+    std::fs::create_dir_all(&args.baseline)
+        .map_err(|e| format!("cannot create {}: {e}", args.baseline.display()))?;
+    let entries = std::fs::read_dir(&args.current)
+        .map_err(|e| format!("cannot read {}: {e}", args.current.display()))?;
+    let mut copied = 0;
+    for entry in entries {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        match path.file_name().and_then(|n| n.to_str()) {
+            Some(n) if n.starts_with("BENCH_") && n.ends_with(".json") => {
+                std::fs::copy(&path, args.baseline.join(n))
+                    .map_err(|e| format!("copy {}: {e}", path.display()))?;
+                copied += 1;
+            }
+            _ => {}
+        }
+    }
+    if copied == 0 {
+        return Err(format!("no BENCH_*.json in {}", args.current.display()));
+    }
+    println!(
+        "blessed {copied} baseline file(s) into {}",
+        args.baseline.display()
+    );
+    Ok(())
+}
+
+/// Report label for one bench: `<file stem>/<bench name>`, without
+/// repeating the stem when the bench's group already carries it.
+fn gate_label(file: &str, bench: &str) -> String {
+    let stem = file.trim_start_matches("BENCH_").trim_end_matches(".json");
+    if bench == stem || bench.starts_with(&format!("{stem}/")) {
+        bench.to_string()
+    } else {
+        format!("{stem}/{bench}")
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    let current = load_medians(&args.current)?;
+    let baseline = load_medians(&args.baseline).map_err(|e| {
+        format!("{e}\nhint: check in first baselines with `cargo run -p seedb-bench --bin bench_gate -- --bless`")
+    })?;
+
+    let mut failures = 0usize;
+    let mut warnings = 0usize;
+    println!(
+        "{:<44} {:>12} {:>12} {:>9}  status (threshold +{:.0}%)",
+        "benchmark", "baseline", "current", "delta", args.threshold
+    );
+    for (file, benches) in &current {
+        let base_file = baseline.get(file);
+        for (bench, &median) in benches {
+            let label = gate_label(file, bench);
+            match base_file.and_then(|b| b.get(bench)) {
+                None => {
+                    failures += 1;
+                    println!(
+                        "{label:<44} {:>12} {:>12} {:>9}  NEW — bless to accept",
+                        "-",
+                        fmt_ns(median),
+                        "-"
+                    );
+                }
+                Some(&base) if base <= 0.0 => {
+                    warnings += 1;
+                    println!(
+                        "{label:<44} {base:>12} {:>12} {:>9}  SKIP (zero baseline)",
+                        fmt_ns(median),
+                        "-"
+                    );
+                }
+                Some(&base) => {
+                    let delta = (median - base) / base * 100.0;
+                    let status = if delta > args.threshold {
+                        failures += 1;
+                        "FAIL"
+                    } else {
+                        "ok"
+                    };
+                    println!(
+                        "{label:<44} {:>12} {:>12} {:>+8.1}%  {status}",
+                        fmt_ns(base),
+                        fmt_ns(median),
+                        delta
+                    );
+                }
+            }
+        }
+    }
+    // Benches present in the baseline but absent from this run.
+    for (file, benches) in &baseline {
+        for bench in benches.keys() {
+            if current.get(file).map(|b| b.contains_key(bench)) != Some(true) {
+                warnings += 1;
+                let label = gate_label(file, bench);
+                println!(
+                    "{label:<44} {:>12} {:>12} {:>9}  GONE — bless to forget",
+                    "?", "-", "-"
+                );
+            }
+        }
+    }
+    if warnings > 0 {
+        println!("{warnings} warning(s)");
+    }
+    if failures > 0 {
+        println!(
+            "bench gate: {failures} failure(s) — medians regressed past +{:.0}% or need blessing",
+            args.threshold
+        );
+        Ok(false)
+    } else {
+        println!("bench gate: ok");
+        Ok(true)
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = if args.bless {
+        bless(&args).map(|()| true)
+    } else {
+        run(&args)
+    };
+    match outcome {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("bench_gate: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

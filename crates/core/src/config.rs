@@ -1,5 +1,7 @@
 //! Top-level SeeDB configuration.
 
+use std::time::Duration;
+
 use crate::distance::Metric;
 use crate::optimizer::OptimizerConfig;
 use crate::pruning::PruningConfig;
@@ -262,6 +264,65 @@ impl SeeDbConfig {
 impl Default for SeeDbConfig {
     fn default() -> Self {
         SeeDbConfig::recommended()
+    }
+}
+
+/// Configuration of the serving layer ([`crate::service::Service`]): a
+/// [`SeeDbConfig`] for the recommendation pipeline plus the knobs of the
+/// shared partial-aggregate cache and the cross-request scan batcher.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Recommendation pipeline configuration shared by every session.
+    pub seedb: SeeDbConfig,
+    /// Maximum cached partial-aggregate states (LRU eviction beyond
+    /// this; 0 disables caching entirely).
+    pub cache_capacity: usize,
+    /// How long the first cache-missing request on a table holds the
+    /// batch open so concurrent misses can join its shared scan.
+    /// `Duration::ZERO` disables cross-request batching (each miss
+    /// scans for itself, still deduplicated within one request).
+    pub batch_window: Duration,
+    /// Working-set cap for one batched shared scan: plans whose
+    /// combined grouping-set count would exceed this are bin-packed
+    /// into several scans (reusing [`crate::packing::pack`]).
+    pub max_batch_sets: usize,
+}
+
+impl ServiceConfig {
+    /// Serving defaults: recommended pipeline, 512 cached states, a
+    /// 2 ms batch window, 64 grouping sets per shared scan.
+    pub fn recommended() -> Self {
+        ServiceConfig {
+            seedb: SeeDbConfig::recommended(),
+            cache_capacity: 512,
+            batch_window: Duration::from_millis(2),
+            max_batch_sets: 64,
+        }
+    }
+
+    /// Builder: set the pipeline configuration.
+    pub fn with_seedb(mut self, seedb: SeeDbConfig) -> Self {
+        self.seedb = seedb;
+        self
+    }
+
+    /// Builder: set the cache capacity (entries; 0 disables caching).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Builder: set the batch window (`Duration::ZERO` disables
+    /// cross-request batching).
+    pub fn with_batch_window(mut self, window: Duration) -> Self {
+        self.batch_window = window;
+        self
+    }
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig::recommended()
     }
 }
 

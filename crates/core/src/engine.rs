@@ -12,7 +12,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use memdb::{run_batch, CostSnapshot, Database, DbError, DbResult, LogicalPlan};
+use memdb::{run_batch, CostSnapshot, Database, DbError, DbResult, LogicalPlan, PlanOutput};
 
 use crate::config::{ExecutionStrategy, SeeDbConfig};
 use crate::metadata::{AccessTracker, MetadataCollector};
@@ -137,6 +137,27 @@ impl SeeDb {
     /// collection failures. Individual view-query failures are captured
     /// in [`Recommendation::errors`].
     pub fn recommend(&self, analyst: &AnalystQuery) -> DbResult<Recommendation> {
+        self.recommend_via(analyst, |plans| {
+            run_batch(&self.db, plans, self.config.execution.workers()).outputs
+        })
+    }
+
+    /// [`SeeDb::recommend`] with a pluggable plan executor — the hook the
+    /// serving layer ([`crate::service::Service`]) uses to route the
+    /// batch strategies' planned queries through its shared
+    /// partial-aggregate cache. `execute` receives the planned
+    /// [`LogicalPlan`]s and must return one outcome per plan, in input
+    /// order, byte-identical to what [`memdb::run_batch`] would produce.
+    /// The phased strategies execute against the table directly and
+    /// never call `execute`.
+    pub(crate) fn recommend_via<F>(
+        &self,
+        analyst: &AnalystQuery,
+        execute: F,
+    ) -> DbResult<Recommendation>
+    where
+        F: FnOnce(&[LogicalPlan]) -> Vec<DbResult<PlanOutput>>,
+    {
         let table = self.db.table(&analyst.table)?;
         let cost_before = self.db.cost();
         let mut timings = PhaseTimings::default();
@@ -256,14 +277,14 @@ impl SeeDb {
         // Phase 4: execute.
         let t0 = Instant::now();
         let plans: Vec<LogicalPlan> = exec_plan.queries.iter().map(|q| q.plan.clone()).collect();
-        let batch = run_batch(&self.db, &plans, self.config.execution.workers());
+        let outputs = execute(&plans);
         timings.execution = t0.elapsed();
 
         // Phase 5: process (streaming over completed queries).
         let t0 = Instant::now();
         let mut processor = Processor::new(outcome.kept.clone(), self.config.metric);
         let mut errors = Vec::new();
-        for (i, (pq, out)) in exec_plan.queries.iter().zip(batch.outputs).enumerate() {
+        for (i, (pq, out)) in exec_plan.queries.iter().zip(outputs).enumerate() {
             match out {
                 Ok(output) => processor.consume(pq, &output)?,
                 Err(e) => errors.push((i, e)),
@@ -373,6 +394,19 @@ mod tests {
             assert!(w[0].utility >= w[1].utility);
         }
         assert!(rec.cost.queries > 0);
+    }
+
+    #[test]
+    fn recommend_sql_parse_errors_carry_token_position() {
+        let seedb = SeeDb::with_defaults(demo_db());
+        let err = seedb
+            .recommend_sql("SELECT * FROM sales WHEREE product = 'Laserwave'")
+            .unwrap_err();
+        assert!(matches!(err, DbError::Parse(_)));
+        let msg = err.to_string();
+        // The misspelled WHERE starts at byte 21; the error must point
+        // there instead of dropping the lexer position.
+        assert!(msg.contains("at position 21"), "{msg}");
     }
 
     #[test]

@@ -71,9 +71,10 @@ pub mod phased;
 pub mod processor;
 pub mod pruning;
 pub mod querygen;
+pub mod service;
 pub mod view;
 
-pub use config::{default_workers, ExecutionStrategy, SeeDbConfig};
+pub use config::{default_workers, ExecutionStrategy, SeeDbConfig, ServiceConfig};
 pub use distance::{distance, Metric};
 pub use distribution::{AlignedPair, Distribution};
 pub use engine::{PhaseTimings, Recommendation, SeeDb};
@@ -89,4 +90,5 @@ pub use phased::{
 pub use processor::{top_k, Processor, ViewResult};
 pub use pruning::{prune, PruneOutcome, PruneReason, PrunedView, PruningConfig};
 pub use querygen::{comparison_query, target_query, AnalystQuery, Side};
+pub use service::{CacheStats, Service, Session};
 pub use view::{enumerate_views, view_space_size, FunctionSet, ViewSpec};

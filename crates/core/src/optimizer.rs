@@ -157,7 +157,7 @@ pub struct Extract {
     /// Index into the candidate view list.
     pub view_index: usize,
     /// Which result set of the query output (0 for single queries; the
-    /// grouping-set index for [`SetsQuery`] outputs).
+    /// grouping-set index for [`memdb::SetsQuery`] outputs).
     pub result_index: usize,
     /// Target or comparison side.
     pub side: Side,

@@ -1,0 +1,1046 @@
+//! The serving layer: a long-lived, thread-safe recommendation service.
+//!
+//! [`SeeDb::recommend`] is a single-shot call — every request recomputes
+//! every view from scratch, and concurrent analysts exploring the same
+//! table redo identical scans. [`Service`] turns the engine into
+//! something that can sit behind traffic:
+//!
+//! * **Concurrent sessions.** A `Service` is cheaply cloneable and
+//!   `&self`-threadsafe; [`Service::session`] hands out [`Session`]
+//!   handles so many analysts can issue [`Session::recommend`] calls
+//!   over one shared [`memdb::Database`] simultaneously.
+//! * **Shared partial-aggregate cache.** Every planned shared-scan query
+//!   is keyed by a canonical fingerprint of its output-determining parts
+//!   — table, predicate, grouping set(s), measures, aggregates
+//!   ([`memdb::PhysicalPlan::fingerprint`]) — and its *unfinalized*
+//!   [`PartialAggState`] is cached under `(fingerprint, table version)`.
+//!   Overlapping view sets across requests hit the cache instead of the
+//!   scan: a warm repeat of an analyst query performs **zero** table
+//!   scans. Entries are LRU-evicted beyond
+//!   [`ServiceConfig::cache_capacity`] and invalidated by the
+//!   [`memdb::Table::version`] stamp — re-registering a table bumps the
+//!   version, so stale states are never served.
+//! * **Cross-request scan batching.** Cache misses that arrive within
+//!   [`ServiceConfig::batch_window`] of each other on the same table are
+//!   merged — grouping sets unioned, aggregates deduplicated by
+//!   (function, column, predicate) — into one shared-scan
+//!   [`memdb::LogicalPlan`], bin-packed under
+//!   [`ServiceConfig::max_batch_sets`] via the optimizer's packing
+//!   ([`crate::packing`]). N concurrent analysts on one table cost ~1
+//!   scan, not N; each plan's state is recovered bit-for-bit from the
+//!   combined scan by [`PartialAggState::project_for`].
+//!
+//! The correctness bar matches partitioned execution: a cached or
+//! batched recommendation is **byte-identical** to a cold sequential
+//! one (`tests/service.rs` holds it there under concurrency).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+use memdb::{
+    run_partitioned_partial, AggSpec, Database, DbError, DbResult, ExecStats, Expr, LogicalPlan,
+    PartialAggState, PhysicalPlan, PlanOutput, Table,
+};
+
+use crate::config::{SeeDbConfig, ServiceConfig};
+use crate::engine::{Recommendation, SeeDb};
+use crate::metadata::AccessTracker;
+use crate::querygen::AnalystQuery;
+
+/// Point-in-time cache/batch counters of a [`Service`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Plans served from the cache without a scan (exact-fingerprint
+    /// hits plus `projection_hits`).
+    pub hits: u64,
+    /// Subset of `hits` served by projecting a *covering* cached state
+    /// — an entry with the same scan source whose grouping sets and
+    /// aggregate states include everything the plan needs (e.g. plans
+    /// differing only in output aliases, or a sub-shape of a cached
+    /// merged superplan).
+    pub projection_hits: u64,
+    /// Plans that had to scan (includes invalidated entries).
+    pub misses: u64,
+    /// States inserted into the cache.
+    pub inserts: u64,
+    /// States evicted by the LRU policy.
+    pub evictions: u64,
+    /// Stale states dropped because the table version moved.
+    pub invalidations: u64,
+    /// Shared scans executed on behalf of batched misses.
+    pub batch_scans: u64,
+    /// Distinct plans served by those shared scans.
+    pub batched_plans: u64,
+    /// Sampled plans that bypassed the cache entirely.
+    pub bypasses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of cacheable plan executions served from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct StatCounters {
+    hits: AtomicU64,
+    projection_hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+    batch_scans: AtomicU64,
+    batched_plans: AtomicU64,
+    bypasses: AtomicU64,
+}
+
+impl StatCounters {
+    fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            projection_hits: self.projection_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            batch_scans: self.batch_scans.load(Ordering::Relaxed),
+            batched_plans: self.batched_plans.load(Ordering::Relaxed),
+            bypasses: self.bypasses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One cached execution: the *unfinalized* mergeable state — served to
+/// sub-shape plans via [`PartialAggState::project_for`]
+/// (`LruCache::lookup_covering`) — plus its finalized output, memoized
+/// once at insert so an exact hit costs one result copy instead of a
+/// state deep-clone and re-sort.
+#[derive(Debug, Clone)]
+struct CachedState {
+    partial: Arc<PartialAggState>,
+    output: Arc<PlanOutput>,
+}
+
+/// Outcome of a cache probe.
+enum Lookup {
+    /// Fresh state for the current table version.
+    Hit(CachedState),
+    /// An entry existed but its table version is stale; it was dropped.
+    Stale,
+    /// No entry.
+    Miss,
+}
+
+/// Fingerprint-keyed LRU cache of unfinalized partial-aggregate states.
+#[derive(Debug, Default)]
+struct LruCache {
+    capacity: usize,
+    /// Monotonic access clock; larger = more recently used.
+    tick: u64,
+    entries: HashMap<String, CacheEntry>,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    state: CachedState,
+    /// Scan-source identity ([`source_key`]) — projection may only
+    /// serve plans with the identical scan domain.
+    source: String,
+    /// [`Table::version`] the state was computed against.
+    version: u64,
+    last_used: u64,
+}
+
+impl LruCache {
+    fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            tick: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    fn lookup(&mut self, key: &str, version: u64) -> Lookup {
+        match self.entries.get_mut(key) {
+            None => Lookup::Miss,
+            Some(e) if e.version != version => {
+                self.entries.remove(key);
+                Lookup::Stale
+            }
+            Some(e) => {
+                self.tick += 1;
+                e.last_used = self.tick;
+                Lookup::Hit(e.state.clone())
+            }
+        }
+    }
+
+    /// Serve a cache miss from a *covering* entry: same scan source and
+    /// table version, with every grouping set and aggregate state `phys`
+    /// needs ([`PartialAggState::project_for`]). Covers plans whose
+    /// fingerprints differ only in output shape (aliases) and sub-shapes
+    /// of cached merged superplans. Any covering entry serves — all
+    /// projections are bit-identical to a standalone execution by the
+    /// plan-layer contract.
+    fn lookup_covering(
+        &mut self,
+        source: &str,
+        version: u64,
+        phys: &PhysicalPlan,
+    ) -> Option<PartialAggState> {
+        let (key, projected) = self.entries.iter().find_map(|(k, e)| {
+            if e.version != version || e.source != source {
+                return None;
+            }
+            e.state
+                .partial
+                .project_for(phys)
+                .ok()
+                .map(|p| (k.clone(), p))
+        })?;
+        self.tick += 1;
+        self.entries
+            .get_mut(&key)
+            .expect("entry found a moment ago")
+            .last_used = self.tick;
+        Some(projected)
+    }
+
+    /// Insert, evicting least-recently-used entries beyond capacity.
+    /// Returns the number of evictions.
+    fn insert(&mut self, key: String, source: String, version: u64, state: CachedState) -> u64 {
+        if self.capacity == 0 {
+            return 0;
+        }
+        self.tick += 1;
+        self.entries.insert(
+            key,
+            CacheEntry {
+                state,
+                source,
+                version,
+                last_used: self.tick,
+            },
+        );
+        let mut evicted = 0;
+        while self.entries.len() > self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty cache over capacity");
+            self.entries.remove(&victim);
+            evicted += 1;
+        }
+        evicted
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// One cache-missing plan registered with a batch.
+#[derive(Debug, Clone)]
+struct BatchPlan {
+    fingerprint: String,
+    phys: PhysicalPlan,
+}
+
+/// A per-table batch: the first miss opens it (leader), concurrent
+/// misses join while it is open, the leader closes it after the batch
+/// window, executes the merged scans, and publishes per-fingerprint
+/// results.
+#[derive(Debug, Default)]
+struct Batch {
+    state: Mutex<BatchState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct BatchState {
+    /// Still accepting joiners.
+    open: bool,
+    plans: Vec<BatchPlan>,
+    results: HashMap<String, DbResult<Arc<PlanOutput>>>,
+    done: bool,
+}
+
+impl Default for BatchState {
+    fn default() -> Self {
+        BatchState {
+            open: true,
+            plans: Vec::new(),
+            results: HashMap::new(),
+            done: false,
+        }
+    }
+}
+
+/// Lock a batch's state, recovering from poisoning: the state is plain
+/// flags and maps whose invariants hold at every await point, and a
+/// joiner must be able to observe `done` even after a panic elsewhere.
+fn lock_state(batch: &Batch) -> MutexGuard<'_, BatchState> {
+    batch.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Unwinding safety for batch joiners: if the leader panics while
+/// executing (e.g. a partition worker dies), this guard still closes
+/// the batch and publishes `done` from its `Drop`, so joiners fail with
+/// a clean error instead of waiting on the condvar forever.
+struct LeaderGuard<'a> {
+    batch: &'a Batch,
+    armed: bool,
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut st = lock_state(self.batch);
+            st.open = false;
+            st.done = true;
+            self.batch.cv.notify_all();
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Batcher {
+    /// (table name, table version) -> currently open batch. The version
+    /// is part of the key so a request holding a *newer* registration
+    /// of a table never joins a batch whose leader is scanning the old
+    /// one — batch-mates always merge, scan, and finalize against the
+    /// same registration.
+    pending: Mutex<HashMap<(String, u64), Arc<Batch>>>,
+}
+
+impl Batcher {
+    /// Register `misses` for `table` with the open batch (joining it)
+    /// or a new one (becoming its leader). Blocks until results for all
+    /// registered fingerprints are published.
+    fn submit(
+        &self,
+        inner: &ServiceInner,
+        table: &Arc<Table>,
+        misses: &[BatchPlan],
+    ) -> HashMap<String, DbResult<Arc<PlanOutput>>> {
+        let register = |state: &mut BatchState| {
+            for m in misses {
+                if !state.plans.iter().any(|p| p.fingerprint == m.fingerprint) {
+                    state.plans.push(m.clone());
+                }
+            }
+        };
+        let key = (table.name().to_string(), table.version());
+        let (batch, leader) = {
+            let mut pending = self.pending.lock().expect("batcher lock poisoned");
+            let joined = pending.get(&key).and_then(|b| {
+                // Joining and closing both hold the batch's state lock,
+                // so a join observed open is guaranteed execution.
+                let mut st = lock_state(b);
+                if st.open {
+                    register(&mut st);
+                    Some(b.clone())
+                } else {
+                    None
+                }
+            });
+            match joined {
+                Some(b) => (b, false),
+                None => {
+                    let b = Arc::new(Batch::default());
+                    register(&mut lock_state(&b));
+                    pending.insert(key.clone(), b.clone());
+                    (b, true)
+                }
+            }
+        };
+
+        if leader {
+            if !inner.config.batch_window.is_zero() {
+                std::thread::sleep(inner.config.batch_window);
+            }
+            // Stop routing new joiners here, then close the batch.
+            {
+                let mut pending = self.pending.lock().expect("batcher lock poisoned");
+                if let Some(b) = pending.get(&key) {
+                    if Arc::ptr_eq(b, &batch) {
+                        pending.remove(&key);
+                    }
+                }
+            }
+            // From here to publication, an unwind must still release
+            // the joiners (they would otherwise wait forever).
+            let mut guard = LeaderGuard {
+                batch: &batch,
+                armed: true,
+            };
+            let plans = {
+                let mut st = lock_state(&batch);
+                st.open = false;
+                st.plans.clone()
+            };
+            let results = inner.execute_batch(table, &plans);
+            {
+                let mut st = lock_state(&batch);
+                st.results = results;
+                st.done = true;
+            }
+            guard.armed = false;
+            batch.cv.notify_all();
+        }
+
+        let st = lock_state(&batch);
+        let st = batch
+            .cv
+            .wait_while(st, |s| !s.done)
+            .unwrap_or_else(PoisonError::into_inner);
+        misses
+            .iter()
+            .map(|m| {
+                (
+                    m.fingerprint.clone(),
+                    st.results.get(&m.fingerprint).cloned().unwrap_or_else(|| {
+                        Err(DbError::Internal(
+                            "batch leader failed before publishing results".to_string(),
+                        ))
+                    }),
+                )
+            })
+            .collect()
+    }
+}
+
+#[derive(Debug)]
+struct ServiceInner {
+    engine: SeeDb,
+    config: ServiceConfig,
+    cache: Mutex<LruCache>,
+    batcher: Batcher,
+    stats: StatCounters,
+    next_session: AtomicU64,
+}
+
+/// A long-lived, thread-safe recommendation service over one shared
+/// database. See the [module docs](self) for the architecture; clone
+/// handles freely (`Arc` inside) and call [`Service::recommend`] from as
+/// many threads as you like.
+#[derive(Debug, Clone)]
+pub struct Service {
+    inner: Arc<ServiceInner>,
+}
+
+impl Service {
+    /// Wrap `db` with the given serving configuration.
+    pub fn new(db: Arc<Database>, config: ServiceConfig) -> Self {
+        let cache = Mutex::new(LruCache::new(config.cache_capacity));
+        Service {
+            inner: Arc::new(ServiceInner {
+                engine: SeeDb::new(db, config.seedb.clone()),
+                config,
+                cache,
+                batcher: Batcher::default(),
+                stats: StatCounters::default(),
+                next_session: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// Wrap `db` with [`ServiceConfig::recommended`].
+    pub fn with_defaults(db: Arc<Database>) -> Self {
+        Service::new(db, ServiceConfig::recommended())
+    }
+
+    /// The wrapped database.
+    pub fn database(&self) -> &Arc<Database> {
+        self.inner.engine.database()
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.inner.config
+    }
+
+    /// The pipeline configuration shared by every session.
+    pub fn seedb_config(&self) -> &SeeDbConfig {
+        &self.inner.config.seedb
+    }
+
+    /// The workload access tracker shared by every session.
+    pub fn tracker(&self) -> &AccessTracker {
+        self.inner.engine.tracker()
+    }
+
+    /// Open a new analyst session. Sessions are cheap handles sharing
+    /// this service's engine, cache, and batcher.
+    pub fn session(&self) -> Session {
+        Session {
+            service: self.clone(),
+            id: self.inner.next_session.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// Recommend views for an analyst query, serving repeated work from
+    /// the shared cache and batching concurrent cache misses.
+    ///
+    /// Byte-identical to [`SeeDb::recommend`] under the same
+    /// configuration, for every cache/batch state. The phased execution
+    /// strategies bypass the cache (they scan the table in slices and
+    /// prune mid-flight); the batch strategies are the serving path.
+    ///
+    /// # Errors
+    /// Same as [`SeeDb::recommend`].
+    pub fn recommend(&self, analyst: &AnalystQuery) -> DbResult<Recommendation> {
+        let inner = &self.inner;
+        inner
+            .engine
+            .recommend_via(analyst, |plans| inner.execute_plans(plans))
+    }
+
+    /// Recommend views for an analyst query given as SQL.
+    ///
+    /// # Errors
+    /// Parse errors (with token positions) plus everything
+    /// [`Service::recommend`] can return.
+    pub fn recommend_sql(&self, sql: &str) -> DbResult<Recommendation> {
+        let analyst = AnalystQuery::from_sql(sql)?;
+        self.recommend(&analyst)
+    }
+
+    /// Snapshot the cache/batch counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.stats.snapshot()
+    }
+
+    /// Number of states currently cached.
+    pub fn cache_len(&self) -> usize {
+        self.inner.cache.lock().expect("cache lock poisoned").len()
+    }
+
+    /// Drop every cached state (counters are kept).
+    pub fn clear_cache(&self) {
+        self.inner
+            .cache
+            .lock()
+            .expect("cache lock poisoned")
+            .clear();
+    }
+}
+
+/// One analyst's handle on a [`Service`]. Sessions exist so the demo
+/// and tests can tell concurrent request streams apart; all heavy state
+/// (cache, batcher, workload tracker) is shared through the service.
+#[derive(Debug, Clone)]
+pub struct Session {
+    service: Service,
+    id: u64,
+}
+
+impl Session {
+    /// This session's id (unique within its service).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The service this session belongs to.
+    pub fn service(&self) -> &Service {
+        &self.service
+    }
+
+    /// Recommend views for an analyst query (see [`Service::recommend`]).
+    ///
+    /// # Errors
+    /// Same as [`Service::recommend`].
+    pub fn recommend(&self, analyst: &AnalystQuery) -> DbResult<Recommendation> {
+        self.service.recommend(analyst)
+    }
+
+    /// Recommend views for a SQL analyst query.
+    ///
+    /// # Errors
+    /// Same as [`Service::recommend_sql`].
+    pub fn recommend_sql(&self, sql: &str) -> DbResult<Recommendation> {
+        self.service.recommend_sql(sql)
+    }
+}
+
+/// The scan-source identity of a physical plan: plans may merge into one
+/// shared scan iff these match (same scan domain, same row order).
+fn source_key(phys: &PhysicalPlan) -> String {
+    let (filter, row_range) = match phys {
+        PhysicalPlan::Aggregate { query, row_range } => (&query.filter, row_range),
+        PhysicalPlan::GroupingSets { query, row_range } => (&query.filter, row_range),
+    };
+    // The table name is included for clarity even though version stamps
+    // are already globally unique per registration (the cache's version
+    // check alone rules cross-table reuse out).
+    format!(
+        "{}|{:?}|{}",
+        phys.table(),
+        row_range,
+        filter.as_ref().map(Expr::to_sql).unwrap_or_default()
+    )
+}
+
+/// The source parts a combined plan must reproduce.
+fn source_parts(phys: &PhysicalPlan) -> (Option<Expr>, Option<(usize, usize)>) {
+    match phys {
+        PhysicalPlan::Aggregate { query, row_range } => (query.filter.clone(), *row_range),
+        PhysicalPlan::GroupingSets { query, row_range } => (query.filter.clone(), *row_range),
+    }
+}
+
+/// Grouping set(s) and aggregates of a physical plan.
+fn shape_parts(phys: &PhysicalPlan) -> (Vec<Vec<String>>, &[AggSpec]) {
+    match phys {
+        PhysicalPlan::Aggregate { query, .. } => (vec![query.group_by.clone()], &query.aggregates),
+        PhysicalPlan::GroupingSets { query, .. } => (query.sets.clone(), &query.aggregates),
+    }
+}
+
+/// The one scan these partitions jointly performed, for cost recording.
+fn scan_stats(partial: &PartialAggState) -> ExecStats {
+    let mut stats = *partial.stats();
+    stats.table_scans = 1;
+    stats
+}
+
+impl ServiceInner {
+    fn workers(&self) -> usize {
+        self.config.seedb.execution.workers()
+    }
+
+    /// The cache/batch-aware executor handed to the engine: one outcome
+    /// per plan, in input order, byte-identical to a cold
+    /// [`memdb::run_batch`].
+    fn execute_plans(&self, plans: &[LogicalPlan]) -> Vec<DbResult<PlanOutput>> {
+        let mut out: Vec<Option<DbResult<PlanOutput>>> = Vec::with_capacity(plans.len());
+        out.resize_with(plans.len(), || None);
+
+        struct Miss {
+            index: usize,
+            plan: BatchPlan,
+        }
+        // All plans of one request target one table, but group by
+        // (name, version) anyway so the executor stays correct for
+        // arbitrary plan sets — and so plans that straddle a concurrent
+        // re-registration never share one table snapshot.
+        let mut misses: HashMap<(String, u64), (Arc<Table>, Vec<Miss>)> = HashMap::new();
+
+        for (i, plan) in plans.iter().enumerate() {
+            let phys = match plan.lower() {
+                Ok(p) => p,
+                Err(e) => {
+                    out[i] = Some(Err(e));
+                    continue;
+                }
+            };
+            // Sampled plans are not cacheable (per-partition samples do
+            // not compose, and a cached sample would hide resampling).
+            if phys.is_sampled() {
+                StatCounters::add(&self.stats.bypasses, 1);
+                out[i] = Some(self.engine.database().run_physical(&phys));
+                continue;
+            }
+            let table = match self.engine.database().table(phys.table()) {
+                Ok(t) => t,
+                Err(e) => {
+                    out[i] = Some(Err(e));
+                    continue;
+                }
+            };
+            let fingerprint = phys.fingerprint();
+            let lookup = self
+                .cache
+                .lock()
+                .expect("cache lock poisoned")
+                .lookup(&fingerprint, table.version());
+            match lookup {
+                Lookup::Hit(state) => {
+                    StatCounters::add(&self.stats.hits, 1);
+                    out[i] = Some(Ok((*state.output).clone()));
+                }
+                hit_or_stale => {
+                    if matches!(hit_or_stale, Lookup::Stale) {
+                        StatCounters::add(&self.stats.invalidations, 1);
+                    }
+                    // Second chance before scanning: a covering cached
+                    // state (same source, superset shape) serves this
+                    // plan by projection — still zero scans. Cache the
+                    // projected state under this plan's own fingerprint
+                    // so the next probe is an exact hit.
+                    let projected = self
+                        .cache
+                        .lock()
+                        .expect("cache lock poisoned")
+                        .lookup_covering(&source_key(&phys), table.version(), &phys);
+                    if let Some(projected) = projected {
+                        StatCounters::add(&self.stats.hits, 1);
+                        StatCounters::add(&self.stats.projection_hits, 1);
+                        out[i] = Some(
+                            self.finalize_and_cache(
+                                &fingerprint,
+                                source_key(&phys),
+                                &table,
+                                Arc::new(projected),
+                            )
+                            .map(|output| (*output).clone()),
+                        );
+                        continue;
+                    }
+                    StatCounters::add(&self.stats.misses, 1);
+                    misses
+                        .entry((phys.table().to_string(), table.version()))
+                        .or_insert_with(|| (table, Vec::new()))
+                        .1
+                        .push(Miss {
+                            index: i,
+                            plan: BatchPlan { fingerprint, phys },
+                        });
+                }
+            }
+        }
+
+        for (_, (table, table_misses)) in misses {
+            let registered: Vec<BatchPlan> = {
+                let mut seen: Vec<&str> = Vec::new();
+                table_misses
+                    .iter()
+                    .filter(|m| {
+                        if seen.contains(&m.plan.fingerprint.as_str()) {
+                            false
+                        } else {
+                            seen.push(&m.plan.fingerprint);
+                            true
+                        }
+                    })
+                    .map(|m| m.plan.clone())
+                    .collect()
+            };
+            let results = self.batcher.submit(self, &table, &registered);
+            for m in table_misses {
+                let result = results
+                    .get(&m.plan.fingerprint)
+                    .cloned()
+                    .expect("submitted plan has a result");
+                out[m.index] = Some(result.map(|output| (*output).clone()));
+            }
+        }
+
+        out.into_iter()
+            .map(|o| o.expect("every plan slot filled"))
+            .collect()
+    }
+
+    /// Leader-side execution of one closed batch: merge compatible plans
+    /// into shared scans, execute each scan once (row-partitioned across
+    /// the configured workers), project per-plan states out, and cache
+    /// them.
+    fn execute_batch(
+        &self,
+        table: &Arc<Table>,
+        plans: &[BatchPlan],
+    ) -> HashMap<String, DbResult<Arc<PlanOutput>>> {
+        let mut results = HashMap::new();
+
+        // Group plans by scan-source identity; only same-source plans
+        // share a scan domain and may merge.
+        let mut groups: Vec<(String, Vec<&BatchPlan>)> = Vec::new();
+        for plan in plans {
+            let key = source_key(&plan.phys);
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, members)) => members.push(plan),
+                None => groups.push((key, vec![plan])),
+            }
+        }
+
+        for (_, members) in groups {
+            // Bin-pack members under the working-set cap, weighting each
+            // plan by its grouping-set count (its share of resident
+            // group state in the combined scan).
+            let weights: Vec<u64> = members
+                .iter()
+                .map(|m| shape_parts(&m.phys).0.len().max(1) as u64)
+                .collect();
+            let bins = crate::packing::pack(&weights, self.config.max_batch_sets.max(1) as u64);
+            for bin in bins {
+                let batch: Vec<&BatchPlan> = bin.iter().map(|&i| members[i]).collect();
+                self.execute_merged(table, &batch, &mut results);
+            }
+        }
+
+        results
+    }
+
+    /// Execute one merged shared scan for `batch` and project every
+    /// member's state out of it. Falls back to per-member execution if
+    /// the merged scan (or a projection) fails, so a poisoned batch-mate
+    /// cannot fail an innocent plan.
+    fn execute_merged(
+        &self,
+        table: &Arc<Table>,
+        batch: &[&BatchPlan],
+        results: &mut HashMap<String, DbResult<Arc<PlanOutput>>>,
+    ) {
+        if batch.len() == 1 {
+            let plan = batch[0];
+            results.insert(
+                plan.fingerprint.clone(),
+                self.execute_single(table, &plan.phys),
+            );
+            return;
+        }
+
+        // Union the grouping sets and deduplicate the aggregates by
+        // [`AggSpec::state_key`] — the same identity
+        // `PartialAggState::project_for` matches by, so every member's
+        // aggregates are guaranteed recoverable from the merged state
+        // (aliases only label output columns; projection restores each
+        // member's own).
+        let (filter, row_range) = source_parts(&batch[0].phys);
+        let mut sets: Vec<Vec<String>> = Vec::new();
+        let mut aggs: Vec<AggSpec> = Vec::new();
+        for member in batch {
+            let (member_sets, member_aggs) = shape_parts(&member.phys);
+            for s in member_sets {
+                if !sets.contains(&s) {
+                    sets.push(s);
+                }
+            }
+            for a in member_aggs {
+                if !aggs.iter().any(|b| b.state_key() == a.state_key()) {
+                    aggs.push(a.clone());
+                }
+            }
+        }
+        let mut source = LogicalPlan::scan(table.name());
+        if let Some(f) = filter {
+            source = source.filter(f);
+        }
+        let mut merged = source.grouping_sets(sets, aggs);
+        if let Some((lo, hi)) = row_range {
+            merged = merged.sliced(lo, hi);
+        }
+
+        let combined = merged
+            .lower()
+            .and_then(|phys| run_partitioned_partial(table, &phys, self.workers()));
+        let combined = match combined {
+            Ok(c) => c,
+            Err(_) => {
+                // A merged-scan failure (e.g. one member aggregates a
+                // bad column) must not take down its batch-mates.
+                for member in batch {
+                    results.insert(
+                        member.fingerprint.clone(),
+                        self.execute_single(table, &member.phys),
+                    );
+                }
+                return;
+            }
+        };
+        self.engine.database().record_stats(&scan_stats(&combined));
+        StatCounters::add(&self.stats.batch_scans, 1);
+        StatCounters::add(&self.stats.batched_plans, batch.len() as u64);
+
+        for member in batch {
+            let entry = match combined.project_for(&member.phys) {
+                Ok(projected) => self.finalize_and_cache(
+                    &member.fingerprint,
+                    source_key(&member.phys),
+                    table,
+                    Arc::new(projected),
+                ),
+                // Projection cannot fail for states built from the
+                // member union, but never serve a wrong answer if it
+                // does — recompute standalone.
+                Err(_) => self.execute_single(table, &member.phys),
+            };
+            results.insert(member.fingerprint.clone(), entry);
+        }
+    }
+
+    /// Execute one plan standalone (row-partitioned), record its cost,
+    /// and cache its state.
+    fn execute_single(&self, table: &Arc<Table>, phys: &PhysicalPlan) -> DbResult<Arc<PlanOutput>> {
+        let partial = run_partitioned_partial(table, phys, self.workers())?;
+        self.engine.database().record_stats(&scan_stats(&partial));
+        self.finalize_and_cache(
+            &phys.fingerprint(),
+            source_key(phys),
+            table,
+            Arc::new(partial),
+        )
+    }
+
+    /// Finalize one executed state — the output every requester of this
+    /// plan is handed — and cache `(unfinalized state, output memo)`
+    /// under `(fingerprint, table version)`, so exact hits serve a
+    /// result copy and covering projections reuse the state.
+    fn finalize_and_cache(
+        &self,
+        fingerprint: &str,
+        source: String,
+        table: &Table,
+        partial: Arc<PartialAggState>,
+    ) -> DbResult<Arc<PlanOutput>> {
+        let output = Arc::new((*partial).clone().finalize(table)?);
+        if self.config.cache_capacity > 0 {
+            let evicted = self.cache.lock().expect("cache lock poisoned").insert(
+                fingerprint.to_string(),
+                source,
+                table.version(),
+                CachedState {
+                    partial,
+                    output: output.clone(),
+                },
+            );
+            StatCounters::add(&self.stats.inserts, 1);
+            StatCounters::add(&self.stats.evictions, evicted);
+        }
+        Ok(output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memdb::{AggFunc, ColumnDef, DataType, Schema, Value};
+
+    fn state_for(db: &Database, group_by: &str) -> CachedState {
+        let table = db.table("t").unwrap();
+        let phys = LogicalPlan::scan("t")
+            .aggregate(vec![group_by.into()], vec![AggSpec::new(AggFunc::Sum, "m")])
+            .lower()
+            .unwrap();
+        let partial = phys.execute_partial(&table, (0, table.num_rows())).unwrap();
+        let output = partial.clone().finalize(&table).unwrap();
+        CachedState {
+            partial: Arc::new(partial),
+            output: Arc::new(output),
+        }
+    }
+
+    fn tiny_db() -> Database {
+        let schema = Schema::new(vec![
+            ColumnDef::dimension("d", DataType::Str),
+            ColumnDef::dimension("e", DataType::Str),
+            ColumnDef::measure("m", DataType::Float64),
+        ])
+        .unwrap();
+        let mut t = memdb::Table::new("t", schema);
+        for i in 0..10 {
+            t.push_row(vec![
+                Value::from(format!("d{}", i % 3)),
+                Value::from(format!("e{}", i % 2)),
+                Value::Float(i as f64),
+            ])
+            .unwrap();
+        }
+        let db = Database::new();
+        db.register(t);
+        db
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let db = tiny_db();
+        let s = state_for(&db, "d");
+        let mut cache = LruCache::new(2);
+        assert_eq!(cache.insert("a".into(), "src".into(), 1, s.clone()), 0);
+        assert_eq!(cache.insert("b".into(), "src".into(), 1, s.clone()), 0);
+        // Touch "a" so "b" is the LRU victim.
+        assert!(matches!(cache.lookup("a", 1), Lookup::Hit(_)));
+        assert_eq!(cache.insert("c".into(), "src".into(), 1, s.clone()), 1);
+        assert!(matches!(cache.lookup("b", 1), Lookup::Miss));
+        assert!(matches!(cache.lookup("a", 1), Lookup::Hit(_)));
+        assert!(matches!(cache.lookup("c", 1), Lookup::Hit(_)));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn lru_capacity_zero_caches_nothing() {
+        let db = tiny_db();
+        let s = state_for(&db, "d");
+        let mut cache = LruCache::new(0);
+        assert_eq!(cache.insert("a".into(), "src".into(), 1, s), 0);
+        assert!(matches!(cache.lookup("a", 1), Lookup::Miss));
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn stale_versions_are_dropped_not_served() {
+        let db = tiny_db();
+        let s = state_for(&db, "d");
+        let mut cache = LruCache::new(4);
+        cache.insert("a".into(), "src".into(), 1, s);
+        assert!(matches!(cache.lookup("a", 2), Lookup::Stale));
+        // The stale entry is gone: a second probe is a plain miss.
+        assert!(matches!(cache.lookup("a", 2), Lookup::Miss));
+        assert_eq!(cache.len(), 0);
+    }
+
+    /// If the leader unwinds mid-execution, its guard must still close
+    /// and publish the batch so joiners error out instead of blocking
+    /// on the condvar forever.
+    #[test]
+    fn leader_guard_releases_joiners_on_unwind() {
+        let batch = Batch::default();
+        assert!(lock_state(&batch).open);
+        {
+            let _guard = LeaderGuard {
+                batch: &batch,
+                armed: true,
+            };
+            // Dropped while armed — exactly what an unwind does.
+        }
+        let st = lock_state(&batch);
+        assert!(st.done, "joiners must be released");
+        assert!(!st.open, "no new joiners after the failure");
+        // With no published results, joiners map their fingerprints to
+        // the leader-failed error (see `Batcher::submit`).
+        assert!(st.results.is_empty());
+    }
+
+    #[test]
+    fn source_keys_separate_incompatible_scans() {
+        let plain = LogicalPlan::scan("t")
+            .aggregate(vec!["d".into()], vec![AggSpec::new(AggFunc::Sum, "m")])
+            .lower()
+            .unwrap();
+        let filtered = LogicalPlan::scan("t")
+            .filter(Expr::col("e").eq("e0"))
+            .aggregate(vec!["d".into()], vec![AggSpec::new(AggFunc::Sum, "m")])
+            .lower()
+            .unwrap();
+        let sliced = LogicalPlan::scan("t")
+            .aggregate(vec!["d".into()], vec![AggSpec::new(AggFunc::Sum, "m")])
+            .sliced(0, 5)
+            .lower()
+            .unwrap();
+        assert_ne!(source_key(&plain), source_key(&filtered));
+        assert_ne!(source_key(&plain), source_key(&sliced));
+        // Same source, different shape: mergeable.
+        let other_group = LogicalPlan::scan("t")
+            .aggregate(vec!["e".into()], vec![AggSpec::count_star()])
+            .lower()
+            .unwrap();
+        assert_eq!(source_key(&plain), source_key(&other_group));
+    }
+}

@@ -1,6 +1,7 @@
 //! The database catalog: named tables plus cost accounting.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use std::sync::RwLock;
@@ -20,6 +21,10 @@ use crate::table::Table;
 pub struct Database {
     tables: RwLock<HashMap<String, Arc<Table>>>,
     counters: CostCounters,
+    /// Monotonic catalog version, bumped on every register/drop. Each
+    /// registration stamps the table with the post-bump value
+    /// ([`Table::version`]), so caches can detect replaced tables.
+    version: AtomicU64,
 }
 
 impl Database {
@@ -28,14 +33,24 @@ impl Database {
         Database::default()
     }
 
-    /// Register (or replace) a table under its own name.
-    pub fn register(&self, table: Table) -> Arc<Table> {
+    /// Register (or replace) a table under its own name. The table is
+    /// stamped with a fresh catalog version ([`Table::version`]).
+    pub fn register(&self, mut table: Table) -> Arc<Table> {
+        table.set_version(self.version.fetch_add(1, Ordering::Relaxed) + 1);
         let arc = Arc::new(table);
         self.tables
             .write()
             .expect("catalog lock poisoned")
             .insert(arc.name().to_string(), arc.clone());
         arc
+    }
+
+    /// Current catalog version: increases whenever any table is
+    /// registered, replaced, or dropped. A cheap "did anything change?"
+    /// check for result caches; per-table staleness is detected via
+    /// [`Table::version`].
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Relaxed)
     }
 
     /// Look up a table.
@@ -66,11 +81,16 @@ impl Database {
 
     /// Remove a table. Returns whether it existed.
     pub fn drop_table(&self, name: &str) -> bool {
-        self.tables
+        let existed = self
+            .tables
             .write()
             .expect("catalog lock poisoned")
             .remove(name)
-            .is_some()
+            .is_some();
+        if existed {
+            self.version.fetch_add(1, Ordering::Relaxed);
+        }
+        existed
     }
 
     /// Execute a single-grouping [`Query`], recording its cost.
@@ -124,9 +144,10 @@ impl Database {
         self.run(&q)
     }
 
-    /// Record externally executed work (partitioned execution merges
-    /// stats itself before reporting them once).
-    pub(crate) fn record_stats(&self, stats: &crate::exec::ExecStats) {
+    /// Record externally executed work as one query (partitioned
+    /// execution and serving-layer batch scans merge stats themselves
+    /// before reporting them once).
+    pub fn record_stats(&self, stats: &crate::exec::ExecStats) {
         self.counters.record(stats);
     }
 
@@ -215,6 +236,35 @@ mod tests {
         let t = Table::new("sales", schema); // empty replacement
         db.register(t);
         assert_eq!(db.table("sales").unwrap().num_rows(), 0);
+    }
+
+    #[test]
+    fn versions_bump_on_register_and_drop() {
+        let db = db_with_sales();
+        let v1 = db.table("sales").unwrap().version();
+        assert!(v1 > 0, "registered tables carry a version");
+        assert_eq!(db.version(), v1);
+
+        // Replacing under the same name assigns a strictly newer version.
+        let schema = Schema::new(vec![
+            ColumnDef::dimension("store", DataType::Str),
+            ColumnDef::measure("amount", DataType::Float64),
+        ])
+        .unwrap();
+        db.register(Table::new("sales", schema.clone()));
+        let v2 = db.table("sales").unwrap().version();
+        assert!(v2 > v1);
+        assert_eq!(db.version(), v2);
+
+        // Drops bump the catalog version too; missing drops do not.
+        assert!(db.drop_table("sales"));
+        assert!(db.version() > v2);
+        let after = db.version();
+        assert!(!db.drop_table("sales"));
+        assert_eq!(db.version(), after);
+
+        // Unregistered tables are version 0.
+        assert_eq!(Table::new("loose", schema).version(), 0);
     }
 
     #[test]

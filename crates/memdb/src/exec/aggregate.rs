@@ -220,7 +220,7 @@ fn key_part(table: &Table, col: usize, row: usize) -> KeyPart {
 /// payload of a partial (unfinalized) execution: two `SetAcc`s built
 /// over disjoint row ranges of the same table merge via
 /// [`SetAcc::merge`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct SetAcc {
     cols: Vec<usize>,
     /// Group key -> dense group index.
@@ -335,6 +335,30 @@ impl SetAcc {
             if row < self.rep_rows[sg] as usize {
                 self.rep_rows[sg] = row as u32;
             }
+        }
+    }
+
+    /// A copy of this accumulator keeping only the aggregates at
+    /// `agg_indices` (in the given order). Group structure — keys,
+    /// discovery order, representative rows — is aggregate-independent,
+    /// so the projection is exactly the accumulator a scan computing
+    /// only those aggregates over the same row domain would have built.
+    pub(crate) fn project_aggs(&self, agg_indices: &[usize]) -> SetAcc {
+        let mut states = Vec::with_capacity(self.rep_rows.len() * agg_indices.len());
+        for g in 0..self.rep_rows.len() {
+            let base = g * self.num_aggs;
+            for &a in agg_indices {
+                states.push(self.states[base + a]);
+            }
+        }
+        SetAcc {
+            cols: self.cols.clone(),
+            index: self.index.clone(),
+            fast_dict: self.fast_dict,
+            fast_slots: self.fast_slots.clone(),
+            rep_rows: self.rep_rows.clone(),
+            states,
+            num_aggs: agg_indices.len(),
         }
     }
 

@@ -80,6 +80,21 @@ impl AggSpec {
             None => format!("{}(*)", self.func.sql()),
         }
     }
+
+    /// Identity of the *accumulated state* this aggregate produces:
+    /// (function, input column, per-aggregate predicate). Two specs with
+    /// equal state keys accumulate bit-identical [`AggState`]s over the
+    /// same scan — the alias only labels the output column. This is the
+    /// key the serving layer dedupes merged-scan aggregates by and that
+    /// [`crate::PartialAggState::project_for`] matches against; both
+    /// must agree, so it lives here.
+    pub fn state_key(&self) -> (AggFunc, Option<&str>, Option<String>) {
+        (
+            self.func,
+            self.column.as_deref(),
+            self.filter.as_ref().map(Expr::to_sql),
+        )
+    }
 }
 
 /// A single-grouping query over one table.

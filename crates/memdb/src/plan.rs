@@ -314,6 +314,88 @@ impl PhysicalPlan {
         }
     }
 
+    /// A canonical fingerprint of everything that determines this plan's
+    /// output: table, scan predicate, sampling, row slice, grouping
+    /// set(s), and every aggregate (function, column, alias, and
+    /// per-aggregate predicate). Two plans with equal fingerprints
+    /// produce byte-identical [`PlanOutput`]s against the same table
+    /// version — the cache key of the serving layer. Free-text fields
+    /// (SQL renderings, names) are length-prefixed so no crafted
+    /// identifier can collide across field boundaries.
+    pub fn fingerprint(&self) -> String {
+        let mut out = String::new();
+        let push = |out: &mut String, tag: &str, s: &str| {
+            out.push_str(tag);
+            out.push(':');
+            out.push_str(&s.len().to_string());
+            out.push(':');
+            out.push_str(s);
+            out.push('\n');
+        };
+        let (table, filter, sample, sets, aggs, row_range, shape) = match self {
+            PhysicalPlan::Aggregate { query, row_range } => (
+                &query.table,
+                &query.filter,
+                &query.sample,
+                vec![query.group_by.clone()],
+                &query.aggregates,
+                row_range,
+                "agg",
+            ),
+            PhysicalPlan::GroupingSets { query, row_range } => (
+                &query.table,
+                &query.filter,
+                &query.sample,
+                query.sets.clone(),
+                &query.aggregates,
+                row_range,
+                "sets",
+            ),
+        };
+        push(&mut out, "shape", shape);
+        push(&mut out, "table", table);
+        push(
+            &mut out,
+            "range",
+            &match row_range {
+                None => "none".to_string(),
+                Some((lo, hi)) => format!("{lo},{hi}"),
+            },
+        );
+        push(
+            &mut out,
+            "sample",
+            &match sample {
+                None => "none".to_string(),
+                Some(s) => format!("{s:?}"),
+            },
+        );
+        push(
+            &mut out,
+            "filter",
+            &filter.as_ref().map(Expr::to_sql).unwrap_or_default(),
+        );
+        push(&mut out, "nsets", &sets.len().to_string());
+        for set in &sets {
+            push(&mut out, "ncols", &set.len().to_string());
+            for col in set {
+                push(&mut out, "col", col);
+            }
+        }
+        push(&mut out, "naggs", &aggs.len().to_string());
+        for a in aggs {
+            push(&mut out, "func", a.func.sql());
+            push(&mut out, "acol", a.column.as_deref().unwrap_or("*"));
+            push(&mut out, "alias", a.alias.as_deref().unwrap_or(""));
+            push(
+                &mut out,
+                "afilter",
+                &a.filter.as_ref().map(Expr::to_sql).unwrap_or_default(),
+            );
+        }
+        out
+    }
+
     /// Execute directly against a table (no catalog, no cost recording).
     ///
     /// # Errors
@@ -413,7 +495,7 @@ impl PhysicalPlan {
 /// because every per-(group, aggregate) component is associative —
 /// count/min/max trivially, SUM/AVG via exact order-independent
 /// summation ([`crate::exec::ExactSum`]).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PartialAggState {
     accs: Vec<exec::aggregate::SetAcc>,
     single: bool,
@@ -460,6 +542,81 @@ impl PartialAggState {
     /// Number of grouping sets (1 for a single-grouping plan).
     pub fn num_sets(&self) -> usize {
         self.accs.len()
+    }
+
+    /// Cost figures of the scan(s) that produced this state.
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    /// Project this state onto `plan`'s grouping set(s) and aggregates,
+    /// yielding the partial state a standalone execution of `plan` over
+    /// the *same scan source* would have produced.
+    ///
+    /// This is the serving layer's batch-split primitive: several plans
+    /// sharing one scan source (same table, scan-level predicate, row
+    /// range, unsampled) are merged into one grouping-sets superplan,
+    /// executed once, and the combined state is projected back per plan.
+    /// Group discovery is aggregate-independent and every per-(set,
+    /// group, aggregate) state is accumulated independently during the
+    /// scan, so the projection is bit-for-bit the state
+    /// [`PhysicalPlan::execute_partial`] would have built for `plan`
+    /// alone. Aggregates are matched by (function, column, per-aggregate
+    /// predicate) — aliases only label output columns and the projected
+    /// state carries `plan`'s own aliases.
+    ///
+    /// **Contract:** `self` must come from a plan with the same scan
+    /// source as `plan`; this method can only verify the grouping/
+    /// aggregate structure, the caller guarantees the source matches.
+    ///
+    /// # Errors
+    /// `Internal` if a grouping set or aggregate of `plan` is not
+    /// covered by this state.
+    pub fn project_for(&self, plan: &PhysicalPlan) -> DbResult<PartialAggState> {
+        let (single, want_sets, want_aggs) = match plan {
+            PhysicalPlan::Aggregate { query, .. } => {
+                (true, vec![query.group_by.clone()], query.aggregates.clone())
+            }
+            PhysicalPlan::GroupingSets { query, .. } => {
+                (false, query.sets.clone(), query.aggregates.clone())
+            }
+        };
+        let set_indices: Vec<usize> = want_sets
+            .iter()
+            .map(|s| {
+                self.group_by.iter().position(|g| g == s).ok_or_else(|| {
+                    DbError::Internal(format!(
+                        "projection target grouping set {s:?} not covered by this state"
+                    ))
+                })
+            })
+            .collect::<DbResult<_>>()?;
+        let agg_indices: Vec<usize> = want_aggs
+            .iter()
+            .map(|a| {
+                let key = a.state_key();
+                self.aggregates
+                    .iter()
+                    .position(|b| b.state_key() == key)
+                    .ok_or_else(|| {
+                        DbError::Internal(format!(
+                            "projection target aggregate {} not covered by this state",
+                            a.output_name()
+                        ))
+                    })
+            })
+            .collect::<DbResult<_>>()?;
+        let accs = set_indices
+            .iter()
+            .map(|&si| self.accs[si].project_aggs(&agg_indices))
+            .collect();
+        Ok(PartialAggState {
+            accs,
+            single,
+            group_by: want_sets,
+            aggregates: want_aggs,
+            stats: self.stats,
+        })
     }
 
     /// Number of groups discovered so far in set `set`.
@@ -741,6 +898,127 @@ mod tests {
         assert_eq!(out.num_result_sets(), 1);
         assert_eq!(db.cost().queries, 1);
         assert_eq!(db.cost().rows_scanned, 4);
+    }
+
+    #[test]
+    fn fingerprints_separate_output_determining_fields() {
+        let base = || LogicalPlan::scan("sales").aggregate(vec!["store".into()], sum_amount());
+        let fp = |p: &LogicalPlan| p.lower().unwrap().fingerprint();
+        assert_eq!(fp(&base()), fp(&base()), "fingerprints are deterministic");
+
+        let aliased = LogicalPlan::scan("sales").aggregate(
+            vec!["store".into()],
+            vec![AggSpec::new(AggFunc::Sum, "amount").with_alias("x")],
+        );
+        assert_ne!(fp(&base()), fp(&aliased), "aliases rename output columns");
+
+        let filtered = LogicalPlan::scan("sales")
+            .filter(Expr::col("product").eq("Laserwave"))
+            .aggregate(vec!["store".into()], sum_amount());
+        assert_ne!(fp(&base()), fp(&filtered));
+
+        let sliced = base().sliced(0, 2);
+        assert_ne!(fp(&base()), fp(&sliced));
+
+        let sampled = base().sampled(Some(SampleSpec::Bernoulli {
+            fraction: 0.5,
+            seed: 1,
+        }));
+        assert_ne!(fp(&base()), fp(&sampled));
+
+        let other_group =
+            LogicalPlan::scan("sales").aggregate(vec!["product".into()], sum_amount());
+        assert_ne!(fp(&base()), fp(&other_group));
+
+        // Length prefixes prevent crafted names from colliding across
+        // field boundaries.
+        let a = LogicalPlan::scan("sales")
+            .grouping_sets(vec![vec!["store".into(), "product".into()]], sum_amount());
+        let b = LogicalPlan::scan("sales").grouping_sets(
+            vec![vec!["store".into()], vec!["product".into()]],
+            sum_amount(),
+        );
+        assert_ne!(fp(&a), fp(&b));
+    }
+
+    #[test]
+    fn projection_matches_standalone_partial_execution() {
+        let t = sales();
+        // Superplan: two grouping sets × three aggregates (one carrying a
+        // per-aggregate predicate), as the serving batcher would build.
+        let superplan = LogicalPlan::scan("sales")
+            .grouping_sets(
+                vec![vec!["store".into()], vec!["product".into()], vec![]],
+                vec![
+                    AggSpec::new(AggFunc::Sum, "amount")
+                        .with_filter(Expr::col("product").eq("Laserwave"))
+                        .with_alias("t_sum_amount"),
+                    AggSpec::new(AggFunc::Sum, "amount").with_alias("c_sum_amount"),
+                    AggSpec::count_star(),
+                ],
+            )
+            .lower()
+            .unwrap();
+        let combined = superplan.execute_partial(&t, (0, t.num_rows())).unwrap();
+
+        // Member plans: a single-grouping plan with a different alias for
+        // the same aggregate, and a grouping-sets plan over a subset.
+        let member_a = LogicalPlan::scan("sales")
+            .aggregate(
+                vec!["product".into()],
+                vec![AggSpec::new(AggFunc::Sum, "amount").with_alias("renamed")],
+            )
+            .lower()
+            .unwrap();
+        let member_b = LogicalPlan::scan("sales")
+            .grouping_sets(
+                vec![vec![], vec!["store".into()]],
+                vec![
+                    AggSpec::count_star(),
+                    AggSpec::new(AggFunc::Sum, "amount")
+                        .with_filter(Expr::col("product").eq("Laserwave")),
+                ],
+            )
+            .lower()
+            .unwrap();
+        for member in [member_a, member_b] {
+            let standalone = member.execute(&t).unwrap();
+            let projected = combined.project_for(&member).unwrap().finalize(&t).unwrap();
+            assert_eq!(standalone.num_result_sets(), projected.num_result_sets());
+            for s in 0..standalone.num_result_sets() {
+                let (a, b) = (
+                    standalone.result_set(s).unwrap(),
+                    projected.result_set(s).unwrap(),
+                );
+                assert_eq!(a.columns, b.columns);
+                assert_eq!(a.rows.len(), b.rows.len());
+                for (x, y) in a.rows.iter().zip(&b.rows) {
+                    for (va, vb) in x.iter().zip(y) {
+                        match (va, vb) {
+                            (Value::Float(f), Value::Float(g)) => {
+                                assert_eq!(f.to_bits(), g.to_bits())
+                            }
+                            _ => assert_eq!(va, vb),
+                        }
+                    }
+                }
+            }
+        }
+
+        // Uncovered targets are rejected, not silently mis-projected.
+        let missing_agg = LogicalPlan::scan("sales")
+            .aggregate(
+                vec!["store".into()],
+                vec![AggSpec::new(AggFunc::Min, "amount")],
+            )
+            .lower()
+            .unwrap();
+        assert!(combined.project_for(&missing_agg).is_err());
+        let missing_set = LogicalPlan::scan("sales")
+            .aggregate(vec!["product".into(), "store".into()], sum_amount())
+            .lower()
+            .unwrap();
+        assert!(combined.project_for(&missing_set).is_err());
     }
 
     #[test]

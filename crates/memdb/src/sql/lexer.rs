@@ -30,6 +30,17 @@ pub enum Token {
     Eof,
 }
 
+/// A token plus the 1-based byte position where it starts in the input
+/// (Eof carries input length + 1). Parser errors surface this position
+/// so the analyst can find the offending token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Token,
+    /// 1-based byte offset of the token's first character.
+    pub pos: usize,
+}
+
 /// Streaming tokenizer over SQL text.
 pub struct Lexer<'a> {
     input: &'a [u8],
@@ -45,18 +56,19 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    /// Tokenize the whole input.
+    /// Tokenize the whole input, recording each token's start position.
     ///
     /// # Errors
     /// `Parse` for unterminated strings, malformed numbers, or unexpected
-    /// characters.
-    pub fn tokenize(mut self) -> DbResult<Vec<Token>> {
+    /// characters; messages carry the 1-based byte position.
+    pub fn tokenize(mut self) -> DbResult<Vec<Spanned>> {
         let mut out = Vec::new();
         loop {
             self.skip_whitespace();
             if self.pos >= self.input.len() {
                 break;
             }
+            let start = self.pos + 1;
             let c = self.input[self.pos];
             let tok = match c {
                 b'(' | b')' | b',' | b'*' | b';' => {
@@ -94,7 +106,9 @@ impl<'a> Lexer<'a> {
                         self.pos += 1;
                         Token::Op("!=".to_string())
                     } else {
-                        return Err(DbError::Parse("unexpected '!'".to_string()));
+                        return Err(DbError::Parse(format!(
+                            "unexpected '!' at position {start}"
+                        )));
                     }
                 }
                 b'-' => {
@@ -106,17 +120,20 @@ impl<'a> Lexer<'a> {
                 c if c.is_ascii_alphabetic() || c == b'_' || c == b'"' => self.word()?,
                 other => {
                     return Err(DbError::Parse(format!(
-                        "unexpected character '{}'",
+                        "unexpected character '{}' at position {start}",
                         other as char
                     )))
                 }
             };
-            out.push(tok);
+            out.push(Spanned { tok, pos: start });
         }
         if out.is_empty() {
             return Err(DbError::Parse("empty input".to_string()));
         }
-        out.push(Token::Eof);
+        out.push(Spanned {
+            tok: Token::Eof,
+            pos: self.input.len() + 1,
+        });
         Ok(out)
     }
 
@@ -136,11 +153,16 @@ impl<'a> Lexer<'a> {
 
     fn string(&mut self) -> DbResult<Token> {
         debug_assert_eq!(self.input[self.pos], b'\'');
+        let start = self.pos + 1;
         self.pos += 1;
         let mut s = String::new();
         loop {
             match self.input.get(self.pos) {
-                None => return Err(DbError::Parse("unterminated string literal".to_string())),
+                None => {
+                    return Err(DbError::Parse(format!(
+                        "unterminated string literal starting at position {start}"
+                    )))
+                }
                 Some(b'\'') => {
                     // '' escapes a single quote.
                     if self.input.get(self.pos + 1) == Some(&b'\'') {
@@ -183,19 +205,23 @@ impl<'a> Lexer<'a> {
         let text = std::str::from_utf8(&self.input[start..self.pos])
             .map_err(|_| DbError::Parse("non-utf8 number".to_string()))?;
         if saw_dot || saw_exp {
-            text.parse::<f64>()
-                .map(Token::Float)
-                .map_err(|_| DbError::Parse(format!("bad float literal: {text}")))
+            text.parse::<f64>().map(Token::Float).map_err(|_| {
+                DbError::Parse(format!(
+                    "bad float literal: {text} at position {}",
+                    start + 1
+                ))
+            })
         } else {
-            text.parse::<i64>()
-                .map(Token::Int)
-                .map_err(|_| DbError::Parse(format!("bad int literal: {text}")))
+            text.parse::<i64>().map(Token::Int).map_err(|_| {
+                DbError::Parse(format!("bad int literal: {text} at position {}", start + 1))
+            })
         }
     }
 
     fn word(&mut self) -> DbResult<Token> {
         // Double-quoted identifiers keep exact case and allow any chars.
         if self.input[self.pos] == b'"' {
+            let open = self.pos + 1;
             self.pos += 1;
             let start = self.pos;
             while let Some(&c) = self.input.get(self.pos) {
@@ -207,7 +233,9 @@ impl<'a> Lexer<'a> {
                 }
                 self.pos += 1;
             }
-            return Err(DbError::Parse("unterminated quoted identifier".to_string()));
+            return Err(DbError::Parse(format!(
+                "unterminated quoted identifier starting at position {open}"
+            )));
         }
         let start = self.pos;
         while self
@@ -233,7 +261,12 @@ mod tests {
     use super::*;
 
     fn lex(s: &str) -> Vec<Token> {
-        Lexer::new(s).tokenize().unwrap()
+        Lexer::new(s)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|s| s.tok)
+            .collect()
     }
 
     #[test]
@@ -292,6 +325,22 @@ mod tests {
     #[test]
     fn bare_bang_errors() {
         assert!(Lexer::new("a ! b").tokenize().is_err());
+    }
+
+    #[test]
+    fn tokens_carry_one_based_positions() {
+        let spanned = Lexer::new("SELECT store FROM Sales").tokenize().unwrap();
+        let positions: Vec<usize> = spanned.iter().map(|s| s.pos).collect();
+        // S=1, store=8, FROM=14, Sales=19, Eof=24.
+        assert_eq!(positions, vec![1, 8, 14, 19, 24]);
+    }
+
+    #[test]
+    fn lex_errors_carry_positions() {
+        let e = Lexer::new("a ! b").tokenize().unwrap_err().to_string();
+        assert!(e.contains("position 3"), "{e}");
+        let e = Lexer::new("x = 'oops").tokenize().unwrap_err().to_string();
+        assert!(e.contains("position 5"), "{e}");
     }
 
     #[test]

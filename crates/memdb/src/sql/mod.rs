@@ -19,7 +19,7 @@
 
 mod lexer;
 
-use lexer::{Lexer, Token};
+use lexer::{Lexer, Spanned, Token};
 
 use crate::error::{DbError, DbResult};
 use crate::exec::{AggFunc, AggSpec, Query};
@@ -63,7 +63,7 @@ pub fn parse_selection(sql: &str) -> DbResult<Selection> {
 }
 
 struct Parser {
-    tokens: Vec<Token>,
+    tokens: Vec<Spanned>,
     pos: usize,
 }
 
@@ -74,19 +74,47 @@ impl Parser {
     }
 
     fn peek(&self) -> &Token {
-        self.tokens.get(self.pos).unwrap_or(&Token::Eof)
+        self.tokens
+            .get(self.pos)
+            .map(|s| &s.tok)
+            .unwrap_or(&Token::Eof)
     }
 
     fn next(&mut self) -> Token {
-        let t = self.tokens.get(self.pos).cloned().unwrap_or(Token::Eof);
+        let t = self
+            .tokens
+            .get(self.pos)
+            .map(|s| s.tok.clone())
+            .unwrap_or(Token::Eof);
         self.pos += 1;
         t
+    }
+
+    /// 1-based byte position of the token at `idx` (clamped to Eof).
+    fn pos_at(&self, idx: usize) -> usize {
+        self.tokens
+            .get(idx.min(self.tokens.len().saturating_sub(1)))
+            .map(|s| s.pos)
+            .unwrap_or(1)
+    }
+
+    /// Position of the token `peek` would return.
+    fn cur_pos(&self) -> usize {
+        self.pos_at(self.pos)
+    }
+
+    /// Position of the token `next` just consumed.
+    fn prev_pos(&self) -> usize {
+        self.pos_at(self.pos.saturating_sub(1))
     }
 
     fn expect_keyword(&mut self, kw: &str) -> DbResult<()> {
         match self.next() {
             Token::Keyword(k) if k == kw => Ok(()),
-            other => Err(DbError::Parse(format!("expected {kw}, found {other:?}"))),
+            other => Err(DbError::Parse(format!(
+                "expected {kw}, found {other:?} at position {}",
+                self.prev_pos()
+            ))),
         }
     }
 
@@ -103,7 +131,8 @@ impl Parser {
         match self.next() {
             Token::Ident(s) => Ok(s),
             other => Err(DbError::Parse(format!(
-                "expected identifier, found {other:?}"
+                "expected identifier, found {other:?} at position {}",
+                self.prev_pos()
             ))),
         }
     }
@@ -137,8 +166,9 @@ impl Parser {
                             self.pos += 1;
                             if func != AggFunc::Count {
                                 return Err(DbError::Parse(format!(
-                                    "{}(*) is only valid for COUNT",
-                                    func.sql()
+                                    "{}(*) is only valid for COUNT at position {}",
+                                    func.sql(),
+                                    self.prev_pos()
                                 )));
                             }
                             None
@@ -164,7 +194,8 @@ impl Parser {
                 }
                 other => {
                     return Err(DbError::Parse(format!(
-                        "expected select item, found {other:?}"
+                        "expected select item, found {other:?} at position {}",
+                        self.cur_pos()
                     )))
                 }
             };
@@ -198,9 +229,19 @@ impl Parser {
             Token::Eof => {}
             Token::Symbol(';') => match self.next() {
                 Token::Eof => {}
-                other => return Err(DbError::Parse(format!("trailing input: {other:?}"))),
+                other => {
+                    return Err(DbError::Parse(format!(
+                        "trailing input: {other:?} at position {}",
+                        self.prev_pos()
+                    )))
+                }
             },
-            other => return Err(DbError::Parse(format!("trailing input: {other:?}"))),
+            other => {
+                return Err(DbError::Parse(format!(
+                    "trailing input: {other:?} at position {}",
+                    self.prev_pos()
+                )))
+            }
         }
 
         // Assemble: plain columns must match GROUP BY (or define it).
@@ -250,7 +291,10 @@ impl Parser {
     fn expect_symbol(&mut self, s: char) -> DbResult<()> {
         match self.next() {
             Token::Symbol(c) if c == s => Ok(()),
-            other => Err(DbError::Parse(format!("expected '{s}', found {other:?}"))),
+            other => Err(DbError::Parse(format!(
+                "expected '{s}', found {other:?} at position {}",
+                self.prev_pos()
+            ))),
         }
     }
 
@@ -383,10 +427,14 @@ impl Parser {
                 Token::Int(i) => Ok(Value::Int(-i)),
                 Token::Float(f) => Ok(Value::Float(-f)),
                 other => Err(DbError::Parse(format!(
-                    "expected number after '-', found {other:?}"
+                    "expected number after '-', found {other:?} at position {}",
+                    self.prev_pos()
                 ))),
             },
-            other => Err(DbError::Parse(format!("expected literal, found {other:?}"))),
+            other => Err(DbError::Parse(format!(
+                "expected literal, found {other:?} at position {}",
+                self.prev_pos()
+            ))),
         }
     }
 }
@@ -535,5 +583,25 @@ mod tests {
     fn empty_input_rejected() {
         assert!(parse_query("").is_err());
         assert!(parse_query("   ").is_err());
+    }
+
+    #[test]
+    fn parse_errors_point_at_offending_token() {
+        // A misspelled WHERE lexes as an identifier and surfaces as
+        // trailing input — at its own position, not a vague message.
+        let e = parse_query("SELECT * FROM sales WHEREE price = 1")
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("at position 21"), "{e}");
+
+        // Missing right operand: the offending AND is at byte 34.
+        let e = parse_query("SELECT COUNT(*) FROM t WHERE a = AND")
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("at position 34"), "{e}");
+
+        // Missing table name: points at end of input.
+        let e = parse_query("SELECT * FROM ").unwrap_err().to_string();
+        assert!(e.contains("at position 15"), "{e}");
     }
 }

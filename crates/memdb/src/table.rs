@@ -15,6 +15,10 @@ pub struct Table {
     schema: Schema,
     columns: Vec<Column>,
     rows: usize,
+    /// Catalog version stamp: 0 until the table is registered with a
+    /// [`crate::Database`], which assigns a fresh value from its own
+    /// monotonic counter. Result caches key on this to detect staleness.
+    version: u64,
 }
 
 impl Table {
@@ -30,6 +34,7 @@ impl Table {
             schema,
             columns,
             rows: 0,
+            version: 0,
         }
     }
 
@@ -45,12 +50,28 @@ impl Table {
             schema,
             columns,
             rows: 0,
+            version: 0,
         }
     }
 
     /// Table name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Catalog version stamp. 0 for an unregistered table; registering
+    /// (or re-registering) with a [`crate::Database`] assigns a fresh,
+    /// strictly increasing value, so two registrations under the same
+    /// name never share a version. Caches keyed on
+    /// `(plan fingerprint, version)` therefore never serve results
+    /// computed against a replaced table.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Stamp the catalog version (called by `Database::register`).
+    pub(crate) fn set_version(&mut self, version: u64) {
+        self.version = version;
     }
 
     /// Table schema.

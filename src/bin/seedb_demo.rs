@@ -16,16 +16,20 @@
 //! * `:strategy sequential|parallel|phased|phased-parallel` — pick the
 //!   execution strategy (§3.3 parallelism × early termination)
 //! * `:workers <n>` — worker count for the current strategy
+//! * `:sessions <n>` — replay the current query from `n` concurrent
+//!   analyst sessions through the serving layer (shared
+//!   partial-aggregate cache + scan batching) and print cache stats
 //! * `:drill <view#> <label>` — narrow to one group of a recommended view
 //! * `:up` — undo the last drill-down
 //! * `:quit`
 
 use std::io::{BufRead, Write as _};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use seedb::core::{
     default_workers, drill_down, roll_up, AnalystQuery, ExecutionStrategy, Metric, SeeDb,
-    SeeDbConfig,
+    SeeDbConfig, Service, ServiceConfig,
 };
 use seedb::memdb::{Database, SampleSpec};
 use seedb::viz::Frontend;
@@ -182,6 +186,72 @@ fn run_and_print(frontend: &Frontend, query: &AnalystQuery) -> Option<seedb::viz
     }
 }
 
+/// `:sessions n` — replay the current analyst query from `n` concurrent
+/// sessions through a fresh [`Service`], twice: a cold round (misses,
+/// batched shared scans) and a warm round (cache hits, zero scans).
+/// Prints per-round wall time, DBMS cost deltas, and cache stats, and
+/// checks every session got the identical top-k.
+fn run_sessions(frontend: &Frontend, query: &AnalystQuery, n: usize) {
+    let engine = frontend.engine();
+    let db = engine.database().clone();
+    let service = Service::new(
+        db.clone(),
+        ServiceConfig::recommended()
+            .with_seedb(engine.config().clone())
+            .with_batch_window(Duration::from_millis(5)),
+    );
+    println!("serving layer: {n} concurrent sessions × 2 rounds (cold, warm)");
+    for round in ["cold", "warm"] {
+        let stats_before = service.cache_stats();
+        let cost_before = db.cost();
+        let t0 = Instant::now();
+        let mut top_ks: Vec<Vec<String>> = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|_| {
+                    let session = service.session();
+                    s.spawn(move || {
+                        session
+                            .recommend(query)
+                            .map(|rec| rec.views.iter().map(|v| v.spec.label()).collect::<Vec<_>>())
+                    })
+                })
+                .collect();
+            for h in handles {
+                match h.join().expect("session thread panicked") {
+                    Ok(top) => top_ks.push(top),
+                    Err(e) => eprintln!("session error: {e}"),
+                }
+            }
+        });
+        let elapsed = t0.elapsed();
+        let cost = db.cost().since(&cost_before);
+        let s = service.cache_stats();
+        println!(
+            "round {round}: {elapsed:>8.1?}  scans {} rows {} | cache hits {} misses {} \
+             batched-scans {} (serving {} plans) evictions {}",
+            cost.table_scans,
+            cost.rows_scanned,
+            s.hits - stats_before.hits,
+            s.misses - stats_before.misses,
+            s.batch_scans - stats_before.batch_scans,
+            s.batched_plans - stats_before.batched_plans,
+            s.evictions - stats_before.evictions,
+        );
+        if top_ks.len() == n && top_ks.iter().all(|t| *t == top_ks[0]) {
+            println!("  all {n} sessions agree on the top-k ✔");
+        } else {
+            eprintln!("  WARNING: sessions disagree or failed");
+        }
+    }
+    let s = service.cache_stats();
+    println!(
+        "cache: {} states resident, hit rate {:.0}%",
+        service.cache_len(),
+        s.hit_rate() * 100.0
+    );
+}
+
 /// Printed whenever sampling and a phased strategy are configured
 /// together: phased execution is exact and ignores the sample.
 fn warn_sample_ignored(cfg: &SeeDbConfig) {
@@ -306,6 +376,12 @@ fn main() {
                         _ => eprintln!("usage: :workers <n ≥ 1> (current: {})", cfg.execution),
                     }
                 }
+                Some("sessions") => match parts.next().map(str::parse::<usize>) {
+                    Some(Ok(n)) if (1..=64).contains(&n) => {
+                        run_sessions(&frontend, &current, n);
+                    }
+                    _ => eprintln!("usage: :sessions <1..=64>"),
+                },
                 Some("sample") => {
                     let cfg = frontend.engine_mut().config_mut();
                     match parts.next() {
@@ -353,7 +429,7 @@ fn main() {
                     Err(e) => eprintln!("{e}"),
                 },
                 _ => eprintln!(
-                    "commands: :k :metric :basic :sample :strategy :workers :drill :up :quit"
+                    "commands: :k :metric :basic :sample :strategy :workers :sessions :drill :up :quit"
                 ),
             }
             continue;

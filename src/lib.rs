@@ -41,5 +41,8 @@ pub use seedb_core as core;
 pub use seedb_data as data;
 pub use seedb_viz as viz;
 
-pub use seedb_core::{AnalystQuery, Metric, Recommendation, SeeDb, SeeDbConfig, ViewResult};
+pub use seedb_core::{
+    AnalystQuery, CacheStats, Metric, Recommendation, SeeDb, SeeDbConfig, Service, ServiceConfig,
+    Session, ViewResult,
+};
 pub use seedb_viz::{Frontend, QueryBuilder, QueryTemplate, VisualizationSpec};

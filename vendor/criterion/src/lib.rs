@@ -23,6 +23,9 @@ pub struct BenchResult {
     pub name: String,
     /// Mean nanoseconds per iteration.
     pub mean_ns: f64,
+    /// Median nanoseconds per iteration (the regression-gate statistic:
+    /// robust against one slow outlier sample).
+    pub median_ns: f64,
     /// Fastest sample (ns/iter).
     pub min_ns: f64,
     /// Slowest sample (ns/iter).
@@ -114,18 +117,25 @@ impl Criterion {
     }
 
     /// Print the final summary and write the JSON baseline file.
+    ///
+    /// The JSON is deterministic and diffable: entries sorted by
+    /// benchmark name, object keys in a fixed (alphabetical) order, and
+    /// every float rendered with exactly one fractional digit — so
+    /// committed baselines produce reviewable diffs.
     pub fn final_summary(&self) {
         if self.results.is_empty() {
             return;
         }
+        let mut sorted: Vec<&BenchResult> = self.results.iter().collect();
+        sorted.sort_by(|a, b| a.name.cmp(&b.name));
         let mut json = String::from("[\n");
-        for (i, r) in self.results.iter().enumerate() {
-            let comma = if i + 1 == self.results.len() { "" } else { "," };
+        for (i, r) in sorted.iter().enumerate() {
+            let comma = if i + 1 == sorted.len() { "" } else { "," };
             let _ = writeln!(
                 json,
-                "  {{\"name\": {:?}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \
-                 \"samples\": {}, \"iters_per_sample\": {}}}{comma}",
-                r.name, r.mean_ns, r.min_ns, r.max_ns, r.samples, r.iters_per_sample
+                "  {{\"iters_per_sample\": {}, \"max_ns\": {:.1}, \"mean_ns\": {:.1}, \
+                 \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"name\": {:?}, \"samples\": {}}}{comma}",
+                r.iters_per_sample, r.max_ns, r.mean_ns, r.median_ns, r.min_ns, r.name, r.samples
             );
         }
         json.push_str("]\n");
@@ -227,9 +237,20 @@ fn measure<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) -> Benc
     let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
     let min = per_iter_ns.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = per_iter_ns.iter().cloned().fold(0.0, f64::max);
+    let median = {
+        let mut s = per_iter_ns.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let n = s.len();
+        if n % 2 == 1 {
+            s[n / 2]
+        } else {
+            (s[n / 2 - 1] + s[n / 2]) / 2.0
+        }
+    };
     BenchResult {
         name: name.to_string(),
         mean_ns: mean,
+        median_ns: median,
         min_ns: min,
         max_ns: max,
         samples,
@@ -299,6 +320,8 @@ mod tests {
         assert_eq!(c.results.len(), 1);
         assert_eq!(c.results[0].name, "g/4");
         assert!(c.results[0].mean_ns > 0.0);
+        let r = &c.results[0];
+        assert!(r.median_ns >= r.min_ns && r.median_ns <= r.max_ns);
     }
 
     #[test]
