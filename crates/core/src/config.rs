@@ -3,6 +3,7 @@
 use std::time::Duration;
 
 use crate::distance::Metric;
+use crate::live::RefreshConfig;
 use crate::optimizer::OptimizerConfig;
 use crate::pruning::PruningConfig;
 use crate::view::FunctionSet;
@@ -286,17 +287,24 @@ pub struct ServiceConfig {
     /// combined grouping-set count would exceed this are bin-packed
     /// into several scans (reusing [`crate::packing::pack`]).
     pub max_batch_sets: usize,
+    /// Live-ingest policy: when cached partial-aggregate states are
+    /// refreshed incrementally after [`crate::Service::append_rows`]
+    /// (lazy on probe, eager on append, or off), and how large a delta
+    /// may grow before falling back to a full recompute.
+    pub refresh: RefreshConfig,
 }
 
 impl ServiceConfig {
     /// Serving defaults: recommended pipeline, 512 cached states, a
-    /// 2 ms batch window, 64 grouping sets per shared scan.
+    /// 2 ms batch window, 64 grouping sets per shared scan, lazy
+    /// incremental refresh.
     pub fn recommended() -> Self {
         ServiceConfig {
             seedb: SeeDbConfig::recommended(),
             cache_capacity: 512,
             batch_window: Duration::from_millis(2),
             max_batch_sets: 64,
+            refresh: RefreshConfig::recommended(),
         }
     }
 
@@ -316,6 +324,12 @@ impl ServiceConfig {
     /// cross-request batching).
     pub fn with_batch_window(mut self, window: Duration) -> Self {
         self.batch_window = window;
+        self
+    }
+
+    /// Builder: set the live-ingest refresh policy.
+    pub fn with_refresh(mut self, refresh: RefreshConfig) -> Self {
+        self.refresh = refresh;
         self
     }
 }

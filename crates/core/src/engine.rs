@@ -12,7 +12,9 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use memdb::{run_batch, CostSnapshot, Database, DbError, DbResult, LogicalPlan, PlanOutput};
+use memdb::{
+    run_batch, CostSnapshot, Database, DbError, DbResult, LogicalPlan, PlanOutput, Table, Value,
+};
 
 use crate::config::{ExecutionStrategy, SeeDbConfig};
 use crate::metadata::{AccessTracker, MetadataCollector};
@@ -117,6 +119,19 @@ impl SeeDb {
     /// The workload access tracker feeding access-frequency pruning.
     pub fn tracker(&self) -> &AccessTracker {
         self.collector.tracker()
+    }
+
+    /// Append rows to a registered table (live ingest): publishes a new
+    /// table version that shares all existing segments with the old one
+    /// ([`Database::append_rows`]). Recommendations already in flight
+    /// keep their snapshot; the next [`SeeDb::recommend`] sees the
+    /// appended rows. (The serving layer's [`crate::Service`] wraps
+    /// this with incremental cache maintenance.)
+    ///
+    /// # Errors
+    /// Same as [`Database::append_rows`].
+    pub fn append_rows(&self, table: &str, rows: Vec<Vec<Value>>) -> DbResult<Arc<Table>> {
+        self.db.append_rows(table, rows)
     }
 
     /// Recommend views for an analyst query given as SQL

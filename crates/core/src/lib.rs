@@ -64,6 +64,7 @@ pub mod distance;
 pub mod distribution;
 pub mod engine;
 pub mod interact;
+pub mod live;
 pub mod metadata;
 pub mod optimizer;
 pub mod packing;
@@ -79,6 +80,7 @@ pub use distance::{distance, Metric};
 pub use distribution::{AlignedPair, Distribution};
 pub use engine::{PhaseTimings, Recommendation, SeeDb};
 pub use interact::{drill_down, roll_up};
+pub use live::{RecomputeReason, RefreshConfig, RefreshDecision, RefreshMode};
 pub use metadata::{AccessTracker, Metadata, MetadataCollector};
 pub use optimizer::{
     ExecutionPlan, Extract, GroupByCombining, OptimizerConfig, PlannedQuery, ValueSource,

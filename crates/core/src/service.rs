@@ -29,10 +29,22 @@
 //!   ([`crate::packing`]). N concurrent analysts on one table cost ~1
 //!   scan, not N; each plan's state is recovered bit-for-bit from the
 //!   combined scan by [`PartialAggState::project_for`].
+//! * **Incremental maintenance under live ingest.** When
+//!   [`Service::append_rows`] (or [`memdb::Database::append_rows`])
+//!   publishes version `v+1` of a table, cached states stamped at an
+//!   append ancestor `v` are not thrown away: the plan is executed over
+//!   only the delta rows `[rows_at_v, rows_now)` and
+//!   [`merge`](PartialAggState::merge)d into the cached state —
+//!   byte-identical to a cold recomputation at `v+1` because aggregate
+//!   states are associative and merged in partition (row) order. The
+//!   [`crate::live::RefreshConfig`] policy picks lazy (on probe) or
+//!   eager (on append) refresh and falls back to a full recompute for
+//!   oversized deltas or non-append lineage (replaced tables).
 //!
-//! The correctness bar matches partitioned execution: a cached or
-//! batched recommendation is **byte-identical** to a cold sequential
-//! one (`tests/service.rs` holds it there under concurrency).
+//! The correctness bar matches partitioned execution: a cached,
+//! batched, or incrementally refreshed recommendation is
+//! **byte-identical** to a cold sequential one (`tests/service.rs`
+//! holds it there under concurrency and concurrent appends).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -40,11 +52,12 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 use memdb::{
     run_partitioned_partial, AggSpec, Database, DbError, DbResult, ExecStats, Expr, LogicalPlan,
-    PartialAggState, PhysicalPlan, PlanOutput, Table,
+    PartialAggState, PhysicalPlan, PlanOutput, Table, Value,
 };
 
 use crate::config::{SeeDbConfig, ServiceConfig};
 use crate::engine::{Recommendation, SeeDb};
+use crate::live::{RefreshDecision, RefreshMode};
 use crate::metadata::AccessTracker;
 use crate::querygen::AnalystQuery;
 
@@ -74,6 +87,17 @@ pub struct CacheStats {
     pub batched_plans: u64,
     /// Sampled plans that bypassed the cache entirely.
     pub bypasses: u64,
+    /// Cached states incrementally refreshed after appends (delta scan
+    /// + merge instead of a full recompute).
+    pub refreshes: u64,
+    /// Delta rows scanned by those refreshes — the *entire* scan work
+    /// the refreshed plans paid (a full recompute would have rescanned
+    /// the whole table per plan).
+    pub refresh_rows: u64,
+    /// Outdated entries that could not be refreshed incrementally
+    /// (non-append lineage, oversized delta, refresh disabled, or a
+    /// refresh failure) and fell back to invalidate + recompute.
+    pub refresh_fallbacks: u64,
 }
 
 impl CacheStats {
@@ -99,6 +123,9 @@ struct StatCounters {
     batch_scans: AtomicU64,
     batched_plans: AtomicU64,
     bypasses: AtomicU64,
+    refreshes: AtomicU64,
+    refresh_rows: AtomicU64,
+    refresh_fallbacks: AtomicU64,
 }
 
 impl StatCounters {
@@ -117,6 +144,9 @@ impl StatCounters {
             batch_scans: self.batch_scans.load(Ordering::Relaxed),
             batched_plans: self.batched_plans.load(Ordering::Relaxed),
             bypasses: self.bypasses.load(Ordering::Relaxed),
+            refreshes: self.refreshes.load(Ordering::Relaxed),
+            refresh_rows: self.refresh_rows.load(Ordering::Relaxed),
+            refresh_fallbacks: self.refresh_fallbacks.load(Ordering::Relaxed),
         }
     }
 }
@@ -136,8 +166,15 @@ struct CachedState {
 enum Lookup {
     /// Fresh state for the current table version.
     Hit(CachedState),
-    /// An entry existed but its table version is stale; it was dropped.
-    Stale,
+    /// An entry exists but was computed at a different table version.
+    /// It is left in place: the caller either refreshes it
+    /// incrementally (append lineage) or removes it and recomputes.
+    Outdated {
+        /// The outdated cached state.
+        state: CachedState,
+        /// The [`Table::version`] it was computed against.
+        version: u64,
+    },
     /// No entry.
     Miss,
 }
@@ -157,6 +194,9 @@ struct CacheEntry {
     /// Scan-source identity ([`source_key`]) — projection may only
     /// serve plans with the identical scan domain.
     source: String,
+    /// The plan that produced this state — what incremental refresh
+    /// executes over the delta rows after an append.
+    phys: PhysicalPlan,
     /// [`Table::version`] the state was computed against.
     version: u64,
     last_used: u64,
@@ -174,16 +214,38 @@ impl LruCache {
     fn lookup(&mut self, key: &str, version: u64) -> Lookup {
         match self.entries.get_mut(key) {
             None => Lookup::Miss,
-            Some(e) if e.version != version => {
-                self.entries.remove(key);
-                Lookup::Stale
-            }
+            Some(e) if e.version != version => Lookup::Outdated {
+                state: e.state.clone(),
+                version: e.version,
+            },
             Some(e) => {
                 self.tick += 1;
                 e.last_used = self.tick;
                 Lookup::Hit(e.state.clone())
             }
         }
+    }
+
+    /// Drop `key` only if it is still stamped at `version` (so a racing
+    /// refresh that already re-stamped the entry is not discarded).
+    fn remove_if_version(&mut self, key: &str, version: u64) {
+        if self.entries.get(key).is_some_and(|e| e.version == version) {
+            self.entries.remove(key);
+        }
+    }
+
+    /// Every entry for `table` stamped at a version other than
+    /// `current_version` — the eager-refresh work list after an append.
+    fn stale_entries_for(
+        &self,
+        table: &str,
+        current_version: u64,
+    ) -> Vec<(String, u64, PhysicalPlan, CachedState)> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.phys.table() == table && e.version != current_version)
+            .map(|(k, e)| (k.clone(), e.version, e.phys.clone(), e.state.clone()))
+            .collect()
     }
 
     /// Serve a cache miss from a *covering* entry: same scan source and
@@ -219,8 +281,26 @@ impl LruCache {
 
     /// Insert, evicting least-recently-used entries beyond capacity.
     /// Returns the number of evictions.
-    fn insert(&mut self, key: String, source: String, version: u64, state: CachedState) -> u64 {
+    fn insert(
+        &mut self,
+        key: String,
+        source: String,
+        version: u64,
+        phys: PhysicalPlan,
+        state: CachedState,
+    ) -> u64 {
         if self.capacity == 0 {
+            return 0;
+        }
+        // The cache keeps the newest version per fingerprint: a request
+        // pinned to an older snapshot (racing an append) must not stomp
+        // state another path already brought forward. Versions are
+        // globally monotonic, so a larger stamp is always newer.
+        if self
+            .entries
+            .get(&key)
+            .is_some_and(|existing| existing.version > version)
+        {
             return 0;
         }
         self.tick += 1;
@@ -229,6 +309,7 @@ impl LruCache {
             CacheEntry {
                 state,
                 source,
+                phys,
                 version,
                 last_used: self.tick,
             },
@@ -523,6 +604,32 @@ impl Service {
         self.recommend(&analyst)
     }
 
+    /// Append rows to a registered table (live ingest) and maintain the
+    /// cache per the configured [`crate::live::RefreshConfig`]:
+    ///
+    /// * **eager** mode immediately refreshes every cached state of the
+    ///   table by scanning only the appended delta rows, so the next
+    ///   probe is an exact hit;
+    /// * **lazy** mode (the default) leaves refreshing to the next
+    ///   probe of each entry;
+    /// * **off** lets outdated entries invalidate and recompute.
+    ///
+    /// Concurrent queries are safe throughout: requests already holding
+    /// the old version's snapshot keep scanning it untouched (appends
+    /// never mutate shared segments), and every cache entry is
+    /// version-stamped.
+    ///
+    /// # Errors
+    /// Same as [`memdb::Database::append_rows`]; on error nothing is
+    /// published and the cache is untouched.
+    pub fn append_rows(&self, table: &str, rows: Vec<Vec<Value>>) -> DbResult<Arc<Table>> {
+        let table = self.inner.engine.database().append_rows(table, rows)?;
+        if self.inner.config.refresh.mode == RefreshMode::Eager {
+            self.inner.refresh_table_entries(&table);
+        }
+        Ok(table)
+    }
+
     /// Snapshot the cache/batch counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.inner.stats.snapshot()
@@ -577,6 +684,16 @@ impl Session {
     /// Same as [`Service::recommend_sql`].
     pub fn recommend_sql(&self, sql: &str) -> DbResult<Recommendation> {
         self.service.recommend_sql(sql)
+    }
+
+    /// Append rows to a registered table through this session's
+    /// service (see [`Service::append_rows`]). Safe to call while other
+    /// sessions are mid-recommendation: they keep their snapshots.
+    ///
+    /// # Errors
+    /// Same as [`Service::append_rows`].
+    pub fn append_rows(&self, table: &str, rows: Vec<Vec<Value>>) -> DbResult<Arc<Table>> {
+        self.service.append_rows(table, rows)
     }
 }
 
@@ -642,6 +759,11 @@ impl ServiceInner {
         // arbitrary plan sets — and so plans that straddle a concurrent
         // re-registration never share one table snapshot.
         let mut misses: HashMap<(String, u64), (Arc<Table>, Vec<Miss>)> = HashMap::new();
+        // One snapshot per table name for the WHOLE request: every plan
+        // of this request executes against the same table version even
+        // if an append/replacement publishes mid-loop — a request is
+        // never a torn mix of two versions.
+        let mut snapshots: HashMap<String, Arc<Table>> = HashMap::new();
 
         for (i, plan) in plans.iter().enumerate() {
             let phys = match plan.lower() {
@@ -658,12 +780,18 @@ impl ServiceInner {
                 out[i] = Some(self.engine.database().run_physical(&phys));
                 continue;
             }
-            let table = match self.engine.database().table(phys.table()) {
-                Ok(t) => t,
-                Err(e) => {
-                    out[i] = Some(Err(e));
-                    continue;
-                }
+            let table = match snapshots.get(phys.table()) {
+                Some(t) => t.clone(),
+                None => match self.engine.database().table(phys.table()) {
+                    Ok(t) => {
+                        snapshots.insert(phys.table().to_string(), t.clone());
+                        t
+                    }
+                    Err(e) => {
+                        out[i] = Some(Err(e));
+                        continue;
+                    }
+                },
             };
             let fingerprint = phys.fingerprint();
             let lookup = self
@@ -676,9 +804,38 @@ impl ServiceInner {
                     StatCounters::add(&self.stats.hits, 1);
                     out[i] = Some(Ok((*state.output).clone()));
                 }
-                hit_or_stale => {
-                    if matches!(hit_or_stale, Lookup::Stale) {
-                        StatCounters::add(&self.stats.invalidations, 1);
+                miss_or_outdated => {
+                    if let Lookup::Outdated { state, version } = miss_or_outdated {
+                        // Live ingest: an entry stamped at an append
+                        // ancestor is refreshed by scanning only the
+                        // delta rows and merging — byte-identical to a
+                        // cold run at the current version.
+                        if let RefreshDecision::Incremental { delta } =
+                            self.config.refresh.decide(&table, version)
+                        {
+                            if let Some(output) =
+                                self.refresh_into_cache(&fingerprint, &phys, &table, &state, delta)
+                            {
+                                out[i] = Some(Ok((*output).clone()));
+                                continue;
+                            }
+                        }
+                        // Fallback: drop the outdated entry and
+                        // recompute below — but only when the entry is
+                        // genuinely *older* than our snapshot. An entry
+                        // stamped at a NEWER version (a concurrent
+                        // append already eagerly refreshed it past the
+                        // table this request is pinned to) is fresh for
+                        // everyone else; leave it alone and just
+                        // recompute at our own snapshot.
+                        if version < table.version() {
+                            self.cache
+                                .lock()
+                                .expect("cache lock poisoned")
+                                .remove_if_version(&fingerprint, version);
+                            StatCounters::add(&self.stats.invalidations, 1);
+                            StatCounters::add(&self.stats.refresh_fallbacks, 1);
+                        }
                     }
                     // Second chance before scanning: a covering cached
                     // state (same source, superset shape) serves this
@@ -698,6 +855,7 @@ impl ServiceInner {
                                 &fingerprint,
                                 source_key(&phys),
                                 &table,
+                                &phys,
                                 Arc::new(projected),
                             )
                             .map(|output| (*output).clone()),
@@ -865,6 +1023,7 @@ impl ServiceInner {
                     &member.fingerprint,
                     source_key(&member.phys),
                     table,
+                    &member.phys,
                     Arc::new(projected),
                 ),
                 // Projection cannot fail for states built from the
@@ -885,19 +1044,115 @@ impl ServiceInner {
             &phys.fingerprint(),
             source_key(phys),
             table,
+            phys,
             Arc::new(partial),
         )
     }
 
+    /// Incrementally refresh one cached state to `table`'s current
+    /// version: execute `phys` over only the `delta` rows, merge into
+    /// the cached state (partition order: cached prefix first, delta
+    /// second — exactly a sequential scan's row order), re-stamp the
+    /// entry, and return the refreshed output. Only the delta scan is
+    /// charged to the DBMS cost counters; no full-table scan happens on
+    /// this path. Returns `None` if the delta execution or merge failed
+    /// — the caller falls back to a full recompute, never serving a
+    /// wrong answer.
+    fn refresh_into_cache(
+        &self,
+        fingerprint: &str,
+        phys: &PhysicalPlan,
+        table: &Arc<Table>,
+        state: &CachedState,
+        delta: (usize, usize),
+    ) -> Option<Arc<PlanOutput>> {
+        if delta.0 == delta.1 {
+            // A version bump without new rows (empty append): the state
+            // is already exact — re-stamp it without any scan.
+            StatCounters::add(&self.stats.refreshes, 1);
+            if self.config.cache_capacity > 0 {
+                let evicted = self.cache.lock().expect("cache lock poisoned").insert(
+                    fingerprint.to_string(),
+                    source_key(phys),
+                    table.version(),
+                    phys.clone(),
+                    state.clone(),
+                );
+                StatCounters::add(&self.stats.inserts, 1);
+                StatCounters::add(&self.stats.evictions, evicted);
+            }
+            return Some(state.output.clone());
+        }
+        let merged = (|| -> DbResult<PartialAggState> {
+            let delta_state = phys.execute_partial(table, delta)?;
+            let mut delta_stats = *delta_state.stats();
+            delta_stats.table_scans = 1;
+            let mut merged = (*state.partial).clone();
+            merged.merge(delta_state, table)?;
+            self.engine.database().record_stats(&delta_stats);
+            Ok(merged)
+        })();
+        match merged {
+            Ok(merged) => {
+                StatCounters::add(&self.stats.refreshes, 1);
+                StatCounters::add(&self.stats.refresh_rows, (delta.1 - delta.0) as u64);
+                self.finalize_and_cache(
+                    fingerprint,
+                    source_key(phys),
+                    table,
+                    phys,
+                    Arc::new(merged),
+                )
+                .ok()
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Eager maintenance after [`Service::append_rows`]: bring every
+    /// cached entry of `table` up to the new version immediately, so
+    /// the next probe is an exact hit. Entries that cannot be refreshed
+    /// (policy fallback or a refresh failure) are dropped and will
+    /// recompute on their next probe. Scans run outside the cache lock;
+    /// re-stamping is version-guarded, so a racing lazy refresh or a
+    /// newer append can never be overwritten with a *wrong* state —
+    /// at worst an older (still version-stamped, still correct) one
+    /// that the next probe refreshes again.
+    fn refresh_table_entries(&self, table: &Arc<Table>) {
+        let affected = self
+            .cache
+            .lock()
+            .expect("cache lock poisoned")
+            .stale_entries_for(table.name(), table.version());
+        for (key, old_version, phys, state) in affected {
+            let refreshed = match self.config.refresh.decide(table, old_version) {
+                RefreshDecision::Incremental { delta } => self
+                    .refresh_into_cache(&key, &phys, table, &state, delta)
+                    .is_some(),
+                RefreshDecision::Recompute(_) => false,
+            };
+            if !refreshed {
+                self.cache
+                    .lock()
+                    .expect("cache lock poisoned")
+                    .remove_if_version(&key, old_version);
+                StatCounters::add(&self.stats.invalidations, 1);
+                StatCounters::add(&self.stats.refresh_fallbacks, 1);
+            }
+        }
+    }
+
     /// Finalize one executed state — the output every requester of this
-    /// plan is handed — and cache `(unfinalized state, output memo)`
-    /// under `(fingerprint, table version)`, so exact hits serve a
-    /// result copy and covering projections reuse the state.
+    /// plan is handed — and cache `(unfinalized state, output memo,
+    /// plan)` under `(fingerprint, table version)`, so exact hits serve
+    /// a result copy, covering projections reuse the state, and appends
+    /// can refresh it incrementally.
     fn finalize_and_cache(
         &self,
         fingerprint: &str,
         source: String,
         table: &Table,
+        phys: &PhysicalPlan,
         partial: Arc<PartialAggState>,
     ) -> DbResult<Arc<PlanOutput>> {
         let output = Arc::new((*partial).clone().finalize(table)?);
@@ -906,6 +1161,7 @@ impl ServiceInner {
                 fingerprint.to_string(),
                 source,
                 table.version(),
+                phys.clone(),
                 CachedState {
                     partial,
                     output: output.clone(),
@@ -923,7 +1179,7 @@ mod tests {
     use super::*;
     use memdb::{AggFunc, ColumnDef, DataType, Schema, Value};
 
-    fn state_for(db: &Database, group_by: &str) -> CachedState {
+    fn state_for(db: &Database, group_by: &str) -> (CachedState, PhysicalPlan) {
         let table = db.table("t").unwrap();
         let phys = LogicalPlan::scan("t")
             .aggregate(vec![group_by.into()], vec![AggSpec::new(AggFunc::Sum, "m")])
@@ -931,10 +1187,13 @@ mod tests {
             .unwrap();
         let partial = phys.execute_partial(&table, (0, table.num_rows())).unwrap();
         let output = partial.clone().finalize(&table).unwrap();
-        CachedState {
-            partial: Arc::new(partial),
-            output: Arc::new(output),
-        }
+        (
+            CachedState {
+                partial: Arc::new(partial),
+                output: Arc::new(output),
+            },
+            phys,
+        )
     }
 
     fn tiny_db() -> Database {
@@ -961,13 +1220,16 @@ mod tests {
     #[test]
     fn lru_evicts_least_recently_used() {
         let db = tiny_db();
-        let s = state_for(&db, "d");
+        let (s, phys) = state_for(&db, "d");
         let mut cache = LruCache::new(2);
-        assert_eq!(cache.insert("a".into(), "src".into(), 1, s.clone()), 0);
-        assert_eq!(cache.insert("b".into(), "src".into(), 1, s.clone()), 0);
+        let ins = |c: &mut LruCache, key: &str, s: CachedState| {
+            c.insert(key.into(), "src".into(), 1, phys.clone(), s)
+        };
+        assert_eq!(ins(&mut cache, "a", s.clone()), 0);
+        assert_eq!(ins(&mut cache, "b", s.clone()), 0);
         // Touch "a" so "b" is the LRU victim.
         assert!(matches!(cache.lookup("a", 1), Lookup::Hit(_)));
-        assert_eq!(cache.insert("c".into(), "src".into(), 1, s.clone()), 1);
+        assert_eq!(ins(&mut cache, "c", s.clone()), 1);
         assert!(matches!(cache.lookup("b", 1), Lookup::Miss));
         assert!(matches!(cache.lookup("a", 1), Lookup::Hit(_)));
         assert!(matches!(cache.lookup("c", 1), Lookup::Hit(_)));
@@ -977,23 +1239,47 @@ mod tests {
     #[test]
     fn lru_capacity_zero_caches_nothing() {
         let db = tiny_db();
-        let s = state_for(&db, "d");
+        let (s, phys) = state_for(&db, "d");
         let mut cache = LruCache::new(0);
-        assert_eq!(cache.insert("a".into(), "src".into(), 1, s), 0);
+        assert_eq!(cache.insert("a".into(), "src".into(), 1, phys, s), 0);
         assert!(matches!(cache.lookup("a", 1), Lookup::Miss));
         assert_eq!(cache.len(), 0);
     }
 
     #[test]
-    fn stale_versions_are_dropped_not_served() {
+    fn outdated_versions_are_reported_not_served() {
         let db = tiny_db();
-        let s = state_for(&db, "d");
+        let (s, phys) = state_for(&db, "d");
         let mut cache = LruCache::new(4);
-        cache.insert("a".into(), "src".into(), 1, s);
-        assert!(matches!(cache.lookup("a", 2), Lookup::Stale));
-        // The stale entry is gone: a second probe is a plain miss.
+        cache.insert("a".into(), "src".into(), 1, phys, s);
+        // A version mismatch is reported with the stamped version (the
+        // caller refreshes or removes); the entry stays until then.
+        assert!(matches!(
+            cache.lookup("a", 2),
+            Lookup::Outdated { version: 1, .. }
+        ));
+        assert_eq!(cache.len(), 1);
+        // Version-guarded removal: a wrong expected version is a no-op,
+        // the right one drops the entry.
+        cache.remove_if_version("a", 2);
+        assert_eq!(cache.len(), 1);
+        cache.remove_if_version("a", 1);
         assert!(matches!(cache.lookup("a", 2), Lookup::Miss));
         assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn stale_entries_for_lists_only_other_versions_of_the_table() {
+        let db = tiny_db();
+        let (s, phys) = state_for(&db, "d");
+        let mut cache = LruCache::new(8);
+        cache.insert("old".into(), "src".into(), 1, phys.clone(), s.clone());
+        cache.insert("cur".into(), "src".into(), 2, phys.clone(), s.clone());
+        let stale = cache.stale_entries_for("t", 2);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].0, "old");
+        assert_eq!(stale[0].1, 1);
+        assert!(cache.stale_entries_for("other", 2).is_empty());
     }
 
     /// If the leader unwinds mid-execution, its guard must still close

@@ -11,12 +11,17 @@ use crate::error::{DbError, DbResult};
 use crate::exec::{self, Query, QueryOutput, SetsOutput, SetsQuery};
 use crate::plan::{LogicalPlan, PhysicalPlan, PlanOutput};
 use crate::table::Table;
+use crate::value::Value;
 
 /// An in-memory database: a set of named tables.
 ///
 /// Cloning handles is cheap (`Arc` inside); queries can run concurrently
-/// from many threads. Tables are immutable once registered — replace a
-/// table by re-registering under the same name.
+/// from many threads. Tables are immutable once registered: mutate a
+/// name either by re-registering (a *replacement* — caches invalidate)
+/// or by [`Database::append_rows`] (live ingest — version `v+1` shares
+/// every sealed segment with `v` and adds one delta segment, so
+/// existing snapshots and in-flight scans are undisturbed and caches
+/// can refresh incrementally).
 #[derive(Debug, Default)]
 pub struct Database {
     tables: RwLock<HashMap<String, Arc<Table>>>,
@@ -25,6 +30,14 @@ pub struct Database {
     /// registration stamps the table with the post-bump value
     /// ([`Table::version`]), so caches can detect replaced tables.
     version: AtomicU64,
+    /// Serializes catalog *mutations* (`register`, `drop_table`,
+    /// `append_rows`) with each other. Appends hold it across their
+    /// (potentially large) delta build WITHOUT touching the `tables`
+    /// write lock until the final publish, so readers keep resolving
+    /// tables throughout an ingest batch — and since every mutation
+    /// path takes this lock first, the snapshot an append builds on
+    /// cannot be replaced before its publish.
+    mutate_lock: std::sync::Mutex<()>,
 }
 
 impl Database {
@@ -34,15 +47,77 @@ impl Database {
     }
 
     /// Register (or replace) a table under its own name. The table is
-    /// stamped with a fresh catalog version ([`Table::version`]).
+    /// sealed and stamped with a fresh catalog version
+    /// ([`Table::version`]).
+    ///
+    /// Registering an *existing* name is a **replacement**, not an
+    /// append: the new table's lineage is reset to a single checkpoint
+    /// ([`Table::append_delta_since`] returns `None` for every earlier
+    /// version), so result caches built against the old registration
+    /// can only invalidate — a stale incremental refresh onto the
+    /// replacement is impossible by construction. Use
+    /// [`Database::append_rows`] for ingest that preserves lineage.
     pub fn register(&self, mut table: Table) -> Arc<Table> {
-        table.set_version(self.version.fetch_add(1, Ordering::Relaxed) + 1);
+        let _mutations_serialized = self.mutate_lock.lock().expect("mutate lock poisoned");
+        table.stamp_registered(self.version.fetch_add(1, Ordering::Relaxed) + 1);
         let arc = Arc::new(table);
         self.tables
             .write()
             .expect("catalog lock poisoned")
             .insert(arc.name().to_string(), arc.clone());
         arc
+    }
+
+    /// Append `rows` to the registered table `name`, publishing version
+    /// `v+1`: a new [`Table`] value that shares every sealed segment
+    /// with `v` (a handful of refcount bumps) and holds the appended
+    /// rows in exactly one new sealed segment. Existing snapshots —
+    /// including scans already in flight — keep reading `v` untouched;
+    /// per-table lineage records that `v → v+1` is a pure append, which
+    /// is what lets cached partial aggregates refresh by scanning only
+    /// `[old_rows, new_rows)`. Returns the new version's handle.
+    ///
+    /// Catalog mutations (appends, registrations, drops) serialize with
+    /// each other on a dedicated mutation lock, but the delta build
+    /// runs *outside* the catalog's reader/writer lock — concurrent
+    /// queries keep resolving tables while a large batch is ingested;
+    /// the write lock is only taken for the final publish.
+    ///
+    /// To bound read amplification of long append histories, a table
+    /// whose segment count reaches an internal threshold is compacted
+    /// into a single segment as part of the append (row order, row ids,
+    /// and dictionary codes are all preserved, so snapshots and cached
+    /// partial-aggregate states remain valid).
+    ///
+    /// # Errors
+    /// `UnknownTable` if `name` is not registered; `Schema`/
+    /// `TypeMismatch` if any row does not fit the schema — in which
+    /// case **nothing is published**: the catalog still serves the old
+    /// version, atomically.
+    pub fn append_rows(&self, name: &str, rows: Vec<Vec<Value>>) -> DbResult<Arc<Table>> {
+        // Every catalog mutation serializes on this lock, so the
+        // snapshot read below cannot be replaced before the publish —
+        // no conflict handling needed — while readers keep resolving
+        // tables for the whole build (the `tables` write lock is only
+        // held for the final insert).
+        let _mutations_serialized = self.mutate_lock.lock().expect("mutate lock poisoned");
+        let old = self.table(name)?;
+        let mut next = (*old).clone();
+        // The old version is sealed (registration/append seals), so the
+        // pushes below open exactly one fresh delta segment per column.
+        for row in rows {
+            next.push_row(row)?;
+        }
+        if next.num_segments() >= Table::SEGMENT_COMPACT_THRESHOLD {
+            next = next.compacted()?;
+        }
+        next.stamp_appended(self.version.fetch_add(1, Ordering::Relaxed) + 1);
+        let arc = Arc::new(next);
+        self.tables
+            .write()
+            .expect("catalog lock poisoned")
+            .insert(name.to_string(), arc.clone());
+        Ok(arc)
     }
 
     /// Current catalog version: increases whenever any table is
@@ -79,18 +154,25 @@ impl Database {
         names
     }
 
-    /// Remove a table. Returns whether it existed.
-    pub fn drop_table(&self, name: &str) -> bool {
+    /// Remove a table.
+    ///
+    /// # Errors
+    /// `UnknownTable` if no table of that name is registered — dropping
+    /// a missing table is reported, never silently ignored. The catalog
+    /// version is only bumped when a table was actually removed.
+    pub fn drop_table(&self, name: &str) -> DbResult<()> {
+        let _mutations_serialized = self.mutate_lock.lock().expect("mutate lock poisoned");
         let existed = self
             .tables
             .write()
             .expect("catalog lock poisoned")
             .remove(name)
             .is_some();
-        if existed {
-            self.version.fetch_add(1, Ordering::Relaxed);
+        if !existed {
+            return Err(DbError::UnknownTable(name.to_string()));
         }
-        existed
+        self.version.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Execute a single-grouping [`Query`], recording its cost.
@@ -211,8 +293,11 @@ mod tests {
         let schema = Schema::new(vec![ColumnDef::measure("x", DataType::Int64)]).unwrap();
         db.register(Table::new("aaa", schema));
         assert_eq!(db.table_names(), vec!["aaa", "sales"]);
-        assert!(db.drop_table("aaa"));
-        assert!(!db.drop_table("aaa"));
+        assert!(db.drop_table("aaa").is_ok());
+        assert!(matches!(
+            db.drop_table("aaa"),
+            Err(DbError::UnknownTable(_))
+        ));
         assert_eq!(db.table_names(), vec!["sales"]);
     }
 
@@ -256,15 +341,147 @@ mod tests {
         assert!(v2 > v1);
         assert_eq!(db.version(), v2);
 
-        // Drops bump the catalog version too; missing drops do not.
-        assert!(db.drop_table("sales"));
+        // Drops bump the catalog version too; missing drops do not
+        // (and are a typed error, not a silent no-op).
+        assert!(db.drop_table("sales").is_ok());
         assert!(db.version() > v2);
         let after = db.version();
-        assert!(!db.drop_table("sales"));
+        assert!(matches!(
+            db.drop_table("sales"),
+            Err(DbError::UnknownTable(_))
+        ));
         assert_eq!(db.version(), after);
 
         // Unregistered tables are version 0.
         assert_eq!(Table::new("loose", schema).version(), 0);
+    }
+
+    #[test]
+    fn append_rows_publishes_a_new_version_sharing_segments() {
+        let db = db_with_sales();
+        let v1 = db.table("sales").unwrap();
+        let v2 = db
+            .append_rows("sales", vec![vec!["NY".into(), 7.5.into()]])
+            .unwrap();
+        // The old snapshot is untouched; the new one extends it.
+        assert_eq!(v1.num_rows(), 3);
+        assert_eq!(v2.num_rows(), 4);
+        assert_eq!(v2.row(3), vec![Value::from("NY"), Value::Float(7.5)]);
+        assert!(v2.version() > v1.version());
+        assert_eq!(v2.num_segments(), v1.num_segments() + 1);
+        // Lineage: v1 → v2 is a pure append of exactly one row.
+        assert_eq!(v2.append_delta_since(v1.version()), Some((3, 4)));
+        // The catalog serves the new version.
+        assert_eq!(db.table("sales").unwrap().num_rows(), 4);
+
+        // Query results cover the appended row.
+        let q = Query::aggregate("sales", vec![], vec![AggSpec::count_star()]);
+        assert_eq!(
+            db.run(&q).unwrap().result.rows[0][0],
+            crate::value::Value::Int(4)
+        );
+    }
+
+    #[test]
+    fn append_rows_failure_publishes_nothing() {
+        let db = db_with_sales();
+        let before = db.table("sales").unwrap();
+        let v_before = db.version();
+        // Second row is malformed: nothing of the batch may land.
+        let r = db.append_rows(
+            "sales",
+            vec![
+                vec!["OK".into(), 1.0.into()],
+                vec!["bad".into(), "not a number".into()],
+            ],
+        );
+        assert!(r.is_err());
+        assert_eq!(db.version(), v_before, "failed append bumps nothing");
+        let now = db.table("sales").unwrap();
+        assert_eq!(now.num_rows(), 3);
+        assert!(Arc::ptr_eq(&before, &now), "old version still served");
+
+        assert!(matches!(
+            db.append_rows("missing", vec![]),
+            Err(DbError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn long_append_histories_compact_without_breaking_refresh() {
+        let db = db_with_sales(); // 3 rows, 1 segment
+        let one_row = |i: usize| vec![vec![format!("S{}", i % 7).into(), (i as f64).into()]];
+        for i in 0..50 {
+            db.append_rows("sales", one_row(i)).unwrap();
+        }
+        // A cached partial-aggregate state from before the compaction.
+        let snapshot = db.table("sales").unwrap();
+        assert_eq!(snapshot.num_segments(), 51);
+        let phys = LogicalPlan::scan("sales")
+            .aggregate(
+                vec!["store".into()],
+                vec![crate::exec::AggSpec::new(
+                    crate::exec::AggFunc::Sum,
+                    "amount",
+                )],
+            )
+            .lower()
+            .unwrap();
+        let cached = phys
+            .execute_partial(&snapshot, (0, snapshot.num_rows()))
+            .unwrap();
+
+        // 24 more single-row appends cross SEGMENT_COMPACT_THRESHOLD:
+        // the segment count must collapse instead of growing forever.
+        for i in 50..74 {
+            db.append_rows("sales", one_row(i)).unwrap();
+        }
+        let live = db.table("sales").unwrap();
+        assert_eq!(live.num_rows(), 3 + 74);
+        assert!(
+            live.num_segments() < 25,
+            "compaction must bound the segment count, got {}",
+            live.num_segments()
+        );
+        assert!(live.num_segments() > 1, "appends after compaction");
+
+        // Incremental refresh across the compaction boundary: row ids
+        // and dictionary codes are preserved, so the pre-compaction
+        // cached state merges with the delta to the bit-exact cold
+        // answer at the compacted version.
+        let (lo, hi) = live
+            .append_delta_since(snapshot.version())
+            .expect("within the bounded lineage");
+        assert_eq!((lo, hi), (53, 77));
+        let mut refreshed = cached;
+        refreshed
+            .merge(phys.execute_partial(&live, (lo, hi)).unwrap(), &live)
+            .unwrap();
+        let refreshed = refreshed.finalize(&live).unwrap();
+        let cold = phys.execute(&live).unwrap();
+        assert_eq!(
+            cold.result_set(0).unwrap(),
+            refreshed.result_set(0).unwrap()
+        );
+    }
+
+    #[test]
+    fn register_of_existing_name_replaces_and_breaks_lineage() {
+        let db = db_with_sales();
+        let v1 = db.table("sales").unwrap();
+        // Re-registering the same name is a replacement: the new
+        // table's lineage starts fresh, so no version of the old
+        // registration is append-refreshable against it.
+        let schema = Schema::new(vec![
+            ColumnDef::dimension("store", DataType::Str),
+            ColumnDef::measure("amount", DataType::Float64),
+        ])
+        .unwrap();
+        db.register(Table::new("sales", schema));
+        let v2 = db.table("sales").unwrap();
+        assert!(v2.version() > v1.version());
+        assert_eq!(v2.append_delta_since(v1.version()), None);
+        assert_eq!(v2.lineage().len(), 1);
     }
 
     #[test]

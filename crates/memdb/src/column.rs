@@ -1,53 +1,28 @@
-//! Typed, dictionary-encoded columnar storage.
+//! Typed, dictionary-encoded, *segmented* columnar storage.
 //!
-//! Each [`Column`] is a dense vector of one [`DataType`] plus an optional
-//! validity mask (absent = no nulls). Strings are dictionary-encoded:
-//! the column stores `u32` codes into a per-column dictionary, which makes
-//! group-by keys and correlation statistics cheap.
+//! Each [`Column`] is an ordered list of immutable [`ColumnSegment`]s
+//! behind `Arc`s plus an optional validity mask per segment (absent =
+//! no nulls). Strings
+//! are dictionary-encoded: segments store `u32` codes into a per-column
+//! dictionary shared by all segments, which makes group-by keys and
+//! correlation statistics cheap. The dictionary is extended
+//! copy-on-write when rows are appended, so codes in shared (older)
+//! segments stay valid in every snapshot that references them.
+//!
+//! Mutation model: [`Column::push`] writes into an *open* tail segment;
+//! sealing (crate-internal, done by tables) freezes it so the next push
+//! starts a new segment. Tables seal their columns when registered with
+//! a database and around every append, which is what lets table
+//! versions share segments.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::error::{DbError, DbResult};
+use crate::segment::{ColumnSegment, SegmentData};
 use crate::value::{DataType, Value};
 
-/// Validity (non-null) mask. `None` means every row is valid, which is the
-/// common case and costs nothing.
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct Validity {
-    mask: Option<Vec<bool>>,
-}
-
-impl Validity {
-    /// Is row `i` valid (non-null)? Rows beyond the recorded mask are valid.
-    #[inline]
-    pub fn is_valid(&self, i: usize) -> bool {
-        match &self.mask {
-            None => true,
-            Some(m) => m.get(i).copied().unwrap_or(true),
-        }
-    }
-
-    /// Record validity for the next row (row index `len`).
-    fn push(&mut self, len: usize, valid: bool) {
-        match (&mut self.mask, valid) {
-            (None, true) => {}
-            (None, false) => {
-                let mut m = vec![true; len];
-                m.push(false);
-                self.mask = Some(m);
-            }
-            (Some(m), v) => m.push(v),
-        }
-    }
-
-    /// Number of nulls among the first `len` rows.
-    pub fn null_count(&self, len: usize) -> usize {
-        match &self.mask {
-            None => 0,
-            Some(m) => m.iter().take(len).filter(|v| !**v).count(),
-        }
-    }
-}
+pub use crate::segment::Validity;
 
 /// Dictionary for string columns: bidirectional mapping between strings
 /// and dense `u32` codes.
@@ -90,122 +65,117 @@ impl StrDict {
     }
 }
 
-/// A single column of data.
+/// A single logical column: typed, segmented storage.
+///
+/// Cloning is cheap (segments are shared behind `Arc`); a clone that is
+/// subsequently pushed to copies only its open tail segment and, for
+/// string columns, extends its dictionary copy-on-write — the original
+/// column (and any snapshot sharing its segments) is never disturbed.
 #[derive(Debug, Clone)]
-pub enum Column {
-    /// 64-bit integers.
-    Int64 {
-        /// Row values (unspecified where invalid).
-        data: Vec<i64>,
-        /// Null mask.
-        validity: Validity,
-    },
-    /// 64-bit floats.
-    Float64 {
-        /// Row values (unspecified where invalid).
-        data: Vec<f64>,
-        /// Null mask.
-        validity: Validity,
-    },
-    /// Dictionary-encoded strings.
-    Str {
-        /// Per-row dictionary codes (unspecified where invalid).
-        codes: Vec<u32>,
-        /// The dictionary.
-        dict: StrDict,
-        /// Null mask.
-        validity: Validity,
-    },
-    /// Booleans.
-    Bool {
-        /// Row values (unspecified where invalid).
-        data: Vec<bool>,
-        /// Null mask.
-        validity: Validity,
-    },
+pub struct Column {
+    dtype: DataType,
+    /// Sealed + open segments, in row order.
+    segments: Vec<Arc<ColumnSegment>>,
+    /// `starts[i]` = first logical row id of `segments[i]`.
+    starts: Vec<usize>,
+    /// Total rows across all segments.
+    len: usize,
+    /// Whether the last segment still accepts pushes.
+    open: bool,
+    /// Shared dictionary (string columns only).
+    dict: Option<Arc<StrDict>>,
 }
 
 impl Column {
     /// An empty column of the given type.
     pub fn new(dtype: DataType) -> Self {
-        match dtype {
-            DataType::Int64 => Column::Int64 {
-                data: Vec::new(),
-                validity: Validity::default(),
-            },
-            DataType::Float64 => Column::Float64 {
-                data: Vec::new(),
-                validity: Validity::default(),
-            },
-            DataType::Str => Column::Str {
-                codes: Vec::new(),
-                dict: StrDict::default(),
-                validity: Validity::default(),
-            },
-            DataType::Bool => Column::Bool {
-                data: Vec::new(),
-                validity: Validity::default(),
+        Column {
+            dtype,
+            segments: Vec::new(),
+            starts: Vec::new(),
+            len: 0,
+            open: false,
+            dict: match dtype {
+                DataType::Str => Some(Arc::new(StrDict::default())),
+                _ => None,
             },
         }
     }
 
-    /// An empty column with pre-reserved capacity.
+    /// An empty column with pre-reserved capacity in its first segment.
     pub fn with_capacity(dtype: DataType, cap: usize) -> Self {
         let mut c = Column::new(dtype);
-        match &mut c {
-            Column::Int64 { data, .. } => data.reserve(cap),
-            Column::Float64 { data, .. } => data.reserve(cap),
-            Column::Str { codes, .. } => codes.reserve(cap),
-            Column::Bool { data, .. } => data.reserve(cap),
-        }
+        c.segments
+            .push(Arc::new(ColumnSegment::with_capacity(dtype, cap)));
+        c.starts.push(0);
+        c.open = true;
         c
     }
 
     /// This column's data type.
     pub fn data_type(&self) -> DataType {
-        match self {
-            Column::Int64 { .. } => DataType::Int64,
-            Column::Float64 { .. } => DataType::Float64,
-            Column::Str { .. } => DataType::Str,
-            Column::Bool { .. } => DataType::Bool,
-        }
+        self.dtype
     }
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        match self {
-            Column::Int64 { data, .. } => data.len(),
-            Column::Float64 { data, .. } => data.len(),
-            Column::Str { codes, .. } => codes.len(),
-            Column::Bool { data, .. } => data.len(),
-        }
+        self.len
     }
 
     /// True if the column holds no rows.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.len == 0
+    }
+
+    /// Number of segments (sealed plus the open tail, if any).
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The segments in row order, each with its starting logical row id.
+    /// This is the scan surface for segment-at-a-time loops (statistics,
+    /// delta scans): `start + local index` recovers the logical row id.
+    pub fn segments(&self) -> impl Iterator<Item = (usize, &ColumnSegment)> {
+        self.starts
+            .iter()
+            .copied()
+            .zip(self.segments.iter().map(Arc::as_ref))
+    }
+
+    /// Seal the open tail segment (if any): the next push starts a new
+    /// segment. Idempotent. Called by tables when they are registered
+    /// and around appends, so segment boundaries align with published
+    /// table versions.
+    pub(crate) fn seal(&mut self) {
+        self.open = false;
+    }
+
+    /// Locate logical row `i`: the segment holding it plus the local
+    /// index within that segment.
+    #[inline]
+    fn locate(&self, i: usize) -> (&ColumnSegment, usize) {
+        if self.segments.len() == 1 {
+            // Overwhelmingly common case: a table built in one shot.
+            return (&self.segments[0], i);
+        }
+        let s = self.starts.partition_point(|&st| st <= i) - 1;
+        (&self.segments[s], i - self.starts[s])
     }
 
     /// Number of null rows.
     pub fn null_count(&self) -> usize {
-        let n = self.len();
-        match self {
-            Column::Int64 { validity, .. }
-            | Column::Float64 { validity, .. }
-            | Column::Str { validity, .. }
-            | Column::Bool { validity, .. } => validity.null_count(n),
-        }
+        self.segments.iter().map(|s| s.null_count()).sum()
     }
 
-    /// Is row `i` non-null?
+    /// Is row `i` non-null? Rows beyond the column are valid (mirroring
+    /// the validity mask's semantics for unrecorded rows).
     #[inline]
     pub fn is_valid(&self, i: usize) -> bool {
-        match self {
-            Column::Int64 { validity, .. }
-            | Column::Float64 { validity, .. }
-            | Column::Str { validity, .. }
-            | Column::Bool { validity, .. } => validity.is_valid(i),
+        if i >= self.len {
+            return true;
         }
+        let (seg, local) = self.locate(i);
+        seg.is_valid(local)
     }
 
     /// Append a value, checking its type against the column's.
@@ -222,162 +192,145 @@ impl Column {
                 .unwrap_or_else(|| "null".to_string()),
             context: "column push".to_string(),
         };
-        match self {
-            Column::Int64 { data, validity } => match v {
-                Value::Int(i) => {
-                    validity.push(data.len(), true);
-                    data.push(i);
-                }
-                Value::Null => {
-                    validity.push(data.len(), false);
-                    data.push(0);
-                }
-                other => return Err(mismatch(&other, DataType::Int64)),
-            },
-            Column::Float64 { data, validity } => match v {
-                Value::Float(f) => {
-                    validity.push(data.len(), true);
-                    data.push(f);
-                }
-                Value::Int(i) => {
-                    validity.push(data.len(), true);
-                    data.push(i as f64);
-                }
-                Value::Null => {
-                    validity.push(data.len(), false);
-                    data.push(0.0);
-                }
-                other => return Err(mismatch(&other, DataType::Float64)),
-            },
-            Column::Str {
-                codes,
-                dict,
-                validity,
-            } => match v {
-                Value::Str(s) => {
-                    let code = dict.intern(&s);
-                    validity.push(codes.len(), true);
-                    codes.push(code);
-                }
-                Value::Null => {
-                    validity.push(codes.len(), false);
-                    codes.push(0);
-                }
-                other => return Err(mismatch(&other, DataType::Str)),
-            },
-            Column::Bool { data, validity } => match v {
-                Value::Bool(b) => {
-                    validity.push(data.len(), true);
-                    data.push(b);
-                }
-                Value::Null => {
-                    validity.push(data.len(), false);
-                    data.push(false);
-                }
-                other => return Err(mismatch(&other, DataType::Bool)),
-            },
+        // Type-check (and intern) before touching the tail segment so a
+        // rejected push leaves the column untouched.
+        enum Typed {
+            Null,
+            Int(i64),
+            Float(f64),
+            Code(u32),
+            Bool(bool),
         }
+        let typed = match (self.dtype, v) {
+            (_, Value::Null) => Typed::Null,
+            (DataType::Int64, Value::Int(i)) => Typed::Int(i),
+            (DataType::Float64, Value::Float(f)) => Typed::Float(f),
+            (DataType::Float64, Value::Int(i)) => Typed::Float(i as f64),
+            (DataType::Str, Value::Str(s)) => {
+                let dict = self.dict.as_mut().expect("string columns carry a dict");
+                Typed::Code(Arc::make_mut(dict).intern(&s))
+            }
+            (DataType::Bool, Value::Bool(b)) => Typed::Bool(b),
+            (expected, other) => return Err(mismatch(&other, expected)),
+        };
+        if !self.open {
+            self.segments.push(Arc::new(ColumnSegment::new(self.dtype)));
+            self.starts.push(self.len);
+            self.open = true;
+        }
+        let seg = Arc::make_mut(self.segments.last_mut().expect("open tail exists"));
+        match typed {
+            Typed::Null => seg.push_null(),
+            Typed::Int(i) => seg.push_int(i),
+            Typed::Float(f) => seg.push_float(f),
+            Typed::Code(c) => seg.push_code(c),
+            Typed::Bool(b) => seg.push_bool(b),
+        }
+        self.len += 1;
         Ok(())
     }
 
     /// Materialize row `i` as a [`Value`].
     pub fn get(&self, i: usize) -> Value {
-        if !self.is_valid(i) {
-            return Value::Null;
-        }
-        match self {
-            Column::Int64 { data, .. } => Value::Int(data[i]),
-            Column::Float64 { data, .. } => Value::Float(data[i]),
-            Column::Str { codes, dict, .. } => Value::Str(dict.value(codes[i]).to_string()),
-            Column::Bool { data, .. } => Value::Bool(data[i]),
-        }
+        let (seg, local) = self.locate(i);
+        seg.value_at(local, self.dict.as_deref())
     }
 
     /// Numeric view of row `i`: `None` when null or non-numeric.
     #[inline]
     pub fn f64_at(&self, i: usize) -> Option<f64> {
-        if !self.is_valid(i) {
-            return None;
-        }
-        match self {
-            Column::Int64 { data, .. } => Some(data[i] as f64),
-            Column::Float64 { data, .. } => Some(data[i]),
-            _ => None,
-        }
+        let (seg, local) = self.locate(i);
+        seg.f64_at(local)
+    }
+
+    /// Dictionary code of row `i` for string columns (`None` when null
+    /// or non-string).
+    #[inline]
+    pub fn code_at(&self, i: usize) -> Option<u32> {
+        let (seg, local) = self.locate(i);
+        seg.code_at(local)
+    }
+
+    /// A 64-bit grouping key for row `i` (`None` when null): dictionary
+    /// code for strings, raw bits for ints/floats/bools. Stable across
+    /// appends — shared segments and the append-only dictionary keep
+    /// old rows' bits unchanged in every descendant version.
+    #[inline]
+    pub fn key_bits(&self, i: usize) -> Option<u64> {
+        let (seg, local) = self.locate(i);
+        seg.key_bits(local)
     }
 
     /// Dictionary accessor for string columns.
     pub fn str_dict(&self) -> Option<&StrDict> {
-        match self {
-            Column::Str { dict, .. } => Some(dict),
-            _ => None,
-        }
-    }
-
-    /// Dictionary codes for string columns.
-    pub fn str_codes(&self) -> Option<&[u32]> {
-        match self {
-            Column::Str { codes, .. } => Some(codes),
-            _ => None,
-        }
+        self.dict.as_deref()
     }
 
     /// Number of distinct non-null values.
     ///
-    /// For string columns this is the dictionary size (exact if every
-    /// interned string is still referenced, which holds for append-only
-    /// columns). Other types scan.
+    /// For string columns without nulls this is the dictionary size
+    /// (exact: every interned string is stored by some segment of this
+    /// column's lineage). Other cases scan the segments.
     pub fn distinct_count(&self) -> usize {
-        match self {
-            Column::Str {
-                dict,
-                codes,
-                validity,
-            } => {
-                // Dictionary may over-count only if values were interned but
-                // never stored; append-only pushes always store, so the dict
-                // size is exact unless nulls exist (code 0 placeholder).
-                if validity.null_count(codes.len()) == 0 {
-                    dict.len()
-                } else {
-                    let mut seen = vec![false; dict.len()];
-                    let mut n = 0;
-                    for (i, &c) in codes.iter().enumerate() {
-                        if validity.is_valid(i) && !seen[c as usize] {
-                            seen[c as usize] = true;
-                            n += 1;
+        match self.dtype {
+            DataType::Str => {
+                let dict_len = self.dict.as_ref().map_or(0, |d| d.len());
+                if self.null_count() == 0 {
+                    return dict_len;
+                }
+                let mut seen = vec![false; dict_len];
+                let mut n = 0;
+                for (_, seg) in self.segments() {
+                    if let SegmentData::Str(codes) = seg.data() {
+                        for (i, &c) in codes.iter().enumerate() {
+                            if seg.is_valid(i) && !seen[c as usize] {
+                                seen[c as usize] = true;
+                                n += 1;
+                            }
                         }
                     }
-                    n
                 }
+                n
             }
-            Column::Int64 { data, validity } => {
+            DataType::Int64 => {
                 let mut set: std::collections::HashSet<i64> = std::collections::HashSet::new();
-                for (i, &v) in data.iter().enumerate() {
-                    if validity.is_valid(i) {
-                        set.insert(v);
+                for (_, seg) in self.segments() {
+                    if let SegmentData::Int64(data) = seg.data() {
+                        for (i, &v) in data.iter().enumerate() {
+                            if seg.is_valid(i) {
+                                set.insert(v);
+                            }
+                        }
                     }
                 }
                 set.len()
             }
-            Column::Float64 { data, validity } => {
+            DataType::Float64 => {
                 let mut set: std::collections::HashSet<u64> = std::collections::HashSet::new();
-                for (i, &v) in data.iter().enumerate() {
-                    if validity.is_valid(i) {
-                        set.insert(v.to_bits());
+                for (_, seg) in self.segments() {
+                    if let SegmentData::Float64(data) = seg.data() {
+                        for (i, &v) in data.iter().enumerate() {
+                            if seg.is_valid(i) {
+                                set.insert(v.to_bits());
+                            }
+                        }
                     }
                 }
                 set.len()
             }
-            Column::Bool { data, validity } => {
+            DataType::Bool => {
                 let mut t = false;
                 let mut f = false;
-                for (i, &v) in data.iter().enumerate() {
-                    if validity.is_valid(i) {
-                        if v {
-                            t = true;
-                        } else {
-                            f = true;
+                for (_, seg) in self.segments() {
+                    if let SegmentData::Bool(data) = seg.data() {
+                        for (i, &v) in data.iter().enumerate() {
+                            if seg.is_valid(i) {
+                                if v {
+                                    t = true;
+                                } else {
+                                    f = true;
+                                }
+                            }
                         }
                     }
                 }
@@ -425,8 +378,8 @@ mod tests {
         for s in ["MA", "WA", "MA", "NY", "MA"] {
             c.push(Value::from(s)).unwrap();
         }
-        let codes = c.str_codes().unwrap();
-        assert_eq!(codes, &[0, 1, 0, 2, 0]);
+        let codes: Vec<u32> = (0..c.len()).map(|i| c.code_at(i).unwrap()).collect();
+        assert_eq!(codes, vec![0, 1, 0, 2, 0]);
         assert_eq!(c.str_dict().unwrap().len(), 3);
         assert_eq!(c.get(3), Value::from("NY"));
     }
@@ -474,5 +427,56 @@ mod tests {
         let mut s = Column::new(DataType::Str);
         s.push(Value::from("x")).unwrap();
         assert_eq!(s.f64_at(0), None);
+    }
+
+    #[test]
+    fn seal_splits_segments_and_access_spans_them() {
+        let mut c = Column::new(DataType::Str);
+        for s in ["a", "b"] {
+            c.push(Value::from(s)).unwrap();
+        }
+        c.seal();
+        for s in ["b", "c"] {
+            c.push(Value::from(s)).unwrap();
+        }
+        assert_eq!(c.num_segments(), 2);
+        assert_eq!(c.len(), 4);
+        // Codes stay consistent across segments (shared dictionary).
+        assert_eq!(c.code_at(1), c.code_at(2));
+        assert_eq!(c.get(3), Value::from("c"));
+        assert_eq!(c.distinct_count(), 3);
+        let starts: Vec<usize> = c.segments().map(|(s, _)| s).collect();
+        assert_eq!(starts, vec![0, 2]);
+    }
+
+    #[test]
+    fn clone_then_push_never_disturbs_the_original() {
+        let mut a = Column::new(DataType::Str);
+        for s in ["x", "y"] {
+            a.push(Value::from(s)).unwrap();
+        }
+        a.seal();
+        let mut b = a.clone();
+        b.push(Value::from("z")).unwrap();
+        // The original is untouched: same length, same dict.
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.str_dict().unwrap().len(), 2);
+        // The clone extended its own copy-on-write dictionary, keeping
+        // shared codes stable.
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.str_dict().unwrap().len(), 3);
+        assert_eq!(a.code_at(0), b.code_at(0));
+        assert_eq!(b.get(2), Value::from("z"));
+    }
+
+    #[test]
+    fn key_bits_stable_across_segments() {
+        let mut c = Column::new(DataType::Float64);
+        c.push(Value::Float(1.5)).unwrap();
+        c.seal();
+        c.push(Value::Float(1.5)).unwrap();
+        c.push(Value::Null).unwrap();
+        assert_eq!(c.key_bits(0), c.key_bits(1));
+        assert_eq!(c.key_bits(2), None);
     }
 }

@@ -10,6 +10,7 @@
 
 use std::collections::HashMap;
 
+use crate::column::StrDict;
 use crate::error::{DbError, DbResult};
 use crate::exec::exactsum::ExactSum;
 use crate::expr::BoundExpr;
@@ -204,15 +205,13 @@ enum KeyPart {
 
 #[inline]
 fn key_part(table: &Table, col: usize, row: usize) -> KeyPart {
-    let c = table.column_at(col);
-    if !c.is_valid(row) {
-        return KeyPart::Null;
-    }
-    match c {
-        crate::column::Column::Str { codes, .. } => KeyPart::U(codes[row] as u64),
-        crate::column::Column::Int64 { data, .. } => KeyPart::U(data[row] as u64),
-        crate::column::Column::Float64 { data, .. } => KeyPart::U(data[row].to_bits()),
-        crate::column::Column::Bool { data, .. } => KeyPart::U(data[row] as u64),
+    // Dictionary code / raw bits — stable across appends (segments are
+    // shared and the dictionary is append-only), so keys computed
+    // against version v compare correctly against keys from any
+    // append-descendant version v'.
+    match table.column_at(col).key_bits(row) {
+        None => KeyPart::Null,
+        Some(bits) => KeyPart::U(bits),
     }
 }
 
@@ -239,10 +238,7 @@ pub(crate) struct SetAcc {
 impl SetAcc {
     fn new(table: &Table, cols: Vec<usize>, num_aggs: usize) -> Self {
         let fast_dict = if cols.len() == 1 {
-            match table.column_at(cols[0]) {
-                crate::column::Column::Str { dict, .. } => Some(dict.len()),
-                _ => None,
-            }
+            table.column_at(cols[0]).str_dict().map(StrDict::len)
         } else {
             None
         };
@@ -265,12 +261,17 @@ impl SetAcc {
     fn group_index(&mut self, table: &Table, row: usize) -> usize {
         if self.fast_dict.is_some() {
             let col = self.cols[0];
-            let c = table.column_at(col);
-            let slot = if !c.is_valid(row) {
-                0
-            } else {
-                c.str_codes().expect("fast path requires str column")[row] as usize + 1
+            // Slot 0 is the null group; code `c` maps to slot `c + 1`.
+            let slot = match table.column_at(col).code_at(row) {
+                None => 0,
+                Some(code) => code as usize + 1,
             };
+            if slot >= self.fast_slots.len() {
+                // Merging state built against an append-descendant
+                // version whose dictionary grew past this accumulator's
+                // sizing: grow the slot table on demand.
+                self.fast_slots.resize(slot + 1, 0);
+            }
             let entry = self.fast_slots[slot];
             if entry != 0 {
                 return (entry - 1) as usize;

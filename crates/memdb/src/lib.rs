@@ -5,8 +5,12 @@
 //! traditional relational database system"; this crate is that system.
 //! It provides exactly the capabilities SeeDB's backend relies on:
 //!
-//! * typed, dictionary-encoded columnar tables with snowflake-style
-//!   dimension/measure roles ([`schema`], [`column`](mod@column), [`table`]);
+//! * typed, dictionary-encoded, *segmented* columnar tables with
+//!   snowflake-style dimension/measure roles ([`schema`],
+//!   [`column`](mod@column), [`segment`], [`table`]) — appends publish
+//!   a new table version sharing all sealed segments with the old one
+//!   ([`Database::append_rows`]), so snapshots are free and caches can
+//!   refresh from just the delta rows;
 //! * filtered scans with SQL three-valued logic ([`expr`]);
 //! * group-by aggregation with **per-aggregate predicates** and
 //!   **grouping sets sharing one scan** ([`exec`]) — the two primitives
@@ -57,6 +61,7 @@ pub mod parallel;
 pub mod plan;
 pub mod sample;
 pub mod schema;
+pub mod segment;
 pub mod sql;
 pub mod stats;
 pub mod table;
@@ -76,6 +81,7 @@ pub use parallel::{run_batch, run_partitioned, run_partitioned_partial, BatchOut
 pub use plan::{LogicalPlan, PartialAggState, PhysicalPlan, PlanOutput};
 pub use sample::{sample_rows, SampleSpec};
 pub use schema::{ColumnDef, Role, Schema, Semantic};
+pub use segment::{ColumnSegment, SegmentData, Validity};
 pub use sql::{parse_query, parse_selection, Selection};
 pub use stats::{cramers_v, ColumnStats, TableStats};
 pub use table::Table;

@@ -6,9 +6,11 @@
 
 use std::collections::HashMap;
 
-use crate::column::Column;
+use crate::column::{Column, StrDict};
 use crate::error::{DbError, DbResult};
+use crate::segment::SegmentData;
 use crate::table::Table;
+use crate::value::DataType;
 
 /// Statistics for one column.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,27 +72,30 @@ impl ColumnStats {
             (var, ent)
         };
 
-        // Numeric moments.
-        let (mean, value_variance) = match column {
-            Column::Int64 { .. } | Column::Float64 { .. } => {
-                let mut count = 0usize;
-                let mut m = 0.0f64;
-                let mut m2 = 0.0f64;
-                for i in 0..n {
-                    if let Some(v) = column.f64_at(i) {
+        // Numeric moments (Welford), accumulated segment-at-a-time:
+        // logical row order equals segment order, so the running
+        // moments match a flat scan exactly.
+        let (mean, value_variance) = if column.data_type().is_numeric() {
+            let mut count = 0usize;
+            let mut m = 0.0f64;
+            let mut m2 = 0.0f64;
+            for (_, seg) in column.segments() {
+                for i in 0..seg.len() {
+                    if let Some(v) = seg.f64_at(i) {
                         count += 1;
                         let delta = v - m;
                         m += delta / count as f64;
                         m2 += delta * (v - m);
                     }
                 }
-                if count == 0 {
-                    (None, None)
-                } else {
-                    (Some(m), Some(m2 / count as f64))
-                }
             }
-            _ => (None, None),
+            if count == 0 {
+                (None, None)
+            } else {
+                (Some(m), Some(m2 / count as f64))
+            }
+        } else {
+            (None, None)
         };
 
         ColumnStats {
@@ -106,45 +111,62 @@ impl ColumnStats {
     }
 }
 
-/// Count occurrences of each distinct non-null value.
+/// Count occurrences of each distinct non-null value, iterating the
+/// column's segment list (each segment is one tight typed loop).
 fn value_frequencies(column: &Column) -> Vec<usize> {
-    match column {
-        Column::Str { codes, dict, .. } => {
-            let mut counts = vec![0usize; dict.len()];
-            for (i, &c) in codes.iter().enumerate() {
-                if column.is_valid(i) {
-                    counts[c as usize] += 1;
+    match column.data_type() {
+        DataType::Str => {
+            let mut counts = vec![0usize; column.str_dict().map_or(0, StrDict::len)];
+            for (_, seg) in column.segments() {
+                if let SegmentData::Str(codes) = seg.data() {
+                    for (i, &c) in codes.iter().enumerate() {
+                        if seg.is_valid(i) {
+                            counts[c as usize] += 1;
+                        }
+                    }
                 }
             }
             counts.into_iter().filter(|&c| c > 0).collect()
         }
-        Column::Int64 { data, .. } => {
+        DataType::Int64 => {
             let mut counts: HashMap<i64, usize> = HashMap::new();
-            for (i, &v) in data.iter().enumerate() {
-                if column.is_valid(i) {
-                    *counts.entry(v).or_insert(0) += 1;
+            for (_, seg) in column.segments() {
+                if let SegmentData::Int64(data) = seg.data() {
+                    for (i, &v) in data.iter().enumerate() {
+                        if seg.is_valid(i) {
+                            *counts.entry(v).or_insert(0) += 1;
+                        }
+                    }
                 }
             }
             counts.into_values().collect()
         }
-        Column::Float64 { data, .. } => {
+        DataType::Float64 => {
             let mut counts: HashMap<u64, usize> = HashMap::new();
-            for (i, &v) in data.iter().enumerate() {
-                if column.is_valid(i) {
-                    *counts.entry(v.to_bits()).or_insert(0) += 1;
+            for (_, seg) in column.segments() {
+                if let SegmentData::Float64(data) = seg.data() {
+                    for (i, &v) in data.iter().enumerate() {
+                        if seg.is_valid(i) {
+                            *counts.entry(v.to_bits()).or_insert(0) += 1;
+                        }
+                    }
                 }
             }
             counts.into_values().collect()
         }
-        Column::Bool { data, .. } => {
+        DataType::Bool => {
             let mut t = 0usize;
             let mut f = 0usize;
-            for (i, &v) in data.iter().enumerate() {
-                if column.is_valid(i) {
-                    if v {
-                        t += 1;
-                    } else {
-                        f += 1;
+            for (_, seg) in column.segments() {
+                if let SegmentData::Bool(data) = seg.data() {
+                    for (i, &v) in data.iter().enumerate() {
+                        if seg.is_valid(i) {
+                            if v {
+                                t += 1;
+                            } else {
+                                f += 1;
+                            }
+                        }
                     }
                 }
             }
@@ -154,38 +176,36 @@ fn value_frequencies(column: &Column) -> Vec<usize> {
 }
 
 /// Dense code for a row's value in an arbitrary column (for contingency
-/// tables). Returns `None` for null rows.
+/// tables). Returns `None` for null rows. Iterates the segment list;
+/// string columns reuse their dictionary codes directly (the dictionary
+/// is shared across segments).
 fn dense_codes(column: &Column) -> (Vec<Option<u32>>, usize) {
     let n = column.len();
-    match column {
-        Column::Str { codes, dict, .. } => {
-            let out = (0..n)
-                .map(|i| column.is_valid(i).then(|| codes[i]))
-                .collect();
-            (out, dict.len())
-        }
-        _ => {
-            let mut map: HashMap<u64, u32> = HashMap::new();
-            let mut out = Vec::with_capacity(n);
-            for i in 0..n {
-                if !column.is_valid(i) {
-                    out.push(None);
-                    continue;
-                }
-                let bits = match column {
-                    Column::Int64 { data, .. } => data[i] as u64,
-                    Column::Float64 { data, .. } => data[i].to_bits(),
-                    Column::Bool { data, .. } => data[i] as u64,
-                    Column::Str { .. } => unreachable!("handled above"),
-                };
-                let next = map.len() as u32;
-                let code = *map.entry(bits).or_insert(next);
-                out.push(Some(code));
+    if column.data_type() == DataType::Str {
+        let mut out = Vec::with_capacity(n);
+        for (_, seg) in column.segments() {
+            for i in 0..seg.len() {
+                out.push(seg.code_at(i));
             }
-            let k = map.len();
-            (out, k)
+        }
+        return (out, column.str_dict().map_or(0, StrDict::len));
+    }
+    let mut map: HashMap<u64, u32> = HashMap::new();
+    let mut out = Vec::with_capacity(n);
+    for (_, seg) in column.segments() {
+        for i in 0..seg.len() {
+            match seg.key_bits(i) {
+                None => out.push(None),
+                Some(bits) => {
+                    let next = map.len() as u32;
+                    let code = *map.entry(bits).or_insert(next);
+                    out.push(Some(code));
+                }
+            }
         }
     }
+    let k = map.len();
+    (out, k)
 }
 
 /// Cramér's V association between two columns of the same table, in

@@ -1,14 +1,26 @@
-//! Tables: a schema plus columnar data.
+//! Tables: a schema plus segmented columnar data, with append lineage.
 
 use crate::column::Column;
 use crate::error::{DbError, DbResult};
 use crate::schema::Schema;
 use crate::value::Value;
 
-/// An in-memory table: schema + one [`Column`] per attribute.
+/// Append-lineage checkpoints a table remembers, oldest first. Bounds
+/// the lineage vector; cached states stamped at versions that have
+/// fallen off the front simply fall back to a full recompute.
+const MAX_LINEAGE: usize = 64;
+
+/// An in-memory table: schema + one segmented [`Column`] per attribute.
 ///
-/// Tables are append-only; SeeDB's workload is analytical (scan/aggregate),
-/// so there is no update/delete path.
+/// Tables are append-only; SeeDB's workload is analytical
+/// (scan/aggregate), so there is no update/delete path. Storage is
+/// *segmented*: registering a table with a [`crate::Database`] seals its
+/// segments, and [`crate::Database::append_rows`] publishes version
+/// `v+1` as a new `Table` value that shares every sealed segment with
+/// version `v` and adds exactly one new segment holding the appended
+/// rows. Row ids and dictionary codes of shared segments never change,
+/// which is what makes cached partial aggregates refreshable by
+/// scanning only the delta rows (see [`Table::append_delta_since`]).
 #[derive(Debug, Clone)]
 pub struct Table {
     name: String,
@@ -19,6 +31,12 @@ pub struct Table {
     /// [`crate::Database`], which assigns a fresh value from its own
     /// monotonic counter. Result caches key on this to detect staleness.
     version: u64,
+    /// `(version, rows)` checkpoints of this table's pure-append
+    /// history, oldest first; the current version is the last entry.
+    /// Registering (replacing) resets the lineage to a single entry, so
+    /// a state computed against a *replaced* table can never be
+    /// mistaken for an append ancestor.
+    lineage: Vec<(u64, usize)>,
 }
 
 impl Table {
@@ -35,6 +53,7 @@ impl Table {
             columns,
             rows: 0,
             version: 0,
+            lineage: Vec::new(),
         }
     }
 
@@ -51,6 +70,7 @@ impl Table {
             columns,
             rows: 0,
             version: 0,
+            lineage: Vec::new(),
         }
     }
 
@@ -69,9 +89,93 @@ impl Table {
         self.version
     }
 
-    /// Stamp the catalog version (called by `Database::register`).
-    pub(crate) fn set_version(&mut self, version: u64) {
+    /// Stamp a fresh registration (called by `Database::register`):
+    /// seals all segments and resets the lineage to this single
+    /// checkpoint. A registration is a *replacement*, never an append —
+    /// states cached against any earlier version of the name must not
+    /// be incrementally refreshed onto this table, and resetting the
+    /// lineage makes [`Table::append_delta_since`] refuse them.
+    pub(crate) fn stamp_registered(&mut self, version: u64) {
+        self.seal_segments();
         self.version = version;
+        self.lineage = vec![(version, self.rows)];
+    }
+
+    /// Stamp an append (called by `Database::append_rows`): seals the
+    /// delta segment and extends the lineage with this checkpoint.
+    pub(crate) fn stamp_appended(&mut self, version: u64) {
+        self.seal_segments();
+        self.version = version;
+        self.lineage.push((version, self.rows));
+        if self.lineage.len() > MAX_LINEAGE {
+            let excess = self.lineage.len() - MAX_LINEAGE;
+            self.lineage.drain(..excess);
+        }
+    }
+
+    /// If this table is a pure-append descendant of `version`, the
+    /// half-open row range `[rows_at_version, rows_now)` holding every
+    /// row appended since — the *delta* an incrementally maintained
+    /// partial aggregate must scan. `None` when `version` is not in the
+    /// append lineage (the name was re-registered/replaced, the table
+    /// was never at that version, or the checkpoint aged out of the
+    /// bounded lineage) — callers must fall back to a full recompute.
+    pub fn append_delta_since(&self, version: u64) -> Option<(usize, usize)> {
+        self.lineage
+            .iter()
+            .find(|&&(v, _)| v == version)
+            .map(|&(_, rows_then)| (rows_then, self.rows))
+    }
+
+    /// The `(version, rows)` append checkpoints, oldest first (bounded;
+    /// the current version is always the last entry for a registered
+    /// table).
+    pub fn lineage(&self) -> &[(u64, usize)] {
+        &self.lineage
+    }
+
+    /// Seal every column's open segment so subsequent pushes open a new
+    /// one. Segment boundaries therefore align with published table
+    /// versions.
+    pub(crate) fn seal_segments(&mut self) {
+        for c in &mut self.columns {
+            c.seal();
+        }
+    }
+
+    /// Number of storage segments (identical across columns: rows are
+    /// pushed to all columns together and sealed together).
+    pub fn num_segments(&self) -> usize {
+        self.columns.first().map_or(0, Column::num_segments)
+    }
+
+    /// Segment count at which [`crate::Database::append_rows`] compacts
+    /// a table instead of letting per-row segment lookups degrade
+    /// unboundedly under long append histories.
+    pub const SEGMENT_COMPACT_THRESHOLD: usize = 64;
+
+    /// A single-segment rebuild of this table: same name, schema, rows
+    /// (in order), version, and lineage.
+    ///
+    /// Compaction preserves everything cached state depends on: row ids
+    /// are unchanged (row order is preserved), and dictionary codes are
+    /// unchanged because re-interning strings in row order reproduces
+    /// the original first-occurrence interning order exactly (all
+    /// pushes — initial build and every append — happened in row
+    /// order). Snapshots of previous versions keep their own segments;
+    /// only the new version reads the compacted layout.
+    ///
+    /// # Errors
+    /// Row round-trip errors (impossible for a well-typed table).
+    pub(crate) fn compacted(&self) -> DbResult<Table> {
+        let mut t = Table::with_capacity(&self.name, self.schema.clone(), self.rows);
+        for i in 0..self.rows {
+            t.push_row(self.row(i))?;
+        }
+        t.seal_segments();
+        t.version = self.version;
+        t.lineage = self.lineage.clone();
+        Ok(t)
     }
 
     /// Table schema.
@@ -225,5 +329,56 @@ mod tests {
         let mut t = Table::new("sales", sales_schema());
         t.push_row(vec![Value::Null, Value::Null]).unwrap();
         assert_eq!(t.row(0), vec![Value::Null, Value::Null]);
+    }
+
+    #[test]
+    fn seal_aligns_segment_boundaries_across_columns() {
+        let mut t = Table::new("sales", sales_schema());
+        t.push_row(vec!["a".into(), 1.0.into()]).unwrap();
+        t.seal_segments();
+        t.push_row(vec!["b".into(), 2.0.into()]).unwrap();
+        assert_eq!(t.num_segments(), 2);
+        // Both columns see both segments; reads span them seamlessly.
+        assert_eq!(t.row(0), vec![Value::from("a"), Value::Float(1.0)]);
+        assert_eq!(t.row(1), vec![Value::from("b"), Value::Float(2.0)]);
+    }
+
+    #[test]
+    fn lineage_stamps_and_delta_ranges() {
+        let mut t = Table::new("sales", sales_schema());
+        t.push_row(vec!["a".into(), 1.0.into()]).unwrap();
+        assert!(t.lineage().is_empty());
+        assert_eq!(t.append_delta_since(0), None, "unregistered: no lineage");
+
+        t.stamp_registered(7);
+        assert_eq!(t.lineage(), &[(7, 1)]);
+        assert_eq!(t.append_delta_since(7), Some((1, 1)), "empty delta");
+
+        t.push_row(vec!["b".into(), 2.0.into()]).unwrap();
+        t.push_row(vec!["c".into(), 3.0.into()]).unwrap();
+        t.stamp_appended(9);
+        assert_eq!(t.append_delta_since(7), Some((1, 3)));
+        assert_eq!(t.append_delta_since(9), Some((3, 3)));
+        assert_eq!(t.append_delta_since(8), None, "never published at 8");
+
+        // Re-registration resets the lineage: nothing older than the
+        // replacement is append-refreshable.
+        t.stamp_registered(12);
+        assert_eq!(t.append_delta_since(7), None);
+        assert_eq!(t.append_delta_since(9), None);
+        assert_eq!(t.append_delta_since(12), Some((3, 3)));
+    }
+
+    #[test]
+    fn lineage_is_bounded() {
+        let mut t = Table::new("sales", sales_schema());
+        t.stamp_registered(1);
+        for v in 2..200u64 {
+            t.stamp_appended(v);
+        }
+        assert!(t.lineage().len() <= 64);
+        // The oldest checkpoints aged out; the newest survive.
+        assert_eq!(t.append_delta_since(1), None);
+        assert!(t.append_delta_since(199).is_some());
     }
 }

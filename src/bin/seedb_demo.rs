@@ -18,7 +18,13 @@
 //! * `:workers <n>` — worker count for the current strategy
 //! * `:sessions <n>` — replay the current query from `n` concurrent
 //!   analyst sessions through the serving layer (shared
-//!   partial-aggregate cache + scan batching) and print cache stats
+//!   partial-aggregate cache + scan batching + incremental refresh)
+//!   and print cache stats; the service persists across `:sessions`
+//!   and `:append` so refreshes are observable
+//! * `:append <table> <n>` — live-ingest `n` synthetic delta rows
+//!   (regenerated from the dataset's own generator) into `table`;
+//!   cached partial aggregates refresh incrementally per the serving
+//!   policy instead of recomputing
 //! * `:drill <view#> <label>` — narrow to one group of a recommended view
 //! * `:up` — undo the last drill-down
 //! * `:quit`
@@ -186,22 +192,98 @@ fn run_and_print(frontend: &Frontend, query: &AnalystQuery) -> Option<seedb::viz
     }
 }
 
-/// `:sessions n` — replay the current analyst query from `n` concurrent
-/// sessions through a fresh [`Service`], twice: a cold round (misses,
-/// batched shared scans) and a warm round (cache hits, zero scans).
-/// Prints per-round wall time, DBMS cost deltas, and cache stats, and
-/// checks every session got the identical top-k.
-fn run_sessions(frontend: &Frontend, query: &AnalystQuery, n: usize) {
+/// Get (or lazily create) the persistent serving layer over the demo's
+/// database. Persisting it across `:sessions` and `:append` is what
+/// makes incremental cache maintenance observable: an `:append` after a
+/// warm `:sessions` refreshes the residents instead of recomputing.
+/// Config-changing commands drop it (`serving = None`) so it is rebuilt
+/// with the current pipeline configuration.
+fn serving_service(frontend: &Frontend, serving: &mut Option<Service>) -> Service {
+    if let Some(s) = serving.as_ref() {
+        return s.clone();
+    }
     let engine = frontend.engine();
-    let db = engine.database().clone();
+    // A long-lived service accumulates its own workload log; with the
+    // demo replaying one query many times, access-frequency pruning
+    // would eventually prune every view (nothing else is ever
+    // accessed). Disable it so rounds stay comparable.
+    let mut cfg = engine.config().clone();
+    cfg.pruning.access_frequency = false;
     let service = Service::new(
-        db.clone(),
+        engine.database().clone(),
         ServiceConfig::recommended()
-            .with_seedb(engine.config().clone())
+            .with_seedb(cfg)
             .with_batch_window(Duration::from_millis(5)),
     );
-    println!("serving layer: {n} concurrent sessions × 2 rounds (cold, warm)");
-    for round in ["cold", "warm"] {
+    *serving = Some(service.clone());
+    service
+}
+
+/// Synthetic delta rows for `:append`: regenerate `n` rows from the
+/// dataset's own generator (fresh seed per call) and lift them out —
+/// schema-identical live-ingest traffic.
+fn delta_rows(dataset: &str, n: usize, seed: u64) -> Result<Vec<Vec<seedb::memdb::Value>>, String> {
+    let table = match dataset {
+        "store_orders" => seedb::data::store_orders(n, seed).table,
+        "election" => seedb::data::election_contributions(n, seed).table,
+        "medical" => seedb::data::medical(n, seed).table,
+        "synthetic" => seedb::data::SyntheticSpec::knobs(n, 8, 10, 1.0, 3, seed)
+            .with_plant(seedb::data::Plant {
+                subset_dim: 0,
+                subset_value: 0,
+                deviating_dims: vec![1, 2],
+                deviating_measures: vec![(0, 30.0)],
+            })
+            .generate(),
+        other => return Err(format!("unknown dataset {other}")),
+    };
+    Ok((0..table.num_rows()).map(|i| table.row(i)).collect())
+}
+
+/// `:append <table> <n>` — live-ingest through the persistent service
+/// so cached partial-aggregate states are maintained incrementally.
+fn run_append(service: &Service, dataset: &str, table: &str, n: usize, seed: u64) {
+    let rows = match delta_rows(dataset, n, seed) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("{e}");
+            return;
+        }
+    };
+    let before = service.cache_stats();
+    match service.append_rows(table, rows) {
+        Ok(t) => {
+            println!(
+                "appended {n} rows to {table}: {} rows, version {}, {} segments",
+                t.num_rows(),
+                t.version(),
+                t.num_segments()
+            );
+            let s = service.cache_stats();
+            let refreshed = s.refreshes - before.refreshes;
+            if refreshed > 0 || s.refresh_fallbacks > before.refresh_fallbacks {
+                println!(
+                    "  cache: {refreshed} states refreshed eagerly ({} delta rows), {} fallbacks",
+                    s.refresh_rows - before.refresh_rows,
+                    s.refresh_fallbacks - before.refresh_fallbacks,
+                );
+            }
+        }
+        Err(e) => eprintln!("append failed: {e}"),
+    }
+}
+
+/// `:sessions n` — replay the current analyst query from `n` concurrent
+/// sessions through the persistent [`Service`], twice: a first round
+/// (misses/batched scans or — after an `:append` — incremental
+/// refreshes) and a repeat round (cache hits, zero scans). Prints
+/// per-round wall time, DBMS cost deltas, and cache stats including
+/// incremental-refresh work (delta rows scanned vs full recomputes
+/// avoided), and checks every session got the identical top-k.
+fn run_sessions(service: &Service, query: &AnalystQuery, n: usize) {
+    let db = service.database().clone();
+    println!("serving layer: {n} concurrent sessions × 2 rounds");
+    for round in ["first", "repeat"] {
         let stats_before = service.cache_stats();
         let cost_before = db.cost();
         let t0 = Instant::now();
@@ -238,6 +320,16 @@ fn run_sessions(frontend: &Frontend, query: &AnalystQuery, n: usize) {
             s.batched_plans - stats_before.batched_plans,
             s.evictions - stats_before.evictions,
         );
+        let refreshed = s.refreshes - stats_before.refreshes;
+        if refreshed > 0 {
+            println!(
+                "  incremental refresh: {refreshed} states via {} delta rows \
+                 ({} full recomputes avoided), {} fallbacks",
+                s.refresh_rows - stats_before.refresh_rows,
+                refreshed,
+                s.refresh_fallbacks - stats_before.refresh_fallbacks,
+            );
+        }
         if top_ks.len() == n && top_ks.iter().all(|t| *t == top_ks[0]) {
             println!("  all {n} sessions agree on the top-k ✔");
         } else {
@@ -303,6 +395,12 @@ fn main() {
         return;
     }
 
+    // The persistent serving layer behind `:sessions` / `:append`
+    // (rebuilt lazily after config changes) and the rolling seed for
+    // synthetic delta batches.
+    let mut serving: Option<Service> = None;
+    let mut append_seed = args.seed.wrapping_add(0x5eed);
+
     let stdin = std::io::stdin();
     loop {
         print!("seedb> ");
@@ -322,6 +420,7 @@ fn main() {
                 Some("k") => {
                     if let Some(Ok(k)) = parts.next().map(str::parse) {
                         frontend.engine_mut().config_mut().k = k;
+                        serving = None;
                         last = run_and_print(&frontend, &current);
                     } else {
                         eprintln!("usage: :k <n>");
@@ -330,6 +429,7 @@ fn main() {
                 Some("metric") => match parts.next().and_then(Metric::parse) {
                     Some(m) => {
                         frontend.engine_mut().config_mut().metric = m;
+                        serving = None;
                         last = run_and_print(&frontend, &current);
                     }
                     None => eprintln!("metrics: emd euclidean l1 kl js chi2 hellinger tv"),
@@ -344,6 +444,7 @@ fn main() {
                         cfg.optimizer = seedb::core::OptimizerConfig::all_optimizations();
                         cfg.pruning = seedb::core::PruningConfig::aggressive();
                     }
+                    serving = None;
                     last = run_and_print(&frontend, &current);
                 }
                 Some("strategy") => {
@@ -356,6 +457,7 @@ fn main() {
                             println!("strategy: {strategy}");
                             cfg.execution = strategy;
                             warn_sample_ignored(cfg);
+                            serving = None;
                             last = run_and_print(&frontend, &current);
                         }
                         _ => eprintln!(
@@ -371,6 +473,7 @@ fn main() {
                         Some(Ok(n)) if n >= 1 => {
                             cfg.execution = cfg.execution.clone().with_workers(n);
                             println!("strategy: {}", cfg.execution);
+                            serving = None;
                             last = run_and_print(&frontend, &current);
                         }
                         _ => eprintln!("usage: :workers <n ≥ 1> (current: {})", cfg.execution),
@@ -378,10 +481,23 @@ fn main() {
                 }
                 Some("sessions") => match parts.next().map(str::parse::<usize>) {
                     Some(Ok(n)) if (1..=64).contains(&n) => {
-                        run_sessions(&frontend, &current, n);
+                        let service = serving_service(&frontend, &mut serving);
+                        run_sessions(&service, &current, n);
                     }
                     _ => eprintln!("usage: :sessions <1..=64>"),
                 },
+                Some("append") => {
+                    let table = parts.next().map(str::to_string);
+                    let n = parts.next().and_then(|s| s.parse::<usize>().ok());
+                    match (table, n) {
+                        (Some(table), Some(n)) if n >= 1 => {
+                            let service = serving_service(&frontend, &mut serving);
+                            run_append(&service, &args.dataset, &table, n, append_seed);
+                            append_seed = append_seed.wrapping_add(1);
+                        }
+                        _ => eprintln!("usage: :append <table> <n ≥ 1>"),
+                    }
+                }
                 Some("sample") => {
                     let cfg = frontend.engine_mut().config_mut();
                     match parts.next() {
@@ -404,6 +520,7 @@ fn main() {
                         }
                     }
                     warn_sample_ignored(cfg);
+                    serving = None;
                     last = run_and_print(&frontend, &current);
                 }
                 Some("drill") => {
@@ -429,7 +546,8 @@ fn main() {
                     Err(e) => eprintln!("{e}"),
                 },
                 _ => eprintln!(
-                    "commands: :k :metric :basic :sample :strategy :workers :sessions :drill :up :quit"
+                    "commands: :k :metric :basic :sample :strategy :workers :sessions :append \
+                     :drill :up :quit"
                 ),
             }
             continue;
