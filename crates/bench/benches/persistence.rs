@@ -1,0 +1,128 @@
+//! Durable-store performance: save/open throughput and the WAL's
+//! append overhead.
+//!
+//! * `persistence/save_100k` — checkpoint a 100k-row catalog into a
+//!   database directory (segment files + manifest, fsynced): the cost
+//!   of making a catalog durable from scratch.
+//! * `persistence/open_100k` — recover the same directory back into a
+//!   serving catalog (manifest + chunk decode + dictionary rebuild):
+//!   the restart path whose alternative is a full re-ingest.
+//! * `persistence/append_durable_1k` vs `persistence/append_mem_1k` —
+//!   the per-batch price of durability: `append_rows` with the batch
+//!   WAL-logged + fsynced before publish, against the identical
+//!   in-memory-only append. The gap is the WAL tax (dominated by the
+//!   fsync; `DurabilityConfig::sync_writes(false)` trades it away).
+//!
+//! Save/open correctness (byte-identical results after reopen) is
+//! asserted once at setup — the numbers are only meaningful because
+//! both sides serve identical answers.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use memdb::{AggFunc, AggSpec, Database, DurabilityConfig, LogicalPlan, Table, Value};
+use seedb_bench::workload;
+use seedb_data::SyntheticSpec;
+
+const BASE_ROWS: usize = 100_000;
+
+fn delta_rows(n: usize, seed: u64) -> Vec<Vec<Value>> {
+    let t = SyntheticSpec::knobs(n.max(1), 6, 10, 1.0, 2, seed).generate();
+    (0..n).map(|i| t.row(i)).collect()
+}
+
+fn bench_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("seedb-bench-persistence-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn bench_persistence(c: &mut Criterion) {
+    let w = workload(BASE_ROWS, 6, 10, 2, 11);
+    let base: Table = (*w.db.table("synthetic").expect("workload table")).clone();
+
+    let mut group = c.benchmark_group("persistence");
+    group.sample_size(10);
+
+    // --- Correctness pin: a reopened catalog answers bit-identically.
+    {
+        let dir = bench_dir("roundtrip-check");
+        let db = Database::new();
+        db.register(base.clone());
+        db.save(&dir).expect("save");
+        let reopened = Database::open(&dir).expect("open");
+        let plan = LogicalPlan::scan("synthetic")
+            .aggregate(
+                vec!["d1".into()],
+                vec![AggSpec::new(AggFunc::Sum, "m0"), AggSpec::count_star()],
+            )
+            .lower()
+            .expect("plan lowers");
+        let a = plan.execute(&db.table("synthetic").unwrap()).unwrap();
+        let b = plan.execute(&reopened.table("synthetic").unwrap()).unwrap();
+        assert_eq!(
+            a.result_set(0).unwrap(),
+            b.result_set(0).unwrap(),
+            "reopened catalog must answer identically"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // --- Save throughput ---------------------------------------------
+    let save_dir = bench_dir("save");
+    {
+        let db = Database::new();
+        db.register(base.clone());
+        group.bench_function("save_100k", |b| {
+            b.iter(|| {
+                db.save(&save_dir).expect("save");
+                black_box(())
+            })
+        });
+    }
+
+    // --- Open (recovery) throughput ----------------------------------
+    group.bench_function("open_100k", |b| {
+        b.iter(|| black_box(Database::open(&save_dir).expect("open")))
+    });
+
+    // --- WAL append overhead vs in-memory ----------------------------
+    let batch = delta_rows(1_000, 99);
+    {
+        let db = Database::new();
+        db.register(base.clone());
+        group.bench_function("append_mem_1k", |b| {
+            b.iter(|| {
+                black_box(
+                    db.append_rows("synthetic", batch.clone())
+                        .expect("append publishes"),
+                )
+            })
+        });
+    }
+    {
+        let dir = bench_dir("durable-append");
+        let db = Database::new();
+        db.register(base.clone());
+        // Large checkpoint threshold so the bench isolates the WAL
+        // append+fsync cost, not checkpoint sealing.
+        db.save_with(
+            &dir,
+            DurabilityConfig::recommended().with_wal_checkpoint_bytes(1 << 30),
+        )
+        .expect("save");
+        group.bench_function("append_durable_1k", |b| {
+            b.iter(|| {
+                black_box(
+                    db.append_rows("synthetic", batch.clone())
+                        .expect("append publishes"),
+                )
+            })
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&save_dir);
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_persistence);
+criterion_main!(benches);

@@ -17,7 +17,10 @@
 //! runners are noisy, committed baselines come from dev machines).
 //!
 //! New benches (present in the run, absent from the baseline) fail the
-//! gate until blessed; benches that disappeared only warn.
+//! gate until blessed. Benches present in the baseline but **missing
+//! from the run** also fail hard: a silently skipped bench (a bench
+//! binary that stopped emitting, a partial run) must not read as
+//! "no regression". Bless to forget intentionally removed benches.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -158,77 +161,123 @@ fn fmt_ns(ns: f64) -> String {
     }
 }
 
+/// Verdict for one benchmark after comparing run and baseline.
+#[derive(Debug, Clone, PartialEq)]
+enum Verdict {
+    /// Within threshold; carries (baseline, current, delta %).
+    Ok(f64, f64, f64),
+    /// Regressed past the threshold; carries (baseline, current, delta %).
+    Regressed(f64, f64, f64),
+    /// In the run but not the baseline — bless to accept.
+    New(f64),
+    /// In the baseline but not produced by this run — a hard failure:
+    /// a vanished bench must never read as "no regression".
+    Missing,
+    /// Non-positive baseline median; comparison skipped with a warning.
+    ZeroBaseline(f64),
+}
+
+impl Verdict {
+    fn is_failure(&self) -> bool {
+        matches!(
+            self,
+            Verdict::Regressed(..) | Verdict::New(_) | Verdict::Missing
+        )
+    }
+
+    fn is_warning(&self) -> bool {
+        matches!(self, Verdict::ZeroBaseline(_))
+    }
+}
+
+type Medians = BTreeMap<String, BTreeMap<String, f64>>;
+
+/// Pure gate decision: one `(label, verdict)` per benchmark in the
+/// union of run and baseline, in deterministic order.
+fn gate(current: &Medians, baseline: &Medians, threshold: f64) -> Vec<(String, Verdict)> {
+    let mut out = Vec::new();
+    for (file, benches) in current {
+        let base_file = baseline.get(file);
+        for (bench, &median) in benches {
+            let label = gate_label(file, bench);
+            let verdict = match base_file.and_then(|b| b.get(bench)) {
+                None => Verdict::New(median),
+                Some(&base) if base <= 0.0 => Verdict::ZeroBaseline(median),
+                Some(&base) => {
+                    let delta = (median - base) / base * 100.0;
+                    if delta > threshold {
+                        Verdict::Regressed(base, median, delta)
+                    } else {
+                        Verdict::Ok(base, median, delta)
+                    }
+                }
+            };
+            out.push((label, verdict));
+        }
+    }
+    // Benchmarks the baseline promises but this run did not produce —
+    // e.g. a bench binary that was dropped from the suite, or a partial
+    // `cargo bench` invocation. These fail hard.
+    for (file, benches) in baseline {
+        for bench in benches.keys() {
+            if current.get(file).map(|b| b.contains_key(bench)) != Some(true) {
+                out.push((gate_label(file, bench), Verdict::Missing));
+            }
+        }
+    }
+    out
+}
+
 fn run(args: &Args) -> Result<bool, String> {
     let current = load_medians(&args.current)?;
     let baseline = load_medians(&args.baseline).map_err(|e| {
         format!("{e}\nhint: check in first baselines with `cargo run -p seedb-bench --bin bench_gate -- --bless`")
     })?;
 
-    let mut failures = 0usize;
-    let mut warnings = 0usize;
+    let rows = gate(&current, &baseline, args.threshold);
     println!(
         "{:<44} {:>12} {:>12} {:>9}  status (threshold +{:.0}%)",
         "benchmark", "baseline", "current", "delta", args.threshold
     );
-    for (file, benches) in &current {
-        let base_file = baseline.get(file);
-        for (bench, &median) in benches {
-            let label = gate_label(file, bench);
-            match base_file.and_then(|b| b.get(bench)) {
-                None => {
-                    failures += 1;
-                    println!(
-                        "{label:<44} {:>12} {:>12} {:>9}  NEW — bless to accept",
-                        "-",
-                        fmt_ns(median),
-                        "-"
-                    );
-                }
-                Some(&base) if base <= 0.0 => {
-                    warnings += 1;
-                    println!(
-                        "{label:<44} {base:>12} {:>12} {:>9}  SKIP (zero baseline)",
-                        fmt_ns(median),
-                        "-"
-                    );
-                }
-                Some(&base) => {
-                    let delta = (median - base) / base * 100.0;
-                    let status = if delta > args.threshold {
-                        failures += 1;
-                        "FAIL"
-                    } else {
-                        "ok"
-                    };
-                    println!(
-                        "{label:<44} {:>12} {:>12} {:>+8.1}%  {status}",
-                        fmt_ns(base),
-                        fmt_ns(median),
-                        delta
-                    );
-                }
-            }
-        }
-    }
-    // Benches present in the baseline but absent from this run.
-    for (file, benches) in &baseline {
-        for bench in benches.keys() {
-            if current.get(file).map(|b| b.contains_key(bench)) != Some(true) {
-                warnings += 1;
-                let label = gate_label(file, bench);
+    for (label, verdict) in &rows {
+        match verdict {
+            Verdict::Ok(base, median, delta) | Verdict::Regressed(base, median, delta) => {
+                let status = if verdict.is_failure() { "FAIL" } else { "ok" };
                 println!(
-                    "{label:<44} {:>12} {:>12} {:>9}  GONE — bless to forget",
-                    "?", "-", "-"
+                    "{label:<44} {:>12} {:>12} {:>+8.1}%  {status}",
+                    fmt_ns(*base),
+                    fmt_ns(*median),
+                    delta
                 );
             }
+            Verdict::New(median) => println!(
+                "{label:<44} {:>12} {:>12} {:>9}  NEW — bless to accept",
+                "-",
+                fmt_ns(*median),
+                "-"
+            ),
+            Verdict::Missing => println!(
+                "{label:<44} {:>12} {:>12} {:>9}  MISSING — baseline exists but this run \
+                 produced no result; run the full suite or bless to forget",
+                "?", "-", "-"
+            ),
+            Verdict::ZeroBaseline(median) => println!(
+                "{label:<44} {:>12} {:>12} {:>9}  SKIP (zero baseline)",
+                "0",
+                fmt_ns(*median),
+                "-"
+            ),
         }
     }
+    let failures = rows.iter().filter(|(_, v)| v.is_failure()).count();
+    let warnings = rows.iter().filter(|(_, v)| v.is_warning()).count();
     if warnings > 0 {
         println!("{warnings} warning(s)");
     }
     if failures > 0 {
         println!(
-            "bench gate: {failures} failure(s) — medians regressed past +{:.0}% or need blessing",
+            "bench gate: {failures} failure(s) — medians regressed past +{:.0}%, \
+             unblessed new benches, or benches missing from this run",
             args.threshold
         );
         Ok(false)
@@ -258,5 +307,90 @@ fn main() -> ExitCode {
             eprintln!("bench_gate: {msg}");
             ExitCode::from(2)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn medians(entries: &[(&str, &[(&str, f64)])]) -> Medians {
+        entries
+            .iter()
+            .map(|(file, benches)| {
+                (
+                    file.to_string(),
+                    benches
+                        .iter()
+                        .map(|(name, m)| (name.to_string(), *m))
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    fn verdict_of<'a>(rows: &'a [(String, Verdict)], label: &str) -> &'a Verdict {
+        &rows
+            .iter()
+            .find(|(l, _)| l == label)
+            .unwrap_or_else(|| panic!("no row {label}"))
+            .1
+    }
+
+    #[test]
+    fn within_threshold_passes_regression_fails() {
+        let base = medians(&[("BENCH_a.json", &[("a/x", 100.0), ("a/y", 100.0)])]);
+        let cur = medians(&[("BENCH_a.json", &[("a/x", 120.0), ("a/y", 130.0)])]);
+        let rows = gate(&cur, &base, 25.0);
+        assert!(matches!(verdict_of(&rows, "a/x"), Verdict::Ok(..)));
+        assert!(matches!(verdict_of(&rows, "a/y"), Verdict::Regressed(..)));
+        assert!(verdict_of(&rows, "a/y").is_failure());
+    }
+
+    #[test]
+    fn new_benches_fail_until_blessed() {
+        let base = medians(&[("BENCH_a.json", &[("a/x", 100.0)])]);
+        let cur = medians(&[("BENCH_a.json", &[("a/x", 100.0), ("a/new", 5.0)])]);
+        let rows = gate(&cur, &base, 25.0);
+        assert!(matches!(verdict_of(&rows, "a/new"), Verdict::New(_)));
+        assert!(verdict_of(&rows, "a/new").is_failure());
+    }
+
+    /// The regression this gate self-test pins down: a benchmark the
+    /// baseline promises but the run did not produce must be a hard
+    /// failure, not a warning — whether one bench vanished from a file
+    /// or a whole BENCH_*.json file is absent from the run.
+    #[test]
+    fn missing_counterparts_fail_hard() {
+        let base = medians(&[
+            ("BENCH_a.json", &[("a/x", 100.0), ("a/gone", 50.0)][..]),
+            ("BENCH_ingest.json", &[("ingest/append_1k", 80.0)][..]),
+        ]);
+        let cur = medians(&[("BENCH_a.json", &[("a/x", 100.0)][..])]);
+        let rows = gate(&cur, &base, 25.0);
+        assert!(matches!(verdict_of(&rows, "a/gone"), Verdict::Missing));
+        assert!(matches!(
+            verdict_of(&rows, "ingest/append_1k"),
+            Verdict::Missing
+        ));
+        let failures = rows.iter().filter(|(_, v)| v.is_failure()).count();
+        assert_eq!(failures, 2, "both missing benches fail the gate");
+    }
+
+    #[test]
+    fn zero_baselines_warn_without_failing() {
+        let base = medians(&[("BENCH_a.json", &[("a/x", 0.0)])]);
+        let cur = medians(&[("BENCH_a.json", &[("a/x", 10.0)])]);
+        let rows = gate(&cur, &base, 25.0);
+        assert!(matches!(verdict_of(&rows, "a/x"), Verdict::ZeroBaseline(_)));
+        assert!(!verdict_of(&rows, "a/x").is_failure());
+        assert!(verdict_of(&rows, "a/x").is_warning());
+    }
+
+    #[test]
+    fn identical_sets_pass() {
+        let base = medians(&[("BENCH_a.json", &[("a/x", 100.0)])]);
+        let rows = gate(&base, &base, 25.0);
+        assert!(rows.iter().all(|(_, v)| !v.is_failure() && !v.is_warning()));
     }
 }

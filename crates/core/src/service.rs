@@ -335,6 +335,12 @@ impl LruCache {
     fn clear(&mut self) {
         self.entries.clear();
     }
+
+    /// The plans behind every cached state — what [`Service::persist`]
+    /// spills so a restarted service can warm itself back up.
+    fn plans(&self) -> Vec<PhysicalPlan> {
+        self.entries.values().map(|e| e.phys.clone()).collect()
+    }
 }
 
 /// One cache-missing plan registered with a batch.
@@ -628,6 +634,78 @@ impl Service {
             self.inner.refresh_table_entries(&table);
         }
         Ok(table)
+    }
+
+    /// Open a durable database directory ([`memdb::Database::open`])
+    /// and serve from it, **warm-started**: if a previous
+    /// [`Service::persist`] spilled its cached plan set, every spilled
+    /// plan is re-executed once at open (against the recovered tables)
+    /// so the first post-restart round is served from the cache like
+    /// the process had never died. Warm-up is best-effort — plans whose
+    /// tables vanished or fail to execute are skipped silently.
+    ///
+    /// # Errors
+    /// Same as [`memdb::Database::open`] (`Io` for a missing/unreadable
+    /// directory, `Corrupt` for failed checksums or invariants).
+    pub fn open(dir: impl AsRef<std::path::Path>, config: ServiceConfig) -> DbResult<Service> {
+        Service::open_with(dir, config, memdb::DurabilityConfig::recommended())
+    }
+
+    /// [`Service::open`] with explicit durability knobs.
+    ///
+    /// # Errors
+    /// Same as [`Service::open`].
+    pub fn open_with(
+        dir: impl AsRef<std::path::Path>,
+        config: ServiceConfig,
+        durability: memdb::DurabilityConfig,
+    ) -> DbResult<Service> {
+        let dir = dir.as_ref();
+        let db = Arc::new(Database::open_with(dir, durability)?);
+        let service = Service::new(db, config);
+        for phys in memdb::store::read_plans(&dir.join(memdb::store::WARM_PLANS_FILE))? {
+            let Ok(table) = service.inner.engine.database().table(phys.table()) else {
+                continue;
+            };
+            let _ = service.inner.execute_single(&table, &phys);
+        }
+        Ok(service)
+    }
+
+    /// Persist this service's database into `dir`
+    /// ([`memdb::Database::save`] — the catalog stays durable there
+    /// afterwards) and spill the cached plan set alongside it, so
+    /// [`Service::open`] can warm-start: the spill holds plan
+    /// *fingerprint material* (the plans themselves), not result data —
+    /// a reopened service recomputes against the recovered tables and
+    /// serves byte-identical results from then on.
+    ///
+    /// # Errors
+    /// `Io` on filesystem failures.
+    pub fn persist(&self, dir: impl AsRef<std::path::Path>) -> DbResult<()> {
+        let dir = dir.as_ref();
+        let db = self.inner.engine.database();
+        // Already durable in this directory → an incremental checkpoint
+        // (seal the WAL tail, keep unchanged tables' chunk files)
+        // instead of rewriting every table from scratch.
+        let same_dir = db.durability_summary().is_some_and(|s| {
+            match (std::fs::canonicalize(&s.dir), std::fs::canonicalize(dir)) {
+                (Ok(a), Ok(b)) => a == b,
+                _ => false,
+            }
+        });
+        if same_dir {
+            db.checkpoint()?;
+        } else {
+            db.save(dir)?;
+        }
+        let plans = self
+            .inner
+            .cache
+            .lock()
+            .expect("cache lock poisoned")
+            .plans();
+        memdb::store::write_plans(&dir.join(memdb::store::WARM_PLANS_FILE), &plans)
     }
 
     /// Snapshot the cache/batch counters.

@@ -6,10 +6,13 @@ use std::sync::Arc;
 
 use std::sync::RwLock;
 
+use std::path::Path;
+
 use crate::cost::{CostCounters, CostSnapshot};
 use crate::error::{DbError, DbResult};
 use crate::exec::{self, Query, QueryOutput, SetsOutput, SetsQuery};
 use crate::plan::{LogicalPlan, PhysicalPlan, PlanOutput};
+use crate::store::{self, DurabilityConfig, DurabilityState, DurabilitySummary, WalRecord};
 use crate::table::Table;
 use crate::value::Value;
 
@@ -38,6 +41,11 @@ pub struct Database {
     /// path takes this lock first, the snapshot an append builds on
     /// cannot be replaced before its publish.
     mutate_lock: std::sync::Mutex<()>,
+    /// Durable-store attachment ([`Database::save`]/[`Database::open`]):
+    /// when present, every mutation is WAL-logged before it is
+    /// published and the WAL is checkpointed into sealed segment files
+    /// past the configured threshold. `None` = pure in-memory catalog.
+    durability: std::sync::Mutex<Option<DurabilityState>>,
 }
 
 impl Database {
@@ -57,14 +65,34 @@ impl Database {
     /// can only invalidate — a stale incremental refresh onto the
     /// replacement is impossible by construction. Use
     /// [`Database::append_rows`] for ingest that preserves lineage.
+    /// On a durable catalog the registration is WAL-logged (full table
+    /// contents — registrations are rare and bounded). If the log write
+    /// fails the in-memory registration still happens, but the store is
+    /// *wedged*: subsequent appends error loudly instead of diverging
+    /// from disk silently; re-[`Database::save`] to recover.
     pub fn register(&self, mut table: Table) -> Arc<Table> {
         let _mutations_serialized = self.mutate_lock.lock().expect("mutate lock poisoned");
         table.stamp_registered(self.version.fetch_add(1, Ordering::Relaxed) + 1);
         let arc = Arc::new(table);
+        {
+            let mut durability = self.durability.lock().expect("durability lock poisoned");
+            if let Some(state) = durability.as_mut() {
+                let record = WalRecord::Register {
+                    version: arc.version(),
+                    table: arc.name().to_string(),
+                    schema: arc.schema().columns().to_vec(),
+                    rows: (0..arc.num_rows()).map(|i| arc.row(i)).collect(),
+                };
+                if let Err(e) = state.log(&record) {
+                    state.wedge(&e);
+                }
+            }
+        }
         self.tables
             .write()
             .expect("catalog lock poisoned")
             .insert(arc.name().to_string(), arc.clone());
+        self.maybe_checkpoint();
         arc
     }
 
@@ -103,6 +131,14 @@ impl Database {
         let _mutations_serialized = self.mutate_lock.lock().expect("mutate lock poisoned");
         let old = self.table(name)?;
         let mut next = (*old).clone();
+        // On a durable catalog the batch is WAL-logged below, *before*
+        // the publish — keep a copy of the rows for the log record.
+        let wal_rows = self
+            .durability
+            .lock()
+            .expect("durability lock poisoned")
+            .is_some()
+            .then(|| rows.clone());
         // The old version is sealed (registration/append seals), so the
         // pushes below open exactly one fresh delta segment per column.
         for row in rows {
@@ -113,10 +149,24 @@ impl Database {
         }
         next.stamp_appended(self.version.fetch_add(1, Ordering::Relaxed) + 1);
         let arc = Arc::new(next);
+        if let Some(rows) = wal_rows {
+            // Durability point: the acknowledged batch reaches the WAL
+            // (fsynced per config) before any reader can see v+1. A
+            // failed log write publishes nothing.
+            let mut durability = self.durability.lock().expect("durability lock poisoned");
+            if let Some(state) = durability.as_mut() {
+                state.log(&WalRecord::Append {
+                    version: arc.version(),
+                    table: name.to_string(),
+                    rows,
+                })?;
+            }
+        }
         self.tables
             .write()
             .expect("catalog lock poisoned")
             .insert(name.to_string(), arc.clone());
+        self.maybe_checkpoint();
         Ok(arc)
     }
 
@@ -162,17 +212,155 @@ impl Database {
     /// version is only bumped when a table was actually removed.
     pub fn drop_table(&self, name: &str) -> DbResult<()> {
         let _mutations_serialized = self.mutate_lock.lock().expect("mutate lock poisoned");
-        let existed = self
+        if !self
             .tables
-            .write()
+            .read()
             .expect("catalog lock poisoned")
-            .remove(name)
-            .is_some();
-        if !existed {
+            .contains_key(name)
+        {
             return Err(DbError::UnknownTable(name.to_string()));
         }
-        self.version.fetch_add(1, Ordering::Relaxed);
+        let version = self.version.fetch_add(1, Ordering::Relaxed) + 1;
+        {
+            // WAL-log the drop before applying it; a failed log leaves
+            // the table in place (the version counter gap is harmless).
+            let mut durability = self.durability.lock().expect("durability lock poisoned");
+            if let Some(state) = durability.as_mut() {
+                state.log(&WalRecord::Drop {
+                    version,
+                    table: name.to_string(),
+                })?;
+            }
+        }
+        self.tables
+            .write()
+            .expect("catalog lock poisoned")
+            .remove(name);
+        self.maybe_checkpoint();
         Ok(())
+    }
+
+    /// Persist this catalog into `dir` with the recommended
+    /// [`DurabilityConfig`] and keep it durable: every subsequent
+    /// `append_rows`/`register`/`drop_table` is WAL-logged before it is
+    /// published, and the WAL checkpoints into sealed segment files
+    /// past the configured threshold. See [`crate::store`] for the
+    /// directory layout and invariants.
+    ///
+    /// # Errors
+    /// `Io` on filesystem failures; nothing is attached on error.
+    pub fn save(&self, dir: impl AsRef<Path>) -> DbResult<()> {
+        self.save_with(dir, DurabilityConfig::recommended())
+    }
+
+    /// [`Database::save`] with explicit durability knobs.
+    ///
+    /// # Errors
+    /// `Io` on filesystem failures; nothing is attached on error.
+    pub fn save_with(&self, dir: impl AsRef<Path>, config: DurabilityConfig) -> DbResult<()> {
+        // Hold the mutation lock so the snapshot written is one
+        // consistent catalog version (readers are unaffected).
+        let _mutations_serialized = self.mutate_lock.lock().expect("mutate lock poisoned");
+        let tables = self.tables_sorted();
+        let state = store::create(dir.as_ref(), config, self.version(), &tables)?;
+        *self.durability.lock().expect("durability lock poisoned") = Some(state);
+        Ok(())
+    }
+
+    /// Open the database directory `dir` with the recommended
+    /// [`DurabilityConfig`]: load the manifest's segment files, replay
+    /// the WAL tail past it, and return a catalog that continues to be
+    /// durable in that directory. Row ids, dictionary codes, table
+    /// versions, and append lineage are reproduced exactly, so query
+    /// results — and cached-partial-aggregate refresh contracts — are
+    /// bit-for-bit those of the never-restarted catalog.
+    ///
+    /// # Errors
+    /// `Io` when `dir` is not a database directory (no manifest) or
+    /// reads fail; `Corrupt` when checksums or structural invariants
+    /// fail (never a panic, never a silently wrong answer).
+    pub fn open(dir: impl AsRef<Path>) -> DbResult<Database> {
+        Database::open_with(dir, DurabilityConfig::recommended())
+    }
+
+    /// [`Database::open`] with explicit durability knobs.
+    ///
+    /// # Errors
+    /// Same as [`Database::open`].
+    pub fn open_with(dir: impl AsRef<Path>, config: DurabilityConfig) -> DbResult<Database> {
+        let (state, tables, catalog_version) = store::load(dir.as_ref(), config)?;
+        let db = Database::new();
+        {
+            let mut map = db.tables.write().expect("catalog lock poisoned");
+            for table in tables {
+                map.insert(table.name().to_string(), table);
+            }
+        }
+        db.version.store(catalog_version, Ordering::Relaxed);
+        *db.durability.lock().expect("durability lock poisoned") = Some(state);
+        Ok(db)
+    }
+
+    /// Force a checkpoint now: seal the WAL's contents into segment
+    /// files, publish a new manifest, and truncate the WAL. A no-op
+    /// (returning `Ok`) on a non-durable catalog.
+    ///
+    /// # Errors
+    /// `Io`/`Corrupt` from the store; the WAL still holds everything on
+    /// failure, so no acknowledged mutation is ever lost.
+    pub fn checkpoint(&self) -> DbResult<()> {
+        let _mutations_serialized = self.mutate_lock.lock().expect("mutate lock poisoned");
+        let tables = self.tables_sorted();
+        let mut durability = self.durability.lock().expect("durability lock poisoned");
+        match durability.as_mut() {
+            Some(state) => state.checkpoint(self.version(), &tables),
+            None => Ok(()),
+        }
+    }
+
+    /// Is this catalog attached to a durable directory?
+    pub fn is_durable(&self) -> bool {
+        self.durability
+            .lock()
+            .expect("durability lock poisoned")
+            .is_some()
+    }
+
+    /// Snapshot of the durable state (directory, per-table segment
+    /// files, WAL backlog), or `None` for a pure in-memory catalog.
+    pub fn durability_summary(&self) -> Option<DurabilitySummary> {
+        self.durability
+            .lock()
+            .expect("durability lock poisoned")
+            .as_ref()
+            .map(DurabilityState::summary)
+    }
+
+    /// All tables, sorted by name (the checkpoint snapshot order).
+    fn tables_sorted(&self) -> Vec<Arc<Table>> {
+        let mut tables: Vec<Arc<Table>> = self
+            .tables
+            .read()
+            .expect("catalog lock poisoned")
+            .values()
+            .cloned()
+            .collect();
+        tables.sort_by(|a, b| a.name().cmp(b.name()));
+        tables
+    }
+
+    /// Checkpoint if the WAL crossed its threshold, remembering (not
+    /// propagating) failures — the WAL keeps everything durable until a
+    /// later checkpoint succeeds. Called at the end of every mutation
+    /// while the mutation lock is held.
+    fn maybe_checkpoint(&self) {
+        let mut durability = self.durability.lock().expect("durability lock poisoned");
+        if let Some(state) = durability.as_mut() {
+            if state.should_checkpoint() {
+                let tables = self.tables_sorted();
+                state.maybe_checkpoint(self.version(), &tables);
+            }
+        }
     }
 
     /// Execute a single-grouping [`Query`], recording its cost.

@@ -59,6 +59,20 @@ impl StrDict {
         self.values.len()
     }
 
+    /// Append one entry with the next sequential code (the durable
+    /// store's dictionary-rebuild path). Returns `None` if the entry is
+    /// already interned — codes would misalign, so the caller treats
+    /// that as corruption.
+    pub(crate) fn push_entry(&mut self, s: String) -> Option<u32> {
+        if self.index.contains_key(&s) {
+            return None;
+        }
+        let code = self.values.len() as u32;
+        self.values.push(s.clone());
+        self.index.insert(s, code);
+        Some(code)
+    }
+
     /// True if no strings are interned.
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
@@ -110,6 +124,31 @@ impl Column {
         c.starts.push(0);
         c.open = true;
         c
+    }
+
+    /// Rebuild a sealed column from stored segments (the durable
+    /// store's reconstruction path). `starts` are derived from segment
+    /// lengths; the column is sealed (the next push opens a fresh
+    /// segment), exactly like a registered table's column.
+    pub(crate) fn from_parts(
+        dtype: DataType,
+        segments: Vec<Arc<ColumnSegment>>,
+        dict: Option<Arc<StrDict>>,
+    ) -> Column {
+        let mut starts = Vec::with_capacity(segments.len());
+        let mut len = 0usize;
+        for seg in &segments {
+            starts.push(len);
+            len += seg.len();
+        }
+        Column {
+            dtype,
+            segments,
+            starts,
+            len,
+            open: false,
+            dict,
+        }
     }
 
     /// This column's data type.

@@ -33,6 +33,14 @@ pub enum DbError {
     Schema(String),
     /// Invalid query construction (e.g. empty grouping set list).
     InvalidQuery(String),
+    /// An operating-system I/O failure in the durable store (message
+    /// carries the path and the OS error).
+    Io(String),
+    /// On-disk data failed validation: a checksum mismatch, bad magic,
+    /// or a structural inconsistency in a segment file, manifest, or
+    /// WAL. Surfaced as a typed error so recovery never serves a
+    /// silently wrong answer (and never panics on bad bytes).
+    Corrupt(String),
 }
 
 impl fmt::Display for DbError {
@@ -52,6 +60,8 @@ impl fmt::Display for DbError {
             DbError::Internal(msg) => write!(f, "internal error: {msg}"),
             DbError::Schema(msg) => write!(f, "schema error: {msg}"),
             DbError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            DbError::Io(msg) => write!(f, "I/O error: {msg}"),
+            DbError::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
         }
     }
 }

@@ -22,7 +22,10 @@
 //! * parallel batch execution of plans ([`parallel`]);
 //! * table/column statistics and association measures ([`stats`]);
 //! * deterministic cost accounting ([`cost`]);
-//! * a SQL subset parser for the analyst-facing text box ([`sql`]).
+//! * a SQL subset parser for the analyst-facing text box ([`sql`]);
+//! * a durable on-disk store — checksummed segment files, an atomic
+//!   manifest, an ingest WAL, and crash recovery ([`store`],
+//!   [`Database::save`]/[`Database::open`]).
 //!
 //! ## Example
 //!
@@ -64,6 +67,7 @@ pub mod schema;
 pub mod segment;
 pub mod sql;
 pub mod stats;
+pub mod store;
 pub mod table;
 pub mod value;
 
@@ -84,5 +88,6 @@ pub use schema::{ColumnDef, Role, Schema, Semantic};
 pub use segment::{ColumnSegment, SegmentData, Validity};
 pub use sql::{parse_query, parse_selection, Selection};
 pub use stats::{cramers_v, ColumnStats, TableStats};
+pub use store::{DurabilityConfig, DurabilitySummary};
 pub use table::Table;
 pub use value::{DataType, Value};

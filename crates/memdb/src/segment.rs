@@ -25,6 +25,12 @@ pub struct Validity {
 }
 
 impl Validity {
+    /// Rebuild from a stored mask (`None` = all valid). Used by the
+    /// durable store to reconstruct segments bit-for-bit.
+    pub(crate) fn from_mask(mask: Option<Vec<bool>>) -> Self {
+        Validity { mask }
+    }
+
     /// Is row `i` valid (non-null)? Rows beyond the recorded mask are valid.
     #[inline]
     pub fn is_valid(&self, i: usize) -> bool {
@@ -81,6 +87,12 @@ pub struct ColumnSegment {
 }
 
 impl ColumnSegment {
+    /// Rebuild a sealed segment from its stored parts (the durable
+    /// store's reconstruction path).
+    pub(crate) fn from_parts(data: SegmentData, validity: Validity) -> Self {
+        ColumnSegment { data, validity }
+    }
+
     /// An empty segment of the given type.
     pub(crate) fn new(dtype: DataType) -> Self {
         ColumnSegment {

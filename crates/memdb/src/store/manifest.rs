@@ -1,0 +1,353 @@
+//! The manifest: the single atomically-published root of a database
+//! directory.
+//!
+//! A manifest names, for every table, the ordered list of segment files
+//! that materialize it (with row ranges and per-column dictionary
+//! progress), plus the table's version stamp and append lineage and the
+//! catalog's version counter. It is written as one checksummed section
+//! to `MANIFEST.tmp` and renamed over `MANIFEST` — readers see either
+//! the previous catalog state or the new one, never a torn mix, and a
+//! leftover `MANIFEST.tmp` from a crash is simply ignored and removed.
+//!
+//! Invariants:
+//!
+//! * every chunk list covers `[0, rows)` contiguously in order;
+//! * `dict_ends` chain per column: chunk `k+1`'s `dict_start` equals
+//!   chunk `k`'s `dict_end` (checked when chunks are loaded);
+//! * `catalog_version` is the catalog's version counter at publish
+//!   time — WAL records at or below it are already folded in.
+
+use std::path::{Path, PathBuf};
+
+use crate::error::{DbError, DbResult};
+use crate::schema::{ColumnDef, Schema};
+
+use super::format::{corrupt, read_section_file, write_section_file, Dec, Enc};
+use super::wal::{decode_column_def, encode_column_def, schema_from_defs};
+
+/// Magic bytes opening the manifest payload.
+const MAGIC: &[u8; 8] = b"SDBMAN1\0";
+/// Format version.
+const FORMAT: u32 = 1;
+
+/// One segment file reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkRef {
+    /// File name inside the `segments/` subdirectory.
+    pub file: String,
+    /// First logical row id the chunk covers.
+    pub start_row: u64,
+    /// Rows the chunk covers.
+    pub rows: u64,
+    /// Per-column dictionary length after this chunk (0 for non-string
+    /// columns). The next chunk's dictionary delta starts here.
+    pub dict_ends: Vec<u64>,
+}
+
+/// One table's durable description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableEntry {
+    /// Table name.
+    pub name: String,
+    /// Catalog version stamp ([`crate::Table::version`]).
+    pub version: u64,
+    /// Total rows.
+    pub rows: u64,
+    /// `(version, rows)` append-lineage checkpoints, oldest first.
+    pub lineage: Vec<(u64, u64)>,
+    /// Column definitions.
+    pub schema: Vec<ColumnDef>,
+    /// Segment files, in row order.
+    pub chunks: Vec<ChunkRef>,
+}
+
+impl TableEntry {
+    /// The validated [`Schema`] of this entry.
+    pub fn schema(&self) -> DbResult<Schema> {
+        schema_from_defs(self.schema.clone())
+    }
+
+    /// Per-column dictionary lengths after the last chunk (all zeros
+    /// when the table has no chunks yet).
+    pub fn final_dict_ends(&self) -> Vec<u64> {
+        self.chunks
+            .last()
+            .map(|c| c.dict_ends.clone())
+            .unwrap_or_else(|| vec![0; self.schema.len()])
+    }
+}
+
+/// The decoded manifest.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Manifest {
+    /// Catalog version counter at publish time.
+    pub catalog_version: u64,
+    /// Next segment-file id (file names are allocated from this counter
+    /// so replacements never collide with leftover files).
+    pub next_file_id: u64,
+    /// Store incarnation: only WAL records whose header carries this
+    /// epoch belong to this manifest. A re-save into an existing
+    /// directory bumps it, so a crash between the new manifest's
+    /// publish and the WAL reset can never replay the previous
+    /// incarnation's records onto the new catalog.
+    pub wal_epoch: u64,
+    /// Tables, sorted by name.
+    pub tables: Vec<TableEntry>,
+}
+
+impl Manifest {
+    /// File name inside the database directory.
+    pub const FILE_NAME: &'static str = "MANIFEST";
+
+    /// The entry for `name`, if any.
+    pub fn table(&self, name: &str) -> Option<&TableEntry> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// Encode to the on-disk payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.bytes(MAGIC);
+        e.u32(FORMAT);
+        e.u64(self.catalog_version);
+        e.u64(self.next_file_id);
+        e.u64(self.wal_epoch);
+        e.u64(self.tables.len() as u64);
+        for t in &self.tables {
+            e.str(&t.name);
+            e.u64(t.version);
+            e.u64(t.rows);
+            e.u64(t.lineage.len() as u64);
+            for &(v, r) in &t.lineage {
+                e.u64(v);
+                e.u64(r);
+            }
+            e.u64(t.schema.len() as u64);
+            for c in &t.schema {
+                encode_column_def(&mut e, c);
+            }
+            e.u64(t.chunks.len() as u64);
+            for c in &t.chunks {
+                e.str(&c.file);
+                e.u64(c.start_row);
+                e.u64(c.rows);
+                e.u64(c.dict_ends.len() as u64);
+                for &d in &c.dict_ends {
+                    e.u64(d);
+                }
+            }
+        }
+        e.into_bytes()
+    }
+
+    /// Decode from the on-disk payload, validating structure.
+    pub fn decode(payload: &[u8], what: &str) -> DbResult<Manifest> {
+        let mut d = Dec::new(payload, what);
+        if d.bytes()? != MAGIC {
+            return Err(corrupt(format!("{what}: not a manifest (bad magic)")));
+        }
+        let format = d.u32()?;
+        if format != FORMAT {
+            return Err(corrupt(format!(
+                "{what}: unsupported manifest format {format} (expected {FORMAT})"
+            )));
+        }
+        let catalog_version = d.u64()?;
+        let next_file_id = d.u64()?;
+        let wal_epoch = d.u64()?;
+        let ntables = d.count(1)?;
+        let mut tables = Vec::with_capacity(ntables);
+        for _ in 0..ntables {
+            let name = d.str()?;
+            let version = d.u64()?;
+            let rows = d.u64()?;
+            let nlineage = d.count(16)?;
+            let mut lineage = Vec::with_capacity(nlineage);
+            for _ in 0..nlineage {
+                lineage.push((d.u64()?, d.u64()?));
+            }
+            let ncols = d.count(1)?;
+            let mut schema = Vec::with_capacity(ncols);
+            for _ in 0..ncols {
+                schema.push(decode_column_def(&mut d)?);
+            }
+            let nchunks = d.count(1)?;
+            let mut chunks = Vec::with_capacity(nchunks);
+            let mut covered = 0u64;
+            for _ in 0..nchunks {
+                let file = d.str()?;
+                let start_row = d.u64()?;
+                let chunk_rows = d.u64()?;
+                let nends = d.count(8)?;
+                if nends != ncols {
+                    return Err(corrupt(format!(
+                        "{what}: table {name}: chunk {file} has {nends} dict ends for {ncols} columns"
+                    )));
+                }
+                let mut dict_ends = Vec::with_capacity(nends);
+                for _ in 0..nends {
+                    dict_ends.push(d.u64()?);
+                }
+                if start_row != covered {
+                    return Err(corrupt(format!(
+                        "{what}: table {name}: chunk {file} starts at row {start_row}, expected {covered}"
+                    )));
+                }
+                covered += chunk_rows;
+                chunks.push(ChunkRef {
+                    file,
+                    start_row,
+                    rows: chunk_rows,
+                    dict_ends,
+                });
+            }
+            if covered != rows {
+                return Err(corrupt(format!(
+                    "{what}: table {name}: chunks cover {covered} of {rows} rows"
+                )));
+            }
+            tables.push(TableEntry {
+                name,
+                version,
+                rows,
+                lineage,
+                schema,
+                chunks,
+            });
+        }
+        if !d.is_done() {
+            return Err(corrupt(format!("{what}: trailing bytes")));
+        }
+        Ok(Manifest {
+            catalog_version,
+            next_file_id,
+            wal_epoch,
+            tables,
+        })
+    }
+
+    /// Path of the manifest inside `dir`.
+    pub fn path(dir: &Path) -> PathBuf {
+        dir.join(Manifest::FILE_NAME)
+    }
+
+    /// Atomically publish this manifest into `dir` (write tmp + rename).
+    pub fn write(&self, dir: &Path) -> DbResult<()> {
+        write_section_file(&Manifest::path(dir), &self.encode())
+    }
+
+    /// Read and validate the manifest in `dir`. A leftover
+    /// `MANIFEST.tmp` from a crashed publish is removed — only the
+    /// renamed `MANIFEST` is ever authoritative.
+    pub fn read(dir: &Path) -> DbResult<Manifest> {
+        let path = Manifest::path(dir);
+        // A torn/complete tmp file is a crash artifact of an
+        // unpublished checkpoint; its contents were never acknowledged.
+        let _ = std::fs::remove_file(path.with_extension("tmp"));
+        if !path.exists() {
+            return Err(DbError::Io(format!(
+                "{}: no manifest — not a database directory (create one with Database::save)",
+                dir.display()
+            )));
+        }
+        let what = format!("manifest {}", path.display());
+        let payload = read_section_file(&path, &what)?;
+        Manifest::decode(&payload, &what)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::value::DataType;
+
+    fn sample() -> Manifest {
+        Manifest {
+            catalog_version: 9,
+            next_file_id: 4,
+            wal_epoch: 2,
+            tables: vec![TableEntry {
+                name: "t".into(),
+                version: 7,
+                rows: 10,
+                lineage: vec![(5, 6), (7, 10)],
+                schema: vec![
+                    ColumnDef::dimension("d", DataType::Str),
+                    ColumnDef::measure("m", DataType::Float64),
+                ],
+                chunks: vec![
+                    ChunkRef {
+                        file: "seg-00000001.seg".into(),
+                        start_row: 0,
+                        rows: 6,
+                        dict_ends: vec![3, 0],
+                    },
+                    ChunkRef {
+                        file: "seg-00000002.seg".into(),
+                        start_row: 6,
+                        rows: 4,
+                        dict_ends: vec![5, 0],
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = sample();
+        let got = Manifest::decode(&m.encode(), "test").unwrap();
+        assert_eq!(m, got);
+        assert_eq!(got.table("t").unwrap().final_dict_ends(), vec![5, 0]);
+        assert!(got.table("missing").is_none());
+    }
+
+    #[test]
+    fn gaps_and_bad_coverage_are_corrupt() {
+        let mut m = sample();
+        m.tables[0].chunks[1].start_row = 7; // gap after row 6
+        assert!(matches!(
+            Manifest::decode(&m.encode(), "t"),
+            Err(DbError::Corrupt(_))
+        ));
+        let mut m = sample();
+        m.tables[0].rows = 11; // chunks cover only 10
+        assert!(matches!(
+            Manifest::decode(&m.encode(), "t"),
+            Err(DbError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn atomic_write_and_tmp_cleanup() {
+        let dir = std::env::temp_dir().join(format!("memdb-manifest-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let m = sample();
+        m.write(&dir).unwrap();
+        // A torn tmp from a crashed later publish must not shadow the
+        // published manifest.
+        std::fs::write(Manifest::path(&dir).with_extension("tmp"), b"garbage").unwrap();
+        let got = Manifest::read(&dir).unwrap();
+        assert_eq!(m, got);
+        assert!(!Manifest::path(&dir).with_extension("tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_manifest_is_io_corrupted_manifest_is_corrupt() {
+        let dir = std::env::temp_dir().join(format!("memdb-manifest-miss-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(Manifest::read(&dir), Err(DbError::Io(_))));
+        sample().write(&dir).unwrap();
+        let path = Manifest::path(&dir);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 1;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(Manifest::read(&dir), Err(DbError::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,443 @@
+//! The on-disk segment file: one immutable, checksummed chunk of a
+//! table covering a contiguous row range `[start_row, start_row +
+//! rows)`, holding every column's typed values for those rows.
+//!
+//! Layout (all sections are `len | crc32 | payload` frames from
+//! [`super::format`]):
+//!
+//! ```text
+//! section 0: header  — magic, format version, table name, start_row,
+//!                      row count, column count
+//! section i: column  — dtype tag, typed values, validity, and (string
+//!                      columns) the dictionary slice this chunk
+//!                      introduces: codes [dict_start, dict_end)
+//! ```
+//!
+//! String chunks store dictionary *deltas*: codes are assigned in
+//! first-occurrence row order, so the entries introduced by a chunk are
+//! exactly the dictionary slice past everything earlier chunks carried.
+//! Loading chunks in row order therefore rebuilds each column's
+//! dictionary — and every row's code — bit-for-bit.
+
+use crate::error::DbResult;
+use crate::segment::{SegmentData, Validity};
+use crate::table::Table;
+use crate::value::DataType;
+
+use super::format::{corrupt, frame_section, read_section, Dec, Enc, Section};
+
+/// Magic bytes opening every segment file header.
+const MAGIC: &[u8; 8] = b"SDBSEG1\0";
+/// Format version (bump on incompatible layout changes).
+const FORMAT: u32 = 1;
+
+/// One decoded column chunk.
+#[derive(Debug)]
+pub struct ChunkColumn {
+    /// Typed values (placeholders where invalid, exactly as stored in
+    /// memory — reconstruction is bit-identical).
+    pub data: SegmentData,
+    /// Validity mask.
+    pub validity: Validity,
+    /// Dictionary length before this chunk (string columns; 0 otherwise).
+    pub dict_start: u64,
+    /// Dictionary entries this chunk introduces (codes
+    /// `dict_start..dict_start + len`).
+    pub dict_entries: Vec<String>,
+}
+
+/// A decoded segment file.
+#[derive(Debug)]
+pub struct Chunk {
+    /// Table this chunk belongs to.
+    pub table: String,
+    /// First logical row id covered.
+    pub start_row: u64,
+    /// Number of rows covered.
+    pub rows: u64,
+    /// One entry per schema column, in order.
+    pub columns: Vec<ChunkColumn>,
+}
+
+/// Encode rows `[lo, hi)` of `table` as one segment file.
+/// `dict_starts[c]` is the dictionary length column `c`'s earlier
+/// chunks already carry (0 for non-string columns). Returns the file
+/// bytes plus the per-column dictionary length after this chunk.
+pub fn write_chunk(
+    table: &Table,
+    lo: usize,
+    hi: usize,
+    dict_starts: &[u64],
+) -> (Vec<u8>, Vec<u64>) {
+    debug_assert!(lo <= hi && hi <= table.num_rows());
+    let ncols = table.schema().len();
+    debug_assert_eq!(dict_starts.len(), ncols);
+
+    let mut header = Enc::new();
+    header.bytes(MAGIC);
+    header.u32(FORMAT);
+    header.str(table.name());
+    header.u64(lo as u64);
+    header.u64((hi - lo) as u64);
+    header.u64(ncols as u64);
+    let mut out = frame_section(&header.into_bytes());
+
+    let mut dict_ends = Vec::with_capacity(ncols);
+    for (c, &chunk_dict_start) in dict_starts.iter().enumerate() {
+        let col = table.column_at(c);
+        let mut e = Enc::new();
+        e.dtype(col.data_type());
+
+        // Gather values + validity for [lo, hi) across the column's
+        // segments. Placeholder values of null rows are carried as-is,
+        // so decode rebuilds the in-memory vectors bit-for-bit.
+        let n = hi - lo;
+        let mut mask: Vec<bool> = Vec::with_capacity(n);
+        let mut any_null = false;
+        let mut max_code: Option<u32> = None;
+        match col.data_type() {
+            DataType::Int64 => {
+                let mut vals: Vec<i64> = Vec::with_capacity(n);
+                gather(col, lo, hi, &mut mask, &mut any_null, |seg, i| {
+                    if let SegmentData::Int64(v) = seg.data() {
+                        vals.push(v[i]);
+                    }
+                });
+                e.u64(vals.len() as u64);
+                for v in &vals {
+                    e.i64(*v);
+                }
+            }
+            DataType::Float64 => {
+                let mut vals: Vec<f64> = Vec::with_capacity(n);
+                gather(col, lo, hi, &mut mask, &mut any_null, |seg, i| {
+                    if let SegmentData::Float64(v) = seg.data() {
+                        vals.push(v[i]);
+                    }
+                });
+                e.u64(vals.len() as u64);
+                for v in &vals {
+                    e.f64(*v);
+                }
+            }
+            DataType::Str => {
+                let mut vals: Vec<u32> = Vec::with_capacity(n);
+                gather(col, lo, hi, &mut mask, &mut any_null, |seg, i| {
+                    if let SegmentData::Str(v) = seg.data() {
+                        vals.push(v[i]);
+                    }
+                });
+                // Codes of *valid* rows determine the dictionary slice
+                // this chunk introduces (placeholders of null rows are
+                // unspecified and excluded).
+                for (i, &code) in vals.iter().enumerate() {
+                    if mask.get(i).copied().unwrap_or(true) {
+                        max_code = Some(max_code.map_or(code, |m: u32| m.max(code)));
+                    }
+                }
+                e.u64(vals.len() as u64);
+                for v in &vals {
+                    e.u32(*v);
+                }
+            }
+            DataType::Bool => {
+                let mut vals: Vec<bool> = Vec::with_capacity(n);
+                gather(col, lo, hi, &mut mask, &mut any_null, |seg, i| {
+                    if let SegmentData::Bool(v) = seg.data() {
+                        vals.push(v[i]);
+                    }
+                });
+                e.u64(vals.len() as u64);
+                for v in &vals {
+                    e.u8(*v as u8);
+                }
+            }
+        }
+
+        if any_null {
+            e.u8(1);
+            for &m in &mask {
+                e.u8(m as u8);
+            }
+        } else {
+            e.u8(0);
+        }
+
+        let dict_end = if col.data_type() == DataType::Str {
+            let start = chunk_dict_start;
+            let end = max_code.map_or(start, |m| start.max(m as u64 + 1));
+            let dict = col.str_dict().expect("string columns carry a dict");
+            e.u64(start);
+            e.u64(end - start);
+            for code in start..end {
+                e.str(dict.value(code as u32));
+            }
+            end
+        } else {
+            0
+        };
+        dict_ends.push(dict_end);
+        out.extend_from_slice(&frame_section(&e.into_bytes()));
+    }
+    (out, dict_ends)
+}
+
+/// Visit rows `[lo, hi)` of `col` in order, recording validity and
+/// handing each (segment, local index) to `emit`.
+fn gather(
+    col: &crate::column::Column,
+    lo: usize,
+    hi: usize,
+    mask: &mut Vec<bool>,
+    any_null: &mut bool,
+    mut emit: impl FnMut(&crate::segment::ColumnSegment, usize),
+) {
+    for (start, seg) in col.segments() {
+        let seg_end = start + seg.len();
+        if seg_end <= lo || start >= hi {
+            continue;
+        }
+        let from = lo.max(start) - start;
+        let to = hi.min(seg_end) - start;
+        for i in from..to {
+            let valid = seg.is_valid(i);
+            *any_null |= !valid;
+            mask.push(valid);
+            emit(seg, i);
+        }
+    }
+}
+
+/// Decode one segment file.
+///
+/// # Errors
+/// `Corrupt` on checksum mismatch, truncation, bad magic/format, or any
+/// structural inconsistency (wrong column count, mask length, code out
+/// of dictionary range).
+pub fn read_chunk(bytes: &[u8], what: &str) -> DbResult<Chunk> {
+    let mut pos = 0usize;
+    let mut next_section = |ctx: &str| -> DbResult<&[u8]> {
+        match read_section(bytes, pos) {
+            Section::Ok(payload, consumed) => {
+                pos += consumed;
+                Ok(payload)
+            }
+            Section::BadChecksum => Err(corrupt(format!("{what}: {ctx}: checksum mismatch"))),
+            Section::End | Section::Torn => Err(corrupt(format!("{what}: {ctx}: truncated"))),
+        }
+    };
+
+    let header = next_section("header")?;
+    let mut d = Dec::new(header, what);
+    if d.bytes()? != MAGIC {
+        return Err(corrupt(format!("{what}: not a segment file (bad magic)")));
+    }
+    let format = d.u32()?;
+    if format != FORMAT {
+        return Err(corrupt(format!(
+            "{what}: unsupported segment format {format} (expected {FORMAT})"
+        )));
+    }
+    let table = d.str()?;
+    let start_row = d.u64()?;
+    let rows = d.u64()?;
+    // The columns live in their own sections after the header, so the
+    // count cannot be validated against this payload's size — bound it
+    // explicitly so a corrupt header cannot trigger a huge allocation.
+    let ncols = d.u64()?;
+    if ncols > 1 << 20 {
+        return Err(corrupt(format!("{what}: absurd column count {ncols}")));
+    }
+    let ncols = ncols as usize;
+
+    let mut columns = Vec::with_capacity(ncols);
+    for c in 0..ncols {
+        let payload = next_section(&format!("column {c}"))?;
+        let mut d = Dec::new(payload, what);
+        let dtype = d.dtype()?;
+        let nvals = d.count(1)?;
+        if nvals as u64 != rows {
+            return Err(corrupt(format!(
+                "{what}: column {c} holds {nvals} values for {rows} rows"
+            )));
+        }
+        let data = match dtype {
+            DataType::Int64 => {
+                let mut v = Vec::with_capacity(nvals);
+                for _ in 0..nvals {
+                    v.push(d.i64()?);
+                }
+                SegmentData::Int64(v)
+            }
+            DataType::Float64 => {
+                let mut v = Vec::with_capacity(nvals);
+                for _ in 0..nvals {
+                    v.push(d.f64()?);
+                }
+                SegmentData::Float64(v)
+            }
+            DataType::Str => {
+                let mut v = Vec::with_capacity(nvals);
+                for _ in 0..nvals {
+                    v.push(d.u32()?);
+                }
+                SegmentData::Str(v)
+            }
+            DataType::Bool => {
+                let mut v = Vec::with_capacity(nvals);
+                for _ in 0..nvals {
+                    v.push(d.u8()? != 0);
+                }
+                SegmentData::Bool(v)
+            }
+        };
+        let validity = match d.u8()? {
+            0 => Validity::from_mask(None),
+            1 => {
+                let mut mask = Vec::with_capacity(nvals);
+                for _ in 0..nvals {
+                    mask.push(d.u8()? != 0);
+                }
+                Validity::from_mask(Some(mask))
+            }
+            t => return Err(corrupt(format!("{what}: bad validity tag {t}"))),
+        };
+        let (dict_start, dict_entries) = if dtype == DataType::Str {
+            let start = d.u64()?;
+            let n = d.count(1)?;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                entries.push(d.str()?);
+            }
+            // Every valid row's code must fall inside the dictionary as
+            // of this chunk.
+            let dict_len = start + entries.len() as u64;
+            if let SegmentData::Str(codes) = &data {
+                for (i, &code) in codes.iter().enumerate() {
+                    if validity.is_valid(i) && code as u64 >= dict_len {
+                        return Err(corrupt(format!(
+                            "{what}: column {c} row {i} code {code} outside dictionary ({dict_len} entries)"
+                        )));
+                    }
+                }
+            }
+            (start, entries)
+        } else {
+            (0, Vec::new())
+        };
+        if !d.is_done() {
+            return Err(corrupt(format!("{what}: column {c}: trailing bytes")));
+        }
+        columns.push(ChunkColumn {
+            data,
+            validity,
+            dict_start,
+            dict_entries,
+        });
+    }
+    if pos != bytes.len() {
+        return Err(corrupt(format!("{what}: trailing bytes after last column")));
+    }
+    Ok(Chunk {
+        table,
+        start_row,
+        rows,
+        columns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::DbError;
+    use crate::schema::{ColumnDef, Schema};
+    use crate::value::Value;
+
+    fn mixed_table() -> Table {
+        let schema = Schema::new(vec![
+            ColumnDef::dimension("s", DataType::Str),
+            ColumnDef::measure("f", DataType::Float64),
+            ColumnDef::ignored("i", DataType::Int64),
+            ColumnDef::ignored("b", DataType::Bool),
+        ])
+        .unwrap();
+        let mut t = Table::new("mixed", schema);
+        let rows: Vec<Vec<Value>> = vec![
+            vec!["x".into(), 1.5.into(), Value::Int(-3), Value::Bool(true)],
+            vec![Value::Null, Value::Null, Value::Null, Value::Null],
+            vec!["y".into(), (-0.0).into(), Value::Int(7), Value::Bool(false)],
+            vec!["x".into(), f64::NAN.into(), Value::Int(0), Value::Null],
+        ];
+        for r in rows {
+            t.push_row(r).unwrap();
+        }
+        t.seal_segments();
+        t
+    }
+
+    #[test]
+    fn chunk_roundtrip_preserves_values_and_dict() {
+        let t = mixed_table();
+        let (bytes, dict_ends) = write_chunk(&t, 0, t.num_rows(), &[0, 0, 0, 0]);
+        assert_eq!(dict_ends, vec![2, 0, 0, 0], "two strings interned");
+        let chunk = read_chunk(&bytes, "test").unwrap();
+        assert_eq!(chunk.table, "mixed");
+        assert_eq!(chunk.start_row, 0);
+        assert_eq!(chunk.rows, 4);
+        assert_eq!(chunk.columns.len(), 4);
+        match &chunk.columns[0].data {
+            SegmentData::Str(codes) => assert_eq!(codes, &vec![0, 0, 1, 0]),
+            other => panic!("expected str codes, got {other:?}"),
+        }
+        assert_eq!(chunk.columns[0].dict_entries, vec!["x", "y"]);
+        match &chunk.columns[1].data {
+            SegmentData::Float64(v) => {
+                assert_eq!(v[1].to_bits(), 0.0f64.to_bits(), "null placeholder");
+                assert_eq!(v[2].to_bits(), (-0.0f64).to_bits());
+                assert!(v[3].is_nan());
+            }
+            other => panic!("expected floats, got {other:?}"),
+        }
+        assert!(!chunk.columns[0].validity.is_valid(1));
+        assert!(chunk.columns[0].validity.is_valid(2));
+        assert!(!chunk.columns[3].validity.is_valid(3));
+    }
+
+    #[test]
+    fn partial_range_chunks_carry_dict_deltas() {
+        let t = mixed_table();
+        let (b1, ends1) = write_chunk(&t, 0, 2, &[0, 0, 0, 0]);
+        let (b2, ends2) = write_chunk(&t, 2, 4, &ends1);
+        assert_eq!(ends1[0], 1, "only \"x\" in rows 0..2");
+        assert_eq!(ends2[0], 2, "\"y\" introduced by rows 2..4");
+        let c1 = read_chunk(&b1, "c1").unwrap();
+        let c2 = read_chunk(&b2, "c2").unwrap();
+        assert_eq!(c1.columns[0].dict_entries, vec!["x"]);
+        assert_eq!(c2.columns[0].dict_start, 1);
+        assert_eq!(c2.columns[0].dict_entries, vec!["y"]);
+    }
+
+    #[test]
+    fn corrupted_chunks_are_typed_errors_never_panics() {
+        let t = mixed_table();
+        let (bytes, _) = write_chunk(&t, 0, t.num_rows(), &[0, 0, 0, 0]);
+        // Flip every byte position one at a time would be slow; probe a
+        // spread of positions across header and column sections.
+        for pos in (0..bytes.len()).step_by(7) {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0xA5;
+            match read_chunk(&bad, "fuzz") {
+                Err(DbError::Corrupt(_)) => {}
+                Err(other) => panic!("position {pos}: non-Corrupt error {other:?}"),
+                Ok(_) => panic!("position {pos}: corruption not detected"),
+            }
+        }
+        // Truncations at every section boundary fail cleanly too.
+        for cut in [1, 11, 13, bytes.len() / 2, bytes.len() - 1] {
+            assert!(matches!(
+                read_chunk(&bytes[..cut], "trunc"),
+                Err(DbError::Corrupt(_))
+            ));
+        }
+    }
+}

@@ -74,6 +74,28 @@ impl Table {
         }
     }
 
+    /// Rebuild a sealed, stamped table from stored parts (the durable
+    /// store's reconstruction path). Columns must already agree on row
+    /// count and segment boundaries; `lineage` is the stored append
+    /// history with the current `(version, rows)` as its last entry.
+    pub(crate) fn from_parts(
+        name: String,
+        schema: Schema,
+        columns: Vec<Column>,
+        rows: usize,
+        version: u64,
+        lineage: Vec<(u64, usize)>,
+    ) -> Table {
+        Table {
+            name,
+            schema,
+            columns,
+            rows,
+            version,
+            lineage,
+        }
+    }
+
     /// Table name.
     pub fn name(&self) -> &str {
         &self.name

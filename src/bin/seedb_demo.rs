@@ -24,7 +24,14 @@
 //! * `:append <table> <n>` — live-ingest `n` synthetic delta rows
 //!   (regenerated from the dataset's own generator) into `table`;
 //!   cached partial aggregates refresh incrementally per the serving
-//!   policy instead of recomputing
+//!   policy instead of recomputing, and the line reports whether the
+//!   batch was WAL-logged (durable) or in-memory only
+//! * `:save <dir>` — persist the database (segment files + manifest +
+//!   WAL) into `dir` and keep serving durably from it; spills the
+//!   cached plan set for warm restarts
+//! * `:open <dir>` — replace the session's database with the one saved
+//!   in `dir` (crash recovery included: the WAL tail is replayed) and
+//!   warm-start the serving cache from the spilled plan set
 //! * `:drill <view#> <label>` — narrow to one group of a recommended view
 //! * `:up` — undo the last drill-down
 //! * `:quit`
@@ -240,6 +247,29 @@ fn delta_rows(dataset: &str, n: usize, seed: u64) -> Result<Vec<Vec<seedb::memdb
     Ok((0..table.num_rows()).map(|i| table.row(i)).collect())
 }
 
+/// Print the durable-store summary after `:save` / `:open`: tables with
+/// versions and segment-file counts, plus the WAL backlog.
+fn print_store_summary(db: &seedb::memdb::Database) {
+    let Some(s) = db.durability_summary() else {
+        println!("not durable (in-memory only)");
+        return;
+    };
+    println!("store: {}", s.dir.display());
+    for (name, version, rows, files) in &s.tables {
+        println!("  table {name}: version {version}, {rows} rows, {files} segment file(s)");
+    }
+    println!(
+        "  {} segment file(s) total | WAL: {} record(s), {} byte(s) pending checkpoint",
+        s.segment_files, s.wal_records, s.wal_bytes
+    );
+    if let Some(w) = &s.wedged {
+        println!("  WARNING: store wedged ({w}) — re-run :save to recover");
+    }
+    if let Some(e) = &s.last_checkpoint_error {
+        println!("  WARNING: last checkpoint failed ({e}); retrying at next threshold");
+    }
+}
+
 /// `:append <table> <n>` — live-ingest through the persistent service
 /// so cached partial-aggregate states are maintained incrementally.
 fn run_append(service: &Service, dataset: &str, table: &str, n: usize, seed: u64) {
@@ -267,6 +297,15 @@ fn run_append(service: &Service, dataset: &str, table: &str, n: usize, seed: u64
                     s.refresh_rows - before.refresh_rows,
                     s.refresh_fallbacks - before.refresh_fallbacks,
                 );
+            }
+            match service.database().durability_summary() {
+                Some(d) => println!(
+                    "  WAL-logged ✔ ({} record(s), {} byte(s) pending checkpoint)",
+                    d.wal_records, d.wal_bytes
+                ),
+                None => {
+                    println!("  not WAL-logged (in-memory only; :save <dir> enables durability)")
+                }
             }
         }
         Err(e) => eprintln!("append failed: {e}"),
@@ -498,6 +537,48 @@ fn main() {
                         _ => eprintln!("usage: :append <table> <n ≥ 1>"),
                     }
                 }
+                Some("save") => match parts.next() {
+                    Some(dir) => {
+                        let service = serving_service(&frontend, &mut serving);
+                        match service.persist(dir) {
+                            Ok(()) => {
+                                println!(
+                                    "saved ({} cached plan(s) spilled for warm restart)",
+                                    service.cache_len()
+                                );
+                                print_store_summary(service.database());
+                            }
+                            Err(e) => eprintln!("save failed: {e}"),
+                        }
+                    }
+                    None => eprintln!("usage: :save <dir>"),
+                },
+                Some("open") => match parts.next() {
+                    Some(dir) => {
+                        // Open with the session's current pipeline
+                        // config (mirrors `serving_service`).
+                        let mut cfg = frontend.engine().config().clone();
+                        cfg.pruning.access_frequency = false;
+                        let service_cfg = ServiceConfig::recommended()
+                            .with_seedb(cfg.clone())
+                            .with_batch_window(Duration::from_millis(5));
+                        match Service::open(dir, service_cfg) {
+                            Ok(service) => {
+                                println!(
+                                    "opened ({} state(s) warm in the cache)",
+                                    service.cache_len()
+                                );
+                                print_store_summary(service.database());
+                                frontend =
+                                    Frontend::new(SeeDb::new(service.database().clone(), cfg));
+                                serving = Some(service);
+                                last = run_and_print(&frontend, &current);
+                            }
+                            Err(e) => eprintln!("open failed: {e}"),
+                        }
+                    }
+                    None => eprintln!("usage: :open <dir>"),
+                },
                 Some("sample") => {
                     let cfg = frontend.engine_mut().config_mut();
                     match parts.next() {
@@ -547,7 +628,7 @@ fn main() {
                 },
                 _ => eprintln!(
                     "commands: :k :metric :basic :sample :strategy :workers :sessions :append \
-                     :drill :up :quit"
+                     :save :open :drill :up :quit"
                 ),
             }
             continue;
