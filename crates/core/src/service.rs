@@ -641,8 +641,10 @@ impl Service {
     /// [`Service::persist`] spilled its cached plan set, every spilled
     /// plan is re-executed once at open (against the recovered tables)
     /// so the first post-restart round is served from the cache like
-    /// the process had never died. Warm-up is best-effort — plans whose
-    /// tables vanished or fail to execute are skipped silently.
+    /// the process had never died. Warm-up is best-effort — a missing
+    /// or corrupted spill reads as an empty set (a cold start), and
+    /// plans whose tables vanished or fail to execute are skipped
+    /// silently.
     ///
     /// # Errors
     /// Same as [`memdb::Database::open`] (`Io` for a missing/unreadable
@@ -663,7 +665,12 @@ impl Service {
         let dir = dir.as_ref();
         let db = Arc::new(Database::open_with(dir, durability)?);
         let service = Service::new(db, config);
-        for phys in memdb::store::read_plans(&dir.join(memdb::store::WARM_PLANS_FILE))? {
+        // The spill holds cache hints, not authoritative data: an
+        // unreadable/corrupted file degrades to a cold start, it never
+        // fails the open.
+        let warm =
+            memdb::store::read_plans(&dir.join(memdb::store::WARM_PLANS_FILE)).unwrap_or_default();
+        for phys in warm {
             let Ok(table) = service.inner.engine.database().table(phys.table()) else {
                 continue;
             };

@@ -42,9 +42,10 @@ pub struct Database {
     /// cannot be replaced before its publish.
     mutate_lock: std::sync::Mutex<()>,
     /// Durable-store attachment ([`Database::save`]/[`Database::open`]):
-    /// when present, every mutation is WAL-logged before it is
-    /// published and the WAL is checkpointed into sealed segment files
-    /// past the configured threshold. `None` = pure in-memory catalog.
+    /// when present, appends and drops are WAL-logged before they are
+    /// published (registrations checkpoint directly) and the WAL is
+    /// checkpointed into sealed segment files past the configured
+    /// threshold. `None` = pure in-memory catalog.
     durability: std::sync::Mutex<Option<DurabilityState>>,
 }
 
@@ -65,25 +66,34 @@ impl Database {
     /// can only invalidate — a stale incremental refresh onto the
     /// replacement is impossible by construction. Use
     /// [`Database::append_rows`] for ingest that preserves lineage.
-    /// On a durable catalog the registration is WAL-logged (full table
-    /// contents — registrations are rare and bounded). If the log write
-    /// fails the in-memory registration still happens, but the store is
-    /// *wedged*: subsequent appends error loudly instead of diverging
-    /// from disk silently; re-[`Database::save`] to recover.
+    /// On a durable catalog the registration is checkpointed directly —
+    /// its contents are sealed into segment files and a new manifest is
+    /// published (WAL-logging a whole table would be an unbounded
+    /// memory and log-size spike; appends stay WAL-logged). If the
+    /// checkpoint fails the in-memory registration still happens, but
+    /// the store is *wedged*: subsequent appends error loudly instead
+    /// of diverging from disk silently; a later successful checkpoint
+    /// or re-[`Database::save`] recovers.
     pub fn register(&self, mut table: Table) -> Arc<Table> {
         let _mutations_serialized = self.mutate_lock.lock().expect("mutate lock poisoned");
         table.stamp_registered(self.version.fetch_add(1, Ordering::Relaxed) + 1);
         let arc = Arc::new(table);
         {
+            // Durable-before-visible, like append_rows: checkpoint the
+            // post-registration snapshot *before* any reader can
+            // resolve the new table, so results are never served from
+            // a registration a crash mid-checkpoint would erase. The
+            // checkpoint also seals any WAL backlog; a crash before
+            // its manifest publishes recovers the pre-registration
+            // catalog from the old manifest + intact WAL.
             let mut durability = self.durability.lock().expect("durability lock poisoned");
             if let Some(state) = durability.as_mut() {
-                let record = WalRecord::Register {
-                    version: arc.version(),
-                    table: arc.name().to_string(),
-                    schema: arc.schema().columns().to_vec(),
-                    rows: (0..arc.num_rows()).map(|i| arc.row(i)).collect(),
-                };
-                if let Err(e) = state.log(&record) {
+                let mut tables = self.tables_sorted();
+                match tables.binary_search_by(|t| t.name().cmp(arc.name())) {
+                    Ok(i) => tables[i] = arc.clone(),
+                    Err(i) => tables.insert(i, arc.clone()),
+                }
+                if let Err(e) = state.checkpoint(self.version(), &tables) {
                     state.wedge(&e);
                 }
             }
@@ -92,7 +102,6 @@ impl Database {
             .write()
             .expect("catalog lock poisoned")
             .insert(arc.name().to_string(), arc.clone());
-        self.maybe_checkpoint();
         arc
     }
 
@@ -132,13 +141,25 @@ impl Database {
         let old = self.table(name)?;
         let mut next = (*old).clone();
         // On a durable catalog the batch is WAL-logged below, *before*
-        // the publish — keep a copy of the rows for the log record.
-        let wal_rows = self
-            .durability
-            .lock()
-            .expect("durability lock poisoned")
-            .is_some()
-            .then(|| rows.clone());
+        // the publish. Encode the record now, while the rows can still
+        // be borrowed (push_row consumes them; cloning a large batch
+        // just to own it for the log would double the ingest copy
+        // work). The mutation lock serializes every version bump, so
+        // the version this append will publish is exactly current + 1.
+        let wal_payload = {
+            let durability = self.durability.lock().expect("durability lock poisoned");
+            match durability.as_ref() {
+                None => None,
+                Some(state) => {
+                    // Fail fast on a wedged store — log_payload below
+                    // would refuse the batch anyway, after the whole
+                    // delta build.
+                    state.check_not_wedged()?;
+                    let version = self.version.load(Ordering::Relaxed) + 1;
+                    Some((version, WalRecord::encode_append(version, name, &rows)))
+                }
+            }
+        };
         // The old version is sealed (registration/append seals), so the
         // pushes below open exactly one fresh delta segment per column.
         for row in rows {
@@ -149,17 +170,14 @@ impl Database {
         }
         next.stamp_appended(self.version.fetch_add(1, Ordering::Relaxed) + 1);
         let arc = Arc::new(next);
-        if let Some(rows) = wal_rows {
+        if let Some((version, payload)) = wal_payload {
+            debug_assert_eq!(version, arc.version(), "pre-encoded WAL version");
             // Durability point: the acknowledged batch reaches the WAL
             // (fsynced per config) before any reader can see v+1. A
             // failed log write publishes nothing.
             let mut durability = self.durability.lock().expect("durability lock poisoned");
             if let Some(state) = durability.as_mut() {
-                state.log(&WalRecord::Append {
-                    version: arc.version(),
-                    table: name.to_string(),
-                    rows,
-                })?;
+                state.log_payload(&payload)?;
             }
         }
         self.tables
@@ -242,10 +260,10 @@ impl Database {
 
     /// Persist this catalog into `dir` with the recommended
     /// [`DurabilityConfig`] and keep it durable: every subsequent
-    /// `append_rows`/`register`/`drop_table` is WAL-logged before it is
-    /// published, and the WAL checkpoints into sealed segment files
-    /// past the configured threshold. See [`crate::store`] for the
-    /// directory layout and invariants.
+    /// `append_rows`/`drop_table` is WAL-logged before it is published
+    /// (registrations checkpoint directly), and the WAL checkpoints
+    /// into sealed segment files past the configured threshold. See
+    /// [`crate::store`] for the directory layout and invariants.
     ///
     /// # Errors
     /// `Io` on filesystem failures; nothing is attached on error.

@@ -543,13 +543,21 @@ pub fn write_section_file(path: &std::path::Path, payload: &[u8]) -> DbResult<()
         f.sync_all().map_err(|e| io_err(&tmp, e))?;
     }
     std::fs::rename(&tmp, path).map_err(|e| io_err(path, e))?;
-    // Best-effort directory sync so the rename itself is durable.
+    // Directory sync so the rename itself is durable.
     if let Some(dir) = path.parent() {
-        if let Ok(d) = std::fs::File::open(dir) {
-            let _ = d.sync_all();
-        }
+        sync_dir(dir);
     }
     Ok(())
+}
+
+/// Best-effort fsync of a directory, making its entries (file
+/// creations, renames) durable against power loss. Failures are
+/// ignored: the files themselves are always fsynced, and some
+/// platforms cannot open directories for syncing.
+pub fn sync_dir(dir: &std::path::Path) {
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
 }
 
 #[cfg(test)]

@@ -11,7 +11,8 @@
 //! <dir>/
 //! ├── MANIFEST            root: catalog version, per-table chunk lists,
 //! │                       lineage, schemas (atomic tmp+rename publish)
-//! ├── wal.log             appends/registers/drops since the manifest
+//! ├── wal.log             appends/drops since the manifest (registra-
+//! │                       tions checkpoint directly instead)
 //! ├── warm.plans          optional: cached plan fingerprints spilled by
 //! │                       the serving layer for warm restarts
 //! └── segments/
@@ -54,7 +55,7 @@ use crate::segment::ColumnSegment;
 use crate::table::Table;
 use crate::value::DataType;
 
-use format::{corrupt, io_err, Dec, Enc};
+use format::{corrupt, io_err, sync_dir, Dec, Enc};
 use manifest::{ChunkRef, Manifest, TableEntry};
 use segment_file::{read_chunk, write_chunk};
 pub use wal::WalRecord;
@@ -123,9 +124,13 @@ pub struct DurabilitySummary {
     pub wal_bytes: u64,
     /// WAL records pending the next checkpoint.
     pub wal_records: u64,
-    /// Set when a registration/drop could not be logged — the on-disk
-    /// state no longer tracks the in-memory catalog and appends are
-    /// refused until a successful checkpoint or re-save heals it.
+    /// Set when the directory can no longer safely accept appends — a
+    /// registration failed to checkpoint, a WAL truncation failed
+    /// mid-checkpoint, or a failed WAL append left an unrepaired tail.
+    /// (A drop whose log write fails is simply not applied — it errors
+    /// without wedging.) A successful checkpoint or re-save heals any
+    /// of these; the unrepaired-tail variant also self-heals on the
+    /// next append, which retries the tail repair first.
     pub wedged: Option<String>,
     /// The most recent checkpoint failure, if any (checkpoints retry on
     /// the next threshold crossing; the WAL keeps everything durable in
@@ -153,20 +158,35 @@ impl DurabilityState {
     ///
     /// # Errors
     /// `Io` when the log cannot be written, or when the store is wedged
-    /// by an earlier unlogged registration/drop.
+    /// by an earlier failure (see [`DurabilitySummary::wedged`]).
     pub(crate) fn log(&mut self, record: &WalRecord) -> DbResult<()> {
-        if let Some(w) = &self.wedged {
-            return Err(DbError::Io(format!(
-                "durable store {} is wedged ({w}); checkpoint or re-save to recover",
-                self.dir.display()
-            )));
-        }
-        self.wal.append(record, self.config.sync_writes)
+        self.log_payload(&record.encode())
     }
 
-    /// Record that an infallible catalog mutation could not be logged:
-    /// the directory no longer tracks the in-memory catalog, so further
-    /// appends are refused loudly instead of diverging silently.
+    /// [`DurabilityState::log`] of an already-encoded record payload
+    /// ([`WalRecord::encode_append`] — lets the ingest path log a batch
+    /// it only borrows).
+    pub(crate) fn log_payload(&mut self, payload: &[u8]) -> DbResult<()> {
+        self.check_not_wedged()?;
+        self.wal.append_payload(payload, self.config.sync_writes)
+    }
+
+    /// Error if the store is wedged (see [`DurabilitySummary::wedged`])
+    /// — lets the ingest path refuse a doomed batch before building it.
+    pub(crate) fn check_not_wedged(&self) -> DbResult<()> {
+        match &self.wedged {
+            Some(w) => Err(DbError::Io(format!(
+                "durable store {} is wedged ({w}); checkpoint or re-save to recover",
+                self.dir.display()
+            ))),
+            None => Ok(()),
+        }
+    }
+
+    /// Record that a catalog mutation already applied in memory could
+    /// not be made durable: the directory no longer tracks the
+    /// in-memory catalog, so further appends are refused loudly instead
+    /// of diverging silently.
     pub(crate) fn wedge(&mut self, err: &DbError) {
         self.wedged.get_or_insert_with(|| err.to_string());
     }
@@ -197,16 +217,37 @@ impl DurabilityState {
             wal_epoch: self.manifest.wal_epoch,
             tables: entries,
         };
+        // Make the chunk files' directory entries durable *before* the
+        // manifest references them — otherwise a power loss could
+        // leave a published manifest pointing at files whose dirents
+        // never reached disk.
+        sync_dir(&seg_dir);
         new.write(&self.dir)?;
-        // From here the new manifest is authoritative: drop segment
-        // files nothing references any more (replaced tables, crashed
-        // earlier checkpoints) and reset the WAL it subsumes. The full
-        // catalog snapshot is now on disk, so a wedge (an earlier
-        // unlogged registration/drop) is healed too.
-        gc_segments(&seg_dir, &new);
-        self.wal.truncate()?;
+        // From here the new manifest is authoritative — mirror it
+        // *immediately*, before anything below can fail: a stale mirror
+        // would hand the next checkpoint file ids the published
+        // manifest already references, clobbering live segment files.
+        // The full catalog snapshot is now on disk, so a wedge (an
+        // earlier failed registration checkpoint, WAL truncation, or
+        // unrepaired append tail) is healed too — see
+        // [`DurabilitySummary::wedged`] for the full list.
+        // Then drop segment files nothing references any more
+        // (replaced tables, crashed earlier checkpoints) and reset the
+        // WAL the manifest subsumes.
         self.manifest = new;
         self.wedged = None;
+        gc_segments(&seg_dir, &self.manifest);
+        if let Err(e) = self.wal.truncate() {
+            // Nothing durable is lost (every WAL record is at or below
+            // the manifest's catalog version now, so replay skips them
+            // all), but the log file's state is unknown — refuse
+            // appends until a retried checkpoint recreates it.
+            self.wedge(&e);
+            return Err(e);
+        }
+        // Every checkpoint caller (threshold, explicit, registration)
+        // supersedes any earlier recorded failure on success.
+        self.last_checkpoint_error = None;
         Ok(())
     }
 
@@ -217,9 +258,8 @@ impl DurabilityState {
         if !self.should_checkpoint() {
             return;
         }
-        match self.checkpoint(catalog_version, tables) {
-            Ok(()) => self.last_checkpoint_error = None,
-            Err(e) => self.last_checkpoint_error = Some(e.to_string()),
+        if let Err(e) = self.checkpoint(catalog_version, tables) {
+            self.last_checkpoint_error = Some(e.to_string());
         }
     }
 
@@ -281,7 +321,10 @@ impl DurabilityState {
             segment_files: self.manifest.tables.iter().map(|t| t.chunks.len()).sum(),
             wal_bytes: self.wal.bytes(),
             wal_records: self.wal.records(),
-            wedged: self.wedged.clone(),
+            wedged: self
+                .wedged
+                .clone()
+                .or_else(|| self.wal.broken_reason().map(str::to_string)),
             last_checkpoint_error: self.last_checkpoint_error.clone(),
         }
     }
@@ -430,6 +473,9 @@ pub(crate) fn create(
         wal_epoch: epoch,
         tables: entries,
     };
+    // Chunk dirents must be durable before the manifest references
+    // them (see the same step in checkpoint).
+    sync_dir(&seg_dir);
     manifest.write(dir)?;
     // The new manifest is now authoritative: previous chunks can go,
     // and the previous incarnation's WAL is unreadable under the new
@@ -950,7 +996,7 @@ mod tests {
         let live = db.table("t").unwrap();
 
         // Replacement rewrites the table's chunks; GC drops the old
-        // files. (register → WAL → immediate checkpoint at threshold 1.)
+        // files. (register checkpoints directly — no WAL record.)
         let schema =
             Schema::new(vec![ColumnDef::measure("x", crate::value::DataType::Int64)]).unwrap();
         let mut t2 = Table::new("t", schema);
@@ -977,6 +1023,90 @@ mod tests {
         drop(db);
         let reopened = Database::open(&dir).unwrap();
         assert!(matches!(reopened.table("t"), Err(DbError::UnknownTable(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A registration on a durable catalog never materializes into a
+    /// WAL record (its contents are unbounded) — it checkpoints
+    /// directly, sealing any pending WAL backlog along the way.
+    #[test]
+    fn register_checkpoints_directly_instead_of_wal_logging() {
+        let dir = tmp("reg-ckpt");
+        let db = seeded_db();
+        db.save(&dir).unwrap(); // default (large) checkpoint threshold
+        db.append_rows("t", vec![vec!["h0".into(), 1.0.into()]])
+            .unwrap();
+        assert_eq!(db.durability_summary().unwrap().wal_records, 1);
+
+        let schema =
+            Schema::new(vec![ColumnDef::measure("x", crate::value::DataType::Int64)]).unwrap();
+        let mut t2 = Table::new("u", schema);
+        t2.push_row(vec![Value::Int(7)]).unwrap();
+        db.register(t2);
+        let summary = db.durability_summary().unwrap();
+        assert_eq!(summary.wal_records, 0, "backlog sealed, nothing logged");
+        assert_eq!(summary.tables.len(), 2);
+        assert!(summary.wedged.is_none());
+        let live = db.table("t").unwrap();
+        drop(db);
+
+        let reopened = Database::open(&dir).unwrap();
+        assert_eq!(reopened.table("u").unwrap().row(0), vec![Value::Int(7)]);
+        let t = reopened.table("t").unwrap();
+        assert_eq!(rows_of(&live), rows_of(&t));
+        assert_eq!(t.version(), live.version());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A WAL truncation failure mid-checkpoint must not leave the
+    /// in-memory manifest mirror stale (a stale mirror would hand the
+    /// next checkpoint file ids the published manifest references,
+    /// clobbering live segment files): the mirror updates at manifest
+    /// publish, the store wedges, and a retried checkpoint heals it.
+    #[test]
+    fn failed_wal_truncate_wedges_with_a_fresh_manifest_mirror() {
+        let dir = tmp("trunc-fail");
+        let db = seeded_db();
+        db.save(&dir).unwrap();
+        db.append_rows("t", vec![vec!["h0".into(), 1.0.into()]])
+            .unwrap();
+        let live = db.table("t").unwrap();
+
+        // Sabotage the truncation: make the WAL path un-creatable.
+        let wal_path = dir.join(wal::Wal::FILE_NAME);
+        std::fs::remove_file(&wal_path).unwrap();
+        std::fs::create_dir(&wal_path).unwrap();
+        assert!(db.checkpoint().is_err());
+        let summary = db.durability_summary().unwrap();
+        assert!(summary.wedged.is_some(), "truncate failure wedges");
+        // The summary reads the mirror — it must reflect the
+        // *published* manifest (sealed append included), not the
+        // pre-checkpoint state.
+        assert_eq!(summary.tables[0].2, 21, "mirror tracks the publish");
+        let published = Manifest::read(&dir).unwrap();
+        assert_eq!(summary.tables[0].3, published.tables[0].chunks.len());
+        // Appends are refused while wedged — nothing can diverge.
+        assert!(db
+            .append_rows("t", vec![vec!["h1".into(), 2.0.into()]])
+            .is_err());
+
+        // Heal: restore a writable WAL path, retry the checkpoint.
+        std::fs::remove_dir(&wal_path).unwrap();
+        db.checkpoint().unwrap();
+        assert!(db.durability_summary().unwrap().wedged.is_none());
+        db.append_rows("t", vec![vec!["h2".into(), 3.0.into()]])
+            .unwrap();
+        let after = db.table("t").unwrap();
+        assert_eq!(after.num_rows(), live.num_rows() + 1);
+        // Sealing that append allocates *fresh* file ids past the
+        // published manifest — a stale mirror would have reused them
+        // and clobbered the files the manifest references.
+        db.checkpoint().unwrap();
+        let final_manifest = Manifest::read(&dir).unwrap();
+        assert!(final_manifest.next_file_id > published.next_file_id);
+        drop(db);
+        let reopened = Database::open(&dir).unwrap();
+        assert_eq!(rows_of(&reopened.table("t").unwrap()), rows_of(&after));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -3,9 +3,10 @@
 //! Every [`crate::Database::append_rows`] batch on a durable catalog is
 //! appended (and optionally fsynced) here *before* the new table version
 //! is published in memory — an acknowledged append is on disk even if
-//! the process dies the next instant. Registrations and drops are
-//! logged the same way, so the WAL tail alone brings a manifest-time
-//! snapshot forward to the exact crash-time catalog.
+//! the process dies the next instant. Drops are logged the same way
+//! (registrations checkpoint directly instead — their contents can be
+//! arbitrarily large), so manifest + WAL tail together reproduce the
+//! exact crash-time catalog.
 //!
 //! Records are checksummed section frames ([`super::format`]). Replay
 //! semantics:
@@ -29,7 +30,7 @@ use crate::error::DbResult;
 use crate::schema::{ColumnDef, Role, Schema, Semantic};
 use crate::value::Value;
 
-use super::format::{corrupt, frame_section, io_err, read_section, Dec, Enc, Section};
+use super::format::{corrupt, frame_section, io_err, read_section, sync_dir, Dec, Enc, Section};
 
 /// One logged catalog mutation.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,9 +45,11 @@ pub enum WalRecord {
         rows: Vec<Vec<Value>>,
     },
     /// `register(table)` published `version` (a replacement if the name
-    /// existed). The full table contents are logged: registrations are
-    /// rare and bounded, and logging them keeps recovery a pure WAL
-    /// replay over the last manifest.
+    /// existed), carrying the full table contents. The live catalog
+    /// checkpoints registrations directly instead of logging them
+    /// (contents are unbounded — a WAL record would be an arbitrary
+    /// memory and log-size spike), but replay keeps supporting the
+    /// record so a log that holds one is still recoverable.
     Register {
         /// Catalog version the registration published.
         version: u64,
@@ -78,33 +81,19 @@ impl WalRecord {
 
     /// Encode to a record payload (unframed).
     pub fn encode(&self) -> Vec<u8> {
-        let mut e = Enc::new();
-        let rows_enc = |e: &mut Enc, rows: &[Vec<Value>]| {
-            e.u64(rows.len() as u64);
-            for row in rows {
-                e.u64(row.len() as u64);
-                for v in row {
-                    e.value(v);
-                }
-            }
-        };
         match self {
             WalRecord::Append {
                 version,
                 table,
                 rows,
-            } => {
-                e.u8(0);
-                e.u64(*version);
-                e.str(table);
-                rows_enc(&mut e, rows);
-            }
+            } => WalRecord::encode_append(*version, table, rows),
             WalRecord::Register {
                 version,
                 table,
                 schema,
                 rows,
             } => {
+                let mut e = Enc::new();
                 e.u8(1);
                 e.u64(*version);
                 e.str(table);
@@ -112,14 +101,29 @@ impl WalRecord {
                 for c in schema {
                     encode_column_def(&mut e, c);
                 }
-                rows_enc(&mut e, rows);
+                encode_rows(&mut e, rows);
+                e.into_bytes()
             }
             WalRecord::Drop { version, table } => {
+                let mut e = Enc::new();
                 e.u8(2);
                 e.u64(*version);
                 e.str(table);
+                e.into_bytes()
             }
         }
+    }
+
+    /// Encode an `Append` record payload from *borrowed* rows —
+    /// byte-identical to `WalRecord::Append { .. }.encode()`. The hot
+    /// ingest path logs every durable batch, and this lets it do so
+    /// without deep-cloning the batch just to own the rows.
+    pub fn encode_append(version: u64, table: &str, rows: &[Vec<Value>]) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u8(0);
+        e.u64(version);
+        e.str(table);
+        encode_rows(&mut e, rows);
         e.into_bytes()
     }
 
@@ -178,6 +182,17 @@ impl WalRecord {
     }
 }
 
+/// Encode a row batch (count, then per-row length-prefixed values).
+fn encode_rows(e: &mut Enc, rows: &[Vec<Value>]) {
+    e.u64(rows.len() as u64);
+    for row in rows {
+        e.u64(row.len() as u64);
+        for v in row {
+            e.value(v);
+        }
+    }
+}
+
 /// Encode one schema column definition.
 pub(super) fn encode_column_def(e: &mut Enc, c: &ColumnDef) {
     e.str(&c.name);
@@ -233,10 +248,17 @@ pub struct Wal {
     /// Store incarnation this log belongs to (must match the
     /// manifest's `wal_epoch` to be replayed — see [`replay`]).
     epoch: u64,
+    /// Length of the framed header section (fixed per epoch).
+    header_bytes: u64,
     /// Valid bytes currently in the log (header included).
     bytes: u64,
     /// Records currently in the log.
     records: u64,
+    /// Set when a failed append left bytes past `bytes` that could not
+    /// be truncated away: the tail is torn and appending after it would
+    /// misalign the frame chain, so further appends are refused until a
+    /// reset/truncate recreates the file.
+    broken: Option<String>,
 }
 
 /// Magic bytes opening the WAL header section.
@@ -259,11 +281,17 @@ impl Wal {
     /// manifest has made any previous contents redundant (checkpoint)
     /// or stale (a re-save stamped a new epoch).
     pub fn reset(path: &Path, epoch: u64) -> DbResult<Wal> {
+        let header = header_frame(epoch);
         {
             let mut f = std::fs::File::create(path).map_err(|e| io_err(path, e))?;
-            f.write_all(&header_frame(epoch))
-                .map_err(|e| io_err(path, e))?;
+            f.write_all(&header).map_err(|e| io_err(path, e))?;
             f.sync_all().map_err(|e| io_err(path, e))?;
+        }
+        // Make the file's directory entry durable too: losing it to a
+        // power loss would make every fsynced append vanish with it
+        // (a missing log replays as "stale" — silently empty).
+        if let Some(dir) = path.parent() {
+            sync_dir(dir);
         }
         let file = OpenOptions::new()
             .append(true)
@@ -273,8 +301,10 @@ impl Wal {
             path: path.to_path_buf(),
             file,
             epoch,
-            bytes: header_frame(epoch).len() as u64,
+            header_bytes: header.len() as u64,
+            bytes: header.len() as u64,
             records: 0,
+            broken: None,
         })
     }
 
@@ -289,42 +319,93 @@ impl Wal {
         let actual = file.metadata().map_err(|e| io_err(path, e))?.len();
         if actual > valid_bytes {
             // Drop the torn tail so future appends start on a record
-            // boundary. (set_len needs a write handle, not append.)
-            let f = OpenOptions::new()
-                .write(true)
-                .open(path)
-                .map_err(|e| io_err(path, e))?;
-            f.set_len(valid_bytes).map_err(|e| io_err(path, e))?;
-            f.sync_all().map_err(|e| io_err(path, e))?;
+            // boundary.
+            truncate_file(path, valid_bytes)?;
         }
         Ok(Wal {
             path: path.to_path_buf(),
             file,
             epoch,
+            header_bytes: header_frame(epoch).len() as u64,
             bytes: valid_bytes,
             records,
+            broken: None,
         })
     }
 
     /// Append one record, optionally fsyncing before returning — the
     /// durability point of an acknowledged mutation.
+    ///
+    /// A failed write (short `write_all` on a full disk) can leave a
+    /// torn partial frame in the file, and a failed fsync can leave a
+    /// fully-written record that was never acknowledged; both would
+    /// poison replay — appends after a partial frame misalign the frame
+    /// chain (acknowledged records behind it read as a torn tail and
+    /// are silently dropped), and an unacknowledged record must not
+    /// reappear on recovery. So on any error the tail is truncated back
+    /// to the last acknowledged byte before returning; if even that
+    /// fails the log refuses further appends (retrying the repair on
+    /// each attempt) until it succeeds or a checkpoint/re-save
+    /// recreates the file. The one residual window: if both the append
+    /// and every repair fail — a disk erroring on fsync *and* on
+    /// truncate — and the process then crashes, a fully-written
+    /// unacknowledged record can survive to replay; no WAL can mark a
+    /// tail invalid on a disk it cannot write to.
     pub fn append(&mut self, record: &WalRecord, sync: bool) -> DbResult<()> {
-        let framed = frame_section(&record.encode());
-        self.file
-            .write_all(&framed)
-            .map_err(|e| io_err(&self.path, e))?;
-        if sync {
-            self.file.sync_all().map_err(|e| io_err(&self.path, e))?;
+        self.append_payload(&record.encode(), sync)
+    }
+
+    /// [`Wal::append`] of an already-encoded record payload (see
+    /// [`WalRecord::encode_append`]).
+    pub fn append_payload(&mut self, payload: &[u8], sync: bool) -> DbResult<()> {
+        if let Some(b) = &self.broken {
+            // Retry the repair: a transient failure (say, a full disk
+            // that has since gained space) heals here instead of
+            // wedging the store until the next checkpoint.
+            if self.truncate_to_valid().is_err() {
+                return Err(crate::error::DbError::Io(format!(
+                    "WAL {} has an unrepaired torn tail ({b}); checkpoint or re-save to recover",
+                    self.path.display()
+                )));
+            }
+            self.broken = None;
+        }
+        let framed = frame_section(payload);
+        let written = (|| {
+            self.file.write_all(&framed)?;
+            if sync {
+                self.file.sync_all()?;
+            }
+            Ok(())
+        })();
+        if let Err(e) = written {
+            let err = io_err(&self.path, e);
+            if let Err(repair) = self.truncate_to_valid() {
+                self.broken = Some(repair.to_string());
+            }
+            return Err(err);
         }
         self.bytes += framed.len() as u64;
         self.records += 1;
         Ok(())
     }
 
+    /// Cut the file back to the valid prefix (`self.bytes`), discarding
+    /// whatever a failed append left behind, and sync the truncation.
+    fn truncate_to_valid(&self) -> DbResult<()> {
+        truncate_file(&self.path, self.bytes)
+    }
+
+    /// Why this log is refusing appends, if a failed append could not
+    /// be repaired (see [`Wal::append`]).
+    pub fn broken_reason(&self) -> Option<&str> {
+        self.broken.as_deref()
+    }
+
     /// Bytes of pending records currently in the log (excluding the
     /// fixed header — 0 means "nothing to checkpoint").
     pub fn bytes(&self) -> u64 {
-        self.bytes - header_frame(self.epoch).len() as u64
+        self.bytes - self.header_bytes
     }
 
     /// Records currently in the log.
@@ -338,6 +419,18 @@ impl Wal {
         *self = Wal::reset(&self.path, self.epoch)?;
         Ok(())
     }
+}
+
+/// Truncate the file at `path` to `len` bytes and sync the truncation
+/// (crash-repair primitive: drops a torn tail so the file ends on a
+/// record boundary). `set_len` needs a write handle, not append-mode.
+fn truncate_file(path: &Path, len: u64) -> DbResult<()> {
+    let f = OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| io_err(path, e))?;
+    f.set_len(len).map_err(|e| io_err(path, e))?;
+    f.sync_all().map_err(|e| io_err(path, e))
 }
 
 /// Result of replaying a WAL file.
@@ -663,6 +756,91 @@ mod tests {
         let replayed = replay(&path, 1).unwrap();
         assert_eq!(replayed.records.len(), 2);
         assert!(replayed.torn_bytes > 0);
+    }
+
+    /// The file states a failed append can leave behind — a torn
+    /// partial frame (short write) or a complete but unacknowledged
+    /// record (failed fsync) — are truncated away by the repair the
+    /// error path runs, so later acknowledged appends stay on the
+    /// frame chain and replay never drops or resurrects anything.
+    #[test]
+    fn failed_append_leftovers_are_truncated_before_further_appends() {
+        use std::io::Write as _;
+        let records = sample_records();
+        let unacked = frame_section(&records[1].encode());
+        for (name, leftover) in [
+            ("repair-torn", &unacked[..7]),
+            ("repair-full", &unacked[..]),
+        ] {
+            let path = tmp(name);
+            let mut wal = Wal::reset(&path, 1).unwrap();
+            wal.append(&records[0], true).unwrap();
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(leftover).unwrap();
+            drop(f);
+
+            wal.truncate_to_valid().unwrap();
+            wal.append(&records[2], true).unwrap();
+            let replayed = replay(&path, 1).unwrap();
+            assert!(!replayed.stale);
+            assert_eq!(
+                replayed.records,
+                vec![records[0].clone(), records[2].clone()],
+                "{name}: acknowledged records only, chain aligned"
+            );
+            assert_eq!(replayed.torn_bytes, 0, "{name}");
+        }
+    }
+
+    /// A broken log retries its tail repair on the next append: once
+    /// the repair can succeed, the torn bytes are discarded and the
+    /// append lands cleanly.
+    #[test]
+    fn broken_wal_retries_repair_and_heals_on_next_append() {
+        use std::io::Write as _;
+        let path = tmp("broken-heal");
+        let mut wal = Wal::reset(&path, 1).unwrap();
+        wal.append(&sample_records()[0], true).unwrap();
+        // Simulate a failed append whose repair also failed: torn
+        // bytes past the valid prefix plus the in-memory refusal flag.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[0xAB; 9]).unwrap();
+        drop(f);
+        wal.broken = Some("simulated unrepaired tail".into());
+
+        wal.append(&sample_records()[2], true).unwrap();
+        assert!(wal.broken_reason().is_none(), "repair retried and healed");
+        let replayed = replay(&path, 1).unwrap();
+        assert_eq!(
+            replayed.records,
+            vec![sample_records()[0].clone(), sample_records()[2].clone()]
+        );
+        assert_eq!(replayed.torn_bytes, 0);
+    }
+
+    /// While the repair keeps failing, appends are refused loudly; a
+    /// truncate (what a checkpoint runs) recreates the file and lifts
+    /// the refusal.
+    #[test]
+    fn unrepairable_wal_refuses_appends_until_recreated() {
+        let path = tmp("broken-stuck");
+        let mut wal = Wal::reset(&path, 1).unwrap();
+        wal.broken = Some("simulated unrepaired tail".into());
+        // Make the repair impossible: the path cannot be opened for
+        // writing at all.
+        std::fs::remove_file(&path).unwrap();
+        std::fs::create_dir(&path).unwrap();
+        assert!(matches!(
+            wal.append(&sample_records()[0], true),
+            Err(DbError::Io(_))
+        ));
+        assert!(wal.broken_reason().is_some());
+
+        std::fs::remove_dir(&path).unwrap();
+        wal.truncate().unwrap();
+        assert!(wal.broken_reason().is_none());
+        wal.append(&sample_records()[0], true).unwrap();
+        assert_eq!(replay(&path, 1).unwrap().records.len(), 1);
     }
 
     #[test]

@@ -259,27 +259,39 @@ fn corruption_is_always_a_typed_error() {
     assert!(matches!(Database::open(&dir), Err(DbError::Corrupt(_))));
     let _ = std::fs::remove_dir_all(&dir);
 
-    // Warm-plan spill: Service::open must fail typed, not panic.
+    // Warm-plan spill: typed Corrupt at the store layer, but the spill
+    // holds only cache hints — Service::open degrades to a cold start
+    // instead of failing.
     let dir = tmp("corrupt-plans");
     let (db, analyst) = seeded_db(500, 43);
     let service = Service::new(db, service_config());
-    service.recommend(&analyst).unwrap();
+    let truth = service.recommend(&analyst).unwrap();
     service.persist(&dir).unwrap();
     let path = dir.join(store::WARM_PLANS_FILE);
     let mut bytes = std::fs::read(&path).unwrap();
     let last = bytes.len() - 1;
     bytes[last] ^= 0x01;
     std::fs::write(&path, &bytes).unwrap();
-    assert!(matches!(
-        Service::open(&dir, service_config()),
-        Err(DbError::Corrupt(_))
-    ));
+    assert!(matches!(store::read_plans(&path), Err(DbError::Corrupt(_))));
+    let reopened = Service::open(&dir, service_config()).expect("best-effort warm start");
+    let cost_before = reopened.database().cost();
+    let rec = reopened.recommend(&analyst).expect("cold serve");
+    assert!(
+        reopened.database().cost().since(&cost_before).table_scans > 0,
+        "cold start: the corrupted spill warmed nothing"
+    );
+    assert_eq!(truth.all.len(), rec.all.len());
+    for (a, b) in truth.all.iter().zip(&rec.all) {
+        assert_eq!(a.spec, b.spec);
+        assert_eq!(a.utility.to_bits(), b.utility.to_bits());
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-/// Registrations and drops are WAL-logged too: a full mutation history
-/// since the last checkpoint replays exactly, and a checkpoint under a
-/// tiny threshold seals it all into segment files that reload alone.
+/// A full mutation history survives a restart: registrations
+/// checkpoint directly into the manifest, appends and drops replay
+/// from the WAL tail, and an explicit checkpoint seals it all into
+/// segment files that reload alone.
 #[test]
 fn mixed_mutation_history_survives_restart() {
     let dir = tmp("mixed");
