@@ -52,7 +52,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 use memdb::{
     run_partitioned_partial, AggSpec, Database, DbError, DbResult, ExecStats, Expr, LogicalPlan,
-    PartialAggState, PhysicalPlan, PlanOutput, Table, Value,
+    MutexExt, PartialAggState, PhysicalPlan, PlanOutput, Table, Value,
 };
 
 use crate::config::{SeeDbConfig, ServiceConfig};
@@ -272,10 +272,9 @@ impl LruCache {
                 .map(|p| (k.clone(), p))
         })?;
         self.tick += 1;
-        self.entries
-            .get_mut(&key)
-            .expect("entry found a moment ago")
-            .last_used = self.tick;
+        if let Some(entry) = self.entries.get_mut(&key) {
+            entry.last_used = self.tick;
+        }
         Some(projected)
     }
 
@@ -316,12 +315,14 @@ impl LruCache {
         );
         let mut evicted = 0;
         while self.entries.len() > self.capacity {
-            let victim = self
+            let Some(victim) = self
                 .entries
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| k.clone())
-                .expect("non-empty cache over capacity");
+            else {
+                break;
+            };
             self.entries.remove(&victim);
             evicted += 1;
         }
@@ -436,7 +437,7 @@ impl Batcher {
         };
         let key = (table.name().to_string(), table.version());
         let (batch, leader) = {
-            let mut pending = self.pending.lock().expect("batcher lock poisoned");
+            let mut pending = self.pending.lock_recovered();
             let joined = pending.get(&key).and_then(|b| {
                 // Joining and closing both hold the batch's state lock,
                 // so a join observed open is guaranteed execution.
@@ -465,7 +466,7 @@ impl Batcher {
             }
             // Stop routing new joiners here, then close the batch.
             {
-                let mut pending = self.pending.lock().expect("batcher lock poisoned");
+                let mut pending = self.pending.lock_recovered();
                 if let Some(b) = pending.get(&key) {
                     if Arc::ptr_eq(b, &batch) {
                         pending.remove(&key);
@@ -706,12 +707,7 @@ impl Service {
         } else {
             db.save(dir)?;
         }
-        let plans = self
-            .inner
-            .cache
-            .lock()
-            .expect("cache lock poisoned")
-            .plans();
+        let plans = self.inner.cache.lock_recovered().plans();
         memdb::store::write_plans(&dir.join(memdb::store::WARM_PLANS_FILE), &plans)
     }
 
@@ -722,16 +718,12 @@ impl Service {
 
     /// Number of states currently cached.
     pub fn cache_len(&self) -> usize {
-        self.inner.cache.lock().expect("cache lock poisoned").len()
+        self.inner.cache.lock_recovered().len()
     }
 
     /// Drop every cached state (counters are kept).
     pub fn clear_cache(&self) {
-        self.inner
-            .cache
-            .lock()
-            .expect("cache lock poisoned")
-            .clear();
+        self.inner.cache.lock_recovered().clear();
     }
 }
 
@@ -834,6 +826,14 @@ impl ServiceInner {
     fn execute_plans(&self, plans: &[LogicalPlan]) -> Vec<DbResult<PlanOutput>> {
         let mut out: Vec<Option<DbResult<PlanOutput>>> = Vec::with_capacity(plans.len());
         out.resize_with(plans.len(), || None);
+        // Slot indices come straight from `enumerate` over `plans`, so
+        // they are always in range; routing them through `get_mut`
+        // keeps this module free of panicking index expressions.
+        fn fill(out: &mut [Option<DbResult<PlanOutput>>], i: usize, r: DbResult<PlanOutput>) {
+            if let Some(slot) = out.get_mut(i) {
+                *slot = Some(r);
+            }
+        }
 
         struct Miss {
             index: usize,
@@ -854,7 +854,7 @@ impl ServiceInner {
             let phys = match plan.lower() {
                 Ok(p) => p,
                 Err(e) => {
-                    out[i] = Some(Err(e));
+                    fill(&mut out, i, Err(e));
                     continue;
                 }
             };
@@ -862,7 +862,8 @@ impl ServiceInner {
             // not compose, and a cached sample would hide resampling).
             if phys.is_sampled() {
                 StatCounters::add(&self.stats.bypasses, 1);
-                out[i] = Some(self.engine.database().run_physical(&phys));
+                let result = self.engine.database().run_physical(&phys);
+                fill(&mut out, i, result);
                 continue;
             }
             let table = match snapshots.get(phys.table()) {
@@ -873,7 +874,7 @@ impl ServiceInner {
                         t
                     }
                     Err(e) => {
-                        out[i] = Some(Err(e));
+                        fill(&mut out, i, Err(e));
                         continue;
                     }
                 },
@@ -881,13 +882,12 @@ impl ServiceInner {
             let fingerprint = phys.fingerprint();
             let lookup = self
                 .cache
-                .lock()
-                .expect("cache lock poisoned")
+                .lock_recovered()
                 .lookup(&fingerprint, table.version());
             match lookup {
                 Lookup::Hit(state) => {
                     StatCounters::add(&self.stats.hits, 1);
-                    out[i] = Some(Ok((*state.output).clone()));
+                    fill(&mut out, i, Ok((*state.output).clone()));
                 }
                 miss_or_outdated => {
                     if let Lookup::Outdated { state, version } = miss_or_outdated {
@@ -901,7 +901,7 @@ impl ServiceInner {
                             if let Some(output) =
                                 self.refresh_into_cache(&fingerprint, &phys, &table, &state, delta)
                             {
-                                out[i] = Some(Ok((*output).clone()));
+                                fill(&mut out, i, Ok((*output).clone()));
                                 continue;
                             }
                         }
@@ -915,8 +915,7 @@ impl ServiceInner {
                         // recompute at our own snapshot.
                         if version < table.version() {
                             self.cache
-                                .lock()
-                                .expect("cache lock poisoned")
+                                .lock_recovered()
                                 .remove_if_version(&fingerprint, version);
                             StatCounters::add(&self.stats.invalidations, 1);
                             StatCounters::add(&self.stats.refresh_fallbacks, 1);
@@ -927,24 +926,24 @@ impl ServiceInner {
                     // plan by projection — still zero scans. Cache the
                     // projected state under this plan's own fingerprint
                     // so the next probe is an exact hit.
-                    let projected = self
-                        .cache
-                        .lock()
-                        .expect("cache lock poisoned")
-                        .lookup_covering(&source_key(&phys), table.version(), &phys);
+                    let projected = self.cache.lock_recovered().lookup_covering(
+                        &source_key(&phys),
+                        table.version(),
+                        &phys,
+                    );
                     if let Some(projected) = projected {
                         StatCounters::add(&self.stats.hits, 1);
                         StatCounters::add(&self.stats.projection_hits, 1);
-                        out[i] = Some(
-                            self.finalize_and_cache(
+                        let result = self
+                            .finalize_and_cache(
                                 &fingerprint,
                                 source_key(&phys),
                                 &table,
                                 &phys,
                                 Arc::new(projected),
                             )
-                            .map(|output| (*output).clone()),
-                        );
+                            .map(|output| (*output).clone());
+                        fill(&mut out, i, result);
                         continue;
                     }
                     StatCounters::add(&self.stats.misses, 1);
@@ -981,13 +980,23 @@ impl ServiceInner {
                 let result = results
                     .get(&m.plan.fingerprint)
                     .cloned()
-                    .expect("submitted plan has a result");
-                out[m.index] = Some(result.map(|output| (*output).clone()));
+                    .unwrap_or_else(|| {
+                        Err(DbError::Internal(
+                            "batch result missing for submitted plan".to_string(),
+                        ))
+                    });
+                fill(&mut out, m.index, result.map(|output| (*output).clone()));
             }
         }
 
         out.into_iter()
-            .map(|o| o.expect("every plan slot filled"))
+            .map(|o| {
+                o.unwrap_or_else(|| {
+                    Err(DbError::Internal(
+                        "plan slot left unfilled by executor".to_string(),
+                    ))
+                })
+            })
             .collect()
     }
 
@@ -1023,7 +1032,10 @@ impl ServiceInner {
                 .collect();
             let bins = crate::packing::pack(&weights, self.config.max_batch_sets.max(1) as u64);
             for bin in bins {
-                let batch: Vec<&BatchPlan> = bin.iter().map(|&i| members[i]).collect();
+                let batch: Vec<&BatchPlan> = bin
+                    .iter()
+                    .filter_map(|&i| members.get(i).copied())
+                    .collect();
                 self.execute_merged(table, &batch, &mut results);
             }
         }
@@ -1041,8 +1053,7 @@ impl ServiceInner {
         batch: &[&BatchPlan],
         results: &mut HashMap<String, DbResult<Arc<PlanOutput>>>,
     ) {
-        if batch.len() == 1 {
-            let plan = batch[0];
+        if let [plan] = batch {
             results.insert(
                 plan.fingerprint.clone(),
                 self.execute_single(table, &plan.phys),
@@ -1056,7 +1067,10 @@ impl ServiceInner {
         // aggregates are guaranteed recoverable from the merged state
         // (aliases only label output columns; projection restores each
         // member's own).
-        let (filter, row_range) = source_parts(&batch[0].phys);
+        let Some(first) = batch.first() else {
+            return;
+        };
+        let (filter, row_range) = source_parts(&first.phys);
         let mut sets: Vec<Vec<String>> = Vec::new();
         let mut aggs: Vec<AggSpec> = Vec::new();
         for member in batch {
@@ -1156,7 +1170,7 @@ impl ServiceInner {
             // is already exact — re-stamp it without any scan.
             StatCounters::add(&self.stats.refreshes, 1);
             if self.config.cache_capacity > 0 {
-                let evicted = self.cache.lock().expect("cache lock poisoned").insert(
+                let evicted = self.cache.lock_recovered().insert(
                     fingerprint.to_string(),
                     source_key(phys),
                     table.version(),
@@ -1206,8 +1220,7 @@ impl ServiceInner {
     fn refresh_table_entries(&self, table: &Arc<Table>) {
         let affected = self
             .cache
-            .lock()
-            .expect("cache lock poisoned")
+            .lock_recovered()
             .stale_entries_for(table.name(), table.version());
         for (key, old_version, phys, state) in affected {
             let refreshed = match self.config.refresh.decide(table, old_version) {
@@ -1218,8 +1231,7 @@ impl ServiceInner {
             };
             if !refreshed {
                 self.cache
-                    .lock()
-                    .expect("cache lock poisoned")
+                    .lock_recovered()
                     .remove_if_version(&key, old_version);
                 StatCounters::add(&self.stats.invalidations, 1);
                 StatCounters::add(&self.stats.refresh_fallbacks, 1);
@@ -1242,7 +1254,7 @@ impl ServiceInner {
     ) -> DbResult<Arc<PlanOutput>> {
         let output = Arc::new((*partial).clone().finalize(table)?);
         if self.config.cache_capacity > 0 {
-            let evicted = self.cache.lock().expect("cache lock poisoned").insert(
+            let evicted = self.cache.lock_recovered().insert(
                 fingerprint.to_string(),
                 source,
                 table.version(),

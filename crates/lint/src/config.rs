@@ -1,0 +1,147 @@
+//! Lock-order configuration: the declared partial order the
+//! `lock-order` rule checks, parsed from a small TOML subset
+//! (std-only — sections, `key = int`, `key = "str"`, `key = [list]`).
+//!
+//! The checked-in declaration lives at `crates/lint/lock-order.toml`
+//! and is compiled into the binary as the default; `--config <path>`
+//! overrides it.
+
+use std::collections::BTreeMap;
+
+/// The declared lock order and call restrictions.
+#[derive(Debug, Clone, Default)]
+pub struct LockOrderConfig {
+    /// Lock name → rank. Along any nesting chain ranks must strictly
+    /// increase (lower rank = acquired first / outermost).
+    pub ranks: BTreeMap<String, u32>,
+    /// Helper functions that acquire a lock: fn name → lock name.
+    pub acquire_fns: BTreeMap<String, String>,
+    /// Lock name → function idents that must not be called while the
+    /// lock is held (e.g. the service cache lock across `execute`).
+    pub forbid_while_held: BTreeMap<String, Vec<String>>,
+}
+
+/// The declaration compiled into the binary (`crates/lint/lock-order.toml`).
+pub const DEFAULT_LOCK_ORDER: &str = include_str!("../lock-order.toml");
+
+impl LockOrderConfig {
+    /// Parse from the TOML subset. Returns `Err` with a line-tagged
+    /// message on anything outside the subset.
+    pub fn parse(src: &str) -> Result<LockOrderConfig, String> {
+        let mut cfg = LockOrderConfig::default();
+        let mut section = String::new();
+        for (i, raw) in src.lines().enumerate() {
+            let lineno = i + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                section = name.trim().to_string();
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {lineno}: expected `key = value`"))?;
+            let key = key.trim().to_string();
+            let value = value.trim();
+            match section.as_str() {
+                "locks" => {
+                    let rank: u32 = value
+                        .parse()
+                        .map_err(|_| format!("line {lineno}: rank must be an integer"))?;
+                    cfg.ranks.insert(key, rank);
+                }
+                "acquire_fns" => {
+                    cfg.acquire_fns.insert(key, parse_str(value, lineno)?);
+                }
+                "forbid_while_held" => {
+                    cfg.forbid_while_held
+                        .insert(key, parse_list(value, lineno)?);
+                }
+                other => {
+                    return Err(format!("line {lineno}: unknown section [{other}]"));
+                }
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// The compiled-in default declaration.
+    pub fn default_declared() -> LockOrderConfig {
+        // The checked-in file is validated by tests; a broken edit
+        // surfaces as an empty config, which the `lock-order` rule
+        // reports as a configuration finding.
+        LockOrderConfig::parse(DEFAULT_LOCK_ORDER).unwrap_or_default()
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    // Good enough for this subset: `#` never appears inside our strings.
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn parse_str(value: &str, lineno: usize) -> Result<String, String> {
+    value
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("line {lineno}: expected a quoted string"))
+}
+
+fn parse_list(value: &str, lineno: usize) -> Result<Vec<String>, String> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| format!("line {lineno}: expected a [list]"))?;
+    let mut out = Vec::new();
+    for item in inner.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        out.push(parse_str(item, lineno)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_checked_in_declaration() {
+        let cfg = LockOrderConfig::parse(DEFAULT_LOCK_ORDER).expect("lock-order.toml must parse");
+        assert!(cfg.ranks.contains_key("mutate_lock"));
+        assert!(cfg.ranks.contains_key("tables"));
+        assert!(cfg.ranks.contains_key("durability"));
+        assert!(cfg.ranks["mutate_lock"] < cfg.ranks["tables"]);
+        assert!(cfg.ranks["tables"] < cfg.ranks["durability"]);
+        assert_eq!(
+            cfg.acquire_fns.get("lock_state").map(String::as_str),
+            Some("state")
+        );
+        assert!(cfg.forbid_while_held["cache"]
+            .iter()
+            .any(|f| f == "execute"));
+    }
+
+    #[test]
+    fn rejects_garbage_with_line_numbers() {
+        let err = LockOrderConfig::parse("[locks]\nfoo bar\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = LockOrderConfig::parse("[locks]\nfoo = \"x\"\n").unwrap_err();
+        assert!(err.contains("integer"), "{err}");
+        let err = LockOrderConfig::parse("[nope]\nk = 1\n").unwrap_err();
+        assert!(err.contains("unknown section"), "{err}");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let cfg = LockOrderConfig::parse("# header\n\n[locks]\na = 1 # trailing\n").unwrap();
+        assert_eq!(cfg.ranks["a"], 1);
+    }
+}

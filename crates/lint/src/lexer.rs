@@ -1,0 +1,449 @@
+//! A small hand-written Rust lexer.
+//!
+//! `vendor/` carries no `syn` or proc-macro machinery, so the analyzer
+//! tokenizes Rust by hand. The lexer handles exactly the constructs
+//! that would otherwise corrupt a naive scan — raw strings (`r"…"`,
+//! `r#"…"#`), byte/raw-byte strings, nested block comments,
+//! char-literal vs lifetime disambiguation (`'a'` vs `'a`), raw
+//! identifiers (`r#match`), and numeric literals that stop short of
+//! range operators (`0..n`). Comments are captured out-of-band (they
+//! carry `lint:allow` suppressions); whitespace is dropped.
+
+/// Token categories the rules dispatch on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (raw identifiers lose their `r#` prefix).
+    Ident,
+    /// Lifetime such as `'a` (without the quote in `text`).
+    Lifetime,
+    /// Character or byte literal.
+    CharLit,
+    /// String literal of any flavor (plain, raw, byte, raw-byte).
+    StrLit,
+    /// Numeric literal (integer or float, any base, with suffix).
+    NumLit,
+    /// Single punctuation character (`.`, `(`, `[`, `;`, `#`, …).
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Category.
+    pub kind: TokKind,
+    /// Source text (see [`TokKind`] for normalizations).
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// True when the token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when the token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// A comment captured during lexing (text excludes the delimiters).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment body without `//`, `/*`, `*/`.
+    pub text: String,
+}
+
+/// Lexer output: the token stream plus out-of-band comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order (no comments, no whitespace).
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenize `src`. The lexer is total: malformed input degrades to
+/// punctuation tokens rather than failing, so the rules always get a
+/// stream to work with.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '\'' => self.char_or_lifetime(),
+                '"' => self.string(line, String::new()),
+                'r' if matches!(self.peek(1), Some('"' | '#')) => self.raw_or_ident(),
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.char_or_lifetime();
+                }
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string(line, String::new());
+                }
+                'b' if self.peek(1) == Some('r') && matches!(self.peek(2), Some('"' | '#')) => {
+                    self.bump();
+                    self.raw_or_ident();
+                }
+                _ if c.is_alphabetic() || c == '_' => self.ident(),
+                _ if c.is_ascii_digit() => self.number(),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment { line, text });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    text.push_str("/*");
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                    self.bump();
+                    self.bump();
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        self.out.comments.push(Comment { line, text });
+    }
+
+    /// `'a'` is a char literal, `'a` is a lifetime, `'\n'` is a char.
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        match self.peek(0) {
+            // Escape sequence: definitely a char literal.
+            Some('\\') => {
+                let mut text = String::new();
+                self.bump();
+                text.push('\\');
+                // Consume the escape body up to the closing quote.
+                while let Some(c) = self.peek(0) {
+                    self.bump();
+                    if c == '\'' {
+                        break;
+                    }
+                    text.push(c);
+                }
+                self.push(TokKind::CharLit, text, line);
+            }
+            Some(c) if c.is_alphanumeric() || c == '_' => {
+                // Could be 'x' (char) or 'x / 'xyz (lifetime): scan the
+                // ident run, then look for a closing quote.
+                let mut text = String::new();
+                while let Some(c) = self.peek(0) {
+                    if c.is_alphanumeric() || c == '_' {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                    self.push(TokKind::CharLit, text, line);
+                } else {
+                    self.push(TokKind::Lifetime, text, line);
+                }
+            }
+            Some(c) => {
+                // Punctuation char literal like '(' or ' '.
+                self.bump();
+                let text = c.to_string();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(TokKind::CharLit, text, line);
+            }
+            None => self.push(TokKind::Punct, "'".into(), line),
+        }
+    }
+
+    /// Plain (escaped) string; the opening `"` is at the cursor.
+    fn string(&mut self, line: u32, mut text: String) {
+        self.bump(); // opening quote
+        while let Some(c) = self.peek(0) {
+            self.bump();
+            match c {
+                '\\' => {
+                    if let Some(e) = self.bump() {
+                        text.push('\\');
+                        text.push(e);
+                    }
+                }
+                '"' => break,
+                _ => text.push(c),
+            }
+        }
+        self.push(TokKind::StrLit, text, line);
+    }
+
+    /// At `r` followed by `"` or `#`: raw string, or just an identifier
+    /// starting with `r` (incl. raw identifiers `r#ident`).
+    fn raw_or_ident(&mut self) {
+        let line = self.line;
+        // Count hashes after the `r` without consuming.
+        let mut hashes = 0usize;
+        while self.peek(1 + hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(1 + hashes) == Some('"') {
+            // Raw string r##"…"##.
+            self.bump(); // r
+            for _ in 0..hashes {
+                self.bump();
+            }
+            self.bump(); // opening quote
+            let mut text = String::new();
+            'outer: while let Some(c) = self.peek(0) {
+                if c == '"' {
+                    // Check for closing hash run.
+                    let mut ok = true;
+                    for i in 0..hashes {
+                        if self.peek(1 + i) != Some('#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        self.bump();
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        break 'outer;
+                    }
+                }
+                text.push(c);
+                self.bump();
+            }
+            self.push(TokKind::StrLit, text, line);
+        } else if hashes >= 1
+            && self
+                .peek(1 + hashes)
+                .is_some_and(|c| c.is_alphabetic() || c == '_')
+        {
+            // Raw identifier r#match — emit as a plain ident.
+            self.bump(); // r
+            self.bump(); // #
+            self.ident();
+        } else {
+            self.ident();
+        }
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        // Integer part (covers 0x/0b/0o digits and `_` separators; any
+        // alphanumeric keeps the suffix attached: 10u64, 0xffu8, 1e10).
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Fractional part — but `1..n` is a range, not a float.
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            text.push('.');
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.push(TokKind::NumLit, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        let got = kinds(r####"let s = r#"a " unwrap() "# ;"####);
+        assert_eq!(
+            got,
+            vec![
+                (TokKind::Ident, "let".into()),
+                (TokKind::Ident, "s".into()),
+                (TokKind::Punct, "=".into()),
+                (TokKind::StrLit, "a \" unwrap() ".into()),
+                (TokKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let out = lex("a /* outer /* inner */ still */ b");
+        assert_eq!(out.tokens.len(), 2);
+        assert!(out.tokens[0].is_ident("a"));
+        assert!(out.tokens[1].is_ident("b"));
+        assert_eq!(out.comments.len(), 1);
+        assert_eq!(out.comments[0].text, " outer /* inner */ still ");
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let got = kinds("'a' 'ab 'static '\\n' '_'");
+        assert_eq!(got[0], (TokKind::CharLit, "a".into()));
+        assert_eq!(got[1], (TokKind::Lifetime, "ab".into()));
+        assert_eq!(got[2], (TokKind::Lifetime, "static".into()));
+        assert_eq!(got[3], (TokKind::CharLit, "\\n".into()));
+        assert_eq!(got[4], (TokKind::CharLit, "_".into()));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_literals() {
+        let got = kinds(r#"b'x' b"by" br"raw_by""#);
+        assert_eq!(got[0], (TokKind::CharLit, "x".into()));
+        assert_eq!(got[1], (TokKind::StrLit, "by".into()));
+        assert_eq!(got[2], (TokKind::StrLit, "raw_by".into()));
+    }
+
+    #[test]
+    fn raw_identifiers_and_plain_r_names() {
+        let got = kinds("r#match rows r2d2");
+        assert_eq!(got[0], (TokKind::Ident, "match".into()));
+        assert_eq!(got[1], (TokKind::Ident, "rows".into()));
+        assert_eq!(got[2], (TokKind::Ident, "r2d2".into()));
+    }
+
+    #[test]
+    fn numbers_stop_before_ranges() {
+        let got = kinds("0..n 1.5 0xff_u32 1e10");
+        assert_eq!(got[0], (TokKind::NumLit, "0".into()));
+        assert_eq!(got[1], (TokKind::Punct, ".".into()));
+        assert_eq!(got[2], (TokKind::Punct, ".".into()));
+        assert_eq!(got[3], (TokKind::Ident, "n".into()));
+        assert_eq!(got[4], (TokKind::NumLit, "1.5".into()));
+        assert_eq!(got[5], (TokKind::NumLit, "0xff_u32".into()));
+        assert_eq!(got[6], (TokKind::NumLit, "1e10".into()));
+    }
+
+    #[test]
+    fn escaped_quotes_in_strings() {
+        let got = kinds(r#""a\"b" x"#);
+        assert_eq!(got[0], (TokKind::StrLit, r#"a\"b"#.into()));
+        assert_eq!(got[1], (TokKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let out = lex("a\nb\n\nc /* x\ny */ d");
+        assert_eq!(out.tokens[0].line, 1);
+        assert_eq!(out.tokens[1].line, 2);
+        assert_eq!(out.tokens[2].line, 4);
+        assert_eq!(out.tokens[3].line, 5); // `d` after the 2-line comment
+        assert_eq!(out.comments[0].line, 4);
+    }
+}

@@ -1,0 +1,133 @@
+//! `seedb-lint` CLI: scan the workspace sources and report
+//! project-invariant violations.
+//!
+//! ```text
+//! seedb-lint [--deny] [--json [path]] [--root <dir>] [--config <lock-order.toml>]
+//! ```
+//!
+//! * `--deny`   exit non-zero when findings remain (the CI gate);
+//! * `--json`   emit findings as a JSON array — to `path` when one
+//!   follows (the CI artifact), to stdout otherwise;
+//! * `--root`   workspace root (default: walk up from the current
+//!   directory to the first `Cargo.toml` containing `[workspace]`);
+//! * `--config` override the compiled-in `lock-order.toml`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use seedb_lint::config::LockOrderConfig;
+use seedb_lint::{findings_to_json, scan_workspace, Engine};
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut json = false;
+    let mut json_path: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut config: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny" => deny = true,
+            "--json" => {
+                json = true;
+                if args.peek().is_some_and(|n| !n.starts_with("--")) {
+                    json_path = args.next().map(PathBuf::from);
+                }
+            }
+            "--root" => root = args.next().map(PathBuf::from),
+            "--config" => config = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                eprintln!(
+                    "seedb-lint: SeeDB project-invariant analyzer\n\
+                     usage: seedb-lint [--deny] [--json [path]] [--root <dir>] [--config <toml>]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("seedb-lint: unknown argument `{other}` (see --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("seedb-lint: no workspace root found (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let lock_cfg = match &config {
+        Some(path) => match std::fs::read_to_string(path).map_err(|e| e.to_string()) {
+            Ok(src) => match LockOrderConfig::parse(&src) {
+                Ok(cfg) => cfg,
+                Err(e) => {
+                    eprintln!("seedb-lint: {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("seedb-lint: {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => LockOrderConfig::default_declared(),
+    };
+
+    let files = match scan_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("seedb-lint: scanning {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let engine = Engine { lock_cfg };
+    let findings = engine.run(&files);
+
+    if json {
+        let rendered = findings_to_json(&findings);
+        match &json_path {
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, rendered + "\n") {
+                    eprintln!("seedb-lint: writing {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+            None => println!("{rendered}"),
+        }
+    } else {
+        for f in &findings {
+            println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+        }
+    }
+    eprintln!(
+        "seedb-lint: {} file(s) scanned, {} finding(s)",
+        files.len(),
+        findings.len()
+    );
+
+    if deny && !findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Walk up from the current directory to the first `Cargo.toml` that
+/// declares a `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(s) = std::fs::read_to_string(&manifest) {
+            if s.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

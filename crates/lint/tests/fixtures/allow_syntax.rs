@@ -1,0 +1,16 @@
+//! Known-violation fixture for the `allow-syntax` meta-rule: a
+//! reasonless allow (suppresses nothing, is itself reported) and an
+//! allow naming an unknown rule. The final function shows a
+//! well-formed suppression that silences its finding.
+
+fn reasonless(&self) -> u8 {
+    self.slot.unwrap() // lint:allow(panic-free-io)
+}
+
+// lint:allow(no-such-rule): the rule name is checked too
+fn unknown_rule(&self) {}
+
+fn well_formed(&self) -> u8 {
+    // lint:allow(panic-free-io): slot is filled by the loop above
+    self.slot.unwrap()
+}

@@ -1,0 +1,16 @@
+//! Known-violation fixture for `fsync-before-rename`: the first
+//! function publishes via rename with no fsync; the second follows the
+//! sync-then-rename protocol and must not be flagged.
+
+fn publish(tmp: &std::path::Path, dst: &std::path::Path) -> std::io::Result<()> {
+    std::fs::rename(tmp, dst)
+}
+
+fn publish_synced(
+    file: &std::fs::File,
+    tmp: &std::path::Path,
+    dst: &std::path::Path,
+) -> std::io::Result<()> {
+    file.sync_all()?;
+    std::fs::rename(tmp, dst)
+}

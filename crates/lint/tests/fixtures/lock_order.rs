@@ -1,0 +1,25 @@
+//! Known-violation fixture for `lock-order`: acquires `durability`
+//! (rank 30) and then nests `tables` (rank 20) under it — an inversion
+//! against the declared order in `lock-order.toml`. The second function
+//! holds the `cache` lock across `execute_plans`, which the
+//! forbid-while-held list bans.
+
+fn inverted(&self) {
+    let durability = self.durability.lock_recovered();
+    let tables = self.tables.read_recovered();
+    drop(tables);
+    drop(durability);
+}
+
+fn executes_under_cache_lock(&self) {
+    let cache = self.cache.lock_recovered();
+    let outputs = execute_plans(&plans);
+    drop(cache);
+}
+
+fn ordered_is_fine(&self) {
+    let tables = self.tables.read_recovered();
+    let durability = self.durability.lock_recovered();
+    drop(durability);
+    drop(tables);
+}

@@ -1,0 +1,21 @@
+//! Known-violation fixture for `panic-free-io`. Parsed by the
+//! integration tests under a store-scoped synthetic path; the workspace
+//! scanner skips `fixtures/` directories, so `--deny` never sees this.
+
+fn decode(buf: &[u8], lens: &[usize]) -> u64 {
+    let first = lens[0];
+    let word = buf.get(..8).expect("eight bytes present");
+    let n = std::str::from_utf8(word).unwrap();
+    if n.is_empty() {
+        panic!("empty frame");
+    }
+    first as u64
+}
+
+mod tests {
+    fn test_code_is_exempt() {
+        let v = vec![1];
+        let _ = v[0];
+        v.first().unwrap();
+    }
+}

@@ -1,0 +1,7 @@
+//! Known-violation fixture for `no-wallclock-in-plan`: a fingerprint
+//! derived from `Instant::now()` would differ across runs.
+
+fn fingerprint(&self) -> String {
+    let stamp = std::time::Instant::now();
+    format!("{stamp:?}")
+}

@@ -13,6 +13,7 @@ use crate::error::{DbError, DbResult};
 use crate::exec::{self, Query, QueryOutput, SetsOutput, SetsQuery};
 use crate::plan::{LogicalPlan, PhysicalPlan, PlanOutput};
 use crate::store::{self, DurabilityConfig, DurabilityState, DurabilitySummary, WalRecord};
+use crate::sync::{MutexExt, RwLockExt};
 use crate::table::Table;
 use crate::value::Value;
 
@@ -75,10 +76,17 @@ impl Database {
     /// of diverging from disk silently; a later successful checkpoint
     /// or re-[`Database::save`] recovers.
     pub fn register(&self, mut table: Table) -> Arc<Table> {
-        let _mutations_serialized = self.mutate_lock.lock().expect("mutate lock poisoned");
+        let _mutations_serialized = self.mutate_lock.lock_recovered();
         table.stamp_registered(self.version.fetch_add(1, Ordering::Relaxed) + 1);
         let arc = Arc::new(table);
-        {
+        // Probe durability with a statement-scoped guard: the mutation
+        // lock serializes attach (save_with) with every mutation, so
+        // the durable state cannot appear or vanish between this probe
+        // and the checkpoint below — and the declared lock order
+        // (tables before durability) stays intact because the table
+        // snapshot is taken with no durability guard held.
+        let durable = self.durability.lock_recovered().is_some();
+        if durable {
             // Durable-before-visible, like append_rows: checkpoint the
             // post-registration snapshot *before* any reader can
             // resolve the new table, so results are never served from
@@ -86,21 +94,24 @@ impl Database {
             // checkpoint also seals any WAL backlog; a crash before
             // its manifest publishes recovers the pre-registration
             // catalog from the old manifest + intact WAL.
-            let mut durability = self.durability.lock().expect("durability lock poisoned");
-            if let Some(state) = durability.as_mut() {
-                let mut tables = self.tables_sorted();
-                match tables.binary_search_by(|t| t.name().cmp(arc.name())) {
-                    Ok(i) => tables[i] = arc.clone(),
-                    Err(i) => tables.insert(i, arc.clone()),
+            let mut tables = self.tables_sorted();
+            match tables.binary_search_by(|t| t.name().cmp(arc.name())) {
+                Ok(i) => {
+                    if let Some(slot) = tables.get_mut(i) {
+                        *slot = arc.clone();
+                    }
                 }
+                Err(i) => tables.insert(i, arc.clone()),
+            }
+            let mut durability = self.durability.lock_recovered();
+            if let Some(state) = durability.as_mut() {
                 if let Err(e) = state.checkpoint(self.version(), &tables) {
                     state.wedge(&e);
                 }
             }
         }
         self.tables
-            .write()
-            .expect("catalog lock poisoned")
+            .write_recovered()
             .insert(arc.name().to_string(), arc.clone());
         arc
     }
@@ -137,7 +148,7 @@ impl Database {
         // no conflict handling needed — while readers keep resolving
         // tables for the whole build (the `tables` write lock is only
         // held for the final insert).
-        let _mutations_serialized = self.mutate_lock.lock().expect("mutate lock poisoned");
+        let _mutations_serialized = self.mutate_lock.lock_recovered();
         let old = self.table(name)?;
         let mut next = (*old).clone();
         // On a durable catalog the batch is WAL-logged below, *before*
@@ -147,7 +158,7 @@ impl Database {
         // work). The mutation lock serializes every version bump, so
         // the version this append will publish is exactly current + 1.
         let wal_payload = {
-            let durability = self.durability.lock().expect("durability lock poisoned");
+            let durability = self.durability.lock_recovered();
             match durability.as_ref() {
                 None => None,
                 Some(state) => {
@@ -175,14 +186,13 @@ impl Database {
             // Durability point: the acknowledged batch reaches the WAL
             // (fsynced per config) before any reader can see v+1. A
             // failed log write publishes nothing.
-            let mut durability = self.durability.lock().expect("durability lock poisoned");
+            let mut durability = self.durability.lock_recovered();
             if let Some(state) = durability.as_mut() {
                 state.log_payload(&payload)?;
             }
         }
         self.tables
-            .write()
-            .expect("catalog lock poisoned")
+            .write_recovered()
             .insert(name.to_string(), arc.clone());
         self.maybe_checkpoint();
         Ok(arc)
@@ -202,8 +212,7 @@ impl Database {
     /// `UnknownTable` if absent.
     pub fn table(&self, name: &str) -> DbResult<Arc<Table>> {
         self.tables
-            .read()
-            .expect("catalog lock poisoned")
+            .read_recovered()
             .get(name)
             .cloned()
             .ok_or_else(|| DbError::UnknownTable(name.to_string()))
@@ -211,13 +220,7 @@ impl Database {
 
     /// Names of all registered tables, sorted.
     pub fn table_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .tables
-            .read()
-            .expect("catalog lock poisoned")
-            .keys()
-            .cloned()
-            .collect();
+        let mut names: Vec<String> = self.tables.read_recovered().keys().cloned().collect();
         names.sort();
         names
     }
@@ -229,20 +232,15 @@ impl Database {
     /// a missing table is reported, never silently ignored. The catalog
     /// version is only bumped when a table was actually removed.
     pub fn drop_table(&self, name: &str) -> DbResult<()> {
-        let _mutations_serialized = self.mutate_lock.lock().expect("mutate lock poisoned");
-        if !self
-            .tables
-            .read()
-            .expect("catalog lock poisoned")
-            .contains_key(name)
-        {
+        let _mutations_serialized = self.mutate_lock.lock_recovered();
+        if !self.tables.read_recovered().contains_key(name) {
             return Err(DbError::UnknownTable(name.to_string()));
         }
         let version = self.version.fetch_add(1, Ordering::Relaxed) + 1;
         {
             // WAL-log the drop before applying it; a failed log leaves
             // the table in place (the version counter gap is harmless).
-            let mut durability = self.durability.lock().expect("durability lock poisoned");
+            let mut durability = self.durability.lock_recovered();
             if let Some(state) = durability.as_mut() {
                 state.log(&WalRecord::Drop {
                     version,
@@ -250,10 +248,7 @@ impl Database {
                 })?;
             }
         }
-        self.tables
-            .write()
-            .expect("catalog lock poisoned")
-            .remove(name);
+        self.tables.write_recovered().remove(name);
         self.maybe_checkpoint();
         Ok(())
     }
@@ -278,10 +273,10 @@ impl Database {
     pub fn save_with(&self, dir: impl AsRef<Path>, config: DurabilityConfig) -> DbResult<()> {
         // Hold the mutation lock so the snapshot written is one
         // consistent catalog version (readers are unaffected).
-        let _mutations_serialized = self.mutate_lock.lock().expect("mutate lock poisoned");
+        let _mutations_serialized = self.mutate_lock.lock_recovered();
         let tables = self.tables_sorted();
         let state = store::create(dir.as_ref(), config, self.version(), &tables)?;
-        *self.durability.lock().expect("durability lock poisoned") = Some(state);
+        *self.durability.lock_recovered() = Some(state);
         Ok(())
     }
 
@@ -309,13 +304,13 @@ impl Database {
         let (state, tables, catalog_version) = store::load(dir.as_ref(), config)?;
         let db = Database::new();
         {
-            let mut map = db.tables.write().expect("catalog lock poisoned");
+            let mut map = db.tables.write_recovered();
             for table in tables {
                 map.insert(table.name().to_string(), table);
             }
         }
         db.version.store(catalog_version, Ordering::Relaxed);
-        *db.durability.lock().expect("durability lock poisoned") = Some(state);
+        *db.durability.lock_recovered() = Some(state);
         Ok(db)
     }
 
@@ -327,9 +322,9 @@ impl Database {
     /// `Io`/`Corrupt` from the store; the WAL still holds everything on
     /// failure, so no acknowledged mutation is ever lost.
     pub fn checkpoint(&self) -> DbResult<()> {
-        let _mutations_serialized = self.mutate_lock.lock().expect("mutate lock poisoned");
+        let _mutations_serialized = self.mutate_lock.lock_recovered();
         let tables = self.tables_sorted();
-        let mut durability = self.durability.lock().expect("durability lock poisoned");
+        let mut durability = self.durability.lock_recovered();
         match durability.as_mut() {
             Some(state) => state.checkpoint(self.version(), &tables),
             None => Ok(()),
@@ -338,31 +333,21 @@ impl Database {
 
     /// Is this catalog attached to a durable directory?
     pub fn is_durable(&self) -> bool {
-        self.durability
-            .lock()
-            .expect("durability lock poisoned")
-            .is_some()
+        self.durability.lock_recovered().is_some()
     }
 
     /// Snapshot of the durable state (directory, per-table segment
     /// files, WAL backlog), or `None` for a pure in-memory catalog.
     pub fn durability_summary(&self) -> Option<DurabilitySummary> {
         self.durability
-            .lock()
-            .expect("durability lock poisoned")
+            .lock_recovered()
             .as_ref()
             .map(DurabilityState::summary)
     }
 
     /// All tables, sorted by name (the checkpoint snapshot order).
     fn tables_sorted(&self) -> Vec<Arc<Table>> {
-        let mut tables: Vec<Arc<Table>> = self
-            .tables
-            .read()
-            .expect("catalog lock poisoned")
-            .values()
-            .cloned()
-            .collect();
+        let mut tables: Vec<Arc<Table>> = self.tables.read_recovered().values().cloned().collect();
         tables.sort_by(|a, b| a.name().cmp(b.name()));
         tables
     }
@@ -372,10 +357,20 @@ impl Database {
     /// later checkpoint succeeds. Called at the end of every mutation
     /// while the mutation lock is held.
     fn maybe_checkpoint(&self) {
-        let mut durability = self.durability.lock().expect("durability lock poisoned");
-        if let Some(state) = durability.as_mut() {
-            if state.should_checkpoint() {
-                let tables = self.tables_sorted();
+        // Probe with a statement-scoped durability guard, then snapshot
+        // the tables with no lock held: every caller holds the mutation
+        // lock, so neither the catalog nor the durable state can change
+        // between the probe and the checkpoint — and taking `tables`
+        // only after the durability guard is released preserves the
+        // declared lock order (tables before durability).
+        let should = match self.durability.lock_recovered().as_mut() {
+            Some(state) => state.should_checkpoint(),
+            None => false,
+        };
+        if should {
+            let tables = self.tables_sorted();
+            let mut durability = self.durability.lock_recovered();
+            if let Some(state) = durability.as_mut() {
                 state.maybe_checkpoint(self.version(), &tables);
             }
         }
@@ -688,6 +683,63 @@ mod tests {
         assert!(v2.version() > v1.version());
         assert_eq!(v2.append_delta_since(v1.version()), None);
         assert_eq!(v2.lineage().len(), 1);
+    }
+
+    /// Regression for the lock-order fixes in `register` and
+    /// `maybe_checkpoint`: both used to snapshot the table map *while
+    /// holding* the durability mutex (a tables-after-durability
+    /// inversion against the declared order in
+    /// `crates/lint/lock-order.toml`). Hammer every durable mutation
+    /// path concurrently; an ordering regression shows up as a
+    /// deadlock (test hang) or a lint finding.
+    #[test]
+    fn durable_concurrent_mutations_do_not_deadlock() {
+        let dir =
+            std::env::temp_dir().join(format!("memdb-catalog-lockorder-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let db = std::sync::Arc::new(db_with_sales());
+        db.save(&dir).unwrap();
+        std::thread::scope(|s| {
+            let appender = db.clone();
+            s.spawn(move || {
+                for i in 0..20 {
+                    appender
+                        .append_rows(
+                            "sales",
+                            vec![vec![format!("T{i}").into(), (i as f64).into()]],
+                        )
+                        .unwrap();
+                }
+            });
+            let registrar = db.clone();
+            s.spawn(move || {
+                for i in 0..10 {
+                    let schema =
+                        Schema::new(vec![ColumnDef::measure("x", DataType::Int64)]).unwrap();
+                    registrar.register(Table::new(&format!("aux{i}"), schema));
+                }
+            });
+            let checkpointer = db.clone();
+            s.spawn(move || {
+                for _ in 0..10 {
+                    checkpointer.checkpoint().unwrap();
+                }
+            });
+            let reader = db.clone();
+            s.spawn(move || {
+                let q = Query::aggregate(
+                    "sales",
+                    vec!["store"],
+                    vec![AggSpec::new(AggFunc::Sum, "amount")],
+                );
+                for _ in 0..50 {
+                    let _ = reader.run(&q);
+                }
+            });
+        });
+        assert_eq!(db.table("sales").unwrap().num_rows(), 23);
+        assert_eq!(db.table_names().len(), 11);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

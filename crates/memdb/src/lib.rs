@@ -67,7 +67,9 @@ pub mod schema;
 pub mod segment;
 pub mod sql;
 pub mod stats;
+#[cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 pub mod store;
+pub mod sync;
 pub mod table;
 pub mod value;
 
@@ -89,5 +91,6 @@ pub use segment::{ColumnSegment, SegmentData, Validity};
 pub use sql::{parse_query, parse_selection, Selection};
 pub use stats::{cramers_v, ColumnStats, TableStats};
 pub use store::{DurabilityConfig, DurabilitySummary};
+pub use sync::{MutexExt, RwLockExt};
 pub use table::Table;
 pub use value::{DataType, Value};

@@ -264,36 +264,49 @@ impl<'a> Dec<'a> {
     }
 
     fn take(&mut self, n: usize) -> DbResult<&'a [u8]> {
-        if self.buf.len() - self.pos < n {
-            return Err(corrupt(format!(
+        let slice = self
+            .pos
+            .checked_add(n)
+            .and_then(|end| self.buf.get(self.pos..end));
+        match slice {
+            Some(s) => {
+                self.pos += n;
+                Ok(s)
+            }
+            None => Err(corrupt(format!(
                 "{}: truncated (wanted {n} bytes at offset {}, have {})",
                 self.what,
                 self.pos,
-                self.buf.len() - self.pos
-            )));
+                self.buf.len().saturating_sub(self.pos)
+            ))),
         }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(s)
+    }
+
+    /// Read exactly `N` bytes into an array (no panic path: the length
+    /// check is `take`'s, the copy is by iterator).
+    fn take_arr<const N: usize>(&mut self) -> DbResult<[u8; N]> {
+        let s = self.take(N)?;
+        let mut arr = [0u8; N];
+        for (dst, src) in arr.iter_mut().zip(s) {
+            *dst = *src;
+        }
+        Ok(arr)
     }
 
     /// Read one byte.
     pub fn u8(&mut self) -> DbResult<u8> {
-        Ok(self.take(1)?[0])
+        let [b] = self.take_arr::<1>()?;
+        Ok(b)
     }
 
     /// Read a little-endian `u32`.
     pub fn u32(&mut self) -> DbResult<u32> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(u32::from_le_bytes(self.take_arr::<4>()?))
     }
 
     /// Read a little-endian `u64`.
     pub fn u64(&mut self) -> DbResult<u64> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(u64::from_le_bytes(self.take_arr::<8>()?))
     }
 
     /// Read a byte-length prefix, rejecting absurd sizes (beyond the
@@ -327,9 +340,7 @@ impl<'a> Dec<'a> {
 
     /// Read a little-endian `i64`.
     pub fn i64(&mut self) -> DbResult<i64> {
-        Ok(i64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(i64::from_le_bytes(self.take_arr::<8>()?))
     }
 
     /// Read an `f64` from its raw bits.
@@ -495,23 +506,38 @@ pub enum Section<'a> {
     BadChecksum,
 }
 
+/// Read `N` little-endian bytes at `buf[pos..]` as an array, `None`
+/// when out of range (shared with the WAL's frame scanner).
+pub fn le_bytes_at<const N: usize>(buf: &[u8], pos: usize) -> Option<[u8; N]> {
+    let s = pos.checked_add(N).and_then(|end| buf.get(pos..end))?;
+    let mut arr = [0u8; N];
+    for (dst, src) in arr.iter_mut().zip(s) {
+        *dst = *src;
+    }
+    Some(arr)
+}
+
 /// Read the section frame starting at `buf[pos..]`.
 pub fn read_section(buf: &[u8], pos: usize) -> Section<'_> {
-    let rest = &buf[pos..];
+    let Some(rest) = buf.get(pos..) else {
+        return Section::Torn;
+    };
     if rest.is_empty() {
         return Section::End;
     }
-    if rest.len() < 12 {
+    let (Some(len), Some(crc)) = (
+        le_bytes_at::<8>(rest, 0).map(u64::from_le_bytes),
+        le_bytes_at::<4>(rest, 8).map(u32::from_le_bytes),
+    ) else {
         return Section::Torn;
-    }
-    let len = u64::from_le_bytes(rest[0..8].try_into().expect("8 bytes")) as usize;
-    let crc = u32::from_le_bytes(rest[8..12].try_into().expect("4 bytes"));
+    };
+    let len = len as usize;
     // An absurd length (beyond the buffer) reads as a torn/garbage
-    // header rather than an allocation request.
-    if rest.len() - 12 < len {
+    // header rather than an allocation request — as does any header
+    // arithmetic that leaves the buffer.
+    let Some(payload) = (12usize).checked_add(len).and_then(|end| rest.get(12..end)) else {
         return Section::Torn;
-    }
-    let payload = &rest[12..12 + len];
+    };
     if crc32(payload) != crc {
         return Section::BadChecksum;
     }

@@ -286,7 +286,7 @@ impl DurabilityState {
                 let mut chunks = e.chunks.clone();
                 if hi > lo {
                     let dict_starts = e.final_dict_ends();
-                    let (bytes, dict_ends) = write_chunk(table, lo, hi, &dict_starts);
+                    let (bytes, dict_ends) = write_chunk(table, lo, hi, &dict_starts)?;
                     let file = alloc_segment_file(seg_dir, next_id, &bytes)?;
                     chunks.push(ChunkRef {
                         file,
@@ -368,7 +368,7 @@ fn full_table_entry(table: &Table, seg_dir: &Path, next_id: &mut u64) -> DbResul
     let mut chunks = Vec::with_capacity(boundaries.len());
     let mut dict_starts = vec![0u64; ncols];
     for (lo, hi) in boundaries {
-        let (bytes, dict_ends) = write_chunk(table, lo, hi, &dict_starts);
+        let (bytes, dict_ends) = write_chunk(table, lo, hi, &dict_starts)?;
         let file = alloc_segment_file(seg_dir, next_id, &bytes)?;
         chunks.push(ChunkRef {
             file,
@@ -645,7 +645,7 @@ fn load_table(dir: &Path, entry: &TableEntry) -> DbResult<Table> {
                     seg.data_type()
                 )));
             }
-            if let Some(dict) = dicts[c].as_mut() {
+            if let Some(dict) = dicts.get_mut(c).and_then(Option::as_mut) {
                 if cc.dict_start != dict.len() as u64 {
                     return Err(corrupt(format!(
                         "{what}: column {c} dictionary starts at {} but {} entries are loaded",
@@ -661,7 +661,14 @@ fn load_table(dir: &Path, entry: &TableEntry) -> DbResult<Table> {
                     }
                 }
             }
-            seg_lists[c].push(Arc::new(seg));
+            match seg_lists.get_mut(c) {
+                Some(list) => list.push(Arc::new(seg)),
+                None => {
+                    return Err(corrupt(format!(
+                        "{what}: column {c} out of range for {ncols}-column schema"
+                    )))
+                }
+            }
         }
     }
 

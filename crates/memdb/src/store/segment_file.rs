@@ -19,7 +19,7 @@
 //! Loading chunks in row order therefore rebuilds each column's
 //! dictionary — and every row's code — bit-for-bit.
 
-use crate::error::DbResult;
+use crate::error::{DbError, DbResult};
 use crate::segment::{SegmentData, Validity};
 use crate::table::Table;
 use crate::value::DataType;
@@ -63,12 +63,16 @@ pub struct Chunk {
 /// `dict_starts[c]` is the dictionary length column `c`'s earlier
 /// chunks already carry (0 for non-string columns). Returns the file
 /// bytes plus the per-column dictionary length after this chunk.
+///
+/// # Errors
+/// `Internal` if a string column carries no dictionary — a broken
+/// in-memory invariant surfaced as a typed error rather than a panic.
 pub fn write_chunk(
     table: &Table,
     lo: usize,
     hi: usize,
     dict_starts: &[u64],
-) -> (Vec<u8>, Vec<u64>) {
+) -> DbResult<(Vec<u8>, Vec<u64>)> {
     debug_assert!(lo <= hi && hi <= table.num_rows());
     let ncols = table.schema().len();
     debug_assert_eq!(dict_starts.len(), ncols);
@@ -100,7 +104,9 @@ pub fn write_chunk(
                 let mut vals: Vec<i64> = Vec::with_capacity(n);
                 gather(col, lo, hi, &mut mask, &mut any_null, |seg, i| {
                     if let SegmentData::Int64(v) = seg.data() {
-                        vals.push(v[i]);
+                        if let Some(&x) = v.get(i) {
+                            vals.push(x);
+                        }
                     }
                 });
                 e.u64(vals.len() as u64);
@@ -112,7 +118,9 @@ pub fn write_chunk(
                 let mut vals: Vec<f64> = Vec::with_capacity(n);
                 gather(col, lo, hi, &mut mask, &mut any_null, |seg, i| {
                     if let SegmentData::Float64(v) = seg.data() {
-                        vals.push(v[i]);
+                        if let Some(&x) = v.get(i) {
+                            vals.push(x);
+                        }
                     }
                 });
                 e.u64(vals.len() as u64);
@@ -124,7 +132,9 @@ pub fn write_chunk(
                 let mut vals: Vec<u32> = Vec::with_capacity(n);
                 gather(col, lo, hi, &mut mask, &mut any_null, |seg, i| {
                     if let SegmentData::Str(v) = seg.data() {
-                        vals.push(v[i]);
+                        if let Some(&x) = v.get(i) {
+                            vals.push(x);
+                        }
                     }
                 });
                 // Codes of *valid* rows determine the dictionary slice
@@ -144,7 +154,9 @@ pub fn write_chunk(
                 let mut vals: Vec<bool> = Vec::with_capacity(n);
                 gather(col, lo, hi, &mut mask, &mut any_null, |seg, i| {
                     if let SegmentData::Bool(v) = seg.data() {
-                        vals.push(v[i]);
+                        if let Some(&x) = v.get(i) {
+                            vals.push(x);
+                        }
                     }
                 });
                 e.u64(vals.len() as u64);
@@ -166,7 +178,12 @@ pub fn write_chunk(
         let dict_end = if col.data_type() == DataType::Str {
             let start = chunk_dict_start;
             let end = max_code.map_or(start, |m| start.max(m as u64 + 1));
-            let dict = col.str_dict().expect("string columns carry a dict");
+            let dict = col.str_dict().ok_or_else(|| {
+                DbError::Internal(format!(
+                    "table {}: string column {c} carries no dictionary",
+                    table.name()
+                ))
+            })?;
             e.u64(start);
             e.u64(end - start);
             for code in start..end {
@@ -179,7 +196,7 @@ pub fn write_chunk(
         dict_ends.push(dict_end);
         out.extend_from_slice(&frame_section(&e.into_bytes()));
     }
-    (out, dict_ends)
+    Ok((out, dict_ends))
 }
 
 /// Visit rows `[lo, hi)` of `col` in order, recording validity and
@@ -378,7 +395,7 @@ mod tests {
     #[test]
     fn chunk_roundtrip_preserves_values_and_dict() {
         let t = mixed_table();
-        let (bytes, dict_ends) = write_chunk(&t, 0, t.num_rows(), &[0, 0, 0, 0]);
+        let (bytes, dict_ends) = write_chunk(&t, 0, t.num_rows(), &[0, 0, 0, 0]).unwrap();
         assert_eq!(dict_ends, vec![2, 0, 0, 0], "two strings interned");
         let chunk = read_chunk(&bytes, "test").unwrap();
         assert_eq!(chunk.table, "mixed");
@@ -406,8 +423,8 @@ mod tests {
     #[test]
     fn partial_range_chunks_carry_dict_deltas() {
         let t = mixed_table();
-        let (b1, ends1) = write_chunk(&t, 0, 2, &[0, 0, 0, 0]);
-        let (b2, ends2) = write_chunk(&t, 2, 4, &ends1);
+        let (b1, ends1) = write_chunk(&t, 0, 2, &[0, 0, 0, 0]).unwrap();
+        let (b2, ends2) = write_chunk(&t, 2, 4, &ends1).unwrap();
         assert_eq!(ends1[0], 1, "only \"x\" in rows 0..2");
         assert_eq!(ends2[0], 2, "\"y\" introduced by rows 2..4");
         let c1 = read_chunk(&b1, "c1").unwrap();
@@ -420,7 +437,7 @@ mod tests {
     #[test]
     fn corrupted_chunks_are_typed_errors_never_panics() {
         let t = mixed_table();
-        let (bytes, _) = write_chunk(&t, 0, t.num_rows(), &[0, 0, 0, 0]);
+        let (bytes, _) = write_chunk(&t, 0, t.num_rows(), &[0, 0, 0, 0]).unwrap();
         // Flip every byte position one at a time would be slow; probe a
         // spread of positions across header and column sections.
         for pos in (0..bytes.len()).step_by(7) {

@@ -30,7 +30,9 @@ use crate::error::DbResult;
 use crate::schema::{ColumnDef, Role, Schema, Semantic};
 use crate::value::Value;
 
-use super::format::{corrupt, frame_section, io_err, read_section, sync_dir, Dec, Enc, Section};
+use super::format::{
+    corrupt, frame_section, io_err, le_bytes_at, read_section, sync_dir, Dec, Enc, Section,
+};
 
 /// One logged catalog mutation.
 #[derive(Debug, Clone, PartialEq)]
@@ -496,7 +498,7 @@ pub fn replay(path: &Path, expected_epoch: u64) -> DbResult<Replay> {
         }
         Section::End | Section::Torn => return Ok(Replay::stale()),
         Section::BadChecksum => {
-            if valid_section_ahead(&bytes, frame_end(&bytes, 0)) {
+            if frame_end(&bytes, 0).is_some_and(|end| valid_section_ahead(&bytes, end)) {
                 return Err(corrupt(format!(
                     "{what}: corrupted header with records after it"
                 )));
@@ -537,7 +539,7 @@ pub fn replay(path: &Path, expected_epoch: u64) -> DbResult<Replay> {
                 // intact, so the chain stays aligned; a corrupted
                 // *length* field misaligns it, which is inherently
                 // ambiguous and reads as a torn tail.)
-                if valid_section_ahead(&bytes, frame_end(&bytes, pos)) {
+                if frame_end(&bytes, pos).is_some_and(|end| valid_section_ahead(&bytes, end)) {
                     return Err(corrupt(format!(
                         "{what}: checksum mismatch at offset {pos} with valid records after it"
                     )));
@@ -569,10 +571,11 @@ pub fn peek_epoch(path: &Path) -> Option<u64> {
 }
 
 /// End offset of the (complete, already length-validated) frame
-/// starting at `pos`.
-fn frame_end(bytes: &[u8], pos: usize) -> usize {
-    let len = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("checked")) as usize;
-    pos + 12 + len
+/// starting at `pos`; `None` when no complete header is there after
+/// all (the caller then treats the tail as torn).
+fn frame_end(bytes: &[u8], pos: usize) -> Option<usize> {
+    let len = le_bytes_at::<8>(bytes, pos).map(u64::from_le_bytes)?;
+    pos.checked_add(12)?.checked_add(len as usize)
 }
 
 /// Does any complete, checksum-valid section start on the frame chain
@@ -584,7 +587,10 @@ fn valid_section_ahead(bytes: &[u8], mut pos: usize) -> bool {
             Section::Ok(..) => return true,
             // Complete frame, bad payload: its length header is intact
             // (read_section validated it), keep walking.
-            Section::BadChecksum => pos = frame_end(bytes, pos),
+            Section::BadChecksum => match frame_end(bytes, pos) {
+                Some(end) => pos = end,
+                None => return false,
+            },
             Section::End | Section::Torn => return false,
         }
     }

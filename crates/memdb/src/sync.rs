@@ -1,0 +1,87 @@
+//! Poisoned-lock recovery policy.
+//!
+//! The durable layer's contract is "never panic, always typed error" —
+//! which means lock acquisition itself must not panic on poison. A
+//! poisoned mutex only proves that *some* thread panicked while holding
+//! the guard; every critical section in this crate either publishes its
+//! state atomically (swap a fully-built value in) or is re-validated by
+//! the next reader (checksummed sections, manifest decode), so the
+//! protected data is never left half-written in a way a later observer
+//! could misread. Under that discipline the right policy is to *recover*
+//! the guard and continue, rather than propagate a panic across every
+//! thread that touches the lock.
+//!
+//! These extension traits make the policy explicit and greppable: all
+//! non-test code in `store`, `catalog`, and the `core` service acquires
+//! locks through `lock_recovered` / `read_recovered` / `write_recovered`
+//! instead of `lock().unwrap()`. The `seedb-lint` `panic-free-io` rule
+//! enforces the absence of the latter; the `lock-order` rule recognizes
+//! these methods as lock acquisitions.
+
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Poison-recovering acquisition for [`Mutex`].
+pub trait MutexExt<T> {
+    /// Lock, recovering the guard if a previous holder panicked.
+    fn lock_recovered(&self) -> MutexGuard<'_, T>;
+}
+
+impl<T> MutexExt<T> for Mutex<T> {
+    fn lock_recovered(&self) -> MutexGuard<'_, T> {
+        self.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Poison-recovering acquisition for [`RwLock`].
+pub trait RwLockExt<T> {
+    /// Shared-lock, recovering the guard if a writer panicked.
+    fn read_recovered(&self) -> RwLockReadGuard<'_, T>;
+    /// Exclusive-lock, recovering the guard if a holder panicked.
+    fn write_recovered(&self) -> RwLockWriteGuard<'_, T>;
+}
+
+impl<T> RwLockExt<T> for RwLock<T> {
+    fn read_recovered(&self) -> RwLockReadGuard<'_, T> {
+        self.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write_recovered(&self) -> RwLockWriteGuard<'_, T> {
+        self.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_recovers_from_poison() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.lock().is_err(), "lock should be poisoned");
+        assert_eq!(*m.lock_recovered(), 7);
+        *m.lock_recovered() = 9;
+        assert_eq!(*m.lock_recovered(), 9);
+    }
+
+    #[test]
+    fn rwlock_recovers_from_poison() {
+        let l = Arc::new(RwLock::new(1u32));
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _guard = l2.write().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(l.read().is_err(), "rwlock should be poisoned");
+        assert_eq!(*l.read_recovered(), 1);
+        *l.write_recovered() = 2;
+        assert_eq!(*l.read_recovered(), 2);
+    }
+}
