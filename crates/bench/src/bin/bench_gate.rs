@@ -192,6 +192,19 @@ impl Verdict {
 
 type Medians = BTreeMap<String, BTreeMap<String, f64>>;
 
+/// Run files with no committed baseline *file* at all — typically a
+/// leftover from a renamed or deleted bench group still sitting in the
+/// run directory. Each of their benches already fails as `NEW`, but the
+/// file-level diagnosis ("this whole artifact is unknown — bless it or
+/// delete the orphan") is worth a loud, explicit line of its own.
+fn orphan_files(current: &Medians, baseline: &Medians) -> Vec<String> {
+    current
+        .keys()
+        .filter(|file| !baseline.contains_key(*file))
+        .cloned()
+        .collect()
+}
+
 /// Pure gate decision: one `(label, verdict)` per benchmark in the
 /// union of run and baseline, in deterministic order.
 fn gate(current: &Medians, baseline: &Medians, threshold: f64) -> Vec<(String, Verdict)> {
@@ -234,6 +247,12 @@ fn run(args: &Args) -> Result<bool, String> {
         format!("{e}\nhint: check in first baselines with `cargo run -p seedb-bench --bin bench_gate -- --bless`")
     })?;
 
+    for file in orphan_files(&current, &baseline) {
+        println!(
+            "warning: {file} has no committed baseline under {} — bless it or delete the orphan",
+            args.baseline.display()
+        );
+    }
     let rows = gate(&current, &baseline, args.threshold);
     println!(
         "{:<44} {:>12} {:>12} {:>9}  status (threshold +{:.0}%)",
@@ -385,6 +404,26 @@ mod tests {
         assert!(matches!(verdict_of(&rows, "a/x"), Verdict::ZeroBaseline(_)));
         assert!(!verdict_of(&rows, "a/x").is_failure());
         assert!(verdict_of(&rows, "a/x").is_warning());
+    }
+
+    /// A whole run file with no baseline counterpart is surfaced by
+    /// name (on top of its benches failing as NEW) — never silently
+    /// ignored.
+    #[test]
+    fn orphan_run_files_are_reported_by_name() {
+        let base = medians(&[("BENCH_a.json", &[("a/x", 100.0)])]);
+        let cur = medians(&[
+            ("BENCH_a.json", &[("a/x", 100.0)][..]),
+            ("BENCH_scan_pruning.json", &[("scan_pruning/1%", 5.0)][..]),
+        ]);
+        assert_eq!(
+            orphan_files(&cur, &base),
+            vec!["BENCH_scan_pruning.json".to_string()]
+        );
+        assert!(orphan_files(&base, &base).is_empty());
+        // The orphan's benches still fail the gate as NEW.
+        let rows = gate(&cur, &base, 25.0);
+        assert!(verdict_of(&rows, "scan_pruning/1%").is_failure());
     }
 
     #[test]

@@ -1,0 +1,177 @@
+//! `soak` — run the closed-loop traffic simulator against a real
+//! service and check serving invariants continuously.
+//!
+//! ```text
+//! cargo run --release -p seedb-bench --bin soak -- --seed 42 --short
+//! ```
+//!
+//! Flags:
+//! - `--seed N`    workload seed (default 42); same seed ⇒ byte-identical trace
+//! - `--short`     the PR-blocking preset (~10 virtual seconds; default)
+//! - `--full`      the nightly preset (minutes of virtual time)
+//! - `--mini`      the test-sized preset (~3 virtual seconds)
+//! - `--out DIR`   artifact directory (default `$SEEDB_BENCH_DIR` or `bench-out`)
+//! - `--trace`     also dump the full workload trace to `<out>/soak-trace.txt`
+//!
+//! Writes `BENCH_soak.json` (bench_gate shape — latency medians plus
+//! seed-deterministic counters) and `soak-report.json` (the invariant
+//! report) into the artifact directory. Exits non-zero iff any
+//! invariant tripped; every violation prints its `(seed, vt)` replay
+//! hint.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use seedb_bench::soak::{self, SoakSpec};
+
+struct Args {
+    seed: u64,
+    preset: Preset,
+    out: PathBuf,
+    dump_trace: bool,
+}
+
+enum Preset {
+    Short,
+    Full,
+    Mini,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let default_out = std::env::var("SEEDB_BENCH_DIR").unwrap_or_else(|_| "bench-out".into());
+    let mut args = Args {
+        seed: 42,
+        preset: Preset::Short,
+        out: PathBuf::from(default_out),
+        dump_trace: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
+            }
+            "--short" => args.preset = Preset::Short,
+            "--full" => args.preset = Preset::Full,
+            "--mini" => args.preset = Preset::Mini,
+            "--out" => args.out = PathBuf::from(it.next().ok_or("--out needs a value")?),
+            "--trace" => args.dump_trace = true,
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("soak: {e}");
+            eprintln!("usage: soak [--seed N] [--short|--full|--mini] [--out DIR] [--trace]");
+            return ExitCode::from(2);
+        }
+    };
+    let spec = match args.preset {
+        Preset::Short => SoakSpec::short(args.seed),
+        Preset::Full => SoakSpec::full(args.seed),
+        Preset::Mini => SoakSpec::mini(args.seed),
+    };
+    println!(
+        "soak: seed={} virtual={:.0}s analysts={} tables={} (ingest every {}ms, \
+         rereg every {:.1}s, crash every {:.1}s)",
+        spec.seed,
+        spec.virtual_secs(),
+        spec.analysts,
+        spec.tables,
+        spec.ingest_interval_us / 1_000,
+        spec.reregister_interval_us as f64 / 1e6,
+        spec.crash_interval_us as f64 / 1e6,
+    );
+
+    // The durable store the crash injector tears down and recovers.
+    let store_dir =
+        std::env::temp_dir().join(format!("seedb-soak-{}-{}", std::process::id(), spec.seed));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let outcome = soak::run(&spec, &store_dir);
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let report = &outcome.report;
+
+    if let Err(e) = std::fs::create_dir_all(&args.out) {
+        eprintln!("soak: cannot create {}: {e}", args.out.display());
+        return ExitCode::from(2);
+    }
+    let bench_path = args.out.join("BENCH_soak.json");
+    let report_path = args.out.join("soak-report.json");
+    if let Err(e) = std::fs::write(&bench_path, report.to_bench_json()) {
+        eprintln!("soak: cannot write {}: {e}", bench_path.display());
+        return ExitCode::from(2);
+    }
+    if let Err(e) = std::fs::write(&report_path, report.to_report_json()) {
+        eprintln!("soak: cannot write {}: {e}", report_path.display());
+        return ExitCode::from(2);
+    }
+    if args.dump_trace {
+        let trace_path = args.out.join("soak-trace.txt");
+        let mut text = outcome.trace.lines().join("\n");
+        text.push('\n');
+        if let Err(e) = std::fs::write(&trace_path, text) {
+            eprintln!("soak: cannot write {}: {e}", trace_path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    println!(
+        "soak: {} queries ({:.0}/s wall), {} appends ({} rows), {} reregisters, \
+         {} crashes ({} clean / {} torn)",
+        report.queries,
+        report.throughput_qps(),
+        report.appends,
+        report.appended_rows,
+        report.reregisters,
+        report.crashes_clean + report.crashes_torn,
+        report.crashes_clean,
+        report.crashes_torn,
+    );
+    println!(
+        "soak: cache hit rate {:.3} ({} hits / {} misses, {} refreshes, {} fallbacks), \
+         {} table scans, {} rows scanned",
+        report.hit_rate(),
+        report.hits,
+        report.misses,
+        report.refreshes,
+        report.refresh_fallbacks,
+        report.table_scans,
+        report.rows_scanned,
+    );
+    println!(
+        "soak: recommend p50 {:.2}ms p99 {:.2}ms; checks: {} spot, {} crash, {} sweeps; \
+         trace digest {:016x}",
+        report.recommend.p50_ns as f64 / 1e6,
+        report.recommend.p99_ns as f64 / 1e6,
+        report.checks.0,
+        report.checks.1,
+        report.checks.2,
+        report.trace_digest,
+    );
+    println!(
+        "soak: wrote {} and {}",
+        bench_path.display(),
+        report_path.display()
+    );
+
+    if report.violations.is_empty() {
+        println!("soak: PASS — zero invariant violations");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "soak: FAIL — {} invariant violation(s):",
+            report.violations.len()
+        );
+        for v in &report.violations {
+            eprintln!("  {v}");
+            eprintln!("  {}", v.replay_hint());
+        }
+        ExitCode::FAILURE
+    }
+}

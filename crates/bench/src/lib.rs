@@ -11,6 +11,8 @@ use memdb::Database;
 use seedb_core::AnalystQuery;
 use seedb_data::{Plant, SyntheticSpec};
 
+pub mod soak;
+
 /// A ready-to-query benchmark workload: database + analyst query +
 /// planted ground truth.
 pub struct Workload {

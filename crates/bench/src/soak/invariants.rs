@@ -1,0 +1,368 @@
+//! The continuous invariant checker.
+//!
+//! Invariants are asserted *during* the soak, not at the end: the
+//! driver feeds every served result, crash recovery, and periodic sweep
+//! through this checker as virtual time advances. A violation carries
+//! the seed and the virtual-time offset at which it tripped — the two
+//! numbers needed to replay the exact workload prefix that produced it
+//! (`soak --seed N` is deterministic, so the failure reproduces).
+
+use super::spec::InvariantBounds;
+
+/// Which invariant tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvariantKind {
+    /// A served recommendation differed from a cold recompute.
+    SpotCheck,
+    /// Acknowledged state (rows/version) missing after a crash/restart.
+    CrashRecovery,
+    /// Cumulative cache hit rate fell below the configured floor.
+    HitRateFloor,
+    /// Window p99 recommend latency exceeded the configured bound.
+    P99Latency,
+    /// A request the workload considers infallible returned an error.
+    QueryError,
+}
+
+impl InvariantKind {
+    /// Stable name used in reports and the JSON artifact.
+    pub fn name(self) -> &'static str {
+        match self {
+            InvariantKind::SpotCheck => "spot-check-byte-identical",
+            InvariantKind::CrashRecovery => "no-acked-loss-across-crash",
+            InvariantKind::HitRateFloor => "cache-hit-rate-floor",
+            InvariantKind::P99Latency => "p99-latency-bound",
+            InvariantKind::QueryError => "query-must-succeed",
+        }
+    }
+}
+
+/// One tripped invariant, with everything needed to replay it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// The invariant.
+    pub kind: InvariantKind,
+    /// The soak seed (replay key).
+    pub seed: u64,
+    /// Virtual time (µs since soak start) at which it tripped.
+    pub vt_us: u64,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl Violation {
+    /// The replay instruction printed with every violation.
+    pub fn replay_hint(&self) -> String {
+        format!(
+            "replay: cargo run -p seedb-bench --bin soak -- --seed {} (violation at vt={}µs)",
+            self.seed, self.vt_us
+        )
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] vt={}µs seed={}: {}",
+            self.kind.name(),
+            self.vt_us,
+            self.seed,
+            self.detail
+        )
+    }
+}
+
+/// A recommendation distilled to its byte-comparable identity: one
+/// `(view label, utility bits)` pair per scored view, in rank order.
+/// Two digests are equal iff the recommendations are byte-identical in
+/// every way the serving contract promises.
+pub type RecDigest = Vec<(String, u64)>;
+
+/// The checker: pure bookkeeping over facts the driver feeds it, so
+/// each invariant is unit-testable against a known-violation fixture.
+#[derive(Debug)]
+pub struct InvariantChecker {
+    bounds: InvariantBounds,
+    seed: u64,
+    violations: Vec<Violation>,
+    /// Spot checks performed (for the report).
+    spot_checks: u64,
+    /// Crash recoveries verified.
+    crash_checks: u64,
+    /// Periodic sweeps performed.
+    sweeps: u64,
+}
+
+impl InvariantChecker {
+    /// A checker for one run.
+    pub fn new(seed: u64, bounds: InvariantBounds) -> Self {
+        InvariantChecker {
+            bounds,
+            seed,
+            violations: Vec::new(),
+            spot_checks: 0,
+            crash_checks: 0,
+            sweeps: 0,
+        }
+    }
+
+    fn trip(&mut self, kind: InvariantKind, vt_us: u64, detail: String) {
+        self.violations.push(Violation {
+            kind,
+            seed: self.seed,
+            vt_us,
+            detail,
+        });
+    }
+
+    /// Served-vs-cold spot check: the digests must match exactly (same
+    /// views, same rank order, same utility *bits*).
+    pub fn spot_check(&mut self, vt_us: u64, query: &str, served: &RecDigest, cold: &RecDigest) {
+        self.spot_checks += 1;
+        if served == cold {
+            return;
+        }
+        let diff = served
+            .iter()
+            .zip(cold.iter())
+            .enumerate()
+            .find(|(_, (s, c))| s != c)
+            .map(|(rank, (s, c))| {
+                format!("first divergence at rank {rank}: served {s:?} vs cold {c:?}")
+            })
+            .unwrap_or_else(|| {
+                format!(
+                    "view count differs: served {} vs cold {}",
+                    served.len(),
+                    cold.len()
+                )
+            });
+        self.trip(
+            InvariantKind::SpotCheck,
+            vt_us,
+            format!("{query}: served result is not byte-identical to a cold recompute — {diff}"),
+        );
+    }
+
+    /// Post-crash ledger check: every acknowledged batch must have
+    /// survived — the recovered table carries exactly the acked row
+    /// count and version.
+    pub fn crash_check(
+        &mut self,
+        vt_us: u64,
+        table: &str,
+        expected_rows: usize,
+        expected_version: u64,
+        recovered: Option<(usize, u64)>,
+    ) {
+        self.crash_checks += 1;
+        match recovered {
+            None => self.trip(
+                InvariantKind::CrashRecovery,
+                vt_us,
+                format!("table {table} vanished across the crash (acked {expected_rows} rows)"),
+            ),
+            Some((rows, version)) if rows != expected_rows || version != expected_version => {
+                self.trip(
+                    InvariantKind::CrashRecovery,
+                    vt_us,
+                    format!(
+                        "table {table} recovered at {rows} rows v{version}, \
+                         acked {expected_rows} rows v{expected_version}"
+                    ),
+                );
+            }
+            Some(_) => {}
+        }
+    }
+
+    /// Periodic sweep: cumulative hit-rate floor (after warmup) and the
+    /// p99 latency bound over this window's samples.
+    pub fn sweep(&mut self, vt_us: u64, hits: u64, misses: u64, window_latencies_ns: &[u64]) {
+        self.sweeps += 1;
+        if vt_us >= self.bounds.warmup_us && hits + misses > 0 {
+            let rate = hits as f64 / (hits + misses) as f64;
+            if rate < self.bounds.hit_rate_floor {
+                self.trip(
+                    InvariantKind::HitRateFloor,
+                    vt_us,
+                    format!(
+                        "cumulative hit rate {rate:.3} ({hits} hits / {misses} misses) \
+                         below floor {:.3}",
+                        self.bounds.hit_rate_floor
+                    ),
+                );
+            }
+        }
+        if !window_latencies_ns.is_empty() {
+            let p99 = percentile(window_latencies_ns, 0.99);
+            if p99 > self.bounds.p99_ns {
+                self.trip(
+                    InvariantKind::P99Latency,
+                    vt_us,
+                    format!(
+                        "window p99 {:.1}ms over bound {:.1}ms ({} samples)",
+                        p99 as f64 / 1e6,
+                        self.bounds.p99_ns as f64 / 1e6,
+                        window_latencies_ns.len()
+                    ),
+                );
+            }
+        }
+    }
+
+    /// A request that must not fail, failed.
+    pub fn query_error(&mut self, vt_us: u64, what: &str, err: &str) {
+        self.trip(
+            InvariantKind::QueryError,
+            vt_us,
+            format!("{what} failed: {err}"),
+        );
+    }
+
+    /// All violations so far, in trip order.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// `(spot checks, crash checks, sweeps)` performed.
+    pub fn checks_performed(&self) -> (u64, u64, u64) {
+        (self.spot_checks, self.crash_checks, self.sweeps)
+    }
+}
+
+/// The `q`-th percentile (0.0..=1.0) of `samples` by nearest-rank on a
+/// sorted copy. Returns 0 for an empty slice.
+pub fn percentile(samples: &[u64], q: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    sorted.get(rank).copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checker() -> InvariantChecker {
+        InvariantChecker::new(
+            42,
+            InvariantBounds {
+                hit_rate_floor: 0.5,
+                p99_ns: 1_000_000,
+                warmup_us: 1_000,
+            },
+        )
+    }
+
+    fn digest(pairs: &[(&str, u64)]) -> RecDigest {
+        pairs.iter().map(|(s, u)| (s.to_string(), *u)).collect()
+    }
+
+    // Each invariant has a known-violation fixture that must trip — and
+    // a passing twin proving the checker is not trigger-happy.
+
+    #[test]
+    fn spot_check_trips_on_any_bit_difference() {
+        let mut c = checker();
+        let served = digest(&[("SUM(m0) by d1", 0x3FF0_0000_0000_0000)]);
+        c.spot_check(10, "q", &served, &served.clone());
+        assert!(c.violations().is_empty(), "identical digests pass");
+        // One utility bit off — must trip.
+        let cold = digest(&[("SUM(m0) by d1", 0x3FF0_0000_0000_0001)]);
+        c.spot_check(20, "t0 WHERE d0 = d0_1", &served, &cold);
+        // Rank-order difference — must trip.
+        let swapped = digest(&[("b", 1), ("a", 2)]);
+        let ordered = digest(&[("a", 2), ("b", 1)]);
+        c.spot_check(30, "q2", &swapped, &ordered);
+        // Missing view — must trip.
+        c.spot_check(
+            40,
+            "q3",
+            &digest(&[("a", 1)]),
+            &digest(&[("a", 1), ("b", 2)]),
+        );
+        assert_eq!(c.violations().len(), 3);
+        assert!(c
+            .violations()
+            .iter()
+            .all(|v| v.kind == InvariantKind::SpotCheck));
+        assert_eq!(c.violations()[0].vt_us, 20);
+        assert_eq!(
+            c.violations()[0].seed,
+            42,
+            "violations carry the replay seed"
+        );
+        assert!(c.violations()[0].replay_hint().contains("--seed 42"));
+    }
+
+    #[test]
+    fn crash_check_trips_on_lost_rows_version_or_table() {
+        let mut c = checker();
+        c.crash_check(5, "t0", 100, 7, Some((100, 7)));
+        assert!(c.violations().is_empty(), "exact recovery passes");
+        c.crash_check(10, "t0", 100, 7, Some((90, 7))); // lost rows
+        c.crash_check(20, "t0", 100, 7, Some((100, 6))); // lost version
+        c.crash_check(30, "t1", 50, 3, None); // lost table
+        assert_eq!(c.violations().len(), 3);
+        assert!(c
+            .violations()
+            .iter()
+            .all(|v| v.kind == InvariantKind::CrashRecovery));
+        assert!(c.violations()[0].detail.contains("90 rows"));
+    }
+
+    #[test]
+    fn hit_rate_floor_trips_after_warmup_only() {
+        let mut c = checker();
+        // Terrible hit rate during warmup: tolerated.
+        c.sweep(500, 0, 100, &[]);
+        assert!(c.violations().is_empty());
+        // Same rate after warmup: trips.
+        c.sweep(2_000, 10, 90, &[]);
+        assert_eq!(c.violations().len(), 1);
+        assert_eq!(c.violations()[0].kind, InvariantKind::HitRateFloor);
+        // Healthy rate: passes.
+        let before = c.violations().len();
+        c.sweep(3_000, 90, 10, &[]);
+        assert_eq!(c.violations().len(), before);
+    }
+
+    #[test]
+    fn p99_bound_trips_on_a_slow_window() {
+        let mut c = checker();
+        let fast = vec![100_000u64; 100];
+        c.sweep(2_000, 1, 0, &fast);
+        assert!(c.violations().is_empty(), "fast window passes");
+        // 2 of 100 samples at 10ms: p99 lands on a slow sample.
+        let mut slow = vec![100_000u64; 98];
+        slow.extend([10_000_000, 10_000_000]);
+        c.sweep(3_000, 1, 0, &slow);
+        assert_eq!(c.violations().len(), 1);
+        assert_eq!(c.violations()[0].kind, InvariantKind::P99Latency);
+    }
+
+    #[test]
+    fn query_errors_are_violations() {
+        let mut c = checker();
+        c.query_error(77, "recommend t0 WHERE d0 = d0_0", "unknown table t0");
+        assert_eq!(c.violations().len(), 1);
+        assert_eq!(c.violations()[0].kind, InvariantKind::QueryError);
+        assert_eq!(c.violations()[0].vt_us, 77);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 0.99), 0);
+        assert_eq!(percentile(&[7], 0.5), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.0), 1);
+        assert_eq!(percentile(&v, 0.5), 51);
+        assert_eq!(percentile(&v, 0.99), 99);
+        assert_eq!(percentile(&v, 1.0), 100);
+    }
+}

@@ -1,0 +1,30 @@
+//! The closed-loop soak harness: a seeded, deterministic traffic
+//! simulator that drives a real [`seedb_core::Service`] — Zipf-popular
+//! analyst queries, concurrent drifting ingest, periodic table
+//! re-registration, and injected crash/recovery over the durable store
+//! — while asserting serving invariants *continuously*:
+//!
+//! - every spot-checked result is byte-identical to a cold recompute;
+//! - no acknowledged batch is lost across a crash (clean or torn-WAL);
+//! - the cache hit rate stays above a configured floor after warmup;
+//! - window p99 latency stays under a (generous, wall-clock) bound.
+//!
+//! Every workload decision runs on virtual time from seeded streams —
+//! a violation's `(seed, vt_us)` pair replays the exact run that
+//! produced it. Wall clock is confined to [`shim`] (measurement only);
+//! `seedb-lint` enforces that split.
+//!
+//! Entry point: [`driver::run`] with a [`spec::SoakSpec`] preset
+//! (`short`/`full`/`mini`), or `cargo run -p seedb-bench --bin soak`.
+
+pub mod clock;
+pub mod driver;
+pub mod invariants;
+pub mod report;
+pub mod shim;
+pub mod spec;
+
+pub use driver::{run, SoakOutcome};
+pub use invariants::{InvariantChecker, InvariantKind, Violation};
+pub use report::{SoakReport, Trace};
+pub use spec::{InvariantBounds, SoakSpec};

@@ -1,0 +1,47 @@
+//! The latency-measurement shim — the **only** soak module allowed to
+//! read the wall clock.
+//!
+//! `seedb-lint`'s `no-wallclock-in-plan` rule covers the rest of
+//! `crates/bench/src/soak/`: workload decisions run on virtual time
+//! exclusively, so a soak replays bit-identically from its seed. Wall
+//! time is an observation (latency samples, total run duration) that
+//! must never feed back into what the driver does next.
+
+use std::time::Instant;
+
+/// A started wall-clock stopwatch.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Start measuring.
+    pub fn start() -> Self {
+        Stopwatch(Instant::now())
+    }
+
+    /// Nanoseconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// Run `f`, returning its result and the wall nanoseconds it took.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let sw = Stopwatch::start();
+    let out = f();
+    (out, sw.elapsed_ns())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_returns_result_and_a_duration() {
+        let (value, ns) = timed(|| 40 + 2);
+        assert_eq!(value, 42);
+        // Monotonic clocks can legally report 0ns for a trivial closure;
+        // just check the measurement is usable as a sample.
+        assert!(ns < 60_000_000_000, "sane upper bound");
+    }
+}

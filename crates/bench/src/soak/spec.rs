@@ -1,0 +1,192 @@
+//! The workload specification: every knob of one soak run.
+//!
+//! A [`SoakSpec`] fully determines the workload — given the same spec
+//! (seed included), the driver makes byte-identical decisions and emits
+//! an identical trace. Anything wall-clock (latency bounds) only
+//! *observes* the run; it never steers it.
+
+/// Bounds the invariant checker enforces continuously during a soak.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvariantBounds {
+    /// Minimum cumulative cache hit rate (hits / (hits + misses)) after
+    /// the warmup window. Zipfian repeat traffic should comfortably
+    /// clear this; a drop means the cache key or invalidation logic
+    /// broke.
+    pub hit_rate_floor: f64,
+    /// Maximum p99 recommend latency per check window, in nanoseconds.
+    /// Wall-clock, so keep it generous enough for shared CI runners —
+    /// it exists to catch order-of-magnitude serving stalls, not 10%
+    /// drifts (the bench gate owns those).
+    pub p99_ns: u64,
+    /// Virtual time before the hit-rate floor is enforced (the cold
+    /// cache must be allowed to fill).
+    pub warmup_us: u64,
+}
+
+impl InvariantBounds {
+    /// Defaults shared by the presets.
+    pub fn recommended() -> Self {
+        InvariantBounds {
+            hit_rate_floor: 0.30,
+            p99_ns: 2_000_000_000,
+            warmup_us: 2_000_000,
+        }
+    }
+}
+
+/// Complete description of one closed-loop soak workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoakSpec {
+    /// Master seed; every stream of decisions derives from it.
+    pub seed: u64,
+    /// Virtual duration of the run, in virtual microseconds.
+    pub virtual_us: u64,
+    /// Synthetic analyst population size.
+    pub analysts: usize,
+    /// Mean analyst think time between queries (virtual µs,
+    /// exponentially distributed).
+    pub think_us: u64,
+    /// Number of registered tables (`t0..tN`), Zipf-popular by index.
+    pub tables: usize,
+    /// Rows per table at registration.
+    pub rows_per_table: usize,
+    /// Dimension columns per table.
+    pub dims: usize,
+    /// Distinct values per dimension.
+    pub cardinality: usize,
+    /// Measure columns per table.
+    pub measures: usize,
+    /// Zipf skew for table popularity and per-dimension filter-value
+    /// popularity (1.0 = classic Zipf).
+    pub zipf_skew: f64,
+    /// Virtual µs between ingest batches (0 disables ingest).
+    pub ingest_interval_us: u64,
+    /// Rows per ingest batch.
+    pub ingest_batch: usize,
+    /// Additive drift of every measure's mean per virtual second of
+    /// ingest — appended rows pull cached aggregates stale by
+    /// construction, so refresh correctness is actually exercised.
+    pub drift_per_vsec: f64,
+    /// Virtual µs between table re-registrations (replace with fresh
+    /// lineage; 0 disables).
+    pub reregister_interval_us: u64,
+    /// Virtual µs between injected crash/restarts over the durable
+    /// store (0 disables). Flavors alternate: a clean `persist → drop →
+    /// open` and a hard drop with a torn WAL tail injected.
+    pub crash_interval_us: u64,
+    /// Probability a served recommendation is spot-checked
+    /// byte-identical against a cold recompute.
+    pub spot_check_rate: f64,
+    /// Virtual µs between continuous invariant sweeps (hit rate, p99).
+    pub check_interval_us: u64,
+    /// Service cache capacity (states). Sized above the distinct-plan
+    /// working set so eviction noise never clouds determinism checks.
+    pub cache_capacity: usize,
+    /// fsync WAL appends before acknowledging them (the honest
+    /// default; turning it off speeds local runs and is safe for
+    /// in-process crash simulation).
+    pub sync_writes: bool,
+    /// Invariant bounds.
+    pub bounds: InvariantBounds,
+}
+
+impl SoakSpec {
+    /// The PR-blocking smoke soak: ~10 virtual seconds, a few hundred
+    /// queries, at least one crash of each flavor and one
+    /// re-registration. Deterministic for a fixed `seed` and fast
+    /// enough (< ~20 s wall on one CPU) to gate every push.
+    pub fn short(seed: u64) -> Self {
+        SoakSpec {
+            seed,
+            virtual_us: 10_000_000,
+            analysts: 50,
+            think_us: 1_200_000,
+            tables: 3,
+            rows_per_table: 1_500,
+            dims: 4,
+            cardinality: 6,
+            measures: 2,
+            zipf_skew: 1.0,
+            ingest_interval_us: 250_000,
+            ingest_batch: 20,
+            drift_per_vsec: 15.0,
+            reregister_interval_us: 4_500_000,
+            crash_interval_us: 4_000_000,
+            spot_check_rate: 0.05,
+            check_interval_us: 1_000_000,
+            cache_capacity: 4_096,
+            sync_writes: true,
+            bounds: InvariantBounds::recommended(),
+        }
+    }
+
+    /// The nightly soak: minutes of virtual (and wall) time, a
+    /// thousand analysts, dozens of crashes and re-registrations.
+    pub fn full(seed: u64) -> Self {
+        SoakSpec {
+            virtual_us: 120_000_000,
+            analysts: 1_000,
+            think_us: 2_500_000,
+            tables: 4,
+            rows_per_table: 2_500,
+            reregister_interval_us: 11_000_000,
+            crash_interval_us: 9_000_000,
+            spot_check_rate: 0.01,
+            ..SoakSpec::short(seed)
+        }
+    }
+
+    /// A miniature spec for tests: a couple of virtual seconds, small
+    /// tables, every event type still firing at least once. The
+    /// hit-rate floor is relaxed — two crashes inside three virtual
+    /// seconds never let the cache warm past the serving floor.
+    pub fn mini(seed: u64) -> Self {
+        SoakSpec {
+            bounds: InvariantBounds {
+                hit_rate_floor: 0.05,
+                ..InvariantBounds::recommended()
+            },
+            virtual_us: 3_000_000,
+            analysts: 8,
+            think_us: 500_000,
+            tables: 2,
+            rows_per_table: 400,
+            ingest_interval_us: 400_000,
+            ingest_batch: 10,
+            reregister_interval_us: 1_500_000,
+            crash_interval_us: 1_400_000,
+            spot_check_rate: 0.20,
+            check_interval_us: 1_000_000,
+            ..SoakSpec::short(seed)
+        }
+    }
+
+    /// Virtual duration in (fractional) seconds.
+    pub fn virtual_secs(&self) -> f64 {
+        self.virtual_us as f64 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        for spec in [SoakSpec::short(1), SoakSpec::full(1), SoakSpec::mini(1)] {
+            assert!(spec.analysts > 0);
+            assert!(spec.tables > 0);
+            assert!(spec.virtual_us > 0);
+            assert!(spec.dims >= 2, "need a filter dim plus grouping dims");
+            assert!(spec.bounds.hit_rate_floor > 0.0);
+            assert!(spec.bounds.warmup_us < spec.virtual_us);
+        }
+        assert!(SoakSpec::full(1).virtual_us > SoakSpec::short(1).virtual_us);
+    }
+
+    #[test]
+    fn seed_is_the_only_axis_between_equal_presets() {
+        assert_eq!(SoakSpec::short(7), SoakSpec::short(7));
+        assert_ne!(SoakSpec::short(7), SoakSpec::short(8));
+    }
+}

@@ -345,6 +345,32 @@ impl Database {
             .map(DurabilityState::summary)
     }
 
+    /// Crash-injection test hook (see [`store::wal::inject_torn_tail`]):
+    /// append a torn frame to this durable catalog's WAL, simulating a
+    /// crash midway through an unacknowledged record's write. The soak
+    /// harness calls this immediately before dropping every handle and
+    /// re-[`Database::open`]ing the directory; recovery must truncate
+    /// the torn tail and lose nothing acknowledged.
+    ///
+    /// Do not mutate the catalog between injection and reopen — a real
+    /// WAL record appended behind the junk turns the torn tail into
+    /// mid-log corruption, which `open` refuses (by design).
+    ///
+    /// # Errors
+    /// `Io` when the catalog is not durable or the injection write
+    /// fails.
+    pub fn inject_torn_wal_tail(&self) -> DbResult<u64> {
+        let dir = match self.durability.lock_recovered().as_ref() {
+            Some(state) => state.summary().dir,
+            None => {
+                return Err(DbError::Io(
+                    "inject_torn_wal_tail: catalog is not durable (no WAL to tear)".to_string(),
+                ))
+            }
+        };
+        store::wal::inject_torn_tail(&dir)
+    }
+
     /// All tables, sorted by name (the checkpoint snapshot order).
     fn tables_sorted(&self) -> Vec<Arc<Table>> {
         let mut tables: Vec<Arc<Table>> = self.tables.read_recovered().values().cloned().collect();

@@ -435,6 +435,35 @@ fn truncate_file(path: &Path, len: u64) -> DbResult<()> {
     f.sync_all().map_err(|e| io_err(path, e))
 }
 
+/// Crash-injection test hook (used by the soak harness's crash/restart
+/// injector and the crash tests): append a *torn* frame — a length
+/// header promising more bytes than actually follow — to the WAL in
+/// `dir`, simulating a process that died midway through writing an
+/// unacknowledged record. Replay treats it exactly like any torn tail:
+/// the torn bytes are dropped and truncated away on the next open, and
+/// every acknowledged record survives. Returns the torn bytes appended.
+///
+/// Only inject when no live [`Wal`] handle will append afterwards: a
+/// real record written *behind* the junk would make the junk read as
+/// mid-log corruption (a bad record followed by valid data), which
+/// recovery refuses to drop silently.
+///
+/// # Errors
+/// `Io` when `dir` holds no WAL file or the append fails.
+pub fn inject_torn_tail(dir: &Path) -> DbResult<u64> {
+    let path = dir.join(Wal::FILE_NAME);
+    let mut file = OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .map_err(|e| io_err(&path, e))?;
+    let mut torn = Vec::with_capacity(38);
+    torn.extend_from_slice(&1_000u64.to_le_bytes());
+    torn.extend_from_slice(&[0xAB; 30]);
+    file.write_all(&torn).map_err(|e| io_err(&path, e))?;
+    file.sync_all().map_err(|e| io_err(&path, e))?;
+    Ok(torn.len() as u64)
+}
+
 /// Result of replaying a WAL file.
 #[derive(Debug)]
 pub struct Replay {

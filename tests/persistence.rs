@@ -434,3 +434,80 @@ fn checkpoint_threshold_drives_wal_lifecycle() {
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// The soak harness's crash-injection hook
+/// ([`Database::inject_torn_wal_tail`]) is indistinguishable from the
+/// manual byte-munging above: identical WAL bytes after injection,
+/// identical recovery (same rows, same version), and the recovered
+/// store stays appendable.
+#[test]
+fn injected_torn_tail_matches_manual_byte_munging() {
+    let setup = |name: &str| {
+        let dir = tmp(name);
+        let (db, _) = seeded_db(500, 23);
+        db.save(&dir).unwrap();
+        db.append_rows("synthetic", delta(10, 500)).unwrap();
+        db.append_rows("synthetic", delta(10, 501)).unwrap();
+        (dir, db)
+    };
+
+    // Manual flavor: the byte sequence `torn_wal_tail_loses_only_the_
+    // unacknowledged_record` appends by hand.
+    let (manual_dir, manual_db) = setup("parity-manual");
+    drop(manual_db);
+    let wal_path = manual_dir.join(store::wal::Wal::FILE_NAME);
+    let mut bytes = std::fs::read(&wal_path).unwrap();
+    bytes.extend_from_slice(&1_000u64.to_le_bytes());
+    bytes.extend_from_slice(&[0xAB; 30]);
+    std::fs::write(&wal_path, &bytes).unwrap();
+
+    // Hook flavor: same starting state, tear injected through the API
+    // while the database handle is still live (how the soak driver
+    // crashes a serving store).
+    let (hook_dir, hook_db) = setup("parity-hook");
+    let torn_len = hook_db.inject_torn_wal_tail().unwrap();
+    assert_eq!(torn_len, 38, "8-byte length header + 30 garbage bytes");
+    drop(hook_db);
+
+    let manual_bytes = std::fs::read(&wal_path).unwrap();
+    let hook_bytes = std::fs::read(hook_dir.join(store::wal::Wal::FILE_NAME)).unwrap();
+    assert_eq!(
+        manual_bytes, hook_bytes,
+        "hook must write the exact torn-tail byte pattern the manual test uses"
+    );
+
+    // Both flavors recover identically: acked batches intact, tear gone.
+    let manual = Database::open(&manual_dir).unwrap();
+    let hook = Database::open(&hook_dir).unwrap();
+    let mt = manual.table("synthetic").unwrap();
+    let ht = hook.table("synthetic").unwrap();
+    assert_eq!(mt.num_rows(), ht.num_rows());
+    assert_eq!(mt.version(), ht.version());
+    for i in 0..mt.num_rows() {
+        assert_eq!(mt.row(i), ht.row(i));
+    }
+    // And the hook-recovered store accepts new appends on a clean
+    // record boundary, surviving another restart.
+    hook.append_rows("synthetic", delta(5, 502)).unwrap();
+    let after = hook.table("synthetic").unwrap();
+    drop(hook);
+    let again = Database::open(&hook_dir).unwrap();
+    assert_eq!(
+        again.table("synthetic").unwrap().num_rows(),
+        after.num_rows()
+    );
+    let _ = std::fs::remove_dir_all(&manual_dir);
+    let _ = std::fs::remove_dir_all(&hook_dir);
+}
+
+/// The hook refuses to tear a non-durable catalog instead of
+/// panicking or silently doing nothing.
+#[test]
+fn injected_torn_tail_requires_a_durable_catalog() {
+    let (db, _) = seeded_db(50, 31);
+    let err = db.inject_torn_wal_tail().unwrap_err();
+    assert!(
+        matches!(err, DbError::Io(_)),
+        "typed error, not a panic: {err:?}"
+    );
+}
