@@ -1,0 +1,82 @@
+//! Observability overhead: what the telemetry layer costs when you are
+//! NOT looking at it.
+//!
+//! * `obs/warm_recommend_untraced` — the steady-state warm-serve path
+//!   with tracing disabled (the default). This is the number the
+//!   serving benches already gate; it now includes counter bumps, the
+//!   latency histogram record, and the disabled-tracer branch, so a
+//!   regression here is a regression in the "zero-cost when disabled"
+//!   contract.
+//! * `obs/warm_recommend_traced` — the same request with span recording
+//!   on, for an honest look at what `:trace on` costs.
+//! * `obs/counter_inc_x1000` — a thousand registered-counter bumps: one
+//!   relaxed atomic add each, no branches, no locks.
+//! * `obs/histogram_record_x1000` — a thousand histogram samples:
+//!   leading-zeros bucketing plus two atomic adds.
+//! * `obs/disabled_span_x1000` — a thousand root-span creations against
+//!   a disabled tracer: one atomic load returning the null span.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use seedb_bench::workload;
+use seedb_core::{SeeDbConfig, Service, ServiceConfig};
+use seedb_obs::{Obs, Registry};
+
+fn serving_config() -> ServiceConfig {
+    let mut seedb = SeeDbConfig::recommended().with_k(5);
+    seedb.pruning.access_frequency = false;
+    ServiceConfig::recommended().with_seedb(seedb)
+}
+
+fn bench_obs(c: &mut Criterion) {
+    let w = workload(50_000, 6, 10, 2, 7);
+    let mut group = c.benchmark_group("obs");
+    group.sample_size(10);
+
+    let service = Service::new(w.db.clone(), serving_config());
+    service.recommend(&w.analyst).expect("warm-up run");
+    group.bench_function("warm_recommend_untraced", |b| {
+        b.iter(|| service.recommend(&w.analyst).expect("warm recommendation"))
+    });
+
+    service.set_trace_enabled(true);
+    group.bench_function("warm_recommend_traced", |b| {
+        b.iter(|| service.recommend(&w.analyst).expect("warm recommendation"))
+    });
+    service.set_trace_enabled(false);
+
+    let registry = Registry::new();
+    let counter = registry.register_counter("bench.obs.ticks");
+    group.bench_function("counter_inc_x1000", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                counter.inc();
+            }
+            counter.get()
+        })
+    });
+
+    let histogram = registry.register_histogram("bench.obs.lat_ns");
+    group.bench_function("histogram_record_x1000", |b| {
+        b.iter(|| {
+            for v in 0..1000u64 {
+                histogram.record(v * 17);
+            }
+        })
+    });
+
+    let obs = Obs::default();
+    assert!(!obs.tracer().is_enabled());
+    group.bench_function("disabled_span_x1000", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                let span = obs.tracer().root_span("bench");
+                assert!(!span.is_recording());
+            }
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs);
+criterion_main!(benches);

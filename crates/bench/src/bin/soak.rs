@@ -14,10 +14,11 @@
 //! - `--trace`     also dump the full workload trace to `<out>/soak-trace.txt`
 //!
 //! Writes `BENCH_soak.json` (bench_gate shape — latency medians plus
-//! seed-deterministic counters) and `soak-report.json` (the invariant
-//! report) into the artifact directory. Exits non-zero iff any
-//! invariant tripped; every violation prints its `(seed, vt)` replay
-//! hint.
+//! seed-deterministic counters), `soak-report.json` (the invariant
+//! report), and `obs-report.json` (the final service incarnation's
+//! full metrics snapshot, ticked on virtual time — byte-identical per
+//! seed) into the artifact directory. Exits non-zero iff any invariant
+//! tripped; every violation prints its `(seed, vt)` replay hint.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -103,12 +104,19 @@ fn main() -> ExitCode {
     }
     let bench_path = args.out.join("BENCH_soak.json");
     let report_path = args.out.join("soak-report.json");
+    let obs_path = args.out.join("obs-report.json");
     if let Err(e) = std::fs::write(&bench_path, report.to_bench_json()) {
         eprintln!("soak: cannot write {}: {e}", bench_path.display());
         return ExitCode::from(2);
     }
     if let Err(e) = std::fs::write(&report_path, report.to_report_json()) {
         eprintln!("soak: cannot write {}: {e}", report_path.display());
+        return ExitCode::from(2);
+    }
+    // The final incarnation's full metrics snapshot (serve → execute →
+    // store), ticked on virtual time — byte-identical per seed.
+    if let Err(e) = std::fs::write(&obs_path, &outcome.obs_json) {
+        eprintln!("soak: cannot write {}: {e}", obs_path.display());
         return ExitCode::from(2);
     }
     if args.dump_trace {
@@ -155,9 +163,10 @@ fn main() -> ExitCode {
         report.trace_digest,
     );
     println!(
-        "soak: wrote {} and {}",
+        "soak: wrote {}, {} and {}",
         bench_path.display(),
-        report_path.display()
+        report_path.display(),
+        obs_path.display()
     );
 
     if report.violations.is_empty() {

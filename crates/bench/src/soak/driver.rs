@@ -26,6 +26,7 @@ use seedb_core::{
     AnalystQuery, ExecutionStrategy, Recommendation, SeeDb, SeeDbConfig, Service, ServiceConfig,
 };
 use seedb_data::{Categorical, CategoricalSampler, SyntheticSpec};
+use seedb_obs::{ManualClock, Obs};
 
 use super::clock::{EventQueue, VirtualClock};
 use super::invariants::{InvariantChecker, RecDigest};
@@ -40,6 +41,11 @@ pub struct SoakOutcome {
     pub report: SoakReport,
     /// The workload trace (same spec ⇒ byte-identical lines).
     pub trace: Trace,
+    /// Final service incarnation's full metrics snapshot as sorted
+    /// JSON. Every instrument ticks on the driver's virtual clock, so
+    /// the same spec renders byte-identical JSON (empty if setup or
+    /// recovery aborted the run before a service existed).
+    pub obs_json: String,
 }
 
 /// What the event queue schedules.
@@ -178,7 +184,13 @@ pub fn run(spec: &SoakSpec, dir: &Path) -> SoakOutcome {
     .sampler();
 
     // ---- setup: tables, durable store, service ----------------------
-    let db = Arc::new(Database::new());
+    // One hand-driven observability clock for the whole run, stepped in
+    // lockstep with the virtual event clock: latency histograms and
+    // span stamps replay byte-identically from the seed. Each service
+    // incarnation gets a *fresh* registry sharing this clock, matching
+    // the per-incarnation counter banking above.
+    let obs_clock = Arc::new(ManualClock::new());
+    let db = Arc::new(Database::with_obs(Obs::with_clock(obs_clock.clone())));
     let mut tables: Vec<TableState> = (0..spec.tables)
         .map(|i| {
             let tspec = table_spec(spec, i, 0);
@@ -234,6 +246,7 @@ pub fn run(spec: &SoakSpec, dir: &Path) -> SoakOutcome {
             break;
         }
         clock.advance_to(at);
+        obs_clock.set_ns(at.saturating_mul(1000));
         let vt = clock.now_us();
         match event {
             Event::Analyst(i) => {
@@ -370,7 +383,12 @@ pub fn run(spec: &SoakSpec, dir: &Path) -> SoakOutcome {
                 }
                 totals.bank(&service);
                 drop(service);
-                match Service::open_with(dir, cfg.clone(), durability(spec)) {
+                match Service::open_with_obs(
+                    dir,
+                    cfg.clone(),
+                    durability(spec),
+                    Obs::with_clock(obs_clock.clone()),
+                ) {
                     Ok(recovered) => {
                         service = recovered;
                         for (ti, state) in tables.iter().enumerate() {
@@ -422,6 +440,7 @@ pub fn run(spec: &SoakSpec, dir: &Path) -> SoakOutcome {
 
     totals.bank(&service);
     let mut outcome = finish(spec, run_sw, trace, checker, totals, Some(clock.now_us()));
+    outcome.obs_json = service.metrics().to_json();
     outcome.report.queries = queries;
     outcome.report.appends = appends;
     outcome.report.appended_rows = appended_rows;
@@ -457,5 +476,9 @@ fn finish(
         trace_digest: trace.digest(),
         ..SoakReport::default()
     };
-    SoakOutcome { report, trace }
+    SoakOutcome {
+        report,
+        trace,
+        obs_json: String::new(),
+    }
 }

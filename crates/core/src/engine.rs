@@ -15,6 +15,7 @@ use std::time::{Duration, Instant};
 use memdb::{
     run_batch, CostSnapshot, Database, DbError, DbResult, LogicalPlan, PlanOutput, Table, Value,
 };
+use seedb_obs::Span;
 
 use crate::config::{ExecutionStrategy, SeeDbConfig};
 use crate::metadata::{AccessTracker, MetadataCollector};
@@ -152,7 +153,7 @@ impl SeeDb {
     /// collection failures. Individual view-query failures are captured
     /// in [`Recommendation::errors`].
     pub fn recommend(&self, analyst: &AnalystQuery) -> DbResult<Recommendation> {
-        self.recommend_via(analyst, |plans| {
+        self.recommend_via(analyst, &Span::none(), |plans, _span| {
             run_batch(&self.db, plans, self.config.execution.workers()).outputs
         })
     }
@@ -164,14 +165,17 @@ impl SeeDb {
     /// [`LogicalPlan`]s and must return one outcome per plan, in input
     /// order, byte-identical to what [`memdb::run_batch`] would produce.
     /// The phased strategies execute against the table directly and
-    /// never call `execute`.
+    /// never call `execute`. Each pipeline phase records a child of
+    /// `span` (pass [`Span::none`] when not tracing); `execute` receives
+    /// the `execute` phase's span to hang scan spans under.
     pub(crate) fn recommend_via<F>(
         &self,
         analyst: &AnalystQuery,
+        span: &Span,
         execute: F,
     ) -> DbResult<Recommendation>
     where
-        F: FnOnce(&[LogicalPlan]) -> Vec<DbResult<PlanOutput>>,
+        F: FnOnce(&[LogicalPlan], &Span) -> Vec<DbResult<PlanOutput>>,
     {
         let table = self.db.table(&analyst.table)?;
         let cost_before = self.db.cost();
@@ -187,12 +191,15 @@ impl SeeDb {
 
         // Phase 1: metadata.
         let t0 = Instant::now();
+        let metadata_span = span.child("metadata");
         let need_corr = self.config.compute_correlations && self.config.pruning.correlation;
         let metadata = self.collector.collect(&table, need_corr)?;
+        drop(metadata_span);
         timings.metadata = t0.elapsed();
 
         // Phase 2: enumerate + prune.
         let t0 = Instant::now();
+        let prune_span = span.child("prune");
         let candidates = enumerate_views(table.schema(), &self.config.functions);
         let num_candidates = candidates.len();
         // Dimensions the analyst filtered on convey nothing beyond the
@@ -217,6 +224,9 @@ impl SeeDb {
         };
         let mut outcome = prune(candidates, &metadata, &self.config.pruning);
         outcome.pruned.extend(filter_pruned);
+        prune_span.attr("candidates", num_candidates);
+        prune_span.attr("kept", outcome.kept.len());
+        drop(prune_span);
         timings.pruning = t0.elapsed();
 
         // Phases 3–5 depend on the execution strategy: the batch
@@ -258,6 +268,7 @@ impl SeeDb {
                 }
             }
             let t0 = Instant::now();
+            let phased_span = span.child("phased_execute");
             let phased = run_phased_with_group_counts(
                 &table,
                 analyst,
@@ -265,6 +276,8 @@ impl SeeDb {
                 &phased_cfg,
                 &dim_groups,
             )?;
+            phased_span.attr("plans", phased.plans_executed);
+            drop(phased_span);
             timings.execution = t0.elapsed();
             let t0 = Instant::now();
             let low_utility = low_utility_views(&phased.survivors, self.config.low_utility_views);
@@ -286,17 +299,24 @@ impl SeeDb {
 
         // Phase 3: plan.
         let t0 = Instant::now();
+        let optimize_span = span.child("optimize");
         let exec_plan = plan(&outcome.kept, analyst, &metadata, &self.config.optimizer);
+        optimize_span.attr("queries", exec_plan.num_queries());
+        drop(optimize_span);
         timings.planning = t0.elapsed();
 
         // Phase 4: execute.
         let t0 = Instant::now();
+        let execute_span = span.child("execute");
+        execute_span.attr("plans", exec_plan.num_queries());
         let plans: Vec<LogicalPlan> = exec_plan.queries.iter().map(|q| q.plan.clone()).collect();
-        let outputs = execute(&plans);
+        let outputs = execute(&plans, &execute_span);
+        drop(execute_span);
         timings.execution = t0.elapsed();
 
         // Phase 5: process (streaming over completed queries).
         let t0 = Instant::now();
+        let process_span = span.child("process");
         let mut processor = Processor::new(outcome.kept.clone(), self.config.metric);
         let mut errors = Vec::new();
         for (i, (pq, out)) in exec_plan.queries.iter().zip(outputs).enumerate() {
@@ -308,6 +328,8 @@ impl SeeDb {
         let all = processor.finish();
         let views = top_k(all.clone(), self.config.k);
         let low_utility = low_utility_views(&all, self.config.low_utility_views);
+        process_span.attr("views", all.len());
+        drop(process_span);
         timings.processing = t0.elapsed();
 
         Ok(Recommendation {

@@ -51,9 +51,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 use memdb::{
-    run_partitioned_partial, AggSpec, Database, DbError, DbResult, ExecStats, Expr, LogicalPlan,
-    MutexExt, PartialAggState, PhysicalPlan, PlanOutput, Table, Value,
+    run_partitioned_partial_obs, AggSpec, Database, DbError, DbResult, ExecMetrics, ExecStats,
+    Expr, LogicalPlan, MutexExt, PartialAggState, PhysicalPlan, PlanOutput, Table, Value,
 };
+use seedb_obs::{Counter, Histogram, MetricsSnapshot, Obs, Registry, Span, TraceData};
 
 use crate::config::{SeeDbConfig, ServiceConfig};
 use crate::engine::{Recommendation, SeeDb};
@@ -112,41 +113,62 @@ impl CacheStats {
     }
 }
 
-#[derive(Debug, Default)]
+/// The service's counters, registered under `service.cache.*` in the
+/// database's metrics registry — [`CacheStats`] is a thin view over the
+/// registry cells (one number, one cell: the legacy snapshot and
+/// `Service::metrics` can never diverge).
+#[derive(Debug)]
 struct StatCounters {
-    hits: AtomicU64,
-    projection_hits: AtomicU64,
-    misses: AtomicU64,
-    inserts: AtomicU64,
-    evictions: AtomicU64,
-    invalidations: AtomicU64,
-    batch_scans: AtomicU64,
-    batched_plans: AtomicU64,
-    bypasses: AtomicU64,
-    refreshes: AtomicU64,
-    refresh_rows: AtomicU64,
-    refresh_fallbacks: AtomicU64,
+    hits: Counter,
+    projection_hits: Counter,
+    misses: Counter,
+    inserts: Counter,
+    evictions: Counter,
+    invalidations: Counter,
+    batch_scans: Counter,
+    batched_plans: Counter,
+    bypasses: Counter,
+    refreshes: Counter,
+    refresh_rows: Counter,
+    refresh_fallbacks: Counter,
 }
 
 impl StatCounters {
-    fn add(counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
+    fn registered(registry: &Registry) -> StatCounters {
+        StatCounters {
+            hits: registry.register_counter("service.cache.hits"),
+            projection_hits: registry.register_counter("service.cache.projection_hits"),
+            misses: registry.register_counter("service.cache.misses"),
+            inserts: registry.register_counter("service.cache.inserts"),
+            evictions: registry.register_counter("service.cache.evictions"),
+            invalidations: registry.register_counter("service.cache.invalidations"),
+            batch_scans: registry.register_counter("service.cache.batch_scans"),
+            batched_plans: registry.register_counter("service.cache.batched_plans"),
+            bypasses: registry.register_counter("service.cache.bypasses"),
+            refreshes: registry.register_counter("service.cache.refreshes"),
+            refresh_rows: registry.register_counter("service.cache.refresh_rows"),
+            refresh_fallbacks: registry.register_counter("service.cache.refresh_fallbacks"),
+        }
+    }
+
+    fn add(counter: &Counter, n: u64) {
+        counter.add(n);
     }
 
     fn snapshot(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            projection_hits: self.projection_hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            inserts: self.inserts.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            invalidations: self.invalidations.load(Ordering::Relaxed),
-            batch_scans: self.batch_scans.load(Ordering::Relaxed),
-            batched_plans: self.batched_plans.load(Ordering::Relaxed),
-            bypasses: self.bypasses.load(Ordering::Relaxed),
-            refreshes: self.refreshes.load(Ordering::Relaxed),
-            refresh_rows: self.refresh_rows.load(Ordering::Relaxed),
-            refresh_fallbacks: self.refresh_fallbacks.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            projection_hits: self.projection_hits.get(),
+            misses: self.misses.get(),
+            inserts: self.inserts.get(),
+            evictions: self.evictions.get(),
+            invalidations: self.invalidations.get(),
+            batch_scans: self.batch_scans.get(),
+            batched_plans: self.batched_plans.get(),
+            bypasses: self.bypasses.get(),
+            refreshes: self.refreshes.get(),
+            refresh_rows: self.refresh_rows.get(),
+            refresh_fallbacks: self.refresh_fallbacks.get(),
         }
     }
 }
@@ -427,6 +449,7 @@ impl Batcher {
         inner: &ServiceInner,
         table: &Arc<Table>,
         misses: &[BatchPlan],
+        span: &Span,
     ) -> HashMap<String, DbResult<Arc<PlanOutput>>> {
         let register = |state: &mut BatchState| {
             for m in misses {
@@ -484,7 +507,10 @@ impl Batcher {
                 st.open = false;
                 st.plans.clone()
             };
-            let results = inner.execute_batch(table, &plans);
+            // Only the leader's request records the batch scan in its
+            // trace; joiners just wait and therefore show nothing —
+            // which is exactly what they cost.
+            let results = inner.execute_batch(table, &plans, span);
             {
                 let mut st = lock_state(&batch);
                 st.results = results;
@@ -523,6 +549,15 @@ struct ServiceInner {
     batcher: Batcher,
     stats: StatCounters,
     next_session: AtomicU64,
+    /// The database's observability bundle, adopted at construction so
+    /// `service.*`, `exec.*`, and `store.*` metrics share one registry
+    /// and all spans share one tracer and clock.
+    obs: Obs,
+    /// `service.recommend_ns`: end-to-end recommend latency, measured
+    /// on the bundle's injected clock (virtual under the soak harness).
+    recommend_ns: Histogram,
+    /// Partitioned-execution handles passed into every shared scan.
+    exec_metrics: ExecMetrics,
 }
 
 /// A long-lived, thread-safe recommendation service over one shared
@@ -535,17 +570,28 @@ pub struct Service {
 }
 
 impl Service {
-    /// Wrap `db` with the given serving configuration.
+    /// Wrap `db` with the given serving configuration. The service
+    /// adopts the database's [`Obs`] bundle ([`Database::obs`]), so its
+    /// `service.*` counters land in the same registry as the `exec.*`
+    /// and `store.*` ones and [`Service::metrics`] reports all three
+    /// layers at once.
     pub fn new(db: Arc<Database>, config: ServiceConfig) -> Self {
+        let obs = db.obs().clone();
         let cache = Mutex::new(LruCache::new(config.cache_capacity));
+        let stats = StatCounters::registered(obs.registry());
+        let recommend_ns = obs.registry().register_histogram("service.recommend_ns");
+        let exec_metrics = ExecMetrics::new(&obs);
         Service {
             inner: Arc::new(ServiceInner {
                 engine: SeeDb::new(db, config.seedb.clone()),
                 config,
                 cache,
                 batcher: Batcher::default(),
-                stats: StatCounters::default(),
+                stats,
                 next_session: AtomicU64::new(1),
+                obs,
+                recommend_ns,
+                exec_metrics,
             }),
         }
     }
@@ -595,10 +641,31 @@ impl Service {
     /// # Errors
     /// Same as [`SeeDb::recommend`].
     pub fn recommend(&self, analyst: &AnalystQuery) -> DbResult<Recommendation> {
+        self.recommend_for_session(analyst, None)
+    }
+
+    /// [`Service::recommend`] optionally tagged with a session id: the
+    /// request's root trace span carries `session=<id>`, which is what
+    /// [`Session::last_trace`] filters the trace ring by.
+    fn recommend_for_session(
+        &self,
+        analyst: &AnalystQuery,
+        session: Option<u64>,
+    ) -> DbResult<Recommendation> {
         let inner = &self.inner;
+        let root = inner.obs.tracer().root_span("recommend");
+        root.attr("table", &analyst.table);
+        if let Some(id) = session {
+            root.attr("session", id);
+        }
+        let start_ns = inner.obs.now_ns();
+        let result = inner.engine.recommend_via(analyst, &root, |plans, span| {
+            inner.execute_plans(plans, span)
+        });
         inner
-            .engine
-            .recommend_via(analyst, |plans| inner.execute_plans(plans))
+            .recommend_ns
+            .record(inner.obs.now_ns().saturating_sub(start_ns));
+        result
     }
 
     /// Recommend views for an analyst query given as SQL.
@@ -663,8 +730,24 @@ impl Service {
         config: ServiceConfig,
         durability: memdb::DurabilityConfig,
     ) -> DbResult<Service> {
+        Service::open_with_obs(dir, config, durability, Obs::default())
+    }
+
+    /// [`Service::open_with`] rooted on an injected observability
+    /// bundle (see [`Database::open_with_obs`]) — the soak harness
+    /// passes its virtual-clock bundle here so recovery and serving
+    /// telemetry is deterministic per seed.
+    ///
+    /// # Errors
+    /// Same as [`Service::open`].
+    pub fn open_with_obs(
+        dir: impl AsRef<std::path::Path>,
+        config: ServiceConfig,
+        durability: memdb::DurabilityConfig,
+        obs: Obs,
+    ) -> DbResult<Service> {
         let dir = dir.as_ref();
-        let db = Arc::new(Database::open_with(dir, durability)?);
+        let db = Arc::new(Database::open_with_obs(dir, durability, obs)?);
         let service = Service::new(db, config);
         // The spill holds cache hints, not authoritative data: an
         // unreadable/corrupted file degrades to a cold start, it never
@@ -675,7 +758,7 @@ impl Service {
             let Ok(table) = service.inner.engine.database().table(phys.table()) else {
                 continue;
             };
-            let _ = service.inner.execute_single(&table, &phys);
+            let _ = service.inner.execute_single(&table, &phys, &Span::none());
         }
         Ok(service)
     }
@@ -712,8 +795,42 @@ impl Service {
     }
 
     /// Snapshot the cache/batch counters.
+    ///
+    /// A thin view over the metrics registry's `service.cache.*`
+    /// counters — by construction identical to the matching entries of
+    /// [`Service::metrics`].
     pub fn cache_stats(&self) -> CacheStats {
         self.inner.stats.snapshot()
+    }
+
+    /// Snapshot every metric of every layer (serve → execute → store)
+    /// from the shared registry. [`MetricsSnapshot::to_json`] renders
+    /// it as deterministic sorted JSON.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.obs.registry().snapshot()
+    }
+
+    /// The observability bundle this service shares with its database.
+    pub fn obs(&self) -> &Obs {
+        &self.inner.obs
+    }
+
+    /// Enable or disable per-request trace recording. Disabled (the
+    /// default), span creation is a no-op returning [`Span::none`] —
+    /// the recommend path pays one atomic load.
+    pub fn set_trace_enabled(&self, enabled: bool) {
+        self.inner.obs.tracer().set_enabled(enabled);
+    }
+
+    /// Is per-request trace recording enabled?
+    pub fn trace_enabled(&self) -> bool {
+        self.inner.obs.tracer().is_enabled()
+    }
+
+    /// The most recently completed request trace, if tracing is enabled
+    /// and any request finished since.
+    pub fn last_trace(&self) -> Option<TraceData> {
+        self.inner.obs.tracer().last()
     }
 
     /// Number of states currently cached.
@@ -752,7 +869,7 @@ impl Session {
     /// # Errors
     /// Same as [`Service::recommend`].
     pub fn recommend(&self, analyst: &AnalystQuery) -> DbResult<Recommendation> {
-        self.service.recommend(analyst)
+        self.service.recommend_for_session(analyst, Some(self.id))
     }
 
     /// Recommend views for a SQL analyst query.
@@ -760,7 +877,19 @@ impl Session {
     /// # Errors
     /// Same as [`Service::recommend_sql`].
     pub fn recommend_sql(&self, sql: &str) -> DbResult<Recommendation> {
-        self.service.recommend_sql(sql)
+        let analyst = AnalystQuery::from_sql(sql)?;
+        self.recommend(&analyst)
+    }
+
+    /// The most recent completed trace of a request made *through this
+    /// session* (tracing must be enabled on the service; other
+    /// sessions' requests are skipped).
+    pub fn last_trace(&self) -> Option<TraceData> {
+        self.service
+            .inner
+            .obs
+            .tracer()
+            .last_with_root_attr("session", &self.id.to_string())
     }
 
     /// Append rows to a registered table through this session's
@@ -823,7 +952,7 @@ impl ServiceInner {
     /// The cache/batch-aware executor handed to the engine: one outcome
     /// per plan, in input order, byte-identical to a cold
     /// [`memdb::run_batch`].
-    fn execute_plans(&self, plans: &[LogicalPlan]) -> Vec<DbResult<PlanOutput>> {
+    fn execute_plans(&self, plans: &[LogicalPlan], span: &Span) -> Vec<DbResult<PlanOutput>> {
         let mut out: Vec<Option<DbResult<PlanOutput>>> = Vec::with_capacity(plans.len());
         out.resize_with(plans.len(), || None);
         // Slot indices come straight from `enumerate` over `plans`, so
@@ -850,6 +979,7 @@ impl ServiceInner {
         // never a torn mix of two versions.
         let mut snapshots: HashMap<String, Arc<Table>> = HashMap::new();
 
+        let probe = span.child("cache_probe");
         for (i, plan) in plans.iter().enumerate() {
             let phys = match plan.lower() {
                 Ok(p) => p,
@@ -898,9 +1028,14 @@ impl ServiceInner {
                         if let RefreshDecision::Incremental { delta } =
                             self.config.refresh.decide(&table, version)
                         {
-                            if let Some(output) =
-                                self.refresh_into_cache(&fingerprint, &phys, &table, &state, delta)
-                            {
+                            if let Some(output) = self.refresh_into_cache(
+                                &fingerprint,
+                                &phys,
+                                &table,
+                                &state,
+                                delta,
+                                &probe,
+                            ) {
                                 fill(&mut out, i, Ok((*output).clone()));
                                 continue;
                             }
@@ -958,6 +1093,8 @@ impl ServiceInner {
                 }
             }
         }
+        probe.attr("plans", plans.len());
+        drop(probe);
 
         for (_, (table, table_misses)) in misses {
             let registered: Vec<BatchPlan> = {
@@ -975,7 +1112,7 @@ impl ServiceInner {
                     .map(|m| m.plan.clone())
                     .collect()
             };
-            let results = self.batcher.submit(self, &table, &registered);
+            let results = self.batcher.submit(self, &table, &registered, span);
             for m in table_misses {
                 let result = results
                     .get(&m.plan.fingerprint)
@@ -1008,6 +1145,7 @@ impl ServiceInner {
         &self,
         table: &Arc<Table>,
         plans: &[BatchPlan],
+        span: &Span,
     ) -> HashMap<String, DbResult<Arc<PlanOutput>>> {
         let mut results = HashMap::new();
 
@@ -1036,7 +1174,7 @@ impl ServiceInner {
                     .iter()
                     .filter_map(|&i| members.get(i).copied())
                     .collect();
-                self.execute_merged(table, &batch, &mut results);
+                self.execute_merged(table, &batch, &mut results, span);
             }
         }
 
@@ -1052,11 +1190,12 @@ impl ServiceInner {
         table: &Arc<Table>,
         batch: &[&BatchPlan],
         results: &mut HashMap<String, DbResult<Arc<PlanOutput>>>,
+        span: &Span,
     ) {
         if let [plan] = batch {
             results.insert(
                 plan.fingerprint.clone(),
-                self.execute_single(table, &plan.phys),
+                self.execute_single(table, &plan.phys, span),
             );
             return;
         }
@@ -1095,9 +1234,18 @@ impl ServiceInner {
             merged = merged.sliced(lo, hi);
         }
 
-        let combined = merged
-            .lower()
-            .and_then(|phys| run_partitioned_partial(table, &phys, self.workers()));
+        let scan_span = span.child("batch_scan");
+        scan_span.attr("plans", batch.len());
+        let combined = merged.lower().and_then(|phys| {
+            run_partitioned_partial_obs(
+                table,
+                &phys,
+                self.workers(),
+                Some(&self.exec_metrics),
+                &scan_span,
+            )
+        });
+        drop(scan_span);
         let combined = match combined {
             Ok(c) => c,
             Err(_) => {
@@ -1106,7 +1254,7 @@ impl ServiceInner {
                 for member in batch {
                     results.insert(
                         member.fingerprint.clone(),
-                        self.execute_single(table, &member.phys),
+                        self.execute_single(table, &member.phys, span),
                     );
                 }
                 return;
@@ -1128,7 +1276,7 @@ impl ServiceInner {
                 // Projection cannot fail for states built from the
                 // member union, but never serve a wrong answer if it
                 // does — recompute standalone.
-                Err(_) => self.execute_single(table, &member.phys),
+                Err(_) => self.execute_single(table, &member.phys, span),
             };
             results.insert(member.fingerprint.clone(), entry);
         }
@@ -1136,8 +1284,21 @@ impl ServiceInner {
 
     /// Execute one plan standalone (row-partitioned), record its cost,
     /// and cache its state.
-    fn execute_single(&self, table: &Arc<Table>, phys: &PhysicalPlan) -> DbResult<Arc<PlanOutput>> {
-        let partial = run_partitioned_partial(table, phys, self.workers())?;
+    fn execute_single(
+        &self,
+        table: &Arc<Table>,
+        phys: &PhysicalPlan,
+        span: &Span,
+    ) -> DbResult<Arc<PlanOutput>> {
+        let scan_span = span.child("scan");
+        let partial = run_partitioned_partial_obs(
+            table,
+            phys,
+            self.workers(),
+            Some(&self.exec_metrics),
+            &scan_span,
+        )?;
+        drop(scan_span);
         self.engine.database().record_stats(&scan_stats(&partial));
         self.finalize_and_cache(
             &phys.fingerprint(),
@@ -1164,7 +1325,10 @@ impl ServiceInner {
         table: &Arc<Table>,
         state: &CachedState,
         delta: (usize, usize),
+        span: &Span,
     ) -> Option<Arc<PlanOutput>> {
+        let refresh_span = span.child("refresh");
+        refresh_span.attr("delta_rows", delta.1.saturating_sub(delta.0));
         if delta.0 == delta.1 {
             // A version bump without new rows (empty append): the state
             // is already exact — re-stamp it without any scan.
@@ -1225,7 +1389,7 @@ impl ServiceInner {
         for (key, old_version, phys, state) in affected {
             let refreshed = match self.config.refresh.decide(table, old_version) {
                 RefreshDecision::Incremental { delta } => self
-                    .refresh_into_cache(&key, &phys, table, &state, delta)
+                    .refresh_into_cache(&key, &phys, table, &state, delta, &Span::none())
                     .is_some(),
                 RefreshDecision::Recompute(_) => false,
             };
@@ -1425,5 +1589,91 @@ mod tests {
             .lower()
             .unwrap();
         assert_eq!(source_key(&plain), source_key(&other_group));
+    }
+
+    fn recommend_once(service: &Service) {
+        let analyst = crate::querygen::AnalystQuery::new("t", Some(Expr::col("e").eq("e0")));
+        service.recommend(&analyst).unwrap();
+    }
+
+    /// The legacy [`CacheStats`] snapshot and the registry's
+    /// `service.cache.*` counters are the same cells — equal by
+    /// construction, for any workload.
+    #[test]
+    fn metrics_mirror_cache_stats() {
+        let service = Service::with_defaults(Arc::new(tiny_db()));
+        recommend_once(&service);
+        recommend_once(&service);
+        let stats = service.cache_stats();
+        let metrics = service.metrics();
+        let counter = |name: &str| {
+            *metrics
+                .counters
+                .get(name)
+                .unwrap_or_else(|| panic!("counter {name} not registered"))
+        };
+        assert!(stats.hits > 0, "second recommend must hit the cache");
+        assert_eq!(counter("service.cache.hits"), stats.hits);
+        assert_eq!(counter("service.cache.misses"), stats.misses);
+        assert_eq!(counter("service.cache.inserts"), stats.inserts);
+        assert_eq!(counter("service.cache.evictions"), stats.evictions);
+        // The execution layer reports into the same snapshot.
+        assert!(counter("exec.queries") > 0);
+        assert!(counter("exec.rows_scanned") > 0);
+        // And the per-request latency histogram saw both requests.
+        let h = metrics
+            .histograms
+            .get("service.recommend_ns")
+            .expect("latency histogram registered");
+        assert_eq!(h.count, 2);
+    }
+
+    /// With tracing enabled, a cold recommend records a span tree
+    /// rooted at `recommend` with per-partition `execute_partial`
+    /// leaves under the engine's `execute` phase.
+    #[test]
+    fn trace_records_span_tree_for_cold_recommend() {
+        let service = Service::with_defaults(Arc::new(tiny_db()));
+        assert!(!service.trace_enabled());
+        recommend_once(&service);
+        assert!(
+            service.last_trace().is_none(),
+            "disabled tracer records nothing"
+        );
+
+        service.set_trace_enabled(true);
+        let session = service.session();
+        // A filter the warm-up never used, so this request is cold and
+        // actually scans (a warm request has no execute_partial work).
+        let analyst = crate::querygen::AnalystQuery::new("t", Some(Expr::col("e").eq("e1")));
+        session.recommend(&analyst).unwrap();
+        let trace = session.last_trace().expect("trace recorded");
+        let names: Vec<&str> = trace.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names[0], "recommend");
+        for phase in ["prune", "optimize", "execute", "process", "execute_partial"] {
+            assert!(names.contains(&phase), "missing span {phase} in {names:?}");
+        }
+        // Parent links form a tree under the root.
+        for (i, span) in trace.spans.iter().enumerate() {
+            match span.parent {
+                None => assert_eq!(i, 0),
+                Some(p) => assert!(p < i),
+            }
+            assert!(span.end_ns >= span.start_ns);
+        }
+        // The root carries the session tag last_trace filtered by.
+        assert!(trace.spans[0]
+            .attrs
+            .iter()
+            .any(|(k, v)| k == "session" && *v == session.id().to_string()));
+
+        // Another session's request is not *this* session's last trace.
+        let other = service.session();
+        other.recommend(&analyst).unwrap();
+        let still = session.last_trace().expect("older trace still in ring");
+        assert!(still.spans[0]
+            .attrs
+            .iter()
+            .any(|(k, v)| k == "session" && *v == session.id().to_string()));
     }
 }

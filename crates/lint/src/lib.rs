@@ -20,7 +20,11 @@
 //! * `no-wallclock-in-plan` — `Instant`/`SystemTime` are banned from
 //!   plan/fingerprint/format code (fingerprints must be deterministic);
 //! * `fsync-before-rename` — every rename-publish in the store is
-//!   preceded by `sync_all`/`sync_data` in the same function.
+//!   preceded by `sync_all`/`sync_data` in the same function;
+//! * `metrics-naming` — metric names registered with the observability
+//!   registry are dotted lower-snake (`^[a-z0-9_.]+$`), and the wall
+//!   clocks banned above are also banned in `crates/obs` outside its
+//!   single monotonic-clock shim.
 //!
 //! Violations are suppressible only by a
 //! `// lint:allow(<rule>): <reason>` comment on the same or preceding
@@ -42,6 +46,7 @@ pub const RULE_NAMES: &[&str] = &[
     "lock-order",
     "no-wallclock-in-plan",
     "fsync-before-rename",
+    "metrics-naming",
     "allow-syntax",
 ];
 
@@ -302,6 +307,7 @@ impl Engine {
             file_findings.extend(rules::lock_order(f, &self.lock_cfg));
             file_findings.extend(rules::no_wallclock_in_plan(f));
             file_findings.extend(rules::fsync_before_rename(f));
+            file_findings.extend(rules::metrics_naming(f));
             findings.extend(self.apply_allows(f, file_findings));
         }
         findings.sort_by(|a, b| {

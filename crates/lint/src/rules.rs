@@ -47,6 +47,10 @@ fn in_wallclock_scope(rel: &str) -> bool {
         // time.
         || (rel.starts_with("crates/bench/src/soak/") && rel != "crates/bench/src/soak/shim.rs")
         || rel == "crates/bench/src/bin/soak.rs"
+        // All observability timing flows through the Clock trait so
+        // the soak can inject virtual time; the monotonic production
+        // shim is the single file allowed to touch the real clock.
+        || (rel.starts_with("crates/obs/src/") && rel != "crates/obs/src/clock.rs")
 }
 
 fn in_fsync_scope(rel: &str) -> bool {
@@ -396,6 +400,51 @@ pub fn no_wallclock_in_plan(f: &SourceFile) -> Vec<Finding> {
     out
 }
 
+/// `metrics-naming`: every metric name passed as a string literal to a
+/// registry `register_*` call must be dotted lower-snake
+/// (`^[a-z0-9_.]+$`) — the JSON telemetry surface stays grep-able and
+/// collision-free by convention. Applies workspace-wide (any crate may
+/// register metrics); dynamically built names are invisible to this
+/// lexical check and are left to `seedb_obs::is_valid_name` at runtime.
+pub fn metrics_naming(f: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let toks = &f.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if f.in_test[i]
+            || t.kind != TokKind::Ident
+            || !matches!(
+                t.text.as_str(),
+                "register_counter" | "register_gauge" | "register_histogram"
+            )
+            || !toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            continue;
+        }
+        let Some(arg) = toks.get(i + 2) else { continue };
+        if arg.kind != TokKind::StrLit {
+            continue;
+        }
+        let ok = !arg.text.is_empty()
+            && arg
+                .text
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '.');
+        if !ok {
+            out.push(finding(
+                "metrics-naming",
+                f,
+                arg.line,
+                format!(
+                    "metric name {:?} does not match ^[a-z0-9_.]+$ — use dotted \
+                     lower-snake names like `service.cache.hits`",
+                    arg.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
 /// `fsync-before-rename`: a rename-publish without a preceding
 /// `sync_all`/`sync_data` in the same function can publish a file whose
 /// contents are not yet durable.
@@ -592,6 +641,28 @@ mod tests {
         assert_eq!(no_wallclock_in_plan(&f).len(), 1);
         let f = SourceFile::parse("crates/bench/src/soak/shim.rs", "use std::time::Instant;\n");
         assert!(no_wallclock_in_plan(&f).is_empty());
+    }
+
+    #[test]
+    fn wallclock_fires_in_obs_except_the_clock_shim() {
+        let f = SourceFile::parse("crates/obs/src/trace.rs", "use std::time::Instant;\n");
+        assert_eq!(no_wallclock_in_plan(&f).len(), 1);
+        let f = SourceFile::parse("crates/obs/src/clock.rs", "use std::time::Instant;\n");
+        assert!(no_wallclock_in_plan(&f).is_empty());
+    }
+
+    #[test]
+    fn metric_names_must_be_dotted_lower_snake() {
+        let run = |src: &str| metrics_naming(&SourceFile::parse("crates/any/src/x.rs", src));
+        assert!(run("fn f() { r.register_counter(\"a.b_c.d1\"); }").is_empty());
+        assert_eq!(run("fn f() { r.register_counter(\"A.b\"); }").len(), 1);
+        assert_eq!(run("fn f() { r.register_gauge(\"a-b\"); }").len(), 1);
+        assert_eq!(run("fn f() { r.register_histogram(\"a b\"); }").len(), 1);
+        assert_eq!(run("fn f() { r.register_counter(\"\"); }").len(), 1);
+        // Non-literal arguments are out of lexical reach.
+        assert!(run("fn f() { r.register_counter(name); }").is_empty());
+        // Unrelated calls with string args are not metric names.
+        assert!(run("fn f() { r.register(\"NOT A METRIC\"); }").is_empty());
     }
 
     #[test]

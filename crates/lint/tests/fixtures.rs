@@ -62,6 +62,24 @@ fn fsync_before_rename_fires_on_fixture() {
 }
 
 #[test]
+fn metrics_naming_fires_on_fixture() {
+    // Scoped workspace-wide, so any path works — use one no other rule
+    // watches to keep the assertion exact.
+    let findings = run_fixture(
+        "crates/obs/src/registry.rs",
+        include_str!("fixtures/metrics_naming.rs"),
+    );
+    let named: Vec<&Finding> = findings
+        .iter()
+        .filter(|f| f.rule == "metrics-naming")
+        .collect();
+    assert_eq!(named.len(), 3, "{findings:?}");
+    assert!(named[0].message.contains("Service.Cache.Hits"));
+    assert!(named[1].message.contains("bytes-pending"));
+    assert!(named[2].message.contains("recommend latency"));
+}
+
+#[test]
 fn allow_syntax_fires_on_fixture() {
     let findings = run_fixture(STORE_PATH, include_str!("fixtures/allow_syntax.rs"));
     // The reasonless allow suppresses nothing: its unwrap still fires,

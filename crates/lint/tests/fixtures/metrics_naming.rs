@@ -1,0 +1,19 @@
+//! Known-violation fixture for the `metrics-naming` rule: badly named
+//! registrations fire, well-formed and dynamic ones do not.
+
+fn register(registry: &Registry) {
+    let _bad_case = registry.register_counter("Service.Cache.Hits");
+    let _bad_dash = registry.register_gauge("store.wal.bytes-pending");
+    let _bad_space = registry.register_histogram("recommend latency");
+    let _ok = registry.register_counter("service.cache.hits");
+    let _ok_hist = registry.register_histogram("service.recommend_ns");
+    // Dynamically built names are a runtime concern, not a lexical one.
+    let _dynamic = registry.register_counter(&format!("exec.worker_{i}"));
+}
+
+#[cfg(test)]
+mod tests {
+    fn in_tests_anything_goes(registry: &Registry) {
+        let _ = registry.register_counter("NOT CHECKED IN TESTS");
+    }
+}

@@ -8,9 +8,12 @@ use std::sync::RwLock;
 
 use std::path::Path;
 
+use seedb_obs::Obs;
+
 use crate::cost::{CostCounters, CostSnapshot};
 use crate::error::{DbError, DbResult};
 use crate::exec::{self, Query, QueryOutput, SetsOutput, SetsQuery};
+use crate::metrics::StoreMetrics;
 use crate::plan::{LogicalPlan, PhysicalPlan, PlanOutput};
 use crate::store::{self, DurabilityConfig, DurabilityState, DurabilitySummary, WalRecord};
 use crate::sync::{MutexExt, RwLockExt};
@@ -26,10 +29,15 @@ use crate::value::Value;
 /// every sealed segment with `v` and adds one delta segment, so
 /// existing snapshots and in-flight scans are undisturbed and caches
 /// can refresh incrementally).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Database {
     tables: RwLock<HashMap<String, Arc<Table>>>,
     counters: CostCounters,
+    /// The observability bundle every layer serving from this database
+    /// shares: `counters` above is registered against its registry
+    /// (under `exec.*`), the store registers its `store.*` handles, and
+    /// the serving layer adopts it for `service.*` metrics and traces.
+    obs: Obs,
     /// Monotonic catalog version, bumped on every register/drop. Each
     /// registration stamps the table with the post-bump value
     /// ([`Table::version`]), so caches can detect replaced tables.
@@ -50,10 +58,38 @@ pub struct Database {
     durability: std::sync::Mutex<Option<DurabilityState>>,
 }
 
+impl Default for Database {
+    fn default() -> Self {
+        Database::with_obs(Obs::default())
+    }
+}
+
 impl Database {
     /// An empty database.
     pub fn new() -> Self {
         Database::default()
+    }
+
+    /// An empty database rooted on an injected observability bundle.
+    /// The cost counters are registered against `obs`'s registry (so
+    /// [`Database::cost`] and a metrics snapshot read the same cells),
+    /// and all store timing flows through `obs`'s clock — the soak
+    /// harness passes an [`seedb_obs::ManualClock`]-backed bundle here
+    /// for byte-identical telemetry per seed.
+    pub fn with_obs(obs: Obs) -> Self {
+        Database {
+            tables: RwLock::new(HashMap::new()),
+            counters: CostCounters::registered(obs.registry()),
+            version: AtomicU64::new(0),
+            mutate_lock: std::sync::Mutex::new(()),
+            durability: std::sync::Mutex::new(None),
+            obs,
+        }
+    }
+
+    /// The observability bundle this database roots.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Register (or replace) a table under its own name. The table is
@@ -275,7 +311,8 @@ impl Database {
         // consistent catalog version (readers are unaffected).
         let _mutations_serialized = self.mutate_lock.lock_recovered();
         let tables = self.tables_sorted();
-        let state = store::create(dir.as_ref(), config, self.version(), &tables)?;
+        let metrics = StoreMetrics::new(&self.obs);
+        let state = store::create(dir.as_ref(), config, self.version(), &tables, metrics)?;
         *self.durability.lock_recovered() = Some(state);
         Ok(())
     }
@@ -301,8 +338,24 @@ impl Database {
     /// # Errors
     /// Same as [`Database::open`].
     pub fn open_with(dir: impl AsRef<Path>, config: DurabilityConfig) -> DbResult<Database> {
-        let (state, tables, catalog_version) = store::load(dir.as_ref(), config)?;
-        let db = Database::new();
+        Database::open_with_obs(dir, config, Obs::default())
+    }
+
+    /// [`Database::open_with`] rooted on an injected observability
+    /// bundle (see [`Database::with_obs`]). Recovery telemetry —
+    /// replayed WAL records, torn-tail repairs — lands in `obs`'s
+    /// registry.
+    ///
+    /// # Errors
+    /// Same as [`Database::open`].
+    pub fn open_with_obs(
+        dir: impl AsRef<Path>,
+        config: DurabilityConfig,
+        obs: Obs,
+    ) -> DbResult<Database> {
+        let metrics = StoreMetrics::new(&obs);
+        let (state, tables, catalog_version) = store::load(dir.as_ref(), config, metrics)?;
+        let db = Database::with_obs(obs);
         {
             let mut map = db.tables.write_recovered();
             for table in tables {

@@ -4,8 +4,14 @@
 //! are deterministic. SeeDB's experiments report both, and the *shape* of
 //! the paper's optimization claims (e.g. "combining target and comparison
 //! halves the work") is asserted in CI using the deterministic counters.
+//!
+//! The counters are [`seedb_obs::Counter`] handles. A standalone
+//! `CostCounters::default()` owns private cells (tests, ad-hoc use);
+//! [`CostCounters::registered`] binds the same fields to a registry's
+//! `exec.*` cells, so a [`CostSnapshot`] and a full metrics snapshot
+//! are two views of one set of atomics, never divergent copies.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use seedb_obs::{Counter, Registry};
 
 use crate::exec::ExecStats;
 
@@ -13,40 +19,49 @@ use crate::exec::ExecStats;
 /// executes. Thread-safe; updated by parallel executions as well.
 #[derive(Debug, Default)]
 pub struct CostCounters {
-    queries: AtomicU64,
-    table_scans: AtomicU64,
-    rows_scanned: AtomicU64,
-    groups_emitted: AtomicU64,
+    queries: Counter,
+    table_scans: Counter,
+    rows_scanned: Counter,
+    groups_emitted: Counter,
 }
 
 impl CostCounters {
+    /// Counters backed by `registry`'s `exec.*` cells. Registering the
+    /// same names elsewhere (e.g. a metrics snapshot) reads the exact
+    /// cells this struct updates.
+    pub fn registered(registry: &Registry) -> CostCounters {
+        CostCounters {
+            queries: registry.register_counter("exec.queries"),
+            table_scans: registry.register_counter("exec.table_scans"),
+            rows_scanned: registry.register_counter("exec.rows_scanned"),
+            groups_emitted: registry.register_counter("exec.groups_emitted"),
+        }
+    }
+
     /// Record one execution.
     pub fn record(&self, stats: &ExecStats) {
-        self.queries.fetch_add(1, Ordering::Relaxed);
-        self.table_scans
-            .fetch_add(stats.table_scans, Ordering::Relaxed);
-        self.rows_scanned
-            .fetch_add(stats.rows_scanned, Ordering::Relaxed);
-        self.groups_emitted
-            .fetch_add(stats.groups_emitted, Ordering::Relaxed);
+        self.queries.inc();
+        self.table_scans.add(stats.table_scans);
+        self.rows_scanned.add(stats.rows_scanned);
+        self.groups_emitted.add(stats.groups_emitted);
     }
 
     /// Snapshot the current totals.
     pub fn snapshot(&self) -> CostSnapshot {
         CostSnapshot {
-            queries: self.queries.load(Ordering::Relaxed),
-            table_scans: self.table_scans.load(Ordering::Relaxed),
-            rows_scanned: self.rows_scanned.load(Ordering::Relaxed),
-            groups_emitted: self.groups_emitted.load(Ordering::Relaxed),
+            queries: self.queries.get(),
+            table_scans: self.table_scans.get(),
+            rows_scanned: self.rows_scanned.get(),
+            groups_emitted: self.groups_emitted.get(),
         }
     }
 
     /// Reset all counters to zero.
     pub fn reset(&self) {
-        self.queries.store(0, Ordering::Relaxed);
-        self.table_scans.store(0, Ordering::Relaxed);
-        self.rows_scanned.store(0, Ordering::Relaxed);
-        self.groups_emitted.store(0, Ordering::Relaxed);
+        self.queries.reset();
+        self.table_scans.reset();
+        self.rows_scanned.reset();
+        self.groups_emitted.reset();
     }
 }
 
@@ -118,6 +133,21 @@ mod tests {
         c.record(&stats(1, 1, 1));
         c.reset();
         assert_eq!(c.snapshot(), CostSnapshot::default());
+    }
+
+    #[test]
+    fn registered_counters_share_registry_cells() {
+        let registry = Registry::new();
+        let c = CostCounters::registered(&registry);
+        c.record(&stats(100, 2, 5));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters.get("exec.queries"), Some(&1));
+        assert_eq!(snap.counters.get("exec.table_scans"), Some(&2));
+        assert_eq!(snap.counters.get("exec.rows_scanned"), Some(&100));
+        assert_eq!(snap.counters.get("exec.groups_emitted"), Some(&5));
+        // Same cells, both directions.
+        registry.register_counter("exec.queries").inc();
+        assert_eq!(c.snapshot().queries, 2);
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub mod cost;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod metrics;
 pub mod parallel;
 pub mod plan;
 pub mod sample;
@@ -83,7 +84,10 @@ pub use exec::{
     SetsQuery,
 };
 pub use expr::{CmpOp, Expr};
-pub use parallel::{run_batch, run_partitioned, run_partitioned_partial, BatchOutput};
+pub use metrics::{ExecMetrics, StoreMetrics};
+pub use parallel::{
+    run_batch, run_partitioned, run_partitioned_partial, run_partitioned_partial_obs, BatchOutput,
+};
 pub use plan::{LogicalPlan, PartialAggState, PhysicalPlan, PlanOutput};
 pub use sample::{sample_rows, SampleSpec};
 pub use schema::{ColumnDef, Role, Schema, Semantic};

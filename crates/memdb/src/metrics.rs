@@ -1,0 +1,110 @@
+//! Registry-backed metric handles for the DBMS layers.
+//!
+//! Each struct bundles the handles one layer updates, registered once
+//! against the [`Database`](crate::Database)'s [`seedb_obs::Obs`]
+//! registry. Because registering a name twice returns the same cell,
+//! any other view of these numbers (`CostSnapshot`, a full registry
+//! snapshot, `obs-report.json`) reads the exact same atomics — one
+//! number, one cell. All timing flows through the bundle's injected
+//! [`Clock`], never the wall clock directly.
+
+use std::sync::Arc;
+
+use seedb_obs::{Clock, Counter, Gauge, Histogram, Obs};
+
+/// Handles the partitioned executor updates ([`crate::parallel`]).
+#[derive(Debug, Clone)]
+pub struct ExecMetrics {
+    /// `exec.partial_partitions`: partition tasks fanned out.
+    pub partial_partitions: Counter,
+    /// `exec.partial_merges`: partial-state merges performed.
+    pub partial_merges: Counter,
+}
+
+impl ExecMetrics {
+    /// Register the exec-layer handles against `obs`.
+    pub fn new(obs: &Obs) -> ExecMetrics {
+        let r = obs.registry();
+        ExecMetrics {
+            partial_partitions: r.register_counter("exec.partial_partitions"),
+            partial_merges: r.register_counter("exec.partial_merges"),
+        }
+    }
+}
+
+/// Handles the durable store updates ([`crate::store`]).
+#[derive(Debug, Clone)]
+pub struct StoreMetrics {
+    /// The injected clock fsync latency is measured on.
+    pub(crate) clock: Arc<dyn Clock>,
+    /// `store.wal.appends`: WAL records appended (acknowledged).
+    pub wal_appends: Counter,
+    /// `store.wal.fsyncs`: fsyncs issued by acknowledged appends.
+    pub wal_fsyncs: Counter,
+    /// `store.wal.bytes`: framed bytes appended to the WAL, total.
+    pub wal_bytes: Counter,
+    /// `store.wal.bytes_pending`: WAL bytes awaiting the next
+    /// checkpoint (gauge; falls to 0 when a checkpoint seals them).
+    pub wal_bytes_pending: Gauge,
+    /// `store.wal.fsync_ns`: latency of the WAL append+fsync pair.
+    pub wal_fsync_ns: Histogram,
+    /// `store.wal.torn_tail_repairs`: torn tails repaired — at
+    /// recovery (truncated on open) or by an append retrying a failed
+    /// predecessor's repair.
+    pub torn_tail_repairs: Counter,
+    /// `store.checkpoints`: successful checkpoints.
+    pub checkpoints: Counter,
+    /// `store.checkpoint.bytes`: WAL bytes drained by checkpoints.
+    pub checkpoint_bytes: Counter,
+    /// `store.manifest.publishes`: manifests atomically published
+    /// (save, checkpoint, registration).
+    pub manifest_publishes: Counter,
+    /// `store.recovery.replayed_records`: WAL records re-applied by
+    /// recovery (records the manifest already covered are not counted).
+    pub recovery_replayed: Counter,
+}
+
+impl StoreMetrics {
+    /// Register the store-layer handles against `obs`.
+    pub fn new(obs: &Obs) -> StoreMetrics {
+        let r = obs.registry();
+        StoreMetrics {
+            clock: obs.clock().clone(),
+            wal_appends: r.register_counter("store.wal.appends"),
+            wal_fsyncs: r.register_counter("store.wal.fsyncs"),
+            wal_bytes: r.register_counter("store.wal.bytes"),
+            wal_bytes_pending: r.register_gauge("store.wal.bytes_pending"),
+            wal_fsync_ns: r.register_histogram("store.wal.fsync_ns"),
+            torn_tail_repairs: r.register_counter("store.wal.torn_tail_repairs"),
+            checkpoints: r.register_counter("store.checkpoints"),
+            checkpoint_bytes: r.register_counter("store.checkpoint.bytes"),
+            manifest_publishes: r.register_counter("store.manifest.publishes"),
+            recovery_replayed: r.register_counter("store.recovery.replayed_records"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_cells_with_the_registry() {
+        let obs = Obs::default();
+        let m = StoreMetrics::new(&obs);
+        m.wal_appends.add(3);
+        m.wal_bytes_pending.set(17);
+        let snap = obs.registry().snapshot();
+        assert_eq!(snap.counters.get("store.wal.appends"), Some(&3));
+        assert_eq!(snap.gauges.get("store.wal.bytes_pending"), Some(&17));
+        let e = ExecMetrics::new(&obs);
+        e.partial_merges.inc();
+        assert_eq!(
+            obs.registry()
+                .snapshot()
+                .counters
+                .get("exec.partial_merges"),
+            Some(&1)
+        );
+    }
+}

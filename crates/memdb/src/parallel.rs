@@ -22,8 +22,11 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
+use seedb_obs::Span;
+
 use crate::catalog::Database;
 use crate::error::DbResult;
+use crate::metrics::ExecMetrics;
 use crate::plan::{LogicalPlan, PartialAggState, PhysicalPlan, PlanOutput};
 use crate::table::Table;
 
@@ -117,6 +120,25 @@ pub fn run_partitioned_partial(
     plan: &PhysicalPlan,
     workers: usize,
 ) -> DbResult<PartialAggState> {
+    run_partitioned_partial_obs(table, plan, workers, None, &Span::none())
+}
+
+/// [`run_partitioned_partial`] with observability: each partition's
+/// `execute_partial` gets a child span under `span` (carrying its
+/// partition index and row count), the ascending merge gets one `merge`
+/// span, and partition fan-out / merge counts land in `metrics`. Both
+/// are free to be absent (`None` / [`Span::none`]) — the plain entry
+/// point delegates here with exactly that.
+///
+/// # Errors
+/// Same as [`run_partitioned_partial`].
+pub fn run_partitioned_partial_obs(
+    table: &Table,
+    plan: &PhysicalPlan,
+    workers: usize,
+    metrics: Option<&ExecMetrics>,
+    span: &Span,
+) -> DbResult<PartialAggState> {
     let (lo, hi) = plan.scan_range(table);
     let rows = hi - lo;
     let workers = workers.max(1).min(rows.max(1));
@@ -124,25 +146,49 @@ pub fn run_partitioned_partial(
     let bounds: Vec<(usize, usize)> = (0..workers)
         .map(|w| (lo + rows * w / workers, lo + rows * (w + 1) / workers))
         .collect();
+    if let Some(m) = metrics {
+        m.partial_partitions.add(workers as u64);
+    }
     if workers <= 1 {
+        let part = span.child("execute_partial");
+        part.attr("partition", 0);
+        part.attr("rows", rows);
         return plan.execute_partial(table, (lo, hi));
     }
     let partials: Vec<DbResult<PartialAggState>> = std::thread::scope(|s| {
         let handles: Vec<_> = bounds
             .iter()
-            .map(|&range| s.spawn(move || plan.execute_partial(table, range)))
+            .enumerate()
+            .map(|(w, &range)| {
+                let part = span.child("execute_partial");
+                part.attr("partition", w);
+                part.attr("rows", range.1 - range.0);
+                s.spawn(move || {
+                    // Moved into the worker so its end time stamps when
+                    // the partition actually finishes.
+                    let _part = part;
+                    plan.execute_partial(table, range)
+                })
+            })
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("partition worker panicked"))
             .collect()
     });
+    let merge_span = span.child("merge");
+    merge_span.attr("partitions", workers);
     let mut merged: Option<PartialAggState> = None;
     for partial in partials {
         let partial = partial?;
         match &mut merged {
             None => merged = Some(partial),
-            Some(m) => m.merge(partial, table)?,
+            Some(m) => {
+                m.merge(partial, table)?;
+                if let Some(em) = metrics {
+                    em.partial_merges.inc();
+                }
+            }
         }
     }
     Ok(merged.expect("at least one partition"))

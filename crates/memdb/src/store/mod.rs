@@ -50,6 +50,7 @@ use std::sync::Arc;
 
 use crate::column::{Column, StrDict};
 use crate::error::{DbError, DbResult};
+use crate::metrics::StoreMetrics;
 use crate::plan::PhysicalPlan;
 use crate::segment::ColumnSegment;
 use crate::table::Table;
@@ -150,6 +151,9 @@ pub struct DurabilityState {
     manifest: Manifest,
     wedged: Option<String>,
     last_checkpoint_error: Option<String>,
+    /// Registry-backed `store.*` handles (fsync latency is measured on
+    /// the bundle's injected clock, never the wall clock).
+    metrics: StoreMetrics,
 }
 
 impl DurabilityState {
@@ -168,7 +172,31 @@ impl DurabilityState {
     /// it only borrows).
     pub(crate) fn log_payload(&mut self, payload: &[u8]) -> DbResult<()> {
         self.check_not_wedged()?;
-        self.wal.append_payload(payload, self.config.sync_writes)
+        // A broken tail present now means a previous append's write
+        // failed mid-frame; a successful append below repairs it first
+        // (truncate back to the last valid frame), which is worth
+        // counting — it is the recovery path taken without a restart.
+        let repairing = self.wal.broken_reason().is_some();
+        let bytes_before = self.wal.bytes();
+        let start_ns = self.metrics.clock.now_ns();
+        let result = self.wal.append_payload(payload, self.config.sync_writes);
+        if result.is_ok() {
+            self.metrics.wal_appends.inc();
+            self.metrics
+                .wal_bytes
+                .add(self.wal.bytes().saturating_sub(bytes_before));
+            if self.config.sync_writes {
+                self.metrics.wal_fsyncs.inc();
+                self.metrics
+                    .wal_fsync_ns
+                    .record(self.metrics.clock.now_ns().saturating_sub(start_ns));
+            }
+            if repairing {
+                self.metrics.torn_tail_repairs.inc();
+            }
+        }
+        self.metrics.wal_bytes_pending.set(self.wal.bytes());
+        result
     }
 
     /// Error if the store is wedged (see [`DurabilitySummary::wedged`])
@@ -206,6 +234,7 @@ impl DurabilityState {
         tables: &[Arc<Table>],
     ) -> DbResult<()> {
         let seg_dir = self.dir.join(SEGMENTS_DIR);
+        let wal_bytes_sealed = self.wal.bytes();
         let mut next_id = self.manifest.next_file_id;
         let mut entries = Vec::with_capacity(tables.len());
         for table in tables {
@@ -223,6 +252,7 @@ impl DurabilityState {
         // never reached disk.
         sync_dir(&seg_dir);
         new.write(&self.dir)?;
+        self.metrics.manifest_publishes.inc();
         // From here the new manifest is authoritative — mirror it
         // *immediately*, before anything below can fail: a stale mirror
         // would hand the next checkpoint file ids the published
@@ -248,6 +278,9 @@ impl DurabilityState {
         // Every checkpoint caller (threshold, explicit, registration)
         // supersedes any earlier recorded failure on success.
         self.last_checkpoint_error = None;
+        self.metrics.checkpoints.inc();
+        self.metrics.checkpoint_bytes.add(wal_bytes_sealed);
+        self.metrics.wal_bytes_pending.set(self.wal.bytes());
         Ok(())
     }
 
@@ -446,6 +479,7 @@ pub(crate) fn create(
     config: DurabilityConfig,
     catalog_version: u64,
     tables: &[Arc<Table>],
+    metrics: StoreMetrics,
 ) -> DbResult<DurabilityState> {
     let seg_dir = dir.join(SEGMENTS_DIR);
     std::fs::create_dir_all(&seg_dir).map_err(|e| io_err(&seg_dir, e))?;
@@ -477,11 +511,13 @@ pub(crate) fn create(
     // them (see the same step in checkpoint).
     sync_dir(&seg_dir);
     manifest.write(dir)?;
+    metrics.manifest_publishes.inc();
     // The new manifest is now authoritative: previous chunks can go,
     // and the previous incarnation's WAL is unreadable under the new
     // epoch whether or not the reset below completes.
     gc_segments(&seg_dir, &manifest);
     let wal = wal::Wal::reset(&wal_path, epoch)?;
+    metrics.wal_bytes_pending.set(wal.bytes());
     Ok(DurabilityState {
         dir: dir.to_path_buf(),
         config,
@@ -489,6 +525,7 @@ pub(crate) fn create(
         manifest,
         wedged: None,
         last_checkpoint_error: None,
+        metrics,
     })
 }
 
@@ -498,6 +535,7 @@ pub(crate) fn create(
 pub(crate) fn load(
     dir: &Path,
     config: DurabilityConfig,
+    metrics: StoreMetrics,
 ) -> DbResult<(DurabilityState, Vec<Arc<Table>>, u64)> {
     let manifest = Manifest::read(dir)?;
     let mut tables: HashMap<String, Arc<Table>> = HashMap::new();
@@ -513,12 +551,18 @@ pub(crate) fn load(
     // manifest belongs to a replaced incarnation and is reset instead.
     let wal_path = dir.join(wal::Wal::FILE_NAME);
     let replayed = wal::replay(&wal_path, manifest.wal_epoch)?;
+    if replayed.torn_bytes > 0 {
+        // Recovery truncated a torn tail (crash mid-write of a record
+        // that was never acknowledged).
+        metrics.torn_tail_repairs.inc();
+    }
     let mut catalog_version = manifest.catalog_version;
     for record in &replayed.records {
         if record.version() <= manifest.catalog_version {
             continue;
         }
         apply_record(&mut tables, record)?;
+        metrics.recovery_replayed.inc();
         catalog_version = catalog_version.max(record.version());
     }
     let wal = if replayed.stale {
@@ -531,6 +575,7 @@ pub(crate) fn load(
             replayed.records.len() as u64,
         )?
     };
+    metrics.wal_bytes_pending.set(wal.bytes());
 
     let mut tables: Vec<Arc<Table>> = tables.into_values().collect();
     tables.sort_by(|a, b| a.name().cmp(b.name()));
@@ -541,6 +586,7 @@ pub(crate) fn load(
         manifest,
         wedged: None,
         last_checkpoint_error: None,
+        metrics,
     };
     Ok((state, tables, catalog_version))
 }

@@ -1,0 +1,105 @@
+//! The single wall-clock shim of the observability subsystem.
+//!
+//! Every timestamp recorded anywhere in `seedb-obs` — span start/end
+//! pairs, latency histogram samples — flows through the [`Clock`]
+//! trait. Production code uses [`MonotonicClock`]; deterministic
+//! harnesses inject [`ManualClock`] and advance it by hand, which is
+//! how the soak driver keeps `obs-report.json` byte-identical for a
+//! given seed. This file is the **only** place in the crate allowed to
+//! name the std wall-clock types; the `no-wallclock-in-plan` rule in
+//! `seedb-lint` enforces that split.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond source. Implementations must never go
+/// backwards between two calls on the same clock value.
+pub trait Clock: std::fmt::Debug + Send + Sync {
+    /// Nanoseconds since an arbitrary per-clock origin.
+    fn now_ns(&self) -> u64;
+}
+
+/// The production clock: monotonic nanoseconds since construction.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> Self {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        // A monotonic span of ~584 years fits u64 nanoseconds; the
+        // origin is process start, so the cast cannot truncate.
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// A hand-driven clock for deterministic tests and the soak harness:
+/// time only moves when the owner says so, and only forward.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now_ns: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock frozen at 0 ns.
+    pub fn new() -> Self {
+        ManualClock::default()
+    }
+
+    /// Move the clock to `ns` if that is later than the current time
+    /// (monotone: an earlier value is ignored, never applied).
+    pub fn set_ns(&self, ns: u64) {
+        self.now_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Advance the clock by `delta` nanoseconds.
+    pub fn advance_ns(&self, delta: u64) {
+        self.now_ns.fetch_add(delta, Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.now_ns.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_never_decreases() {
+        let c = MonotonicClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_is_monotone_and_explicit() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_ns(), 0);
+        c.set_ns(50);
+        assert_eq!(c.now_ns(), 50);
+        c.set_ns(20); // earlier: ignored
+        assert_eq!(c.now_ns(), 50);
+        c.advance_ns(25);
+        assert_eq!(c.now_ns(), 75);
+    }
+}

@@ -1,0 +1,130 @@
+//! # seedb-obs — end-to-end observability for the SeeDB workspace
+//!
+//! A std-only observability subsystem shared by every layer
+//! (serve → execute → store):
+//!
+//! * a **metrics registry** ([`registry`]) — lock-free atomic counters
+//!   and gauges plus fixed-boundary log₂-bucket latency histograms,
+//!   registered under dotted names (`service.cache.hits`,
+//!   `exec.rows_scanned`, `store.wal.fsyncs`) and snapshot-able into
+//!   deterministic sorted JSON;
+//! * a **per-request trace recorder** ([`trace`]) — ring-buffered span
+//!   trees with start/duration/attributes, zero-cost when disabled;
+//! * a **clock shim** ([`clock`]) — all timing flows through the
+//!   [`Clock`] trait, so production uses a monotonic clock while the
+//!   soak harness injects its virtual clock and gets byte-identical
+//!   telemetry per seed.
+//!
+//! The [`Obs`] bundle ties the three together; `memdb::Database` roots
+//! one per instance and the serving layer adopts it, so every number
+//! has exactly one cell (`CacheStats` and `CostCounters` are thin
+//! views over registry counters, never divergent copies).
+//!
+//! ```
+//! use seedb_obs::Obs;
+//!
+//! let obs = Obs::default();
+//! let hits = obs.registry().register_counter("service.cache.hits");
+//! hits.inc();
+//! obs.tracer().set_enabled(true);
+//! let root = obs.tracer().root_span("recommend");
+//! drop(root.child("execute"));
+//! drop(root);
+//! assert!(obs.registry().snapshot().to_json().contains("service.cache.hits"));
+//! assert_eq!(obs.tracer().last().unwrap().spans.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod clock;
+pub mod registry;
+pub mod trace;
+
+use std::sync::Arc;
+
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use registry::{
+    is_valid_name, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
+    HISTOGRAM_BUCKETS,
+};
+pub use trace::{format_ns, Span, SpanRecord, TraceData, Tracer};
+
+/// Finished traces kept per tracer ring (recent requests only — this
+/// is a debugging window, not a log).
+pub const TRACE_RING_CAPACITY: usize = 32;
+
+/// The observability bundle one database instance (and everything
+/// serving from it) shares: a clock, a metrics registry, and a trace
+/// recorder, all behind `Arc`s so clones are cheap handles onto the
+/// same state.
+#[derive(Debug, Clone)]
+pub struct Obs {
+    clock: Arc<dyn Clock>,
+    registry: Arc<Registry>,
+    tracer: Arc<Tracer>,
+}
+
+impl Obs {
+    /// An `Obs` whose timing flows through `clock` (the soak harness
+    /// passes its [`ManualClock`] here).
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Obs {
+        let tracer = Arc::new(Tracer::new(clock.clone(), TRACE_RING_CAPACITY));
+        Obs {
+            clock,
+            registry: Arc::new(Registry::new()),
+            tracer,
+        }
+    }
+
+    /// The injected clock.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// Current time per the injected clock.
+    pub fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The trace recorder.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+}
+
+impl Default for Obs {
+    /// Production defaults: monotonic clock, empty registry, disabled
+    /// tracer.
+    fn default() -> Self {
+        Obs::with_clock(Arc::new(MonotonicClock::new()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let obs = Obs::default();
+        let other = obs.clone();
+        obs.registry().register_counter("a.b").add(5);
+        assert_eq!(other.registry().register_counter("a.b").get(), 5);
+        other.tracer().set_enabled(true);
+        assert!(obs.tracer().is_enabled());
+    }
+
+    #[test]
+    fn manual_clock_flows_through() {
+        let clock = Arc::new(ManualClock::new());
+        let obs = Obs::with_clock(clock.clone());
+        clock.set_ns(42);
+        assert_eq!(obs.now_ns(), 42);
+    }
+}

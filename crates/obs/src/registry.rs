@@ -1,0 +1,444 @@
+//! The metrics registry: named counters, gauges, and log₂-bucket
+//! latency histograms, snapshot-able into deterministic sorted JSON.
+//!
+//! Instruments live behind `Arc`ed atomics: registering the same name
+//! twice returns handles over the **same** cell, which is what lets
+//! legacy snapshot structs (`CacheStats`, `CostCounters`) stay thin
+//! views over registry-backed counters — one number, one cell, never
+//! two divergent copies. Updates are lock-free (`fetch_add` on relaxed
+//! atomics); the registry mutex is touched only at registration and
+//! snapshot time.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Histogram bucket count: value 0, then one bucket per power of two
+/// up to `u64::MAX` (bucket `i ≥ 1` spans `[2^(i-1), 2^i - 1]`).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Recover a poisoned guard: instruments hold plain integers, so a
+/// panicking holder cannot leave them in a torn state.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Is `name` a valid dotted metric name (`^[a-z0-9_.]+$`, non-empty)?
+pub fn is_valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_' || b == b'.')
+}
+
+/// A monotonically increasing counter handle (cheap to clone; clones
+/// share the cell).
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Increment by 1.
+    pub fn inc(&self) {
+        self.cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero (legacy `reset`-style surfaces only).
+    pub fn reset(&self) {
+        self.cell.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-value-wins gauge handle.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Set the current value.
+    pub fn set(&self, v: u64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared histogram storage: fixed log₂ buckets plus count and sum.
+#[derive(Debug)]
+struct Histo {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histo {
+    fn default() -> Self {
+        Histo {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index of `v`: 0 holds exactly the value 0; bucket `i ≥ 1`
+/// spans `[2^(i-1), 2^i - 1]`; `u64::MAX` lands in bucket 64.
+fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (what percentile queries report).
+fn bucket_upper(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+/// A fixed-boundary log₂-bucket latency histogram handle.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    histo: Arc<Histo>,
+}
+
+impl Histogram {
+    /// Record one sample (typically nanoseconds).
+    pub fn record(&self, v: u64) {
+        self.histo.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.histo.count.fetch_add(1, Ordering::Relaxed);
+        self.histo.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.histo.count.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .histo
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            count: self.histo.count.load(Ordering::Relaxed),
+            sum: self.histo.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Per-bucket counts (see [`HISTOGRAM_BUCKETS`]).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Nearest-rank percentile (`q` in `[0, 1]`), reported as the upper
+    /// bound of the bucket the rank falls in — deterministic, and exact
+    /// to within one power of two. Zero samples report 0.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// One registered instrument.
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// The metrics registry: dotted names to instruments.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<BTreeMap<String, Instrument>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get-or-create the counter `name`. Re-registering a name hands
+    /// back a handle over the same cell. Names must match
+    /// `^[a-z0-9_.]+$` (debug-asserted; the `metrics-naming` lint holds
+    /// call sites to it statically).
+    pub fn register_counter(&self, name: &str) -> Counter {
+        debug_assert!(is_valid_name(name), "bad metric name {name:?}");
+        let mut map = lock(&self.inner);
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Counter(Counter::default()))
+        {
+            Instrument::Counter(c) => c.clone(),
+            _ => {
+                debug_assert!(false, "{name:?} already registered with another kind");
+                Counter::default()
+            }
+        }
+    }
+
+    /// Get-or-create the gauge `name` (same contract as
+    /// [`Registry::register_counter`]).
+    pub fn register_gauge(&self, name: &str) -> Gauge {
+        debug_assert!(is_valid_name(name), "bad metric name {name:?}");
+        let mut map = lock(&self.inner);
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Gauge(Gauge::default()))
+        {
+            Instrument::Gauge(g) => g.clone(),
+            _ => {
+                debug_assert!(false, "{name:?} already registered with another kind");
+                Gauge::default()
+            }
+        }
+    }
+
+    /// Get-or-create the histogram `name` (same contract as
+    /// [`Registry::register_counter`]).
+    pub fn register_histogram(&self, name: &str) -> Histogram {
+        debug_assert!(is_valid_name(name), "bad metric name {name:?}");
+        let mut map = lock(&self.inner);
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Histogram(Histogram::default()))
+        {
+            Instrument::Histogram(h) => h.clone(),
+            _ => {
+                debug_assert!(false, "{name:?} already registered with another kind");
+                Histogram::default()
+            }
+        }
+    }
+
+    /// Snapshot every registered instrument.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = lock(&self.inner);
+        let mut snap = MetricsSnapshot::default();
+        for (name, inst) in map.iter() {
+            match inst {
+                Instrument::Counter(c) => {
+                    snap.counters.insert(name.clone(), c.get());
+                }
+                Instrument::Gauge(g) => {
+                    snap.gauges.insert(name.clone(), g.get());
+                }
+                Instrument::Histogram(h) => {
+                    snap.histograms.insert(name.clone(), h.snapshot());
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// A point-in-time copy of a whole [`Registry`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram distributions by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Deterministic JSON: object with sorted keys at every level;
+    /// histograms carry count/sum plus derived p50/p90/p99. Two equal
+    /// snapshots render byte-identically.
+    pub fn to_json(&self) -> String {
+        let counters: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(k, v)| format!("    {k:?}: {v}"))
+            .collect();
+        let gauges: Vec<String> = self
+            .gauges
+            .iter()
+            .map(|(k, v)| format!("    {k:?}: {v}"))
+            .collect();
+        let histograms: Vec<String> = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                format!(
+                    "    {k:?}: {{\"count\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \
+                     \"sum\": {}}}",
+                    h.count,
+                    h.percentile(0.50),
+                    h.percentile(0.90),
+                    h.percentile(0.99),
+                    h.sum
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"counters\": {{\n{}\n  }},\n  \"gauges\": {{\n{}\n  }},\n  \
+             \"histograms\": {{\n{}\n  }}\n}}\n",
+            counters.join(",\n"),
+            gauges.join(",\n"),
+            histograms.join(",\n"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_validation() {
+        assert!(is_valid_name("service.cache.hits"));
+        assert!(is_valid_name("a_b.c_1"));
+        assert!(!is_valid_name(""));
+        assert!(!is_valid_name("Upper.case"));
+        assert!(!is_valid_name("has space"));
+        assert!(!is_valid_name("dash-ed"));
+    }
+
+    #[test]
+    fn reregistering_shares_the_cell() {
+        let r = Registry::new();
+        let a = r.register_counter("x.hits");
+        let b = r.register_counter("x.hits");
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+        assert_eq!(b.get(), 4);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        // Value → bucket index, across every boundary class the issue
+        // names: 0, 1, powers of two, off-by-one neighbors, u64::MAX.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(1025), 11);
+        assert_eq!(bucket_index(u64::MAX / 2), 63);
+        assert_eq!(bucket_index(u64::MAX / 2 + 1), 64);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // Upper bounds bracket their bucket.
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(10), 1023);
+        assert_eq!(bucket_upper(64), u64::MAX);
+        for v in [0u64, 1, 2, 3, 7, 8, 1 << 33, u64::MAX - 1, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper(i), "{v} over bucket {i} upper");
+            if i > 0 {
+                assert!(v > bucket_upper(i - 1), "{v} under bucket {i} lower");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_percentiles_from_buckets() {
+        let r = Registry::new();
+        let h = r.register_histogram("lat_ns");
+        for v in [0u64, 1, 1, 100, 100, 100, 100, 100, 100, 4000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.sum, 4602);
+        // rank 5 of 10 lands in the [64,127] bucket holding the 100s.
+        assert_eq!(s.percentile(0.5), 127);
+        assert_eq!(s.percentile(0.9), 127);
+        assert_eq!(s.percentile(0.99), 4095);
+        assert_eq!(s.percentile(0.0), 0);
+        assert_eq!(
+            HistogramSnapshot {
+                count: 0,
+                sum: 0,
+                buckets: vec![]
+            }
+            .percentile(0.5),
+            0
+        );
+    }
+
+    #[test]
+    fn concurrent_increments_lose_nothing() {
+        let r = Registry::new();
+        let c = r.register_counter("stress.count");
+        let h = r.register_histogram("stress.lat");
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let c = c.clone();
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        c.inc();
+                        h.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 80_000);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 80_000);
+    }
+
+    #[test]
+    fn snapshot_json_is_sorted_and_parses() {
+        let r = Registry::new();
+        r.register_counter("z.last").add(2);
+        r.register_counter("a.first").inc();
+        r.register_gauge("m.level").set(7);
+        r.register_histogram("q.lat").record(100);
+        let json = r.snapshot().to_json();
+        let a = json.find("\"a.first\"").expect("a.first present");
+        let z = json.find("\"z.last\"").expect("z.last present");
+        assert!(a < z, "counters sorted");
+        assert!(json.contains("\"m.level\": 7"));
+        assert!(json.contains("\"count\": 1"));
+        // Deterministic: same registry, same bytes.
+        assert_eq!(json, r.snapshot().to_json());
+    }
+}

@@ -1,0 +1,416 @@
+//! Per-request trace recording: ring-buffered span trees.
+//!
+//! A [`Tracer`] hands out a root [`Span`] per request when enabled;
+//! instrumented layers open child spans (`optimize`, `cache probe`,
+//! per-partition `execute_partial`, …) and attach attributes. Dropping
+//! a span stamps its end time; dropping the **root** assembles the
+//! finished [`TraceData`] and pushes it into a bounded ring the caller
+//! reads back (`Session::last_trace()` in the serving layer).
+//!
+//! When tracing is disabled the root span is [`Span::none`] and every
+//! operation on it — children, attributes, drop — is a branch on a
+//! `None`, so instrumented code pays no allocation and no lock.
+//! Timing flows through the injected [`Clock`], never the wall clock.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use crate::clock::Clock;
+
+/// Recover a poisoned guard (span vectors hold plain records; a
+/// panicking holder cannot tear them).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One recorded span: flat representation with a parent index, so
+/// worker threads can record siblings concurrently under one mutex.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (`recommend`, `execute_partial`, …).
+    pub name: String,
+    /// Index of the parent span in the trace, `None` for the root.
+    pub parent: Option<usize>,
+    /// Start timestamp ([`Clock::now_ns`]).
+    pub start_ns: u64,
+    /// End timestamp (0 until the span drops; equal starts are legal
+    /// under a manual clock).
+    pub end_ns: u64,
+    /// Attribute key/value pairs, in attach order.
+    pub attrs: Vec<(String, String)>,
+}
+
+impl SpanRecord {
+    /// Span duration (saturating: an unfinished span reads as 0).
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// The value of attribute `key`, if attached.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A finished span tree, flat records with parent indices (index 0 is
+/// the root).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceData {
+    /// All spans of the request, in record order.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl TraceData {
+    /// The root span, if the trace is non-empty.
+    pub fn root(&self) -> Option<&SpanRecord> {
+        self.spans.first()
+    }
+
+    /// The root's attribute `key`, if attached.
+    pub fn root_attr(&self, key: &str) -> Option<&str> {
+        self.root().and_then(|r| r.attr(key))
+    }
+
+    /// Render the tree: one line per span, indented by depth, with
+    /// duration and attributes. Deterministic for a given trace.
+    pub fn render(&self) -> String {
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); self.spans.len()];
+        for (i, s) in self.spans.iter().enumerate() {
+            if let Some(p) = s.parent {
+                if let Some(list) = children.get_mut(p) {
+                    list.push(i);
+                }
+            }
+        }
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            self.render_into(&mut out, &children, 0, 0);
+        }
+        out
+    }
+
+    fn render_into(&self, out: &mut String, children: &[Vec<usize>], i: usize, depth: usize) {
+        let Some(s) = self.spans.get(i) else { return };
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(&s.name);
+        out.push(' ');
+        out.push_str(&format_ns(s.duration_ns()));
+        for (k, v) in &s.attrs {
+            out.push(' ');
+            out.push_str(k);
+            out.push('=');
+            out.push_str(v);
+        }
+        out.push('\n');
+        if let Some(kids) = children.get(i) {
+            for &c in kids {
+                self.render_into(out, children, c, depth + 1);
+            }
+        }
+    }
+}
+
+/// Human-readable duration (`897ns`, `12.3µs`, `4.56ms`, `1.23s`).
+pub fn format_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+/// Shared state of one in-flight trace.
+#[derive(Debug)]
+struct TraceInner {
+    clock: Arc<dyn Clock>,
+    ring: Arc<Mutex<VecDeque<TraceData>>>,
+    capacity: usize,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+/// A live span handle. Dropping it stamps the end time; dropping the
+/// root publishes the whole trace to the tracer's ring. A [`Span::none`]
+/// handle (tracing disabled) makes every operation a no-op. Handles are
+/// `Send`, so partition workers can carry child spans across threads;
+/// the root must outlive its children for their end times to be
+/// recorded (lexically nested spans guarantee that).
+#[derive(Debug, Default)]
+pub struct Span {
+    inner: Option<SpanHandle>,
+}
+
+#[derive(Debug)]
+struct SpanHandle {
+    trace: Arc<TraceInner>,
+    index: usize,
+}
+
+impl Span {
+    /// The disabled span: all operations no-op.
+    pub fn none() -> Span {
+        Span { inner: None }
+    }
+
+    /// Is this span actually recording?
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Open a child span named `name`, started now.
+    pub fn child(&self, name: &str) -> Span {
+        let Some(h) = &self.inner else {
+            return Span::none();
+        };
+        let start_ns = h.trace.clock.now_ns();
+        let mut spans = lock(&h.trace.spans);
+        let index = spans.len();
+        spans.push(SpanRecord {
+            name: name.to_string(),
+            parent: Some(h.index),
+            start_ns,
+            end_ns: 0,
+            attrs: Vec::new(),
+        });
+        Span {
+            inner: Some(SpanHandle {
+                trace: h.trace.clone(),
+                index,
+            }),
+        }
+    }
+
+    /// Attach an attribute to this span.
+    pub fn attr(&self, key: &str, value: impl std::fmt::Display) {
+        let Some(h) = &self.inner else { return };
+        let mut spans = lock(&h.trace.spans);
+        if let Some(rec) = spans.get_mut(h.index) {
+            rec.attrs.push((key.to_string(), value.to_string()));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(h) = self.inner.take() else { return };
+        let end_ns = h.trace.clock.now_ns();
+        let mut spans = lock(&h.trace.spans);
+        if let Some(rec) = spans.get_mut(h.index) {
+            rec.end_ns = end_ns;
+        }
+        if h.index == 0 {
+            // Root: publish the finished trace into the bounded ring.
+            let data = TraceData {
+                spans: std::mem::take(&mut *spans),
+            };
+            drop(spans);
+            let mut ring = lock(&h.trace.ring);
+            if ring.len() >= h.trace.capacity {
+                ring.pop_front();
+            }
+            ring.push_back(data);
+        }
+    }
+}
+
+/// The per-request trace recorder: hands out root spans when enabled
+/// and keeps the last `capacity` finished traces in a ring.
+#[derive(Debug)]
+pub struct Tracer {
+    enabled: AtomicBool,
+    clock: Arc<dyn Clock>,
+    ring: Arc<Mutex<VecDeque<TraceData>>>,
+    capacity: usize,
+}
+
+impl Tracer {
+    /// A disabled tracer keeping up to `capacity` finished traces.
+    pub fn new(clock: Arc<dyn Clock>, capacity: usize) -> Tracer {
+        Tracer {
+            enabled: AtomicBool::new(false),
+            clock,
+            ring: Arc::new(Mutex::new(VecDeque::new())),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Turn recording on or off (off also clears nothing — finished
+    /// traces stay readable).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Is recording on?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// A root span named `name` — [`Span::none`] while disabled (the
+    /// single branch the disabled path pays).
+    pub fn root_span(&self, name: &str) -> Span {
+        if !self.is_enabled() {
+            return Span::none();
+        }
+        let inner = Arc::new(TraceInner {
+            clock: self.clock.clone(),
+            ring: self.ring.clone(),
+            capacity: self.capacity,
+            spans: Mutex::new(vec![SpanRecord {
+                name: name.to_string(),
+                parent: None,
+                start_ns: self.clock.now_ns(),
+                end_ns: 0,
+                attrs: Vec::new(),
+            }]),
+        });
+        Span {
+            inner: Some(SpanHandle {
+                trace: inner,
+                index: 0,
+            }),
+        }
+    }
+
+    /// The most recently finished trace.
+    pub fn last(&self) -> Option<TraceData> {
+        lock(&self.ring).back().cloned()
+    }
+
+    /// The most recently finished trace whose root carries attribute
+    /// `key` = `value` (how sessions find their own request back).
+    pub fn last_with_root_attr(&self, key: &str, value: &str) -> Option<TraceData> {
+        lock(&self.ring)
+            .iter()
+            .rev()
+            .find(|t| t.root_attr(key) == Some(value))
+            .cloned()
+    }
+
+    /// Drop every finished trace.
+    pub fn clear(&self) {
+        lock(&self.ring).clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    fn manual_tracer(cap: usize) -> (Arc<ManualClock>, Tracer) {
+        let clock = Arc::new(ManualClock::new());
+        let tracer = Tracer::new(clock.clone(), cap);
+        tracer.set_enabled(true);
+        (clock, tracer)
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let clock = Arc::new(ManualClock::new());
+        let tracer = Tracer::new(clock, 4);
+        let root = tracer.root_span("recommend");
+        assert!(!root.is_recording());
+        let child = root.child("execute");
+        child.attr("k", "v");
+        drop(child);
+        drop(root);
+        assert!(tracer.last().is_none());
+    }
+
+    #[test]
+    fn span_tree_records_durations_and_attrs() {
+        let (clock, tracer) = manual_tracer(4);
+        {
+            let root = tracer.root_span("recommend");
+            root.attr("session", 7);
+            clock.advance_ns(100);
+            {
+                let exec = root.child("execute");
+                clock.advance_ns(50);
+                let p0 = exec.child("execute_partial");
+                p0.attr("partition", 0);
+                clock.advance_ns(25);
+                drop(p0);
+                drop(exec);
+            }
+            clock.advance_ns(10);
+        }
+        let t = tracer.last().expect("trace recorded");
+        assert_eq!(t.spans.len(), 3);
+        assert_eq!(t.root().map(|r| r.name.as_str()), Some("recommend"));
+        assert_eq!(t.root_attr("session"), Some("7"));
+        assert_eq!(t.spans[0].duration_ns(), 185);
+        assert_eq!(t.spans[1].name, "execute");
+        assert_eq!(t.spans[1].parent, Some(0));
+        assert_eq!(t.spans[1].duration_ns(), 75);
+        assert_eq!(t.spans[2].parent, Some(1));
+        assert_eq!(t.spans[2].attr("partition"), Some("0"));
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("recommend 185ns session=7"));
+        assert!(lines[1].starts_with("  execute "));
+        assert!(lines[2].starts_with("    execute_partial "));
+    }
+
+    #[test]
+    fn ring_is_bounded_and_newest_first_lookup_works() {
+        let (_clock, tracer) = manual_tracer(2);
+        for i in 0..3 {
+            let root = tracer.root_span("r");
+            root.attr("session", i);
+            drop(root);
+        }
+        // Capacity 2: the i=0 trace was evicted.
+        assert!(tracer.last_with_root_attr("session", "0").is_none());
+        assert!(tracer.last_with_root_attr("session", "1").is_some());
+        assert_eq!(
+            tracer
+                .last()
+                .and_then(|t| t.root_attr("session").map(String::from)),
+            Some("2".to_string())
+        );
+        tracer.clear();
+        assert!(tracer.last().is_none());
+    }
+
+    #[test]
+    fn spans_record_across_threads() {
+        let (_clock, tracer) = manual_tracer(4);
+        let root = tracer.root_span("parallel");
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let child = root.child("execute_partial");
+                child.attr("partition", i);
+                s.spawn(move || drop(child));
+            }
+        });
+        drop(root);
+        let t = tracer.last().expect("trace recorded");
+        assert_eq!(t.spans.len(), 5);
+        assert_eq!(
+            t.spans
+                .iter()
+                .filter(|s| s.name == "execute_partial")
+                .count(),
+            4
+        );
+    }
+
+    #[test]
+    fn format_ns_units() {
+        assert_eq!(format_ns(897), "897ns");
+        assert_eq!(format_ns(12_300), "12.3µs");
+        assert_eq!(format_ns(4_560_000), "4.56ms");
+        assert_eq!(format_ns(1_230_000_000), "1.23s");
+    }
+}

@@ -32,6 +32,13 @@
 //! * `:open <dir>` — replace the session's database with the one saved
 //!   in `dir` (crash recovery included: the WAL tail is replayed) and
 //!   warm-start the serving cache from the spilled plan set
+//! * `:metrics` — dump the serving layer's full metrics snapshot
+//!   (`service.*` cache/latency, `exec.*` scan work, `store.*` WAL and
+//!   checkpoint activity) as sorted JSON
+//! * `:trace on|off` — toggle per-request trace recording; `on` replays
+//!   the current query cold through one session and prints its span
+//!   tree (recommend → optimize → execute → per-partition
+//!   `execute_partial` → merge) with durations and attributes
 //! * `:drill <view#> <label>` — narrow to one group of a recommended view
 //! * `:up` — undo the last drill-down
 //! * `:quit`
@@ -604,6 +611,36 @@ fn main() {
                     serving = None;
                     last = run_and_print(&frontend, &current);
                 }
+                Some("metrics") => {
+                    let service = serving_service(&frontend, &mut serving);
+                    print!("{}", service.metrics().to_json());
+                }
+                Some("trace") => match parts.next() {
+                    Some("on") => {
+                        let service = serving_service(&frontend, &mut serving);
+                        service.set_trace_enabled(true);
+                        // Replay the current query cold so the tree
+                        // shows the full pipeline, scans included.
+                        service.clear_cache();
+                        let session = service.session();
+                        match session.recommend(&current) {
+                            Ok(_) => match session.last_trace() {
+                                Some(trace) => {
+                                    println!("tracing on; cold request span tree:");
+                                    print!("{}", trace.render());
+                                }
+                                None => println!("tracing on (no trace recorded)"),
+                            },
+                            Err(e) => eprintln!("traced request failed: {e}"),
+                        }
+                    }
+                    Some("off") => {
+                        let service = serving_service(&frontend, &mut serving);
+                        service.set_trace_enabled(false);
+                        println!("tracing off");
+                    }
+                    _ => eprintln!("usage: :trace on|off"),
+                },
                 Some("drill") => {
                     let idx: Option<usize> = parts.next().and_then(|s| s.parse().ok());
                     let label: Vec<&str> = parts.collect();
@@ -628,7 +665,7 @@ fn main() {
                 },
                 _ => eprintln!(
                     "commands: :k :metric :basic :sample :strategy :workers :sessions :append \
-                     :save :open :drill :up :quit"
+                     :save :open :metrics :trace :drill :up :quit"
                 ),
             }
             continue;

@@ -10,6 +10,7 @@
 //! | [`core`](mod@crate::core) | the SeeDB backend: view enumeration, pruning, query-combining optimizer, deviation scoring, top-k |
 //! | [`viz`](mod@crate::viz) | the frontend: query builder/templates, chart selection, visualization specs |
 //! | [`data`](mod@crate::data) | demo datasets (Store Orders / Election / Medical analogues) and synthetic generators |
+//! | [`obs`](mod@crate::obs) | observability: metrics registry, per-request trace spans, injectable clock |
 //!
 //! ## Five-minute tour
 //!
@@ -39,6 +40,7 @@
 pub use memdb;
 pub use seedb_core as core;
 pub use seedb_data as data;
+pub use seedb_obs as obs;
 pub use seedb_viz as viz;
 
 pub use seedb_core::{
