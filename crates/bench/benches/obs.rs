@@ -15,10 +15,18 @@
 //!   leading-zeros bucketing plus two atomic adds.
 //! * `obs/disabled_span_x1000` — a thousand root-span creations against
 //!   a disabled tracer: one atomic load returning the null span.
+//! * `obs/warm_recommend_sampling_off` — the warm-serve path with the
+//!   telemetry pipeline disabled entirely. `warm_recommend_untraced`
+//!   runs with sampling *on* (the default), so the pair prices the
+//!   sampler/watchdog overhead on the serve path: one clock read and a
+//!   compare per request in the steady state.
+//! * `obs/sample_window` — force-closing one telemetry window: snapshot
+//!   the registry, diff it against the previous window, and run every
+//!   watchdog rule over the result (what each sampling interval costs).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use seedb_bench::workload;
-use seedb_core::{SeeDbConfig, Service, ServiceConfig};
+use seedb_core::{SeeDbConfig, Service, ServiceConfig, TelemetryConfig};
 use seedb_obs::{Obs, Registry};
 
 fn serving_config() -> ServiceConfig {
@@ -73,6 +81,28 @@ fn bench_obs(c: &mut Criterion) {
                 assert!(!span.is_recording());
             }
         })
+    });
+
+    // Sampler overhead pair: `warm_recommend_untraced` above serves
+    // with the default telemetry (sampling ON); this one turns the
+    // pipeline off so the delta is the sampler's serve-path cost.
+    let no_telemetry = Service::new(
+        w.db.clone(),
+        serving_config().with_telemetry(TelemetryConfig::disabled()),
+    );
+    no_telemetry.recommend(&w.analyst).expect("warm-up run");
+    group.bench_function("warm_recommend_sampling_off", |b| {
+        b.iter(|| {
+            no_telemetry
+                .recommend(&w.analyst)
+                .expect("warm recommendation")
+        })
+    });
+
+    // What closing one window costs: registry snapshot + diff + every
+    // watchdog rule.
+    group.bench_function("sample_window", |b| {
+        b.iter(|| service.sample_window().expect("telemetry enabled"))
     });
 
     group.finish();

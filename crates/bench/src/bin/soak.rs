@@ -6,19 +6,24 @@
 //! ```
 //!
 //! Flags:
-//! - `--seed N`    workload seed (default 42); same seed ⇒ byte-identical trace
-//! - `--short`     the PR-blocking preset (~10 virtual seconds; default)
-//! - `--full`      the nightly preset (minutes of virtual time)
-//! - `--mini`      the test-sized preset (~3 virtual seconds)
-//! - `--out DIR`   artifact directory (default `$SEEDB_BENCH_DIR` or `bench-out`)
-//! - `--trace`     also dump the full workload trace to `<out>/soak-trace.txt`
+//! - `--seed N`       workload seed (default 42); same seed ⇒ byte-identical trace
+//! - `--short`        the PR-blocking preset (~10 virtual seconds; default)
+//! - `--full`         the nightly preset (minutes of virtual time)
+//! - `--mini`         the test-sized preset (~3 virtual seconds)
+//! - `--out DIR`      artifact directory (default `$SEEDB_BENCH_DIR` or `bench-out`)
+//! - `--trace`        also dump the full workload trace to `<out>/soak-trace.txt`
+//! - `--inject-slo NS` plant an NS-nanosecond latency sample per query into the
+//!   watchdog's histogram — forces a deterministic `latency-p99` breach whose
+//!   flight-recorder dump lands in `<out>/dumps/` (byte-identical per seed)
 //!
 //! Writes `BENCH_soak.json` (bench_gate shape — latency medians plus
 //! seed-deterministic counters), `soak-report.json` (the invariant
-//! report), and `obs-report.json` (the final service incarnation's
-//! full metrics snapshot, ticked on virtual time — byte-identical per
-//! seed) into the artifact directory. Exits non-zero iff any invariant
-//! tripped; every violation prints its `(seed, vt)` replay hint.
+//! report), and `obs-report.json` (every service incarnation's full
+//! metrics snapshot keyed by recovery epoch, ticked on virtual time —
+//! byte-identical per seed) into the artifact directory; watchdog
+//! breaches write flight-recorder dumps into `<out>/dumps/`. Exits
+//! non-zero iff any invariant tripped; every violation prints its
+//! `(seed, vt)` replay hint.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -30,6 +35,7 @@ struct Args {
     preset: Preset,
     out: PathBuf,
     dump_trace: bool,
+    inject_slo_ns: u64,
 }
 
 enum Preset {
@@ -45,6 +51,7 @@ fn parse_args() -> Result<Args, String> {
         preset: Preset::Short,
         out: PathBuf::from(default_out),
         dump_trace: false,
+        inject_slo_ns: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -58,6 +65,10 @@ fn parse_args() -> Result<Args, String> {
             "--mini" => args.preset = Preset::Mini,
             "--out" => args.out = PathBuf::from(it.next().ok_or("--out needs a value")?),
             "--trace" => args.dump_trace = true,
+            "--inject-slo" => {
+                let v = it.next().ok_or("--inject-slo needs a value (ns)")?;
+                args.inject_slo_ns = v.parse().map_err(|_| format!("bad --inject-slo: {v}"))?;
+            }
             other => return Err(format!("unknown flag: {other}")),
         }
     }
@@ -69,15 +80,19 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("soak: {e}");
-            eprintln!("usage: soak [--seed N] [--short|--full|--mini] [--out DIR] [--trace]");
+            eprintln!(
+                "usage: soak [--seed N] [--short|--full|--mini] [--out DIR] [--trace] \
+                 [--inject-slo NS]"
+            );
             return ExitCode::from(2);
         }
     };
-    let spec = match args.preset {
+    let mut spec = match args.preset {
         Preset::Short => SoakSpec::short(args.seed),
         Preset::Full => SoakSpec::full(args.seed),
         Preset::Mini => SoakSpec::mini(args.seed),
     };
+    spec.slo_inject_ns = args.inject_slo_ns;
     println!(
         "soak: seed={} virtual={:.0}s analysts={} tables={} (ingest every {}ms, \
          rereg every {:.1}s, crash every {:.1}s)",
@@ -94,14 +109,18 @@ fn main() -> ExitCode {
     let store_dir =
         std::env::temp_dir().join(format!("seedb-soak-{}-{}", std::process::id(), spec.seed));
     let _ = std::fs::remove_dir_all(&store_dir);
-    let outcome = soak::run(&spec, &store_dir);
-    let _ = std::fs::remove_dir_all(&store_dir);
-    let report = &outcome.report;
-
-    if let Err(e) = std::fs::create_dir_all(&args.out) {
-        eprintln!("soak: cannot create {}: {e}", args.out.display());
+    // Flight-recorder dumps live under the artifact dir (the store dir
+    // is torn down mid-run); start from a clean slate so leftover dumps
+    // from a previous run can't pollute a byte-compare.
+    let dumps_dir = args.out.join("dumps");
+    let _ = std::fs::remove_dir_all(&dumps_dir);
+    if let Err(e) = std::fs::create_dir_all(&dumps_dir) {
+        eprintln!("soak: cannot create {}: {e}", dumps_dir.display());
         return ExitCode::from(2);
     }
+    let outcome = soak::run_with_dumps(&spec, &store_dir, Some(&dumps_dir));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let report = &outcome.report;
     let bench_path = args.out.join("BENCH_soak.json");
     let report_path = args.out.join("soak-report.json");
     let obs_path = args.out.join("obs-report.json");
@@ -113,7 +132,7 @@ fn main() -> ExitCode {
         eprintln!("soak: cannot write {}: {e}", report_path.display());
         return ExitCode::from(2);
     }
-    // The final incarnation's full metrics snapshot (serve → execute →
+    // Every incarnation's full metrics snapshot (serve → execute →
     // store), ticked on virtual time — byte-identical per seed.
     if let Err(e) = std::fs::write(&obs_path, &outcome.obs_json) {
         eprintln!("soak: cannot write {}: {e}", obs_path.display());
@@ -161,6 +180,17 @@ fn main() -> ExitCode {
         report.checks.1,
         report.checks.2,
         report.trace_digest,
+    );
+    let dump_count = std::fs::read_dir(&dumps_dir)
+        .map(|d| d.count())
+        .unwrap_or(0);
+    println!(
+        "soak: telemetry: {} windows evaluated, {} watchdog breaches, {} flight-recorder \
+         dump(s) in {}",
+        report.telemetry_windows,
+        report.telemetry_breaches,
+        dump_count,
+        dumps_dir.display(),
     );
     println!(
         "soak: wrote {}, {} and {}",

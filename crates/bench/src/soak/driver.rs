@@ -41,10 +41,13 @@ pub struct SoakOutcome {
     pub report: SoakReport,
     /// The workload trace (same spec ⇒ byte-identical lines).
     pub trace: Trace,
-    /// Final service incarnation's full metrics snapshot as sorted
-    /// JSON. Every instrument ticks on the driver's virtual clock, so
-    /// the same spec renders byte-identical JSON (empty if setup or
-    /// recovery aborted the run before a service existed).
+    /// Full metrics snapshots of **every** service incarnation as one
+    /// sorted-JSON object (`{"incarnations": [...]}`, one snapshot per
+    /// recovery epoch, in order — each crash/restart starts a fresh
+    /// registry, so the driver banks the snapshot right before dropping
+    /// each incarnation). Every instrument ticks on the driver's
+    /// virtual clock, so the same spec renders byte-identical JSON
+    /// (an empty array if setup aborted before a service existed).
     pub obs_json: String,
 }
 
@@ -84,6 +87,8 @@ struct RunningTotals {
     refresh_fallbacks: u64,
     table_scans: u64,
     rows_scanned: u64,
+    telemetry_windows: u64,
+    telemetry_breaches: u64,
 }
 
 impl RunningTotals {
@@ -96,6 +101,9 @@ impl RunningTotals {
         let cost = service.database().cost();
         self.table_scans += cost.table_scans;
         self.rows_scanned += cost.rows_scanned;
+        let health = service.health();
+        self.telemetry_windows += health.windows_evaluated;
+        self.telemetry_breaches += health.breaches.len() as u64;
     }
 }
 
@@ -106,7 +114,7 @@ impl RunningTotals {
 /// independent plan counts), no cross-request batch window (nothing to
 /// batch with — the driver is closed-loop — and the window is a wall
 /// sleep), and the spec's cache capacity.
-fn service_config(spec: &SoakSpec) -> ServiceConfig {
+fn service_config(spec: &SoakSpec, dump_dir: Option<&Path>) -> ServiceConfig {
     let mut seedb = SeeDbConfig::recommended()
         .with_k(3)
         .with_execution(ExecutionStrategy::Parallel { workers: 2 });
@@ -114,6 +122,14 @@ fn service_config(spec: &SoakSpec) -> ServiceConfig {
     let mut cfg = ServiceConfig::recommended().with_seedb(seedb);
     cfg.cache_capacity = spec.cache_capacity;
     cfg.batch_window = Duration::ZERO;
+    // Telemetry windows close on the injected virtual clock, so the
+    // sampler/watchdog pipeline is exercised deterministically; a dump
+    // directory turns breaches into flight-recorder files (byte-
+    // identical per seed — the tracer stays disabled, so dumps carry no
+    // thread-ordering-sensitive trace data).
+    if let Some(dir) = dump_dir {
+        cfg.telemetry = cfg.telemetry.with_dump_dir(dir);
+    }
     cfg
 }
 
@@ -156,6 +172,13 @@ fn think_time(rng: &mut StdRng, mean_us: u64) -> u64 {
 /// crash injector tears down and recovers (created fresh; callers pass
 /// a temp path and clean it up).
 pub fn run(spec: &SoakSpec, dir: &Path) -> SoakOutcome {
+    run_with_dumps(spec, dir, None)
+}
+
+/// [`run`] with an optional flight-recorder dump directory: watchdog
+/// breaches during the soak write their dumps there (the store `dir` is
+/// torn down by the crash injector, so dumps need their own home).
+pub fn run_with_dumps(spec: &SoakSpec, dir: &Path, dump_dir: Option<&Path>) -> SoakOutcome {
     let run_sw = Stopwatch::start();
     let mut clock = VirtualClock::default();
     let mut queue: EventQueue<Event> = EventQueue::default();
@@ -205,10 +228,13 @@ pub fn run(spec: &SoakSpec, dir: &Path) -> SoakOutcome {
     if let Err(e) = db.save_with(dir, durability(spec)) {
         // Without a durable store there is nothing to soak against.
         checker.query_error(0, "save durable store", &e.to_string());
-        return finish(spec, run_sw, trace, checker, totals, None);
+        return finish(spec, run_sw, trace, checker, totals, None, Vec::new());
     }
-    let cfg = service_config(spec);
+    let cfg = service_config(spec, dump_dir);
     let mut service = Service::new(db, cfg.clone());
+    // One metrics snapshot per service incarnation (each recovery epoch
+    // starts a fresh registry), banked right before each teardown.
+    let mut incarnations: Vec<String> = Vec::new();
 
     // ---- schedule the initial events --------------------------------
     for (i, rng) in analyst_rngs.iter_mut().enumerate() {
@@ -269,6 +295,18 @@ pub fn run(spec: &SoakSpec, dir: &Path) -> SoakOutcome {
                 queries += 1;
                 recommend_ns.push(ns);
                 window_ns.push(ns);
+                // SLO-breach injection: plant a fixed over-bound latency
+                // sample into the shared `service.recommend_ns` histogram
+                // (the cell the watchdog's p99 rule reads). Virtual-time
+                // driven and single-threaded, so the tripped breach — and
+                // its flight-recorder dump — replays byte-identically.
+                if spec.slo_inject_ns > 0 {
+                    service
+                        .obs()
+                        .registry()
+                        .register_histogram("service.recommend_ns")
+                        .record(spec.slo_inject_ns);
+                }
                 match result {
                     Ok(rec) => {
                         if spot {
@@ -382,6 +420,7 @@ pub fn run(spec: &SoakSpec, dir: &Path) -> SoakOutcome {
                     }
                 }
                 totals.bank(&service);
+                incarnations.push(service.metrics().to_json());
                 drop(service);
                 match Service::open_with_obs(
                     dir,
@@ -419,7 +458,7 @@ pub fn run(spec: &SoakSpec, dir: &Path) -> SoakOutcome {
                                 None,
                             );
                         }
-                        return finish(spec, run_sw, trace, checker, totals, None);
+                        return finish(spec, run_sw, trace, checker, totals, None, incarnations);
                     }
                 }
                 queue.push(vt + spec.crash_interval_us, Event::Crash);
@@ -439,8 +478,16 @@ pub fn run(spec: &SoakSpec, dir: &Path) -> SoakOutcome {
     }
 
     totals.bank(&service);
-    let mut outcome = finish(spec, run_sw, trace, checker, totals, Some(clock.now_us()));
-    outcome.obs_json = service.metrics().to_json();
+    incarnations.push(service.metrics().to_json());
+    let mut outcome = finish(
+        spec,
+        run_sw,
+        trace,
+        checker,
+        totals,
+        Some(clock.now_us()),
+        incarnations,
+    );
     outcome.report.queries = queries;
     outcome.report.appends = appends;
     outcome.report.appended_rows = appended_rows;
@@ -460,6 +507,7 @@ fn finish(
     checker: InvariantChecker,
     totals: RunningTotals,
     reached_vt: Option<u64>,
+    incarnations: Vec<String>,
 ) -> SoakOutcome {
     let report = SoakReport {
         seed: spec.seed,
@@ -472,6 +520,8 @@ fn finish(
         refresh_fallbacks: totals.refresh_fallbacks,
         table_scans: totals.table_scans,
         rows_scanned: totals.rows_scanned,
+        telemetry_windows: totals.telemetry_windows,
+        telemetry_breaches: totals.telemetry_breaches,
         violations: checker.violations().to_vec(),
         trace_digest: trace.digest(),
         ..SoakReport::default()
@@ -479,6 +529,21 @@ fn finish(
     SoakOutcome {
         report,
         trace,
-        obs_json: String::new(),
+        obs_json: obs_report(&incarnations),
+    }
+}
+
+/// Render the per-incarnation metrics snapshots as one JSON object. The
+/// snapshots are already sorted-key JSON; this keys them by recovery
+/// epoch so no incarnation's telemetry is lost to a crash.
+fn obs_report(incarnations: &[String]) -> String {
+    let body: Vec<String> = incarnations
+        .iter()
+        .map(|snap| snap.trim_end().to_string())
+        .collect();
+    if body.is_empty() {
+        "{\n  \"incarnations\": []\n}\n".to_string()
+    } else {
+        format!("{{\n  \"incarnations\": [\n{}\n]\n}}\n", body.join(",\n"))
     }
 }

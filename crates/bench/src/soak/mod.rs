@@ -24,7 +24,7 @@ pub mod report;
 pub mod shim;
 pub mod spec;
 
-pub use driver::{run, SoakOutcome};
+pub use driver::{run, run_with_dumps, SoakOutcome};
 pub use invariants::{InvariantChecker, InvariantKind, Violation};
 pub use report::{SoakReport, Trace};
 pub use spec::{InvariantBounds, SoakSpec};

@@ -109,6 +109,11 @@ pub struct SoakReport {
     pub table_scans: u64,
     /// Rows scanned.
     pub rows_scanned: u64,
+    /// Telemetry windows the watchdog evaluated (summed across
+    /// restarts; windows close on virtual time).
+    pub telemetry_windows: u64,
+    /// Watchdog breaches tripped (summed across restarts).
+    pub telemetry_breaches: u64,
     /// Recommend latency distribution.
     pub recommend: LatencySummary,
     /// Append latency distribution.
@@ -195,6 +200,7 @@ impl SoakReport {
              \"recommend_p99_ns\": {},\n  \"refresh_fallbacks\": {},\n  \"refreshes\": {},\n  \
              \"reregisters\": {},\n  \"rows_scanned\": {},\n  \"seed\": {},\n  \
              \"spot_checks\": {},\n  \"sweeps\": {},\n  \"table_scans\": {},\n  \
+             \"telemetry_breaches\": {},\n  \"telemetry_windows\": {},\n  \
              \"throughput_qps\": {:.1},\n  \"trace_digest\": \"{:016x}\",\n  \
              \"violations\": [\n{}\n  ],\n  \"virtual_us\": {},\n  \"wall_ns\": {}\n}}\n",
             self.appended_rows,
@@ -215,6 +221,8 @@ impl SoakReport {
             self.checks.0,
             self.checks.2,
             self.table_scans,
+            self.telemetry_breaches,
+            self.telemetry_windows,
             self.throughput_qps(),
             self.trace_digest,
             violations.join(",\n"),

@@ -86,6 +86,13 @@ pub struct SoakSpec {
     /// default; turning it off speeds local runs and is safe for
     /// in-process crash simulation).
     pub sync_writes: bool,
+    /// Latency-SLO breach injection: when non-zero, every served query
+    /// also plants this fixed latency sample (ns) into the
+    /// `service.recommend_ns` histogram the watchdog's p99 rule reads.
+    /// Set it above the telemetry p99 bound (2 s by default) to force a
+    /// deterministic `latency-p99` breach — and, with a dump directory,
+    /// byte-identical flight-recorder dumps per seed. 0 disables.
+    pub slo_inject_ns: u64,
     /// Invariant bounds.
     pub bounds: InvariantBounds,
 }
@@ -116,6 +123,7 @@ impl SoakSpec {
             check_interval_us: 1_000_000,
             cache_capacity: 4_096,
             sync_writes: true,
+            slo_inject_ns: 0,
             bounds: InvariantBounds::recommended(),
         }
     }

@@ -63,6 +63,61 @@ fn same_seed_produces_byte_identical_obs_report() {
         a.obs_json, b.obs_json,
         "same seed must render byte-identical telemetry"
     );
+    // The report accumulates one snapshot per service incarnation; a
+    // mini soak always crashes at least twice, so the crashed epochs'
+    // telemetry must survive in the array, not just the final one's.
+    assert!(a.obs_json.starts_with("{\n  \"incarnations\": ["));
+    let epochs = a.obs_json.matches("\"counters\"").count();
+    let crashes = (a.report.crashes_clean + a.report.crashes_torn) as usize;
+    assert_eq!(
+        epochs,
+        crashes + 1,
+        "one snapshot per recovery epoch (crashes + final)"
+    );
+    assert!(serde_json::from_str(&a.obs_json).is_ok());
+}
+
+/// SLO-breach injection: planting over-bound latency samples trips the
+/// `latency-p99` watchdog rule deterministically, and the resulting
+/// flight-recorder dumps are byte-identical across two same-seed runs —
+/// the debuggability acceptance bar for the telemetry pipeline.
+#[test]
+fn injected_slo_breach_dumps_are_byte_identical_across_same_seed_runs() {
+    let mut spec = SoakSpec::mini(91);
+    spec.slo_inject_ns = 5_000_000_000; // 5 s >> the 2 s p99 bound
+    let run_with_dumps = |store: &str, dumps: &str| -> Vec<(String, Vec<u8>)> {
+        let store_dir = tmp(store);
+        let dump_dir = tmp(dumps);
+        std::fs::create_dir_all(&dump_dir).unwrap();
+        let outcome = soak::run_with_dumps(&spec, &store_dir, Some(&dump_dir));
+        assert!(
+            outcome.report.telemetry_breaches > 0,
+            "injected latency must trip the watchdog"
+        );
+        let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(&dump_dir)
+            .unwrap()
+            .map(|e| {
+                let e = e.unwrap();
+                (
+                    e.file_name().to_string_lossy().into_owned(),
+                    std::fs::read(e.path()).unwrap(),
+                )
+            })
+            .collect();
+        files.sort();
+        let _ = std::fs::remove_dir_all(&store_dir);
+        let _ = std::fs::remove_dir_all(&dump_dir);
+        files
+    };
+    let a = run_with_dumps("slo-store-a", "slo-dumps-a");
+    let b = run_with_dumps("slo-store-b", "slo-dumps-b");
+    assert!(!a.is_empty(), "breaches must write flight-recorder dumps");
+    assert!(
+        a.iter().any(|(name, _)| name.contains("latency-p99")),
+        "the latency rule must be among the dumped breaches: {:?}",
+        a.iter().map(|(n, _)| n).collect::<Vec<_>>()
+    );
+    assert_eq!(a, b, "same-seed dumps must be byte-identical");
 }
 
 /// The registry's `service.cache.*` counters and the legacy

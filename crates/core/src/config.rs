@@ -1,5 +1,6 @@
 //! Top-level SeeDB configuration.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use crate::distance::Metric;
@@ -268,6 +269,83 @@ impl Default for SeeDbConfig {
     }
 }
 
+/// Telemetry-pipeline knobs of the serving layer: how often the
+/// metrics registry is sampled into time-series windows, the watchdog
+/// rule bounds evaluated per window, and where flight-recorder dumps
+/// land when a rule trips. All timing flows through the service's
+/// injected [`seedb_obs::Clock`], so under the soak harness's virtual
+/// clock the whole pipeline — windows, breaches, dump bytes — is
+/// deterministic per seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryConfig {
+    /// Master switch: `false` skips sampling and watchdog evaluation on
+    /// the serve path entirely (one branch per request).
+    pub enabled: bool,
+    /// Minimum injected-clock nanoseconds between sampled windows.
+    pub interval_ns: u64,
+    /// Windows retained in the sampler's ring.
+    pub window_capacity: usize,
+    /// Watchdog: breach when the windowed p99 of
+    /// `service.recommend_ns` exceeds this bound.
+    pub p99_bound_ns: u64,
+    /// Watchdog: breach when the windowed cache hit rate falls below
+    /// this floor.
+    pub hit_rate_floor: f64,
+    /// Minimum cache probes in a window before the hit-rate rule
+    /// applies (a near-idle window proves nothing).
+    pub hit_rate_min_events: u64,
+    /// Watchdog: breach after this many consecutive windows of strictly
+    /// growing `store.wal.bytes_pending` (backlog never drains).
+    pub wal_growth_windows: usize,
+    /// Watchdog: breach when `service.cache.refresh_fallbacks` moves by
+    /// more than this inside one window.
+    pub refresh_fallback_max: u64,
+    /// Directory flight-recorder dumps are written to on a breach.
+    /// `None` disables dumps; breaches still surface via
+    /// [`crate::Service::health`].
+    pub dump_dir: Option<PathBuf>,
+}
+
+impl TelemetryConfig {
+    /// Serving defaults: sampling on at 1 s windows, 64 retained,
+    /// p99 bound 2 s, hit-rate floor 10% over ≥ 20 probes, WAL growth
+    /// over 6 windows, 32 refresh fallbacks per window, no dump
+    /// directory.
+    pub fn recommended() -> Self {
+        TelemetryConfig {
+            enabled: true,
+            interval_ns: 1_000_000_000,
+            window_capacity: 64,
+            p99_bound_ns: 2_000_000_000,
+            hit_rate_floor: 0.10,
+            hit_rate_min_events: 20,
+            wal_growth_windows: 6,
+            refresh_fallback_max: 32,
+            dump_dir: None,
+        }
+    }
+
+    /// Telemetry fully off.
+    pub fn disabled() -> Self {
+        TelemetryConfig {
+            enabled: false,
+            ..TelemetryConfig::recommended()
+        }
+    }
+
+    /// Builder: set the dump directory.
+    pub fn with_dump_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.dump_dir = Some(dir.into());
+        self
+    }
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig::recommended()
+    }
+}
+
 /// Configuration of the serving layer ([`crate::service::Service`]): a
 /// [`SeeDbConfig`] for the recommendation pipeline plus the knobs of the
 /// shared partial-aggregate cache and the cross-request scan batcher.
@@ -292,6 +370,9 @@ pub struct ServiceConfig {
     /// (lazy on probe, eager on append, or off), and how large a delta
     /// may grow before falling back to a full recompute.
     pub refresh: RefreshConfig,
+    /// Telemetry pipeline: registry sampling, watchdog rules, and
+    /// flight-recorder dumps.
+    pub telemetry: TelemetryConfig,
 }
 
 impl ServiceConfig {
@@ -305,7 +386,28 @@ impl ServiceConfig {
             batch_window: Duration::from_millis(2),
             max_batch_sets: 64,
             refresh: RefreshConfig::recommended(),
+            telemetry: TelemetryConfig::recommended(),
         }
+    }
+
+    /// A deterministic one-line summary of the output- and
+    /// performance-determining knobs, stamped into every flight-recorder
+    /// dump so a dump is attributable to the exact configuration that
+    /// produced it.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "k={} metric={:?} functions={} exec={} cache={} batch_window_us={} \
+             max_batch_sets={} refresh={:?} telemetry_interval_ns={}",
+            self.seedb.k,
+            self.seedb.metric,
+            self.seedb.functions.funcs().len(),
+            self.seedb.execution,
+            self.cache_capacity,
+            self.batch_window.as_micros(),
+            self.max_batch_sets,
+            self.refresh.mode,
+            self.telemetry.interval_ns,
+        )
     }
 
     /// Builder: set the pipeline configuration.
@@ -330,6 +432,12 @@ impl ServiceConfig {
     /// Builder: set the live-ingest refresh policy.
     pub fn with_refresh(mut self, refresh: RefreshConfig) -> Self {
         self.refresh = refresh;
+        self
+    }
+
+    /// Builder: set the telemetry pipeline configuration.
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
         self
     }
 }
@@ -406,6 +514,29 @@ mod tests {
         assert!(ExecutionStrategy::phased_parallel(4)
             .to_string()
             .contains("4 workers"));
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_config_sensitive() {
+        let a = ServiceConfig::recommended();
+        let b = ServiceConfig::recommended();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = ServiceConfig::recommended().with_cache_capacity(7);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert!(a.fingerprint().contains("cache=512"));
+    }
+
+    #[test]
+    fn telemetry_presets() {
+        let t = TelemetryConfig::recommended();
+        assert!(t.enabled);
+        assert!(t.dump_dir.is_none());
+        assert!(!TelemetryConfig::disabled().enabled);
+        let d = TelemetryConfig::recommended().with_dump_dir("/tmp/dumps");
+        assert_eq!(
+            d.dump_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/dumps"))
+        );
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub mod config;
 pub mod distance;
 pub mod distribution;
 pub mod engine;
+pub mod explain;
 pub mod interact;
 pub mod live;
 pub mod metadata;
@@ -75,10 +76,11 @@ pub mod querygen;
 pub mod service;
 pub mod view;
 
-pub use config::{default_workers, ExecutionStrategy, SeeDbConfig, ServiceConfig};
+pub use config::{default_workers, ExecutionStrategy, SeeDbConfig, ServiceConfig, TelemetryConfig};
 pub use distance::{distance, Metric};
 pub use distribution::{AlignedPair, Distribution};
 pub use engine::{PhaseTimings, Recommendation, SeeDb};
+pub use explain::{ExplainOp, ExplainReport};
 pub use interact::{drill_down, roll_up};
 pub use live::{RecomputeReason, RefreshConfig, RefreshDecision, RefreshMode};
 pub use metadata::{AccessTracker, Metadata, MetadataCollector};

@@ -47,20 +47,28 @@
 //! holds it there under concurrency and concurrent appends).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 use memdb::{
-    run_partitioned_partial_obs, AggSpec, Database, DbError, DbResult, ExecMetrics, ExecStats,
-    Expr, LogicalPlan, MutexExt, PartialAggState, PhysicalPlan, PlanOutput, Table, Value,
+    run_partitioned_partial_obs, AggSpec, CacheOutcome, Database, DbError, DbResult, ExecMetrics,
+    ExecStats, Expr, LogicalPlan, MutexExt, PartialAggState, PhysicalPlan, PlanOutput, Table,
+    Value,
 };
-use seedb_obs::{Counter, Histogram, MetricsSnapshot, Obs, Registry, Span, TraceData};
+use seedb_obs::{
+    Counter, FlightRecorder, HealthStatus, Histogram, MetricsSnapshot, Obs, Registry, Rule,
+    RuleKind, Sampler, SamplerConfig, Span, TraceData, Watchdog, Window,
+};
 
 use crate::config::{SeeDbConfig, ServiceConfig};
 use crate::engine::{Recommendation, SeeDb};
+use crate::explain::{cache_only_stats, ExplainOp, ExplainReport};
 use crate::live::{RefreshDecision, RefreshMode};
 use crate::metadata::AccessTracker;
 use crate::querygen::AnalystQuery;
+
+/// Trace spans attached to one flight-recorder dump.
+const DUMP_TRACES: usize = 16;
 
 /// Point-in-time cache/batch counters of a [`Service`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -541,6 +549,83 @@ impl Batcher {
     }
 }
 
+/// The serving layer's telemetry pipeline: registry sampler, watchdog,
+/// and (optionally) the flight recorder breaches dump into. Built from
+/// [`crate::config::TelemetryConfig`]; absent entirely when disabled.
+#[derive(Debug)]
+struct Telemetry {
+    sampler: Sampler,
+    watchdog: Watchdog,
+    recorder: Option<FlightRecorder>,
+    /// [`ServiceConfig::fingerprint`], stamped into every dump.
+    fingerprint: String,
+    /// `telemetry.windows`: sampler windows closed.
+    windows: Counter,
+    /// `telemetry.breaches`: watchdog breaches observed.
+    breaches: Counter,
+    /// `telemetry.dumps`: flight-recorder dumps written.
+    dumps: Counter,
+}
+
+impl Telemetry {
+    /// Build the pipeline from `config` (`None` when disabled): the
+    /// sampler runs on the service's injected clock, and the watchdog
+    /// rule catalog watches the latency histogram, cache hit rate, WAL
+    /// backlog, and refresh fallbacks.
+    fn from_config(config: &ServiceConfig, obs: &Obs) -> Option<Telemetry> {
+        let t = &config.telemetry;
+        if !t.enabled {
+            return None;
+        }
+        let sampler = obs.sampler(SamplerConfig {
+            interval_ns: t.interval_ns,
+            capacity: t.window_capacity,
+        });
+        let watchdog = Watchdog::new(vec![
+            Rule::new(
+                "latency-p99",
+                RuleKind::P99Above {
+                    histogram: "service.recommend_ns".into(),
+                    bound_ns: t.p99_bound_ns,
+                },
+            ),
+            Rule::new(
+                "cache-hit-rate",
+                RuleKind::HitRateBelow {
+                    hits: "service.cache.hits".into(),
+                    misses: "service.cache.misses".into(),
+                    floor: t.hit_rate_floor,
+                    min_events: t.hit_rate_min_events,
+                },
+            ),
+            Rule::new(
+                "wal-backlog-growth",
+                RuleKind::MonotonicGrowth {
+                    gauge: "store.wal.bytes_pending".into(),
+                    windows: t.wal_growth_windows,
+                },
+            ),
+            Rule::new(
+                "refresh-fallback-spike",
+                RuleKind::CounterSpike {
+                    counter: "service.cache.refresh_fallbacks".into(),
+                    max_per_window: t.refresh_fallback_max,
+                },
+            ),
+        ]);
+        let registry = obs.registry();
+        Some(Telemetry {
+            sampler,
+            watchdog,
+            recorder: t.dump_dir.as_ref().map(FlightRecorder::new),
+            fingerprint: config.fingerprint(),
+            windows: registry.register_counter("telemetry.windows"),
+            breaches: registry.register_counter("telemetry.breaches"),
+            dumps: registry.register_counter("telemetry.dumps"),
+        })
+    }
+}
+
 #[derive(Debug)]
 struct ServiceInner {
     engine: SeeDb,
@@ -558,6 +643,16 @@ struct ServiceInner {
     recommend_ns: Histogram,
     /// Partitioned-execution handles passed into every shared scan.
     exec_metrics: ExecMetrics,
+    /// Telemetry pipeline (sampler + watchdog + flight recorder), or
+    /// `None` when disabled by configuration.
+    telemetry: Option<Telemetry>,
+    /// EXPLAIN ANALYZE: operator recording is active (flipped around
+    /// one request by [`Service::recommend_explained`]).
+    explain_on: AtomicBool,
+    /// Operators recorded by the explained request in execution order.
+    explain_ops: Mutex<Vec<ExplainOp>>,
+    /// The most recent rendered explain report, attached to dumps.
+    last_explain: Mutex<Option<String>>,
 }
 
 /// A long-lived, thread-safe recommendation service over one shared
@@ -581,6 +676,7 @@ impl Service {
         let stats = StatCounters::registered(obs.registry());
         let recommend_ns = obs.registry().register_histogram("service.recommend_ns");
         let exec_metrics = ExecMetrics::new(&obs);
+        let telemetry = Telemetry::from_config(&config, &obs);
         Service {
             inner: Arc::new(ServiceInner {
                 engine: SeeDb::new(db, config.seedb.clone()),
@@ -592,6 +688,10 @@ impl Service {
                 obs,
                 recommend_ns,
                 exec_metrics,
+                telemetry,
+                explain_on: AtomicBool::new(false),
+                explain_ops: Mutex::new(Vec::new()),
+                last_explain: Mutex::new(None),
             }),
         }
     }
@@ -665,7 +765,91 @@ impl Service {
         inner
             .recommend_ns
             .record(inner.obs.now_ns().saturating_sub(start_ns));
+        // Opportunistic telemetry: the serve path doubles as the
+        // sampler's scheduler, so no background thread exists and the
+        // whole pipeline stays deterministic under an injected clock.
+        inner.telemetry_tick();
         result
+    }
+
+    /// [`Service::recommend`] with EXPLAIN ANALYZE: run the request with
+    /// operator recording on and return the per-operator stats report
+    /// alongside the recommendation. On a quiescent service the
+    /// report's scan totals equal the `exec.*` registry counter deltas
+    /// exactly ([`ExplainReport::reconciles`]); the rendered report is
+    /// also attached to subsequent flight-recorder dumps.
+    ///
+    /// # Errors
+    /// Same as [`Service::recommend`].
+    pub fn recommend_explained(
+        &self,
+        analyst: &AnalystQuery,
+    ) -> DbResult<(Recommendation, ExplainReport)> {
+        let inner = &self.inner;
+        let before = inner.engine.database().cost();
+        inner.explain_ops.lock_recovered().clear();
+        inner.explain_on.store(true, Ordering::SeqCst);
+        let result = self.recommend_for_session(analyst, None);
+        inner.explain_on.store(false, Ordering::SeqCst);
+        let ops = std::mem::take(&mut *inner.explain_ops.lock_recovered());
+        let cost_delta = inner.engine.database().cost().since(&before);
+        let recommendation = result?;
+        let report = ExplainReport { ops, cost_delta };
+        *inner.last_explain.lock_recovered() = Some(report.render());
+        Ok((recommendation, report))
+    }
+
+    /// Current watchdog verdict: healthy until any rule has tripped,
+    /// plus the retained breach log. Trivially healthy (zero windows)
+    /// when telemetry is disabled.
+    pub fn health(&self) -> HealthStatus {
+        match &self.inner.telemetry {
+            Some(t) => t.watchdog.status(),
+            None => HealthStatus {
+                healthy: true,
+                windows_evaluated: 0,
+                breaches: Vec::new(),
+            },
+        }
+    }
+
+    /// Force-close a sampler window *now*, run the watchdog over it
+    /// (breaches dump like any other), and return it. `None` when
+    /// telemetry is disabled. The demo CLI's `:watch` drives this.
+    pub fn sample_window(&self) -> Option<Window> {
+        let t = self.inner.telemetry.as_ref()?;
+        let window = t.sampler.sample_now();
+        self.inner.telemetry_observe(&window);
+        Some(window)
+    }
+
+    /// The sampler's windows, oldest first (empty when telemetry is
+    /// disabled or nothing was sampled yet).
+    pub fn telemetry_windows(&self) -> Vec<Window> {
+        self.inner
+            .telemetry
+            .as_ref()
+            .map(|t| t.sampler.windows())
+            .unwrap_or_default()
+    }
+
+    /// The configured sampling interval, or `None` when telemetry is
+    /// disabled.
+    pub fn telemetry_interval(&self) -> Option<std::time::Duration> {
+        self.inner
+            .telemetry
+            .as_ref()
+            .map(|t| std::time::Duration::from_nanos(t.sampler.interval_ns()))
+    }
+
+    /// One [`Rule::describe`] line per configured watchdog rule (empty
+    /// when telemetry is disabled) — the `:health` rule catalog.
+    pub fn watchdog_rules(&self) -> Vec<String> {
+        self.inner
+            .telemetry
+            .as_ref()
+            .map(|t| t.watchdog.rules().iter().map(Rule::describe).collect())
+            .unwrap_or_default()
     }
 
     /// Recommend views for an analyst query given as SQL.
@@ -949,6 +1133,63 @@ impl ServiceInner {
         self.config.seedb.execution.workers()
     }
 
+    /// One sampler step on the serve path: if the interval elapsed (per
+    /// the injected clock), close a window and run the watchdog on it.
+    /// One atomic load when not due; nothing when telemetry is off.
+    fn telemetry_tick(&self) {
+        let Some(t) = &self.telemetry else { return };
+        if let Some(window) = t.sampler.maybe_tick() {
+            self.telemetry_observe(&window);
+        }
+    }
+
+    /// Watchdog a freshly closed window; every breach lands in the
+    /// breach log and — when a dump directory is configured — produces
+    /// a flight-recorder dump: the breach, all retained windows, the
+    /// recent traces, the config fingerprint, and the last explain
+    /// report. Dump writes are best-effort (a full disk must not fail
+    /// the serve path); successes count into `telemetry.dumps`.
+    fn telemetry_observe(&self, window: &Window) {
+        let Some(t) = &self.telemetry else { return };
+        t.windows.inc();
+        let breaches = t.watchdog.evaluate(window);
+        if breaches.is_empty() {
+            return;
+        }
+        t.breaches.add(breaches.len() as u64);
+        if let Some(recorder) = &t.recorder {
+            let windows = t.sampler.windows();
+            let traces = self.obs.tracer().recent(DUMP_TRACES);
+            let explain = self.last_explain.lock_recovered().clone();
+            for breach in &breaches {
+                if recorder
+                    .record(
+                        breach,
+                        &windows,
+                        &traces,
+                        &t.fingerprint,
+                        explain.as_deref(),
+                    )
+                    .is_ok()
+                {
+                    t.dumps.inc();
+                }
+            }
+        }
+    }
+
+    /// Record one EXPLAIN ANALYZE operator (no-op unless a
+    /// [`Service::recommend_explained`] request is in flight).
+    fn record_op(&self, label: impl Into<String>, stats: ExecStats) {
+        if !self.explain_on.load(Ordering::Relaxed) {
+            return;
+        }
+        self.explain_ops.lock_recovered().push(ExplainOp {
+            label: label.into(),
+            stats,
+        });
+    }
+
     /// The cache/batch-aware executor handed to the engine: one outcome
     /// per plan, in input order, byte-identical to a cold
     /// [`memdb::run_batch`].
@@ -993,6 +1234,9 @@ impl ServiceInner {
             if phys.is_sampled() {
                 StatCounters::add(&self.stats.bypasses, 1);
                 let result = self.engine.database().run_physical(&phys);
+                if let Ok(o) = &result {
+                    self.record_op("bypass_scan", *o.stats());
+                }
                 fill(&mut out, i, result);
                 continue;
             }
@@ -1017,7 +1261,10 @@ impl ServiceInner {
             match lookup {
                 Lookup::Hit(state) => {
                     StatCounters::add(&self.stats.hits, 1);
-                    fill(&mut out, i, Ok((*state.output).clone()));
+                    self.record_op("cache_hit", cache_only_stats(CacheOutcome::Hit));
+                    let mut output = (*state.output).clone();
+                    output.set_cache(CacheOutcome::Hit);
+                    fill(&mut out, i, Ok(output));
                 }
                 miss_or_outdated => {
                     if let Lookup::Outdated { state, version } = miss_or_outdated {
@@ -1036,7 +1283,9 @@ impl ServiceInner {
                                 delta,
                                 &probe,
                             ) {
-                                fill(&mut out, i, Ok((*output).clone()));
+                                let mut output = (*output).clone();
+                                output.set_cache(CacheOutcome::Refreshed);
+                                fill(&mut out, i, Ok(output));
                                 continue;
                             }
                         }
@@ -1069,6 +1318,7 @@ impl ServiceInner {
                     if let Some(projected) = projected {
                         StatCounters::add(&self.stats.hits, 1);
                         StatCounters::add(&self.stats.projection_hits, 1);
+                        self.record_op("projection_hit", cache_only_stats(CacheOutcome::Hit));
                         let result = self
                             .finalize_and_cache(
                                 &fingerprint,
@@ -1077,7 +1327,11 @@ impl ServiceInner {
                                 &phys,
                                 Arc::new(projected),
                             )
-                            .map(|output| (*output).clone());
+                            .map(|output| {
+                                let mut output = (*output).clone();
+                                output.set_cache(CacheOutcome::Hit);
+                                output
+                            });
                         fill(&mut out, i, result);
                         continue;
                     }
@@ -1122,7 +1376,15 @@ impl ServiceInner {
                             "batch result missing for submitted plan".to_string(),
                         ))
                     });
-                fill(&mut out, m.index, result.map(|output| (*output).clone()));
+                fill(
+                    &mut out,
+                    m.index,
+                    result.map(|output| {
+                        let mut output = (*output).clone();
+                        output.set_cache(CacheOutcome::Miss);
+                        output
+                    }),
+                );
             }
         }
 
@@ -1261,6 +1523,13 @@ impl ServiceInner {
             }
         };
         self.engine.database().record_stats(&scan_stats(&combined));
+        self.record_op(
+            format!("batch_scan({} plans)", batch.len()),
+            ExecStats {
+                cache: CacheOutcome::Miss,
+                ..scan_stats(&combined)
+            },
+        );
         StatCounters::add(&self.stats.batch_scans, 1);
         StatCounters::add(&self.stats.batched_plans, batch.len() as u64);
 
@@ -1300,6 +1569,13 @@ impl ServiceInner {
         )?;
         drop(scan_span);
         self.engine.database().record_stats(&scan_stats(&partial));
+        self.record_op(
+            "scan",
+            ExecStats {
+                cache: CacheOutcome::Miss,
+                ..scan_stats(&partial)
+            },
+        );
         self.finalize_and_cache(
             &phys.fingerprint(),
             source_key(phys),
@@ -1333,6 +1609,7 @@ impl ServiceInner {
             // A version bump without new rows (empty append): the state
             // is already exact — re-stamp it without any scan.
             StatCounters::add(&self.stats.refreshes, 1);
+            self.record_op("refresh_restamp", cache_only_stats(CacheOutcome::Refreshed));
             if self.config.cache_capacity > 0 {
                 let evicted = self.cache.lock_recovered().insert(
                     fingerprint.to_string(),
@@ -1353,6 +1630,13 @@ impl ServiceInner {
             let mut merged = (*state.partial).clone();
             merged.merge(delta_state, table)?;
             self.engine.database().record_stats(&delta_stats);
+            self.record_op(
+                "refresh",
+                ExecStats {
+                    cache: CacheOutcome::Refreshed,
+                    ..delta_stats
+                },
+            );
             Ok(merged)
         })();
         match merged {

@@ -647,6 +647,20 @@ mod tests {
     fn wallclock_fires_in_obs_except_the_clock_shim() {
         let f = SourceFile::parse("crates/obs/src/trace.rs", "use std::time::Instant;\n");
         assert_eq!(no_wallclock_in_plan(&f).len(), 1);
+        // The telemetry pipeline (sampler windows, watchdog rules,
+        // flight-recorder dumps) must tick on the injected Clock only —
+        // a wall read there would make sampled windows and dump bytes
+        // non-replayable under the soak's virtual clock.
+        let f = SourceFile::parse(
+            "crates/obs/src/timeseries.rs",
+            "fn tick() { let t = Instant::now(); }\n",
+        );
+        assert_eq!(no_wallclock_in_plan(&f).len(), 1);
+        let f = SourceFile::parse(
+            "crates/obs/src/watchdog.rs",
+            "fn stamp() { let t = SystemTime::now(); }\n",
+        );
+        assert_eq!(no_wallclock_in_plan(&f).len(), 1);
         let f = SourceFile::parse("crates/obs/src/clock.rs", "use std::time::Instant;\n");
         assert!(no_wallclock_in_plan(&f).is_empty());
     }
@@ -663,6 +677,17 @@ mod tests {
         assert!(run("fn f() { r.register_counter(name); }").is_empty());
         // Unrelated calls with string args are not metric names.
         assert!(run("fn f() { r.register(\"NOT A METRIC\"); }").is_empty());
+        // The telemetry pipeline's own instruments follow the same
+        // convention (these are the literal names the service
+        // registers).
+        assert!(run("fn f() { r.register_counter(\"telemetry.windows\"); \
+             r.register_counter(\"telemetry.breaches\"); \
+             r.register_counter(\"telemetry.dumps\"); }")
+        .is_empty());
+        assert_eq!(
+            run("fn f() { r.register_counter(\"telemetry.Dumps\"); }").len(),
+            1
+        );
     }
 
     #[test]

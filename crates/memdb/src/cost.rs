@@ -101,6 +101,7 @@ mod tests {
             table_scans: scans,
             groups_emitted: groups,
             elapsed: Duration::ZERO,
+            ..ExecStats::default()
         }
     }
 

@@ -265,25 +265,72 @@ impl ResultSet {
     }
 }
 
+/// How the serving layer's cache treated the execution (stamped by the
+/// cache above the engine; plain engine executions stay [`Uncached`]).
+///
+/// [`Uncached`]: CacheOutcome::Uncached
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// No cache probe — direct engine execution.
+    #[default]
+    Uncached,
+    /// Served from a cached state without touching the table.
+    Hit,
+    /// A cached state was brought current by scanning only delta rows.
+    Refreshed,
+    /// Probe missed: computed by a fresh scan (and cached).
+    Miss,
+}
+
+impl std::fmt::Display for CacheOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CacheOutcome::Uncached => "uncached",
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Refreshed => "refreshed",
+            CacheOutcome::Miss => "miss",
+        })
+    }
+}
+
 /// Per-execution cost figures.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExecStats {
     /// Rows in the scan domain (full table, or sample size).
     pub rows_scanned: u64,
+    /// Rows surviving the scan-level filter (≤ `rows_scanned`).
+    pub rows_matched: u64,
     /// Table scans performed (1 per execution — shared scans are the point).
     pub table_scans: u64,
     /// Total groups emitted across all grouping sets.
     pub groups_emitted: u64,
+    /// Partition tasks that contributed (1 for a single-threaded scan;
+    /// the worker count after a partitioned merge).
+    pub partitions: u64,
+    /// Time spent merging partial states, per the injected clock (0 for
+    /// single-partition executions).
+    pub merge_ns: u64,
+    /// Cache probe outcome for the request this execution served.
+    pub cache: CacheOutcome,
     /// Wall-clock time.
     pub elapsed: Duration,
 }
 
 impl ExecStats {
-    /// Accumulate another execution's stats into this one.
+    /// Accumulate another execution's stats into this one. Numeric
+    /// fields sum; the cache outcome is adopted from `other` only if
+    /// this side hasn't recorded one (merged partitions of one request
+    /// share a single probe).
     pub fn merge(&mut self, other: &ExecStats) {
         self.rows_scanned += other.rows_scanned;
+        self.rows_matched += other.rows_matched;
         self.table_scans += other.table_scans;
         self.groups_emitted += other.groups_emitted;
+        self.partitions += other.partitions;
+        self.merge_ns += other.merge_ns;
+        if self.cache == CacheOutcome::Uncached {
+            self.cache = other.cache;
+        }
         self.elapsed += other.elapsed;
     }
 }
@@ -406,6 +453,7 @@ pub fn execute_ranged(
         ));
     }
     let (rows, scanned) = scan_domain(table, q.filter.as_ref(), q.sample.as_ref(), row_range)?;
+    let matched = rows.len() as u64;
     let grouped = aggregate::aggregate_scan(table, &rows, &group_cols, &aggs)?;
     let groups = grouped.num_groups() as u64;
     let result = grouped_to_result(&q.group_by, &q.aggregates, grouped);
@@ -413,9 +461,12 @@ pub fn execute_ranged(
         result,
         stats: ExecStats {
             rows_scanned: scanned,
+            rows_matched: matched,
             table_scans: 1,
             groups_emitted: groups,
+            partitions: 1,
             elapsed: start.elapsed(),
+            ..ExecStats::default()
         },
     })
 }
@@ -463,14 +514,18 @@ pub(crate) fn execute_partial_ranged(
         ));
     }
     let (rows, scanned) = scan_domain(table, q.filter.as_ref(), None, row_range)?;
+    let matched = rows.len() as u64;
     let accs = aggregate::grouping_sets_scan_partial(table, &rows, &[group_cols], &aggs)?;
     Ok(RawPartial {
         accs,
         stats: ExecStats {
             rows_scanned: scanned,
+            rows_matched: matched,
             table_scans: 1,
             groups_emitted: 0,
+            partitions: 1,
             elapsed: start.elapsed(),
+            ..ExecStats::default()
         },
     })
 }
@@ -497,14 +552,18 @@ pub(crate) fn execute_sets_partial_ranged(
         .collect::<DbResult<_>>()?;
     let aggs = resolve_aggs(table, &q.aggregates)?;
     let (rows, scanned) = scan_domain(table, q.filter.as_ref(), None, row_range)?;
+    let matched = rows.len() as u64;
     let accs = aggregate::grouping_sets_scan_partial(table, &rows, &sets, &aggs)?;
     Ok(RawPartial {
         accs,
         stats: ExecStats {
             rows_scanned: scanned,
+            rows_matched: matched,
             table_scans: 1,
             groups_emitted: 0,
+            partitions: 1,
             elapsed: start.elapsed(),
+            ..ExecStats::default()
         },
     })
 }
@@ -538,6 +597,7 @@ pub fn execute_sets_ranged(
         .collect::<DbResult<_>>()?;
     let aggs = resolve_aggs(table, &q.aggregates)?;
     let (rows, scanned) = scan_domain(table, q.filter.as_ref(), q.sample.as_ref(), row_range)?;
+    let matched = rows.len() as u64;
     let grouped = aggregate::grouping_sets_scan(table, &rows, &sets, &aggs)?;
     let groups: u64 = grouped.iter().map(|g| g.num_groups() as u64).sum();
     let results = q
@@ -550,9 +610,12 @@ pub fn execute_sets_ranged(
         results,
         stats: ExecStats {
             rows_scanned: scanned,
+            rows_matched: matched,
             table_scans: 1,
             groups_emitted: groups,
+            partitions: 1,
             elapsed: start.elapsed(),
+            ..ExecStats::default()
         },
     })
 }
@@ -704,20 +767,62 @@ mod tests {
     fn stats_merge_accumulates() {
         let mut a = ExecStats {
             rows_scanned: 10,
+            rows_matched: 8,
             table_scans: 1,
             groups_emitted: 3,
+            partitions: 1,
+            merge_ns: 100,
+            cache: CacheOutcome::Uncached,
             elapsed: Duration::from_millis(5),
         };
         let b = ExecStats {
             rows_scanned: 20,
+            rows_matched: 15,
             table_scans: 2,
             groups_emitted: 4,
+            partitions: 1,
+            merge_ns: 50,
+            cache: CacheOutcome::Miss,
             elapsed: Duration::from_millis(7),
         };
         a.merge(&b);
         assert_eq!(a.rows_scanned, 30);
+        assert_eq!(a.rows_matched, 23);
         assert_eq!(a.table_scans, 3);
         assert_eq!(a.groups_emitted, 7);
+        assert_eq!(a.partitions, 2);
+        assert_eq!(a.merge_ns, 150);
+        assert_eq!(a.cache, CacheOutcome::Miss);
         assert_eq!(a.elapsed, Duration::from_millis(12));
+    }
+
+    #[test]
+    fn stats_merge_keeps_existing_cache_outcome() {
+        let mut a = ExecStats {
+            cache: CacheOutcome::Hit,
+            ..ExecStats::default()
+        };
+        let b = ExecStats {
+            cache: CacheOutcome::Miss,
+            ..ExecStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.cache, CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn execute_reports_rows_matched_under_filter() {
+        let t = sales();
+        let q = Query::aggregate(
+            "sales",
+            vec!["store"],
+            vec![AggSpec::new(AggFunc::Sum, "amount")],
+        )
+        .with_filter(Expr::col("product").eq("Laserwave"));
+        let out = execute(&t, &q).unwrap();
+        assert_eq!(out.stats.rows_scanned, 4);
+        assert_eq!(out.stats.rows_matched, 2);
+        assert_eq!(out.stats.partitions, 1);
+        assert_eq!(out.stats.cache, CacheOutcome::Uncached);
     }
 }

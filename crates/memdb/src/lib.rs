@@ -80,8 +80,8 @@ pub use column::{Column, StrDict};
 pub use cost::{CostCounters, CostSnapshot};
 pub use error::{DbError, DbResult};
 pub use exec::{
-    AggFunc, AggSpec, AggState, ExactSum, ExecStats, Query, QueryOutput, ResultSet, SetsOutput,
-    SetsQuery,
+    AggFunc, AggSpec, AggState, CacheOutcome, ExactSum, ExecStats, Query, QueryOutput, ResultSet,
+    SetsOutput, SetsQuery,
 };
 pub use expr::{CmpOp, Expr};
 pub use metrics::{ExecMetrics, StoreMetrics};

@@ -15,6 +15,8 @@ use seedb_obs::{Clock, Counter, Gauge, Histogram, Obs};
 /// Handles the partitioned executor updates ([`crate::parallel`]).
 #[derive(Debug, Clone)]
 pub struct ExecMetrics {
+    /// The injected clock merge time is measured on.
+    pub(crate) clock: Arc<dyn Clock>,
     /// `exec.partial_partitions`: partition tasks fanned out.
     pub partial_partitions: Counter,
     /// `exec.partial_merges`: partial-state merges performed.
@@ -26,6 +28,7 @@ impl ExecMetrics {
     pub fn new(obs: &Obs) -> ExecMetrics {
         let r = obs.registry();
         ExecMetrics {
+            clock: obs.clock().clone(),
             partial_partitions: r.register_counter("exec.partial_partitions"),
             partial_merges: r.register_counter("exec.partial_merges"),
         }

@@ -178,6 +178,7 @@ pub fn run_partitioned_partial_obs(
     });
     let merge_span = span.child("merge");
     merge_span.attr("partitions", workers);
+    let merge_start = metrics.map(|m| m.clock.now_ns());
     let mut merged: Option<PartialAggState> = None;
     for partial in partials {
         let partial = partial?;
@@ -191,7 +192,11 @@ pub fn run_partitioned_partial_obs(
             }
         }
     }
-    Ok(merged.expect("at least one partition"))
+    let mut merged = merged.expect("at least one partition");
+    if let (Some(m), Some(t0)) = (metrics, merge_start) {
+        merged.add_merge_ns(m.clock.now_ns().saturating_sub(t0));
+    }
+    Ok(merged)
 }
 
 /// Execute a single plan with intra-plan parallelism: the scan is split

@@ -549,6 +549,12 @@ impl PartialAggState {
         &self.stats
     }
 
+    /// Add merge time (per the injected clock) to this state's stats —
+    /// stamped by the partitioned runner around its merge loop.
+    pub(crate) fn add_merge_ns(&mut self, ns: u64) {
+        self.stats.merge_ns += ns;
+    }
+
     /// Project this state onto `plan`'s grouping set(s) and aggregates,
     /// yielding the partial state a standalone execution of `plan` over
     /// the *same scan source* would have produced.
@@ -694,6 +700,14 @@ impl PlanOutput {
             PlanOutput::Aggregate(o) => &mut o.stats,
             PlanOutput::GroupingSets(o) => &mut o.stats,
         }
+    }
+
+    /// Stamp the cache probe outcome this output was served under. The
+    /// serving layer calls this on the per-request copy — a memoized
+    /// cached output stays [`CacheOutcome::Uncached`](crate::exec::CacheOutcome::Uncached) so each request
+    /// reports its own probe.
+    pub fn set_cache(&mut self, outcome: crate::exec::CacheOutcome) {
+        self.stats_mut().cache = outcome;
     }
 
     /// Wall time the query itself took (excluding queue wait).

@@ -39,7 +39,9 @@
 
 pub mod clock;
 pub mod registry;
+pub mod timeseries;
 pub mod trace;
+pub mod watchdog;
 
 use std::sync::Arc;
 
@@ -48,7 +50,9 @@ pub use registry::{
     is_valid_name, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
     HISTOGRAM_BUCKETS,
 };
+pub use timeseries::{Sampler, SamplerConfig, Window};
 pub use trace::{format_ns, Span, SpanRecord, TraceData, Tracer};
+pub use watchdog::{Breach, FlightRecorder, HealthStatus, Rule, RuleKind, Watchdog};
 
 /// Finished traces kept per tracer ring (recent requests only — this
 /// is a debugging window, not a log).
@@ -95,6 +99,12 @@ impl Obs {
     /// The trace recorder.
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// A [`Sampler`] over this bundle's registry, timed by its clock —
+    /// the telemetry time-series entry point.
+    pub fn sampler(&self, config: SamplerConfig) -> Sampler {
+        Sampler::new(self.clock.clone(), self.registry.clone(), config)
     }
 }
 

@@ -1,0 +1,468 @@
+//! Telemetry time-series: windowed sampling over the metrics registry.
+//!
+//! A [`Sampler`] snapshots a [`Registry`] on the injected [`Clock`] at a
+//! configurable interval and keeps a bounded ring of [`Window`]s. Each
+//! window carries *deltas*, not totals: counter diffs, gauge last
+//! values, and histogram bucket diffs (so windowed p50/p99 come from
+//! exactly the samples recorded inside the window). Because both the
+//! clock and the registry are injectable, the soak harness replays a
+//! seed and gets a byte-identical time-series export — the property the
+//! watchdog's flight-recorder dumps inherit.
+//!
+//! Sampling is pull-based: there is no thread. Callers either drive
+//! [`Sampler::sample_now`] explicitly (the demo CLI's `:watch`) or call
+//! the cheap [`Sampler::maybe_tick`] from a hot path — one relaxed
+//! atomic load deciding whether the interval elapsed.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use crate::clock::Clock;
+use crate::registry::{HistogramSnapshot, MetricsSnapshot, Registry};
+
+/// Recover a poisoned guard (the state is plain data; a panicking
+/// holder cannot tear it).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Sampler knobs: how often to cut a window and how many to keep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplerConfig {
+    /// Minimum nanoseconds between automatic samples
+    /// ([`Sampler::maybe_tick`]); explicit [`Sampler::sample_now`] calls
+    /// ignore it. Zero samples on every tick.
+    pub interval_ns: u64,
+    /// Windows retained in the ring (oldest evicted first).
+    pub capacity: usize,
+}
+
+impl SamplerConfig {
+    /// Production defaults: one-second windows, 64 retained.
+    pub fn recommended() -> Self {
+        SamplerConfig {
+            interval_ns: 1_000_000_000,
+            capacity: 64,
+        }
+    }
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        SamplerConfig::recommended()
+    }
+}
+
+/// One sampled window: per-instrument deltas between two registry
+/// snapshots, stamped with the clock values that bracket them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Window {
+    /// Clock value when the previous sample was taken.
+    pub start_ns: u64,
+    /// Clock value when this sample was taken.
+    pub end_ns: u64,
+    /// Counter deltas over the window (every registered counter).
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values at window end (gauges are last-value-wins).
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram bucket diffs: exactly the samples recorded inside the
+    /// window, so percentiles are windowed, not cumulative.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Window {
+    /// Window length (saturating).
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Counter delta for `name` (0 if unregistered).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value at window end (0 if unregistered).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Counter rate: events per second of window time (0 for an empty
+    /// or zero-length window).
+    pub fn rate_per_sec(&self, name: &str) -> f64 {
+        let d = self.duration_ns();
+        if d == 0 {
+            return 0.0;
+        }
+        self.counter(name) as f64 * 1e9 / d as f64
+    }
+
+    /// Windowed nearest-rank percentile of histogram `name` (0 if the
+    /// histogram is unregistered or recorded nothing this window).
+    pub fn percentile(&self, name: &str, q: f64) -> u64 {
+        self.histograms.get(name).map_or(0, |h| h.percentile(q))
+    }
+
+    /// `a / (a + b)` over two counter deltas — `None` when neither
+    /// moved (callers decide how an idle window reads).
+    pub fn ratio(&self, a: &str, b: &str) -> Option<f64> {
+        let (a, b) = (self.counter(a), self.counter(b));
+        let total = a + b;
+        if total == 0 {
+            None
+        } else {
+            Some(a as f64 / total as f64)
+        }
+    }
+
+    /// Deterministic single-line JSON: alphabetical keys at every
+    /// level. Two equal windows render byte-identically.
+    pub fn to_json(&self) -> String {
+        let counters: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(k, v)| format!("{k:?}: {v}"))
+            .collect();
+        let gauges: Vec<String> = self
+            .gauges
+            .iter()
+            .map(|(k, v)| format!("{k:?}: {v}"))
+            .collect();
+        let histograms: Vec<String> = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                format!(
+                    "{k:?}: {{\"count\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"sum\": {}}}",
+                    h.count,
+                    h.percentile(0.50),
+                    h.percentile(0.90),
+                    h.percentile(0.99),
+                    h.sum
+                )
+            })
+            .collect();
+        format!(
+            "{{\"counters\": {{{}}}, \"end_ns\": {}, \"gauges\": {{{}}}, \
+             \"histograms\": {{{}}}, \"start_ns\": {}}}",
+            counters.join(", "),
+            self.end_ns,
+            gauges.join(", "),
+            histograms.join(", "),
+            self.start_ns,
+        )
+    }
+}
+
+/// Mutable sampler state behind one mutex: the previous snapshot the
+/// next window diffs against, and the ring of finished windows.
+#[derive(Debug)]
+struct SamplerState {
+    last: MetricsSnapshot,
+    last_ns: u64,
+    windows: VecDeque<Window>,
+}
+
+/// The registry sampler: cuts [`Window`]s of per-instrument deltas on
+/// the injected clock and keeps the most recent `capacity` of them.
+#[derive(Debug)]
+pub struct Sampler {
+    clock: Arc<dyn Clock>,
+    registry: Arc<Registry>,
+    interval_ns: u64,
+    capacity: usize,
+    /// Next clock value at which [`Sampler::maybe_tick`] fires — the
+    /// only thing the hot path reads.
+    next_due_ns: AtomicU64,
+    state: Mutex<SamplerState>,
+}
+
+impl Sampler {
+    /// A sampler over `registry`, timed by `clock`, with the baseline
+    /// snapshot taken now (the first window's deltas start here).
+    pub fn new(clock: Arc<dyn Clock>, registry: Arc<Registry>, config: SamplerConfig) -> Sampler {
+        let now = clock.now_ns();
+        let last = registry.snapshot();
+        Sampler {
+            clock,
+            registry,
+            interval_ns: config.interval_ns,
+            capacity: config.capacity.max(1),
+            next_due_ns: AtomicU64::new(now.saturating_add(config.interval_ns)),
+            state: Mutex::new(SamplerState {
+                last,
+                last_ns: now,
+                windows: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// The configured sampling interval.
+    pub fn interval_ns(&self) -> u64 {
+        self.interval_ns
+    }
+
+    /// Cut a window now if the interval has elapsed; the fast path is
+    /// one atomic load and a compare.
+    pub fn maybe_tick(&self) -> Option<Window> {
+        if self.clock.now_ns() < self.next_due_ns.load(Ordering::Relaxed) {
+            return None;
+        }
+        Some(self.sample_now())
+    }
+
+    /// Cut a window now regardless of the interval: snapshot the
+    /// registry, diff against the previous snapshot, push the window
+    /// into the ring (evicting the oldest past capacity), and return it.
+    pub fn sample_now(&self) -> Window {
+        let mut state = lock(&self.state);
+        let now = self.clock.now_ns().max(state.last_ns);
+        let snap = self.registry.snapshot();
+        let window = diff_window(&state.last, &snap, state.last_ns, now);
+        state.last = snap;
+        state.last_ns = now;
+        if state.windows.len() >= self.capacity {
+            state.windows.pop_front();
+        }
+        state.windows.push_back(window.clone());
+        self.next_due_ns
+            .store(now.saturating_add(self.interval_ns), Ordering::Relaxed);
+        window
+    }
+
+    /// All retained windows, oldest first.
+    pub fn windows(&self) -> Vec<Window> {
+        lock(&self.state).windows.iter().cloned().collect()
+    }
+
+    /// The most recently cut window.
+    pub fn latest(&self) -> Option<Window> {
+        lock(&self.state).windows.back().cloned()
+    }
+
+    /// Retained window count.
+    pub fn len(&self) -> usize {
+        lock(&self.state).windows.len()
+    }
+
+    /// True when no window has been cut yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Deterministic export: interval plus every retained window,
+    /// oldest first. Same clock script over the same registry ⇒
+    /// byte-identical output.
+    pub fn to_json(&self) -> String {
+        let state = lock(&self.state);
+        let windows: Vec<String> = state
+            .windows
+            .iter()
+            .map(|w| format!("    {}", w.to_json()))
+            .collect();
+        format!(
+            "{{\n  \"interval_ns\": {},\n  \"windows\": [\n{}\n  ]\n}}\n",
+            self.interval_ns,
+            windows.join(",\n"),
+        )
+    }
+}
+
+/// Diff two registry snapshots into a window. Counters and histogram
+/// buckets subtract (saturating, so a restarted incarnation's fresh
+/// registry reads as zeros, never underflow); gauges carry the new
+/// value.
+fn diff_window(old: &MetricsSnapshot, new: &MetricsSnapshot, start_ns: u64, end_ns: u64) -> Window {
+    let counters = new
+        .counters
+        .iter()
+        .map(|(k, &v)| {
+            let prev = old.counters.get(k).copied().unwrap_or(0);
+            (k.clone(), v.saturating_sub(prev))
+        })
+        .collect();
+    let gauges = new.gauges.iter().map(|(k, &v)| (k.clone(), v)).collect();
+    let histograms = new
+        .histograms
+        .iter()
+        .map(|(k, h)| {
+            let diffed = match old.histograms.get(k) {
+                Some(prev) => HistogramSnapshot {
+                    count: h.count.saturating_sub(prev.count),
+                    sum: h.sum.saturating_sub(prev.sum),
+                    buckets: h
+                        .buckets
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &b)| b.saturating_sub(prev.buckets.get(i).copied().unwrap_or(0)))
+                        .collect(),
+                },
+                None => h.clone(),
+            };
+            (k.clone(), diffed)
+        })
+        .collect();
+    Window {
+        start_ns,
+        end_ns,
+        counters,
+        gauges,
+        histograms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    fn sampler(interval_ns: u64, capacity: usize) -> (Arc<ManualClock>, Arc<Registry>, Sampler) {
+        let clock = Arc::new(ManualClock::new());
+        let registry = Arc::new(Registry::new());
+        let s = Sampler::new(
+            clock.clone(),
+            registry.clone(),
+            SamplerConfig {
+                interval_ns,
+                capacity,
+            },
+        );
+        (clock, registry, s)
+    }
+
+    #[test]
+    fn windows_carry_deltas_not_totals() {
+        let (clock, registry, s) = sampler(100, 8);
+        let c = registry.register_counter("t.hits");
+        let g = registry.register_gauge("t.pending");
+        let h = registry.register_histogram("t.lat_ns");
+        c.add(5);
+        g.set(70);
+        h.record(100);
+        h.record(100);
+        clock.set_ns(100);
+        let w1 = s.sample_now();
+        assert_eq!((w1.start_ns, w1.end_ns), (0, 100));
+        assert_eq!(w1.counter("t.hits"), 5);
+        assert_eq!(w1.gauge("t.pending"), 70);
+        assert_eq!(w1.histograms["t.lat_ns"].count, 2);
+        assert_eq!(w1.percentile("t.lat_ns", 0.5), 127);
+
+        c.add(3);
+        g.set(40);
+        h.record(4000);
+        clock.set_ns(200);
+        let w2 = s.sample_now();
+        assert_eq!(w2.counter("t.hits"), 3, "delta, not running total");
+        assert_eq!(w2.gauge("t.pending"), 40, "gauges carry the last value");
+        assert_eq!(w2.histograms["t.lat_ns"].count, 1);
+        assert_eq!(
+            w2.percentile("t.lat_ns", 0.5),
+            4095,
+            "windowed percentile sees only this window's sample"
+        );
+        assert_eq!(s.windows().len(), 2);
+    }
+
+    #[test]
+    fn rates_and_ratios() {
+        let (clock, registry, s) = sampler(0, 4);
+        let hits = registry.register_counter("t.hits");
+        let misses = registry.register_counter("t.misses");
+        hits.add(30);
+        misses.add(10);
+        clock.set_ns(2_000_000_000);
+        let w = s.sample_now();
+        assert!((w.rate_per_sec("t.hits") - 15.0).abs() < 1e-9);
+        assert_eq!(w.ratio("t.hits", "t.misses"), Some(0.75));
+        assert_eq!(w.ratio("t.none", "t.nada"), None);
+        let idle = s.sample_now();
+        assert_eq!(idle.rate_per_sec("t.hits"), 0.0, "zero-length window");
+    }
+
+    #[test]
+    fn maybe_tick_respects_the_interval() {
+        let (clock, registry, s) = sampler(100, 4);
+        registry.register_counter("t.c").inc();
+        clock.set_ns(99);
+        assert!(s.maybe_tick().is_none(), "interval not yet elapsed");
+        clock.set_ns(100);
+        assert!(s.maybe_tick().is_some());
+        assert!(s.maybe_tick().is_none(), "rearmed at now + interval");
+        clock.set_ns(200);
+        assert!(s.maybe_tick().is_some());
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let (clock, registry, s) = sampler(0, 2);
+        let c = registry.register_counter("t.c");
+        for i in 1..=4u64 {
+            c.inc();
+            clock.set_ns(i * 10);
+            s.sample_now();
+        }
+        let windows = s.windows();
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].end_ns, 30, "oldest evicted first");
+        assert_eq!(windows[1].end_ns, 40);
+        assert_eq!(s.latest().map(|w| w.end_ns), Some(40));
+    }
+
+    #[test]
+    fn fresh_registry_after_restart_reads_as_zero_not_underflow() {
+        // The soak banks per-incarnation registries; a window diffed
+        // against a larger previous snapshot must saturate at zero.
+        let old = MetricsSnapshot {
+            counters: [("t.c".to_string(), 100)].into_iter().collect(),
+            ..MetricsSnapshot::default()
+        };
+        let new = MetricsSnapshot {
+            counters: [("t.c".to_string(), 3)].into_iter().collect(),
+            ..MetricsSnapshot::default()
+        };
+        let w = diff_window(&old, &new, 0, 1);
+        assert_eq!(w.counter("t.c"), 0);
+    }
+
+    #[test]
+    fn export_is_deterministic_for_the_same_clock_script() {
+        let run = || {
+            let (clock, registry, s) = sampler(50, 8);
+            let c = registry.register_counter("t.hits");
+            let h = registry.register_histogram("t.lat_ns");
+            let g = registry.register_gauge("t.pending");
+            for step in 1..=5u64 {
+                c.add(step);
+                h.record(step * 100);
+                g.set(step * 7);
+                clock.set_ns(step * 50);
+                s.sample_now();
+            }
+            s.to_json()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same clock script ⇒ byte-identical export");
+        assert!(a.contains("\"interval_ns\": 50"));
+        assert!(a.contains("\"t.hits\""));
+    }
+
+    #[test]
+    fn window_json_has_sorted_keys_and_parses() {
+        let (clock, registry, s) = sampler(0, 4);
+        registry.register_counter("z.last").inc();
+        registry.register_counter("a.first").inc();
+        registry.register_gauge("m.level").set(9);
+        registry.register_histogram("q.lat").record(3);
+        clock.set_ns(10);
+        let json = s.sample_now().to_json();
+        let a = json.find("\"a.first\"").expect("a.first present");
+        let z = json.find("\"z.last\"").expect("z.last present");
+        assert!(a < z, "counters sorted");
+        assert!(json.contains("\"m.level\": 9"));
+        assert!(json.contains("\"start_ns\": 0"));
+        assert!(json.contains("\"end_ns\": 10"));
+    }
+}

@@ -295,6 +295,14 @@ impl Tracer {
             .cloned()
     }
 
+    /// The most recent up-to-`n` finished traces, oldest first — what
+    /// the flight recorder attaches to a dump.
+    pub fn recent(&self, n: usize) -> Vec<TraceData> {
+        let ring = lock(&self.ring);
+        let skip = ring.len().saturating_sub(n);
+        ring.iter().skip(skip).cloned().collect()
+    }
+
     /// Drop every finished trace.
     pub fn clear(&self) {
         lock(&self.ring).clear();
@@ -381,6 +389,24 @@ mod tests {
         );
         tracer.clear();
         assert!(tracer.last().is_none());
+    }
+
+    #[test]
+    fn recent_returns_oldest_first_and_caps_at_n() {
+        let (_clock, tracer) = manual_tracer(4);
+        for i in 0..3 {
+            let root = tracer.root_span("r");
+            root.attr("session", i);
+            drop(root);
+        }
+        let all = tracer.recent(8);
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0].root_attr("session"), Some("0"));
+        assert_eq!(all[2].root_attr("session"), Some("2"));
+        let last_two = tracer.recent(2);
+        assert_eq!(last_two.len(), 2);
+        assert_eq!(last_two[0].root_attr("session"), Some("1"));
+        assert!(tracer.recent(0).is_empty());
     }
 
     #[test]

@@ -1,0 +1,614 @@
+//! Health watchdog: declarative rules over sampler windows, with
+//! flight-recorder dumps on breach.
+//!
+//! A [`Watchdog`] holds a catalog of [`Rule`]s — each names the metric
+//! it watches and the bound it enforces — and evaluates every new
+//! [`Window`] the sampler cuts. A tripped rule yields a [`Breach`];
+//! the serving layer feeds breaches to a [`FlightRecorder`], which
+//! atomically writes a dump (the breach, the surrounding metric
+//! windows, the last N trace spans, and the service config fingerprint)
+//! using the store's tmp → fsync → rename idiom, so a half-written
+//! dump is never visible.
+//!
+//! Everything is deterministic given deterministic inputs: windows are
+//! diffs on the injected clock, dump filenames derive from the rule
+//! name and window end, and dump JSON has sorted keys — the soak
+//! harness replays a seed and gets byte-identical dumps.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use crate::timeseries::Window;
+use crate::trace::TraceData;
+
+/// Breaches retained in the watchdog's in-memory log (oldest evicted
+/// first) — a debugging window, like the trace ring.
+pub const BREACH_LOG_CAPACITY: usize = 64;
+
+/// Recover a poisoned guard (plain data; a panicking holder cannot
+/// tear it).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// What a rule watches and the bound it enforces, evaluated once per
+/// sampler window.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuleKind {
+    /// Windowed p99 of `histogram` exceeds `bound_ns`.
+    P99Above {
+        /// Histogram metric name (e.g. `service.recommend_ns`).
+        histogram: String,
+        /// Inclusive p99 bound in nanoseconds.
+        bound_ns: u64,
+    },
+    /// `hits / (hits + misses)` over the window falls below `floor`.
+    /// Windows with fewer than `min_events` probes are skipped — a
+    /// near-idle window proves nothing about the cache.
+    HitRateBelow {
+        /// Hit-counter metric name.
+        hits: String,
+        /// Miss-counter metric name.
+        misses: String,
+        /// Minimum acceptable hit rate in `[0, 1]`.
+        floor: f64,
+        /// Minimum probes per window for the rule to apply.
+        min_events: u64,
+    },
+    /// Gauge `gauge` strictly grew for `windows` consecutive windows —
+    /// the backlog-never-drains signal (WAL bytes pending checkpoint).
+    MonotonicGrowth {
+        /// Gauge metric name.
+        gauge: String,
+        /// Consecutive strictly-increasing windows that trip the rule.
+        windows: usize,
+    },
+    /// Counter `counter` moved more than `max_per_window` inside one
+    /// window — the spike signal (refresh fallbacks).
+    CounterSpike {
+        /// Counter metric name.
+        counter: String,
+        /// Maximum acceptable delta per window.
+        max_per_window: u64,
+    },
+}
+
+/// One watchdog rule: a stable kebab-case name (used in breach logs and
+/// dump filenames) plus the condition it enforces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Stable identifier (`latency-p99`, `cache-hit-rate`, …); becomes
+    /// part of the dump filename, so keep it path-safe.
+    pub name: String,
+    /// The condition.
+    pub kind: RuleKind,
+}
+
+impl Rule {
+    /// A named rule.
+    pub fn new(name: impl Into<String>, kind: RuleKind) -> Rule {
+        Rule {
+            name: name.into(),
+            kind,
+        }
+    }
+
+    /// One-line human description for catalogs (`:health`, README).
+    pub fn describe(&self) -> String {
+        match &self.kind {
+            RuleKind::P99Above {
+                histogram,
+                bound_ns,
+            } => {
+                format!("{}: window p99 of {histogram} > {bound_ns}ns", self.name)
+            }
+            RuleKind::HitRateBelow {
+                hits,
+                misses,
+                floor,
+                min_events,
+            } => format!(
+                "{}: {hits}/({hits}+{misses}) < {floor:.2} (min {min_events} events)",
+                self.name
+            ),
+            RuleKind::MonotonicGrowth { gauge, windows } => {
+                format!("{}: {gauge} grew {windows} consecutive windows", self.name)
+            }
+            RuleKind::CounterSpike {
+                counter,
+                max_per_window,
+            } => format!("{}: {counter} > {max_per_window} in one window", self.name),
+        }
+    }
+}
+
+/// One tripped rule, stamped with the window that tripped it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Breach {
+    /// The tripped rule's name.
+    pub rule: String,
+    /// Human-readable detail: observed value vs bound.
+    pub detail: String,
+    /// Start of the breaching window.
+    pub window_start_ns: u64,
+    /// End of the breaching window.
+    pub window_end_ns: u64,
+}
+
+impl Breach {
+    /// Deterministic single-line JSON with alphabetical keys.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"detail\": {:?}, \"rule\": {:?}, \"window_end_ns\": {}, \
+             \"window_start_ns\": {}}}",
+            self.detail, self.rule, self.window_end_ns, self.window_start_ns,
+        )
+    }
+}
+
+impl std::fmt::Display for Breach {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] {} (window {}..{}ns)",
+            self.rule, self.detail, self.window_start_ns, self.window_end_ns
+        )
+    }
+}
+
+/// Point-in-time watchdog verdict, surfaced by `Service::health()`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthStatus {
+    /// True while no rule has ever tripped.
+    pub healthy: bool,
+    /// Windows evaluated so far.
+    pub windows_evaluated: u64,
+    /// The retained breach log, oldest first.
+    pub breaches: Vec<Breach>,
+}
+
+impl HealthStatus {
+    /// Human-readable multi-line rendering (the `:health` command).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{} ({} window(s) evaluated, {} breach(es))\n",
+            if self.healthy { "HEALTHY" } else { "DEGRADED" },
+            self.windows_evaluated,
+            self.breaches.len()
+        );
+        for b in &self.breaches {
+            out.push_str("  ");
+            out.push_str(&b.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Per-gauge growth tracking for [`RuleKind::MonotonicGrowth`].
+#[derive(Debug, Default, Clone, Copy)]
+struct GrowthStreak {
+    last: u64,
+    streak: usize,
+    seen: bool,
+}
+
+/// Mutable watchdog state: growth streaks per rule index, the breach
+/// log, and the evaluation counter.
+#[derive(Debug, Default)]
+struct WatchdogState {
+    growth: Vec<GrowthStreak>,
+    breaches: Vec<Breach>,
+    windows_evaluated: u64,
+    total_breaches: u64,
+}
+
+/// The watchdog: a rule catalog evaluated window by window.
+#[derive(Debug)]
+pub struct Watchdog {
+    rules: Vec<Rule>,
+    state: Mutex<WatchdogState>,
+}
+
+impl Watchdog {
+    /// A watchdog over `rules`.
+    pub fn new(rules: Vec<Rule>) -> Watchdog {
+        let growth = vec![GrowthStreak::default(); rules.len()];
+        Watchdog {
+            rules,
+            state: Mutex::new(WatchdogState {
+                growth,
+                ..WatchdogState::default()
+            }),
+        }
+    }
+
+    /// The rule catalog.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Evaluate one window against every rule. Breaches are returned
+    /// *and* appended to the retained log.
+    pub fn evaluate(&self, window: &Window) -> Vec<Breach> {
+        let mut state = lock(&self.state);
+        state.windows_evaluated += 1;
+        let mut tripped = Vec::new();
+        for (i, rule) in self.rules.iter().enumerate() {
+            let detail = match &rule.kind {
+                RuleKind::P99Above {
+                    histogram,
+                    bound_ns,
+                } => {
+                    let p99 = window.percentile(histogram, 0.99);
+                    (p99 > *bound_ns)
+                        .then(|| format!("{histogram} window p99 {p99}ns > bound {bound_ns}ns"))
+                }
+                RuleKind::HitRateBelow {
+                    hits,
+                    misses,
+                    floor,
+                    min_events,
+                } => {
+                    let events = window.counter(hits) + window.counter(misses);
+                    if events < *min_events {
+                        None
+                    } else {
+                        window.ratio(hits, misses).and_then(|rate| {
+                            (rate < *floor).then(|| {
+                                format!(
+                                    "hit rate {rate:.3} < floor {floor:.3} \
+                                     ({events} probes in window)"
+                                )
+                            })
+                        })
+                    }
+                }
+                RuleKind::MonotonicGrowth { gauge, windows } => {
+                    let v = window.gauge(gauge);
+                    let g = state.growth.get_mut(i);
+                    match g {
+                        Some(g) => {
+                            if g.seen && v > g.last {
+                                g.streak += 1;
+                            } else {
+                                g.streak = 0;
+                            }
+                            g.last = v;
+                            g.seen = true;
+                            if g.streak >= *windows {
+                                let detail = format!(
+                                    "{gauge} grew {} consecutive window(s) to {v}",
+                                    g.streak
+                                );
+                                g.streak = 0; // re-arm: one breach per run-up
+                                Some(detail)
+                            } else {
+                                None
+                            }
+                        }
+                        None => None,
+                    }
+                }
+                RuleKind::CounterSpike {
+                    counter,
+                    max_per_window,
+                } => {
+                    let delta = window.counter(counter);
+                    (delta > *max_per_window).then(|| {
+                        format!("{counter} moved {delta} in one window (max {max_per_window})")
+                    })
+                }
+            };
+            if let Some(detail) = detail {
+                tripped.push(Breach {
+                    rule: rule.name.clone(),
+                    detail,
+                    window_start_ns: window.start_ns,
+                    window_end_ns: window.end_ns,
+                });
+            }
+        }
+        for b in &tripped {
+            state.total_breaches += 1;
+            if state.breaches.len() >= BREACH_LOG_CAPACITY {
+                state.breaches.remove(0);
+            }
+            state.breaches.push(b.clone());
+        }
+        tripped
+    }
+
+    /// The current verdict: healthy iff no rule has ever tripped.
+    pub fn status(&self) -> HealthStatus {
+        let state = lock(&self.state);
+        HealthStatus {
+            healthy: state.total_breaches == 0,
+            windows_evaluated: state.windows_evaluated,
+            breaches: state.breaches.clone(),
+        }
+    }
+}
+
+/// Writes flight-recorder dumps: one atomically-published JSON file per
+/// breach, named `dump-<rule>-<window_end_ns>.json` so the same breach
+/// in a replayed run lands on the same path with the same bytes.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    dir: PathBuf,
+}
+
+impl FlightRecorder {
+    /// A recorder writing into `dir` (created on first dump).
+    pub fn new(dir: impl Into<PathBuf>) -> FlightRecorder {
+        FlightRecorder { dir: dir.into() }
+    }
+
+    /// The dump directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Render one dump: the breach, the service config fingerprint, the
+    /// most recent EXPLAIN ANALYZE report (if one ran), the last traces
+    /// (rendered span trees), and the surrounding windows — sorted
+    /// keys, deterministic for deterministic inputs.
+    pub fn render_dump(
+        breach: &Breach,
+        windows: &[Window],
+        traces: &[TraceData],
+        config_fingerprint: &str,
+        explain: Option<&str>,
+    ) -> String {
+        let windows: Vec<String> = windows
+            .iter()
+            .map(|w| format!("    {}", w.to_json()))
+            .collect();
+        let traces: Vec<String> = traces
+            .iter()
+            .map(|t| format!("    {:?}", t.render()))
+            .collect();
+        let explain = match explain {
+            Some(e) => format!("{e:?}"),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\n  \"breach\": {},\n  \"config\": {:?},\n  \"explain\": {},\n  \
+             \"traces\": [\n{}\n  ],\n  \"windows\": [\n{}\n  ]\n}}\n",
+            breach.to_json(),
+            config_fingerprint,
+            explain,
+            traces.join(",\n"),
+            windows.join(",\n"),
+        )
+    }
+
+    /// Write the dump for `breach` atomically (tmp → fsync → rename)
+    /// and return its path. An existing dump for the same rule+window
+    /// is overwritten (replays produce identical bytes anyway).
+    pub fn record(
+        &self,
+        breach: &Breach,
+        windows: &[Window],
+        traces: &[TraceData],
+        config_fingerprint: &str,
+        explain: Option<&str>,
+    ) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(&self.dir)?;
+        let name = format!("dump-{}-{}.json", breach.rule, breach.window_end_ns);
+        let path = self.dir.join(&name);
+        let tmp = self.dir.join(format!("{name}.tmp"));
+        let body = Self::render_dump(breach, windows, traces, config_fingerprint, explain);
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(body.as_bytes())?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use crate::registry::Registry;
+    use crate::timeseries::{Sampler, SamplerConfig};
+    use crate::trace::Tracer;
+    use std::sync::Arc;
+
+    fn harness() -> (Arc<ManualClock>, Arc<Registry>, Sampler) {
+        let clock = Arc::new(ManualClock::new());
+        let registry = Arc::new(Registry::new());
+        let sampler = Sampler::new(
+            clock.clone(),
+            registry.clone(),
+            SamplerConfig {
+                interval_ns: 0,
+                capacity: 16,
+            },
+        );
+        (clock, registry, sampler)
+    }
+
+    #[test]
+    fn p99_rule_trips_exactly_once_on_the_slow_window() {
+        let (clock, registry, sampler) = harness();
+        let wd = Watchdog::new(vec![Rule::new(
+            "latency-p99",
+            RuleKind::P99Above {
+                histogram: "svc.lat_ns".into(),
+                bound_ns: 1_000_000,
+            },
+        )]);
+        let h = registry.register_histogram("svc.lat_ns");
+        // Window 1: fast. Window 2: one 4ms outlier. Window 3: fast.
+        let mut trips = 0;
+        for (step, v) in [(1u64, 500u64), (2, 4_000_000), (3, 700)] {
+            h.record(v);
+            clock.set_ns(step * 100);
+            let w = sampler.sample_now();
+            trips += wd.evaluate(&w).len();
+        }
+        assert_eq!(trips, 1);
+        let status = wd.status();
+        assert!(!status.healthy);
+        assert_eq!(status.windows_evaluated, 3);
+        assert_eq!(status.breaches.len(), 1);
+        assert_eq!(status.breaches[0].rule, "latency-p99");
+        assert!(status.breaches[0].detail.contains("bound 1000000ns"));
+    }
+
+    #[test]
+    fn hit_rate_rule_skips_idle_windows_and_trips_once() {
+        let (clock, registry, sampler) = harness();
+        let wd = Watchdog::new(vec![Rule::new(
+            "cache-hit-rate",
+            RuleKind::HitRateBelow {
+                hits: "c.hits".into(),
+                misses: "c.misses".into(),
+                floor: 0.5,
+                min_events: 10,
+            },
+        )]);
+        let hits = registry.register_counter("c.hits");
+        let misses = registry.register_counter("c.misses");
+        // Window 1: 2 probes below floor but under min_events — skipped.
+        misses.add(2);
+        clock.set_ns(100);
+        assert!(wd.evaluate(&sampler.sample_now()).is_empty());
+        // Window 2: 20 probes, 25% hit rate — trips.
+        hits.add(5);
+        misses.add(15);
+        clock.set_ns(200);
+        let breaches = wd.evaluate(&sampler.sample_now());
+        assert_eq!(breaches.len(), 1);
+        assert!(breaches[0].detail.contains("hit rate 0.250"));
+        // Window 3: healthy again.
+        hits.add(20);
+        clock.set_ns(300);
+        assert!(wd.evaluate(&sampler.sample_now()).is_empty());
+        assert_eq!(wd.status().breaches.len(), 1);
+    }
+
+    #[test]
+    fn monotonic_growth_rule_needs_consecutive_windows() {
+        let (clock, registry, sampler) = harness();
+        let wd = Watchdog::new(vec![Rule::new(
+            "wal-backlog",
+            RuleKind::MonotonicGrowth {
+                gauge: "wal.pending".into(),
+                windows: 3,
+            },
+        )]);
+        let g = registry.register_gauge("wal.pending");
+        // Grows twice, drains, grows three times: trips exactly once.
+        let script: [(u64, usize); 7] = [(10, 0), (20, 0), (5, 0), (6, 0), (7, 0), (8, 1), (9, 0)];
+        for (step, (v, expect)) in script.iter().enumerate() {
+            g.set(*v);
+            clock.set_ns((step as u64 + 1) * 100);
+            let got = wd.evaluate(&sampler.sample_now()).len();
+            assert_eq!(got, *expect, "window {step} (gauge={v})");
+        }
+        assert_eq!(wd.status().breaches.len(), 1);
+        assert!(wd.status().breaches[0].detail.contains("wal.pending"));
+    }
+
+    #[test]
+    fn counter_spike_rule_trips_on_the_spiking_window_only() {
+        let (clock, registry, sampler) = harness();
+        let wd = Watchdog::new(vec![Rule::new(
+            "fallback-spike",
+            RuleKind::CounterSpike {
+                counter: "c.fallbacks".into(),
+                max_per_window: 2,
+            },
+        )]);
+        let c = registry.register_counter("c.fallbacks");
+        let mut trips = 0;
+        for (step, add) in [(1u64, 1u64), (2, 5), (3, 2)] {
+            c.add(add);
+            clock.set_ns(step * 100);
+            trips += wd.evaluate(&sampler.sample_now()).len();
+        }
+        assert_eq!(trips, 1);
+        assert!(wd.status().breaches[0].detail.contains("moved 5"));
+    }
+
+    #[test]
+    fn healthy_status_renders_and_rules_describe_themselves() {
+        let wd = Watchdog::new(vec![Rule::new(
+            "latency-p99",
+            RuleKind::P99Above {
+                histogram: "h".into(),
+                bound_ns: 10,
+            },
+        )]);
+        let status = wd.status();
+        assert!(status.healthy);
+        assert!(status.render().starts_with("HEALTHY"));
+        assert!(wd.rules()[0].describe().contains("latency-p99"));
+    }
+
+    #[test]
+    fn flight_recorder_dump_is_atomic_and_deterministic() {
+        let (clock, registry, sampler) = harness();
+        let tracer = Tracer::new(clock.clone(), 4);
+        tracer.set_enabled(true);
+        registry.register_counter("c.x").add(7);
+        clock.set_ns(100);
+        let w = sampler.sample_now();
+        {
+            let root = tracer.root_span("recommend");
+            clock.advance_ns(5);
+            drop(root.child("execute"));
+        }
+        let breach = Breach {
+            rule: "latency-p99".into(),
+            detail: "p99 over bound".into(),
+            window_start_ns: 0,
+            window_end_ns: 100,
+        };
+        let dir = std::env::temp_dir().join(format!("seedb-fr-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fr = FlightRecorder::new(&dir);
+        let traces = tracer.recent(8);
+        let p1 = fr
+            .record(&breach, std::slice::from_ref(&w), &traces, "cfg=1", None)
+            .unwrap();
+        let bytes1 = std::fs::read(&p1).unwrap();
+        let p2 = fr
+            .record(&breach, std::slice::from_ref(&w), &traces, "cfg=1", None)
+            .unwrap();
+        let bytes2 = std::fs::read(&p2).unwrap();
+        assert_eq!(p1, p2, "same rule+window ⇒ same path");
+        assert_eq!(
+            p1.file_name().and_then(|n| n.to_str()),
+            Some("dump-latency-p99-100.json")
+        );
+        assert_eq!(bytes1, bytes2, "replay ⇒ byte-identical dump");
+        let text = String::from_utf8(bytes1).unwrap();
+        assert!(text.contains("\"breach\""));
+        assert!(text.contains("\"config\": \"cfg=1\""));
+        assert!(text.contains("\"explain\": null"));
+        assert!(FlightRecorder::render_dump(
+            &breach,
+            std::slice::from_ref(&w),
+            &traces,
+            "cfg=1",
+            Some("plan")
+        )
+        .contains("\"explain\": \"plan\""));
+        assert!(text.contains("recommend"));
+        assert!(text.contains("\"c.x\": 7"));
+        // No tmp file left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -35,6 +35,15 @@
 //! * `:metrics` — dump the serving layer's full metrics snapshot
 //!   (`service.*` cache/latency, `exec.*` scan work, `store.*` WAL and
 //!   checkpoint activity) as sorted JSON
+//! * `:watch <n>` — live telemetry dashboard: replay the current query
+//!   once per sampling window for `n` windows and print each window's
+//!   deltas (qps, recommend p50/p99, cache hit rate, WAL bytes pending)
+//! * `:health` — the watchdog's verdict (HEALTHY/DEGRADED plus the
+//!   retained breach log) and the active rule catalog
+//! * `:explain [cold]` — EXPLAIN ANALYZE the current query through the
+//!   serving layer: per-operator rows scanned/matched, partition
+//!   fan-out, merge time, and cache probe outcome, reconciled against
+//!   the `exec.*` cost counters; `cold` clears the cache first
 //! * `:trace on|off` — toggle per-request trace recording; `on` replays
 //!   the current query cold through one session and prints its span
 //!   tree (recommend → optimize → execute → per-partition
@@ -390,6 +399,78 @@ fn run_sessions(service: &Service, query: &AnalystQuery, n: usize) {
     );
 }
 
+/// `:watch <n>` — the live telemetry dashboard. Replays the current
+/// query once per sampling window (so the table shows real traffic even
+/// with no other sessions running), closes a window, and prints its
+/// deltas: qps, windowed recommend p50/p99, cache hit rate, and WAL
+/// bytes pending.
+fn run_watch(service: &Service, query: &AnalystQuery, n: usize) {
+    let interval = service
+        .telemetry_interval()
+        .unwrap_or(Duration::from_secs(1))
+        .min(Duration::from_secs(1));
+    println!(
+        "{:>9}  {:>7}  {:>9}  {:>9}  {:>8}  {:>11}",
+        "window_s", "qps", "p50_ms", "p99_ms", "hit_rate", "wal_pending"
+    );
+    let session = service.session();
+    for _ in 0..n {
+        let tick = Instant::now();
+        if let Err(e) = session.recommend(query) {
+            eprintln!("watch request failed: {e}");
+            return;
+        }
+        if let Some(rest) = interval.checked_sub(tick.elapsed()) {
+            std::thread::sleep(rest);
+        }
+        let Some(w) = service.sample_window() else {
+            eprintln!("telemetry is disabled in the serving config");
+            return;
+        };
+        let secs = w.duration_ns() as f64 / 1e9;
+        let served = w
+            .histograms
+            .get("service.recommend_ns")
+            .map_or(0, |h| h.count);
+        let qps = if secs > 0.0 {
+            served as f64 / secs
+        } else {
+            0.0
+        };
+        let hit_rate = w
+            .ratio("service.cache.hits", "service.cache.misses")
+            .map_or_else(|| "-".to_string(), |r| format!("{r:.2}"));
+        println!(
+            "{:>9.2}  {:>7.2}  {:>9.3}  {:>9.3}  {:>8}  {:>11}",
+            w.end_ns as f64 / 1e9,
+            qps,
+            w.percentile("service.recommend_ns", 0.50) as f64 / 1e6,
+            w.percentile("service.recommend_ns", 0.99) as f64 / 1e6,
+            hit_rate,
+            w.gauge("store.wal.bytes_pending"),
+        );
+    }
+    let health = service.health();
+    if !health.healthy {
+        println!("note: watchdog is DEGRADED — see :health");
+    }
+}
+
+/// `:health` — watchdog verdict, retained breach log, and the active
+/// rule catalog.
+fn print_health(service: &Service) {
+    print!("{}", service.health().render());
+    let rules = service.watchdog_rules();
+    if rules.is_empty() {
+        println!("telemetry disabled: no watchdog rules active");
+    } else {
+        println!("watchdog rules:");
+        for rule in &rules {
+            println!("  {rule}");
+        }
+    }
+}
+
 /// Printed whenever sampling and a phased strategy are configured
 /// together: phased execution is exact and ignores the sample.
 fn warn_sample_ignored(cfg: &SeeDbConfig) {
@@ -615,6 +696,35 @@ fn main() {
                     let service = serving_service(&frontend, &mut serving);
                     print!("{}", service.metrics().to_json());
                 }
+                Some("watch") => match parts.next().map(str::parse::<usize>) {
+                    Some(Ok(n)) if (1..=120).contains(&n) => {
+                        let service = serving_service(&frontend, &mut serving);
+                        run_watch(&service, &current, n);
+                    }
+                    _ => eprintln!("usage: :watch <1..=120 windows>"),
+                },
+                Some("health") => {
+                    let service = serving_service(&frontend, &mut serving);
+                    print_health(&service);
+                }
+                Some("explain") => {
+                    let cold = match parts.next() {
+                        Some("cold") => true,
+                        None => false,
+                        Some(_) => {
+                            eprintln!("usage: :explain [cold]");
+                            continue;
+                        }
+                    };
+                    let service = serving_service(&frontend, &mut serving);
+                    if cold {
+                        service.clear_cache();
+                    }
+                    match service.recommend_explained(&current) {
+                        Ok((_, report)) => print!("{}", report.render()),
+                        Err(e) => eprintln!("explain failed: {e}"),
+                    }
+                }
                 Some("trace") => match parts.next() {
                     Some("on") => {
                         let service = serving_service(&frontend, &mut serving);
@@ -665,7 +775,7 @@ fn main() {
                 },
                 _ => eprintln!(
                     "commands: :k :metric :basic :sample :strategy :workers :sessions :append \
-                     :save :open :metrics :trace :drill :up :quit"
+                     :save :open :metrics :watch :health :explain :trace :drill :up :quit"
                 ),
             }
             continue;

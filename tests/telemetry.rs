@@ -1,0 +1,224 @@
+//! Telemetry-pipeline and EXPLAIN ANALYZE integration tests: the
+//! serving layer's sampler/watchdog/flight-recorder stack must be
+//! deterministic under an injected clock, and the explain report's
+//! operator totals must reconcile exactly with the `exec.*` registry
+//! cost counters.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use seedb::core::{AnalystQuery, SeeDbConfig, Service, ServiceConfig, TelemetryConfig};
+use seedb::memdb::{CacheOutcome, ColumnDef, DataType, Database, Expr, Schema, Table, Value};
+use seedb::obs::{ManualClock, Obs};
+
+fn fact_table(rows: usize) -> Table {
+    let schema = Schema::new(vec![
+        ColumnDef::dimension("d0", DataType::Str),
+        ColumnDef::dimension("d1", DataType::Str),
+        ColumnDef::measure("m0", DataType::Float64),
+    ])
+    .unwrap();
+    let mut t = Table::new("facts", schema);
+    for i in 0..rows {
+        let sub = i % 3;
+        t.push_row(vec![
+            Value::from(format!("s{sub}")),
+            Value::from(format!("g{}", i % 4)),
+            Value::Float((i % 11) as f64 + if sub == 0 { 15.0 } else { 0.0 }),
+        ])
+        .unwrap();
+    }
+    t
+}
+
+fn deterministic_config() -> SeeDbConfig {
+    let mut cfg = SeeDbConfig::recommended().with_k(3);
+    cfg.pruning.access_frequency = false;
+    cfg
+}
+
+fn service_config() -> ServiceConfig {
+    ServiceConfig::recommended()
+        .with_seedb(deterministic_config())
+        .with_batch_window(Duration::from_millis(0))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("seedb-telemetry-it-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Cold run: the explain report's operator totals equal the registry's
+/// cost-counter deltas exactly, and the operators show real scans.
+#[test]
+fn cold_explain_reconciles_with_registry_counters() {
+    let db = Arc::new(Database::new());
+    db.register(fact_table(600));
+    let service = Service::new(db, service_config());
+    let query = AnalystQuery::new("facts", Some(Expr::col("d0").eq("s0")));
+
+    let (rec, report) = service.recommend_explained(&query).unwrap();
+    assert!(!rec.views.is_empty());
+    assert!(!report.ops.is_empty(), "cold run must record operators");
+    assert!(report.cost_delta.table_scans > 0, "cold run must scan");
+    assert!(
+        report.reconciles(),
+        "operator totals must equal registry deltas:\n{}",
+        report.render()
+    );
+    let totals = report.totals();
+    assert_eq!(totals.rows_scanned, report.cost_delta.rows_scanned);
+    assert_eq!(totals.table_scans, report.cost_delta.table_scans);
+    assert!(totals.rows_matched <= totals.rows_scanned);
+    // Cold operators are misses (batch/standalone scans), never hits.
+    assert!(report
+        .ops
+        .iter()
+        .all(|op| op.stats.cache != CacheOutcome::Hit));
+    assert!(report.render().contains("reconciles: true"));
+}
+
+/// Warm runs cost zero scans, report every operator as a cache hit, and
+/// render byte-identically across repeats — the stability acceptance
+/// criterion for `:explain`.
+#[test]
+fn warm_explain_is_all_hits_and_byte_identical_across_runs() {
+    let db = Arc::new(Database::new());
+    db.register(fact_table(600));
+    let service = Service::new(db, service_config());
+    let query = AnalystQuery::new("facts", Some(Expr::col("d0").eq("s0")));
+
+    let cold = service.recommend(&query).unwrap();
+    let (warm_a, report_a) = service.recommend_explained(&query).unwrap();
+    let (warm_b, report_b) = service.recommend_explained(&query).unwrap();
+
+    for warm in [&warm_a, &warm_b] {
+        assert_eq!(cold.views.len(), warm.views.len());
+        for (x, y) in cold.all.iter().zip(&warm.all) {
+            assert_eq!(x.spec, y.spec);
+            assert_eq!(x.utility.to_bits(), y.utility.to_bits());
+        }
+    }
+    for report in [&report_a, &report_b] {
+        assert!(!report.ops.is_empty());
+        assert_eq!(report.cost_delta.table_scans, 0, "warm run must not scan");
+        assert_eq!(report.cost_delta.rows_scanned, 0);
+        assert!(report.reconciles());
+        assert!(report
+            .ops
+            .iter()
+            .all(|op| op.stats.cache == CacheOutcome::Hit));
+    }
+    assert_eq!(
+        report_a.render(),
+        report_b.render(),
+        "warm explain reports must be byte-identical"
+    );
+}
+
+/// Driving the recommend-latency histogram past the SLO bound trips the
+/// `latency-p99` watchdog rule, flips `health()` to degraded, and writes
+/// a flight-recorder dump whose bytes are deterministic: two identical
+/// services produce identical dump files.
+#[test]
+fn latency_slo_breach_degrades_health_and_dumps_deterministically() {
+    let run = |dump_dir: &PathBuf| -> (bool, String, Vec<u8>) {
+        let clock = Arc::new(ManualClock::new());
+        let obs = Obs::with_clock(clock.clone());
+        let db = Arc::new(Database::with_obs(obs));
+        db.register(fact_table(200));
+        let telemetry = TelemetryConfig {
+            p99_bound_ns: 1_000,
+            ..TelemetryConfig::recommended()
+        }
+        .with_dump_dir(dump_dir);
+        let service = Service::new(db.clone(), service_config().with_telemetry(telemetry));
+
+        assert!(service.health().healthy, "fresh service is healthy");
+        assert_eq!(service.watchdog_rules().len(), 4);
+
+        // Serve once (real work lands in the counters), then inject
+        // latencies over the bound directly into the shared histogram —
+        // under the manual clock the serve path itself records 0 ns.
+        let query = AnalystQuery::new("facts", Some(Expr::col("d0").eq("s0")));
+        service.recommend(&query).unwrap();
+        let hist = db
+            .obs()
+            .registry()
+            .register_histogram("service.recommend_ns");
+        for _ in 0..10 {
+            hist.record(5_000);
+        }
+        clock.advance_ns(2_000_000_000);
+        let window = service.sample_window().expect("telemetry enabled");
+        assert!(window.percentile("service.recommend_ns", 0.99) > 1_000);
+
+        let health = service.health();
+        assert!(!health.healthy, "p99 over bound must degrade health");
+        let breach = health
+            .breaches
+            .iter()
+            .find(|b| b.rule == "latency-p99")
+            .expect("latency rule tripped");
+        let dump = dump_dir.join(format!("dump-latency-p99-{}.json", breach.window_end_ns));
+        let bytes = std::fs::read(&dump).expect("flight-recorder dump written");
+        (health.healthy, breach.detail.clone(), bytes)
+    };
+
+    let dir_a = tmp("dump-a");
+    let dir_b = tmp("dump-b");
+    let (_, detail_a, bytes_a) = run(&dir_a);
+    let (_, detail_b, bytes_b) = run(&dir_b);
+    assert_eq!(detail_a, detail_b);
+    assert_eq!(bytes_a, bytes_b, "same-seed dumps must be byte-identical");
+    let text = String::from_utf8(bytes_a).unwrap();
+    assert!(text.contains("\"breach\""));
+    assert!(text.contains("\"config\""));
+    assert!(text.contains("\"windows\""));
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+/// The telemetry surface degrades cleanly when disabled, and the serve
+/// path ticks the sampler on its own once the interval elapses.
+#[test]
+fn telemetry_surface_disabled_and_opportunistic_ticking() {
+    // Disabled: every accessor is inert and health is trivially green.
+    let db = Arc::new(Database::new());
+    db.register(fact_table(120));
+    let off = Service::new(
+        db,
+        service_config().with_telemetry(TelemetryConfig::disabled()),
+    );
+    assert!(off.sample_window().is_none());
+    assert!(off.telemetry_windows().is_empty());
+    assert!(off.telemetry_interval().is_none());
+    assert!(off.watchdog_rules().is_empty());
+    let health = off.health();
+    assert!(health.healthy);
+    assert_eq!(health.windows_evaluated, 0);
+
+    // Enabled under a manual clock: a serve after the interval elapses
+    // closes a window with no explicit sample_window() call.
+    let clock = Arc::new(ManualClock::new());
+    let obs = Obs::with_clock(clock.clone());
+    let db = Arc::new(Database::with_obs(obs));
+    db.register(fact_table(120));
+    let service = Service::new(db, service_config());
+    let query = AnalystQuery::new("facts", Some(Expr::col("d0").eq("s0")));
+    service.recommend(&query).unwrap();
+    clock.advance_ns(1_500_000_000);
+    service.recommend(&query).unwrap();
+    let windows = service.telemetry_windows();
+    assert!(
+        !windows.is_empty(),
+        "serve path must tick the sampler once the interval elapsed"
+    );
+    assert!(
+        windows[0].counter("service.cache.hits") + windows[0].counter("service.cache.misses") > 0
+    );
+    assert_eq!(service.telemetry_interval(), Some(Duration::from_secs(1)));
+}
